@@ -1,0 +1,68 @@
+// Ablation: Theorem 1 - probing the block CENTER minimizes the search
+// threshold (added slack = one diagonal); probing a corner forces the
+// slack to two diagonals, so fewer blocks are classified
+// Non-Contributing and more points are joined.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/select_inner_join.h"
+
+namespace knnq::bench {
+namespace {
+
+SelectInnerJoinQuery MakeQuery() {
+  const PointSet& outer =
+      Berlin(128000 * Scale(), /*seed=*/1111, /*first_id=*/0);
+  const PointSet& inner =
+      Berlin(128000 * Scale(), /*seed=*/1122, /*first_id=*/10000000);
+  return SelectInnerJoinQuery{
+      .outer = &IndexOf(outer),
+      .inner = &IndexOf(inner),
+      .join_k = 10,
+      .focal = Point{.id = -1, .x = 15500, .y = 11800},
+      .select_k = 10,
+  };
+}
+
+void BM_AblationCenter_CenterProbe(benchmark::State& state) {
+  const auto query = MakeQuery();
+  SelectInnerJoinStats stats;
+  for (auto _ : state) {
+    stats = SelectInnerJoinStats{};
+    auto result = SelectInnerJoinBlockMarking(
+        query, PreprocessMode::kExhaustive, &stats, ProbePoint::kCenter);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["contributing_blocks"] =
+      static_cast<double>(stats.contributing_blocks);
+  state.counters["points_joined"] =
+      static_cast<double>(stats.neighborhoods_computed);
+}
+
+void BM_AblationCenter_CornerProbe(benchmark::State& state) {
+  const auto query = MakeQuery();
+  SelectInnerJoinStats stats;
+  for (auto _ : state) {
+    stats = SelectInnerJoinStats{};
+    auto result = SelectInnerJoinBlockMarking(
+        query, PreprocessMode::kExhaustive, &stats, ProbePoint::kCorner);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["contributing_blocks"] =
+      static_cast<double>(stats.contributing_blocks);
+  state.counters["points_joined"] =
+      static_cast<double>(stats.neighborhoods_computed);
+}
+
+BENCHMARK(BM_AblationCenter_CenterProbe)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+BENCHMARK(BM_AblationCenter_CornerProbe)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

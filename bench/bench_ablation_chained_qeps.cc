@@ -1,0 +1,66 @@
+// Ablation: the three chained-join QEPs of Figure 13 head-to-head
+// (Section 4.2.1's cost discussion): right-deep materializes B JOIN C
+// in full; join-intersection computes both joins blindly; the nested
+// join touches only reachable b's.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/chained_joins.h"
+
+namespace knnq::bench {
+namespace {
+
+ChainedJoinsQuery MakeQuery() {
+  const PointSet& a = Clustered(3, 4000 * Scale(), /*seed=*/1211,
+                                /*first_id=*/0);
+  const PointSet& b =
+      Berlin(128000 * Scale(), /*seed=*/1222, /*first_id=*/10000000);
+  const PointSet& c =
+      Berlin(64000 * Scale(), /*seed=*/1233, /*first_id=*/20000000);
+  return ChainedJoinsQuery{
+      .a = &IndexOf(a),
+      .b = &IndexOf(b),
+      .c = &IndexOf(c),
+      .k_ab = 10,
+      .k_bc = 10,
+  };
+}
+
+void BM_AblationChained_Qep1RightDeep(benchmark::State& state) {
+  const auto query = MakeQuery();
+  for (auto _ : state) {
+    auto result = ChainedJoinsRightDeep(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_AblationChained_Qep2JoinIntersection(benchmark::State& state) {
+  const auto query = MakeQuery();
+  for (auto _ : state) {
+    auto result = ChainedJoinsJoinIntersection(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_AblationChained_Qep3Nested(benchmark::State& state) {
+  const auto query = MakeQuery();
+  for (auto _ : state) {
+    auto result = ChainedJoinsNested(query, /*cache_bc=*/true);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_AblationChained_Qep1RightDeep)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_AblationChained_Qep2JoinIntersection)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_AblationChained_Qep3Nested)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

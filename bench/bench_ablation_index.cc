@@ -1,0 +1,77 @@
+// Ablation: index-structure independence (paper Section 2/6: "our
+// algorithms are independent of a specific indexing structure" and are
+// expected to keep their effectiveness with R-trees or quadtrees).
+// Runs the same Block-Marking select-inner-join and 2-kNN-select
+// queries over grid, quadtree and R-tree indexes.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/select_inner_join.h"
+#include "src/core/two_selects.h"
+
+namespace knnq::bench {
+namespace {
+
+IndexType TypeOf(std::int64_t arg) {
+  switch (arg) {
+    case 0:
+      return IndexType::kGrid;
+    case 1:
+      return IndexType::kQuadtree;
+    default:
+      return IndexType::kRTree;
+  }
+}
+
+void BM_AblationIndex_BlockMarking(benchmark::State& state) {
+  const IndexType type = TypeOf(state.range(0));
+  const PointSet& outer =
+      Berlin(64000 * Scale(), /*seed=*/911, /*first_id=*/0);
+  const PointSet& inner =
+      Berlin(64000 * Scale(), /*seed=*/922, /*first_id=*/10000000);
+  const SelectInnerJoinQuery query{
+      .outer = &IndexOf(outer, type),
+      .inner = &IndexOf(inner, type),
+      .join_k = 10,
+      .focal = Point{.id = -1, .x = 15500, .y = 11800},
+      .select_k = 10,
+  };
+  for (auto _ : state) {
+    auto result = SelectInnerJoinBlockMarking(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(ToString(type));
+}
+
+void BM_AblationIndex_TwoKnnSelect(benchmark::State& state) {
+  const IndexType type = TypeOf(state.range(0));
+  const PointSet& relation =
+      Berlin(128000 * Scale(), /*seed=*/933, /*first_id=*/0);
+  const TwoSelectsQuery query{
+      .relation = &IndexOf(relation, type),
+      .f1 = Point{.id = -1, .x = 15200, .y = 12100},
+      .k1 = 10,
+      .f2 = Point{.id = -1, .x = 15350, .y = 12040},
+      .k2 = 1280,
+  };
+  for (auto _ : state) {
+    auto result = TwoSelectsOptimized(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(ToString(type));
+}
+
+BENCHMARK(BM_AblationIndex_BlockMarking)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2)
+    ->DenseRange(0, 2, 1);
+
+BENCHMARK(BM_AblationIndex_TwoKnnSelect)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20)
+    ->DenseRange(0, 2, 1);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Figure 22: two unchained kNN-joins (A JOIN B) INTERSECT_B (C JOIN B)
+// with A clustered and B, C city-shaped; |C| varies.
+//
+// Paper shape: Block-Marking stays nearly flat (blocks of C that cannot
+// reach the candidate region of B are pruned before their points are
+// joined) while the conceptually correct QEP grows linearly with |C| -
+// an order-of-magnitude gap.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/unchained_joins.h"
+
+namespace knnq::bench {
+namespace {
+
+UnchainedJoinsQuery MakeQuery(std::size_t c_n) {
+  // A: 5 tight clusters (the paper's Section 6.2.1 setup, cluster size
+  // scaled down with everything else so the intersection result - and
+  // with it both evaluators' output cost - stays proportional); B and C:
+  // city snapshots.
+  const PointSet& a = Clustered(2, 100 * Scale(), /*seed=*/411,
+                                /*first_id=*/0);
+  const PointSet& b =
+      Berlin(128000 * Scale(), /*seed=*/422, /*first_id=*/10000000);
+  const PointSet& c = Berlin(c_n, /*seed=*/433, /*first_id=*/20000000);
+  return UnchainedJoinsQuery{
+      .a = &IndexOf(a),
+      .b = &IndexOf(b),
+      .c = &IndexOf(c),
+      .k_ab = 10,
+      .k_cb = 10,
+  };
+}
+
+void BM_Fig22_ConceptualQEP(benchmark::State& state) {
+  const auto query = MakeQuery(static_cast<std::size_t>(state.range(0)) *
+                               Scale());
+  std::size_t triplets = 0;
+  for (auto _ : state) {
+    auto result = UnchainedJoinsNaive(query);
+    triplets = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["c_points"] = static_cast<double>(query.c->num_points());
+  state.counters["triplets"] = static_cast<double>(triplets);
+}
+
+void BM_Fig22_BlockMarking(benchmark::State& state) {
+  const auto query = MakeQuery(static_cast<std::size_t>(state.range(0)) *
+                               Scale());
+  std::size_t triplets = 0;
+  UnchainedJoinsStats stats;
+  for (auto _ : state) {
+    stats = UnchainedJoinsStats{};
+    auto result = UnchainedJoinsBlockMarking(query, &stats);
+    triplets = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["c_points"] = static_cast<double>(query.c->num_points());
+  state.counters["triplets"] = static_cast<double>(triplets);
+  state.counters["c_points_joined"] =
+      static_cast<double>(stats.neighborhoods_computed);
+}
+
+BENCHMARK(BM_Fig22_ConceptualQEP)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(32000)
+    ->Arg(64000)
+    ->Arg(128000)
+    ->Arg(256000);
+
+BENCHMARK(BM_Fig22_BlockMarking)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(32000)
+    ->Arg(64000)
+    ->Arg(128000)
+    ->Arg(256000);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Figure 23: two unchained kNN-joins with BOTH outer relations
+// clustered (equal-size 4000-point, equal-area, non-overlapping
+// clusters); the number of clusters in A exceeds C's by
+// delta = 1 ... 10.
+//
+// Paper shape: starting the evaluation with (C JOIN B) - the relation
+// with fewer clusters, i.e. smaller coverage - beats starting with
+// (A JOIN B), and the gap grows with delta.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/unchained_joins.h"
+
+namespace knnq::bench {
+namespace {
+
+constexpr std::size_t kBaseClustersC = 4;
+
+struct Inputs {
+  const SpatialIndex* a;
+  const SpatialIndex* b;
+  const SpatialIndex* c;
+};
+
+Inputs MakeInputs(std::size_t delta) {
+  // Equal-size, equal-area, non-overlapping clusters per Section 6.2.1;
+  // cluster size scales with the rest of the workload.
+  const PointSet& a =
+      Clustered(kBaseClustersC + delta, 400 * Scale(), /*seed=*/511,
+                /*first_id=*/0);
+  const PointSet& b =
+      Berlin(128000 * Scale(), /*seed=*/522, /*first_id=*/10000000);
+  const PointSet& c = Clustered(kBaseClustersC, 400 * Scale(),
+                                /*seed=*/533, /*first_id=*/20000000);
+  return Inputs{&IndexOf(a), &IndexOf(b), &IndexOf(c)};
+}
+
+// Starting with (C JOIN B): the Block-Marking evaluator always runs its
+// first join on the relation passed as 'a', so pass C there and swap
+// the triplet roles conceptually (the result set is identical either
+// way; see the unchained order-independence test).
+void BM_Fig23_StartWithC(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  const UnchainedJoinsQuery query{
+      .a = in.c, .b = in.b, .c = in.a, .k_ab = 10, .k_cb = 10};
+  for (auto _ : state) {
+    auto result = UnchainedJoinsBlockMarking(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["clusters_delta"] = static_cast<double>(state.range(0));
+}
+
+void BM_Fig23_StartWithA(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<std::size_t>(state.range(0)));
+  const UnchainedJoinsQuery query{
+      .a = in.a, .b = in.b, .c = in.c, .k_ab = 10, .k_cb = 10};
+  for (auto _ : state) {
+    auto result = UnchainedJoinsBlockMarking(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["clusters_delta"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_Fig23_StartWithC)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->DenseRange(1, 10, 1);
+
+BENCHMARK(BM_Fig23_StartWithA)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->DenseRange(1, 10, 1);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

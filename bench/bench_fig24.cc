@@ -1,0 +1,78 @@
+// Figure 24: two chained kNN-joins (A JOIN B) then (B JOIN C) - the
+// Nested Join QEP with and without the hash-table cache of
+// (B JOIN C) neighborhoods, varying dataset size.
+//
+// Paper shape: caching significantly reduces execution time because a
+// b reachable from several a's is joined with C only once.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/chained_joins.h"
+
+namespace knnq::bench {
+namespace {
+
+ChainedJoinsQuery MakeQuery(std::size_t n) {
+  // Clustered A makes cache hits frequent: nearby a's share b's.
+  const PointSet& a = Clustered(4, 4000 * Scale(), /*seed=*/611,
+                                /*first_id=*/0);
+  const PointSet& b = Berlin(n, /*seed=*/622, /*first_id=*/10000000);
+  const PointSet& c = Berlin(n, /*seed=*/633, /*first_id=*/20000000);
+  return ChainedJoinsQuery{
+      .a = &IndexOf(a),
+      .b = &IndexOf(b),
+      .c = &IndexOf(c),
+      .k_ab = 10,
+      .k_bc = 10,
+  };
+}
+
+void BM_Fig24_NestedCached(benchmark::State& state) {
+  const auto query = MakeQuery(static_cast<std::size_t>(state.range(0)) *
+                               Scale());
+  ChainedJoinsStats stats;
+  for (auto _ : state) {
+    stats = ChainedJoinsStats{};
+    auto result = ChainedJoinsNested(query, /*cache_bc=*/true, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["b_points"] = static_cast<double>(query.b->num_points());
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["bc_probes"] =
+      static_cast<double>(stats.b_neighborhoods_computed);
+}
+
+void BM_Fig24_NestedUncached(benchmark::State& state) {
+  const auto query = MakeQuery(static_cast<std::size_t>(state.range(0)) *
+                               Scale());
+  ChainedJoinsStats stats;
+  for (auto _ : state) {
+    stats = ChainedJoinsStats{};
+    auto result = ChainedJoinsNested(query, /*cache_bc=*/false, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["b_points"] = static_cast<double>(query.b->num_points());
+  state.counters["bc_probes"] =
+      static_cast<double>(stats.b_neighborhoods_computed);
+}
+
+BENCHMARK(BM_Fig24_NestedCached)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(32000)
+    ->Arg(64000)
+    ->Arg(128000)
+    ->Arg(256000);
+
+BENCHMARK(BM_Fig24_NestedUncached)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(32000)
+    ->Arg(64000)
+    ->Arg(128000)
+    ->Arg(256000);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Figure 25: two chained kNN-joins - Nested Join (cached) vs Join
+// Intersection, varying the number of clusters in B.
+//
+// Paper shape: the Nested Join wins and the gap grows with the number
+// of clusters, because clusters of B that no point of A reaches are
+// never joined with C, while Join Intersection blindly joins every b.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/chained_joins.h"
+
+namespace knnq::bench {
+namespace {
+
+ChainedJoinsQuery MakeQuery(std::size_t b_clusters) {
+  // A is tightly clustered so only a fraction of B's clusters is
+  // reachable; C is a city snapshot.
+  const PointSet& a = Clustered(2, 4000 * Scale(), /*seed=*/711,
+                                /*first_id=*/0);
+  const PointSet& b = Clustered(b_clusters, 4000 * Scale(), /*seed=*/722,
+                                /*first_id=*/10000000);
+  const PointSet& c =
+      Berlin(64000 * Scale(), /*seed=*/733, /*first_id=*/20000000);
+  return ChainedJoinsQuery{
+      .a = &IndexOf(a),
+      .b = &IndexOf(b),
+      .c = &IndexOf(c),
+      .k_ab = 10,
+      .k_bc = 10,
+  };
+}
+
+void BM_Fig25_NestedJoin(benchmark::State& state) {
+  const auto query =
+      MakeQuery(static_cast<std::size_t>(state.range(0)));
+  ChainedJoinsStats stats;
+  for (auto _ : state) {
+    stats = ChainedJoinsStats{};
+    auto result = ChainedJoinsNested(query, /*cache_bc=*/true, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["b_clusters"] = static_cast<double>(state.range(0));
+  state.counters["bc_probes"] =
+      static_cast<double>(stats.b_neighborhoods_computed);
+}
+
+void BM_Fig25_JoinIntersection(benchmark::State& state) {
+  const auto query =
+      MakeQuery(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = ChainedJoinsJoinIntersection(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["b_clusters"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_Fig25_NestedJoin)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->DenseRange(2, 16, 2);
+
+BENCHMARK(BM_Fig25_JoinIntersection)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->DenseRange(2, 16, 2);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

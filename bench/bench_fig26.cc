@@ -1,0 +1,62 @@
+// Figure 26: two kNN-selects - the 2-kNN-select algorithm vs the
+// conceptually correct QEP. k1 is fixed at 10; the x-axis is
+// log2(k2 / k1) = 0 ... 8 (k2 up to 2560).
+//
+// Paper shape: the naive plan degrades as k2 grows (its locality covers
+// ever more of the space) while 2-kNN-select stays nearly flat, up to
+// ~2 orders of magnitude faster, because the second locality is clipped
+// to the first result's search threshold.
+
+#include "benchmark/benchmark.h"
+#include "bench/bench_common.h"
+#include "src/core/two_selects.h"
+
+namespace knnq::bench {
+namespace {
+
+constexpr std::size_t kK1 = 10;
+
+TwoSelectsQuery MakeQuery(std::size_t log2_ratio) {
+  const PointSet& relation =
+      Berlin(256000 * Scale(), /*seed=*/811, /*first_id=*/0);
+  return TwoSelectsQuery{
+      .relation = &IndexOf(relation),
+      .f1 = Point{.id = -1, .x = 15200, .y = 12100},
+      .k1 = kK1,
+      .f2 = Point{.id = -1, .x = 15350, .y = 12040},
+      .k2 = kK1 << log2_ratio,
+  };
+}
+
+void BM_Fig26_ConceptualQEP(benchmark::State& state) {
+  const auto query = MakeQuery(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = TwoSelectsNaive(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["k2"] = static_cast<double>(query.k2);
+}
+
+void BM_Fig26_TwoKnnSelect(benchmark::State& state) {
+  const auto query = MakeQuery(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = TwoSelectsOptimized(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["k2"] = static_cast<double>(query.k2);
+}
+
+BENCHMARK(BM_Fig26_ConceptualQEP)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20)
+    ->DenseRange(0, 8, 1);
+
+BENCHMARK(BM_Fig26_TwoKnnSelect)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20)
+    ->DenseRange(0, 8, 1);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

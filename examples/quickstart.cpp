@@ -1,0 +1,65 @@
+// Quickstart: index a relation, run the two base operations, then let
+// the planner evaluate a two-predicate query end to end.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/knn_join.h"
+#include "src/core/knn_select.h"
+#include "src/data/berlinmod.h"
+#include "src/planner/catalog.h"
+#include "src/planner/optimizer.h"
+
+int main() {
+  using namespace knnq;
+
+  // 1. Generate a city-shaped relation (a BerlinMOD-style snapshot of
+  //    vehicle positions) and index it.
+  BerlinModOptions gen;
+  gen.num_points = 50000;
+  gen.seed = 7;
+  PointSet vehicles = GenerateBerlinModSnapshot(gen).value();
+
+  IndexOptions index_options;  // Defaults: grid, ~64 points per block.
+  auto index = BuildIndex(vehicles, index_options).value();
+  std::printf("indexed: %s\n", index->Describe().c_str());
+
+  // 2. kNN-select: the 5 vehicles closest to a depot.
+  const Point depot{.id = -1, .x = 15000.0, .y = 12000.0};
+  const Neighborhood nearest = KnnSelect(*index, depot, 5).value();
+  std::printf("\n5 nearest vehicles to the depot:\n");
+  for (const Neighbor& n : nearest) {
+    std::printf("  vehicle %lld at distance %.1f m\n",
+                static_cast<long long>(n.point.id), n.dist);
+  }
+
+  // 3. kNN-join: for each of 3 service stations, the 2 closest vehicles.
+  const PointSet stations = {
+      {.id = 1, .x = 9000.0, .y = 8000.0},
+      {.id = 2, .x = 15000.0, .y = 12000.0},
+      {.id = 3, .x = 22000.0, .y = 15000.0},
+  };
+  const JoinResult pairs = KnnJoin(stations, *index, 2).value();
+  std::printf("\nstation -> 2 nearest vehicles:\n%s\n",
+              Summarize(pairs).c_str());
+
+  // 4. A query with TWO kNN predicates, planned and executed by the
+  //    optimizer: vehicles among the 25 nearest of BOTH depot gates.
+  Catalog catalog;
+  catalog.AddRelation("vehicles", vehicles);
+  const TwoSelectsSpec spec{
+      .relation = "vehicles",
+      .s1 = {.focal = depot, .k = 25},
+      .s2 = {.focal = {.id = -1, .x = 15060.0, .y = 12040.0}, .k = 25},
+  };
+  const auto plan = Optimize(catalog, spec);
+  std::printf("\n%s\n", plan->Explain().c_str());
+  const auto output = plan->Execute().value();
+  const auto& result = std::get<TwoSelectsResult>(output);
+  std::printf("vehicles near both depots: %zu\n", result.size());
+  for (const Point& p : result) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+  return 0;
+}

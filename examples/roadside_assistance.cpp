@@ -1,0 +1,105 @@
+// The paper's Section 1 running example. A car breaks down; the driver
+// wants (mechanic shop, hotel) pairs where the hotel is among the 2
+// closest hotels to the mechanic AND among the 2 closest hotels to a
+// shopping center (so the family can shop during the repair).
+//
+// This is a kNN-select on the INNER relation of a kNN-join - the query
+// class where the classic push-selection-below-join rewrite silently
+// returns wrong results (paper Figures 1 vs 2). The example shows:
+//   1. the wrong pushed-down plan and how its answer differs,
+//   2. the three correct evaluators agreeing,
+//   3. their execution-time gap on city-scale data.
+//
+//   $ ./build/examples/roadside_assistance
+
+#include <cstdio>
+
+#include "src/common/stopwatch.h"
+#include "src/core/knn_join.h"
+#include "src/core/select_inner_join.h"
+#include "src/data/berlinmod.h"
+#include "src/index/index_factory.h"
+#include "src/index/knn_searcher.h"
+
+namespace {
+
+using namespace knnq;
+
+PointSet City(std::size_t n, std::uint64_t seed, PointId first_id) {
+  BerlinModOptions gen;
+  gen.num_points = n;
+  gen.seed = seed;
+  gen.first_id = first_id;
+  return GenerateBerlinModSnapshot(gen).value();
+}
+
+}  // namespace
+
+int main() {
+  // Mechanics (outer) and hotels (inner) spread over the city.
+  const PointSet mechanics = City(40000, 17, /*first_id=*/0);
+  const PointSet hotels = City(60000, 23, /*first_id=*/1000000);
+  const Point shopping_center{.id = -1, .x = 15400.0, .y = 11900.0};
+
+  const auto mechanics_index = BuildIndex(mechanics, {}).value();
+  const auto hotels_index = BuildIndex(hotels, {}).value();
+
+  // The paper's story uses k = 2 for both predicates; 4 makes the
+  // result set non-empty at this city scale without changing anything
+  // about the plans.
+  const SelectInnerJoinQuery query{
+      .outer = mechanics_index.get(),
+      .inner = hotels_index.get(),
+      .join_k = 4,
+      .focal = shopping_center,
+      .select_k = 4,
+  };
+
+  // --- The INVALID plan: push the select below the join's inner side.
+  // The join then sees only the 2 selected hotels, so EVERY mechanic
+  // pairs with them - proximity between mechanic and hotel is lost.
+  KnnSearcher hotel_searcher(*hotels_index);
+  const Neighborhood selected =
+      hotel_searcher.GetKnn(shopping_center, query.select_k);
+  PointSet pushed_inner;
+  for (const Neighbor& n : selected) pushed_inner.push_back(n.point);
+  const auto pushed_index = BuildIndex(pushed_inner, {}).value();
+  const JoinResult wrong =
+      KnnJoin(mechanics, *pushed_index, query.join_k).value();
+
+  // --- The three correct evaluators.
+  Stopwatch sw;
+  const JoinResult naive = SelectInnerJoinNaive(query).value();
+  const double naive_ms = sw.ElapsedMillis();
+
+  sw.Reset();
+  const JoinResult counting = SelectInnerJoinCounting(query).value();
+  const double counting_ms = sw.ElapsedMillis();
+
+  sw.Reset();
+  const JoinResult marking = SelectInnerJoinBlockMarking(query).value();
+  const double marking_ms = sw.ElapsedMillis();
+
+  std::printf("pairs where the hotel is 4-NN of the mechanic AND 4-NN of "
+              "the shopping center:\n");
+  std::printf("  conceptually correct QEP : %zu pairs in %8.2f ms\n",
+              naive.size(), naive_ms);
+  std::printf("  Counting  (Procedure 1)  : %zu pairs in %8.2f ms\n",
+              counting.size(), counting_ms);
+  std::printf("  Block-Marking (Proc 2+3) : %zu pairs in %8.2f ms\n",
+              marking.size(), marking_ms);
+  std::printf("  pushed-down (INVALID)    : %zu pairs  <- every mechanic "
+              "pairs with the same 2 hotels\n",
+              wrong.size());
+
+  const bool agree = naive == counting && naive == marking;
+  std::printf("\ncorrect evaluators agree: %s\n", agree ? "yes" : "NO");
+  std::printf("invalid plan differs:     %s\n",
+              wrong == naive ? "no (!)" : "yes - that is Figure 2's bug");
+  std::printf("speedup over the conceptually correct QEP: Counting %.0fx, "
+              "Block-Marking %.0fx\n",
+              naive_ms / (counting_ms > 0 ? counting_ms : 1e-3),
+              naive_ms / (marking_ms > 0 ? marking_ms : 1e-3));
+  if (!agree) return 1;
+  return 0;
+}

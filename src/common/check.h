@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros.
+//
+// KNNQ_CHECK aborts on violation in all build types; it guards conditions
+// that indicate programmer error (out-of-range block ids, broken internal
+// invariants), never user input. User-facing validation returns Status.
+
+#ifndef KNNQ_SRC_COMMON_CHECK_H_
+#define KNNQ_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KNNQ_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "KNNQ_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define KNNQ_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "KNNQ_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                              \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define KNNQ_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define KNNQ_DCHECK(cond) KNNQ_CHECK(cond)
+#endif
+
+#endif  // KNNQ_SRC_COMMON_CHECK_H_

@@ -1,0 +1,24 @@
+#include "src/common/point.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace knnq {
+
+std::string Point::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%lld @ %.6g, %.6g)",
+                static_cast<long long>(id), x, y);
+  return buf;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+void AssignSequentialIds(PointSet& points, PointId first_id) {
+  PointId next = first_id;
+  for (Point& p : points) p.id = next++;
+}
+
+}  // namespace knnq

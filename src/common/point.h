@@ -1,0 +1,58 @@
+// Point: the unit of data in every relation.
+//
+// The paper (Section 2) models each relation as a finite set of points in
+// the 2-D Euclidean plane. knnq additionally assigns each point a stable
+// integer id: ids make join outputs well-defined sets, give kNN a
+// deterministic tie-break (rank by (distance, id)), and let result sets be
+// compared literally in tests.
+
+#ifndef KNNQ_SRC_COMMON_POINT_H_
+#define KNNQ_SRC_COMMON_POINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace knnq {
+
+/// Stable identifier of a point within its relation.
+using PointId = std::int64_t;
+
+/// A 2-D point with a stable id.
+struct Point {
+  PointId id = 0;
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.id == b.id && a.x == b.x && a.y == b.y;
+  }
+
+  /// "(id @ x, y)" rendering for logs and test failures.
+  std::string ToString() const;
+};
+
+/// A relation: an ordered container of points. Algorithms treat it as a
+/// set; the order is a storage detail.
+using PointSet = std::vector<Point>;
+
+/// Returns squared Euclidean distance between two points. Squared
+/// distances order identically to true distances and avoid sqrt in inner
+/// loops; take std::sqrt only at API boundaries that expose distances.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Returns Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// Renumbers `points` with consecutive ids starting at `first_id`.
+/// Generators call this so that relations built from multiple fragments
+/// end up with unique ids.
+void AssignSequentialIds(PointSet& points, PointId first_id = 0);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_COMMON_POINT_H_

@@ -1,0 +1,114 @@
+// Status / Result<T>: exception-free error propagation.
+//
+// The library never throws. Operations that can fail on user input (bad
+// configuration, malformed files, k = 0) return Status or Result<T>;
+// internal invariant violations abort via KNNQ_CHECK.
+
+#ifndef KNNQ_SRC_COMMON_STATUS_H_
+#define KNNQ_SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+/// Coarse error taxonomy, RocksDB-style.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Success-or-error result of an operation, carrying a message on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error, a minimal absl::StatusOr analogue.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in factory functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    KNNQ_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; aborts if not ok().
+  const T& value() const& {
+    KNNQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    KNNQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    KNNQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_COMMON_STATUS_H_

@@ -1,0 +1,10 @@
+#include "src/common/stopwatch.h"
+
+namespace knnq {
+
+double Stopwatch::ElapsedSeconds() const {
+  const auto elapsed = Clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace knnq

@@ -1,0 +1,31 @@
+// Wall-clock timing for the benchmark harness and examples.
+
+#ifndef KNNQ_SRC_COMMON_STOPWATCH_H_
+#define KNNQ_SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace knnq {
+
+/// Measures elapsed wall-clock time; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset.
+  double ElapsedSeconds() const;
+
+  /// Elapsed milliseconds since construction or the last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_COMMON_STOPWATCH_H_

@@ -1,0 +1,132 @@
+#include "src/core/chained_joins.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/knn_join.h"
+#include "src/index/knn_searcher.h"
+
+namespace knnq {
+
+namespace {
+
+Status ValidateQuery(const ChainedJoinsQuery& query) {
+  if (query.a == nullptr || query.b == nullptr || query.c == nullptr) {
+    return Status::InvalidArgument("query relations must be non-null");
+  }
+  if (query.k_ab == 0 || query.k_bc == 0) {
+    return Status::InvalidArgument("join k values must be > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
+                                            ChainedJoinsStats* stats) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  ChainedJoinsStats local;
+  if (stats == nullptr) stats = &local;
+
+  // Materialize B JOIN C for every b - including b's no a will ever
+  // reach; that blind effort is QEP1's documented drawback.
+  KnnSearcher c_searcher(*query.c);
+  std::unordered_map<PointId, Neighborhood> bc;
+  bc.reserve(query.b->num_points());
+  for (const Point& b_point : query.b->points()) {
+    bc.emplace(b_point.id, c_searcher.GetKnn(b_point, query.k_bc));
+    ++stats->b_neighborhoods_computed;
+  }
+
+  KnnSearcher b_searcher(*query.b);
+  TripletResult triplets;
+  for (const Point& a_point : query.a->points()) {
+    const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
+    for (const Neighbor& bn : nbr_ab) {
+      for (const Neighbor& cn : bc.at(bn.point.id)) {
+        triplets.push_back(Triplet{
+            .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
+      }
+    }
+  }
+  Canonicalize(triplets);
+  return triplets;
+}
+
+Result<TripletResult> ChainedJoinsJoinIntersection(
+    const ChainedJoinsQuery& query, ChainedJoinsStats* stats) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  ChainedJoinsStats local;
+  if (stats == nullptr) stats = &local;
+
+  // Both joins in full, blind to each other, then INTERSECT_B.
+  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab);
+  if (!ab.ok()) return ab.status();
+  auto bc = KnnJoin(query.b->points(), *query.c, query.k_bc);
+  if (!bc.ok()) return bc.status();
+  stats->b_neighborhoods_computed = query.b->num_points();
+
+  std::unordered_map<PointId, std::vector<PointId>> c_by_b;
+  for (const JoinPair& pair : *bc) {
+    c_by_b[pair.outer.id].push_back(pair.inner.id);
+  }
+  TripletResult triplets;
+  for (const JoinPair& pair : *ab) {
+    const auto it = c_by_b.find(pair.inner.id);
+    if (it == c_by_b.end()) continue;
+    for (const PointId c_id : it->second) {
+      triplets.push_back(
+          Triplet{.a = pair.outer.id, .b = pair.inner.id, .c = c_id});
+    }
+  }
+  Canonicalize(triplets);
+  return triplets;
+}
+
+Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
+                                         bool cache_bc,
+                                         ChainedJoinsStats* stats) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  ChainedJoinsStats local;
+  if (stats == nullptr) stats = &local;
+
+  KnnSearcher b_searcher(*query.b);
+  KnnSearcher c_searcher(*query.c);
+  // Section 4.2.1: key the cache by b; a b in the neighborhood of
+  // several a's is joined with C only once.
+  std::unordered_map<PointId, Neighborhood> cache;
+
+  TripletResult triplets;
+  for (const Point& a_point : query.a->points()) {
+    const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
+    for (const Neighbor& bn : nbr_ab) {
+      const Neighborhood* nbr_bc = nullptr;
+      Neighborhood uncached;
+      if (cache_bc) {
+        const auto it = cache.find(bn.point.id);
+        if (it != cache.end()) {
+          ++stats->cache_hits;
+          nbr_bc = &it->second;
+        } else {
+          ++stats->b_neighborhoods_computed;
+          nbr_bc = &cache
+                        .emplace(bn.point.id,
+                                 c_searcher.GetKnn(bn.point, query.k_bc))
+                        .first->second;
+        }
+      } else {
+        ++stats->b_neighborhoods_computed;
+        uncached = c_searcher.GetKnn(bn.point, query.k_bc);
+        nbr_bc = &uncached;
+      }
+      for (const Neighbor& cn : *nbr_bc) {
+        triplets.push_back(Triplet{
+            .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
+      }
+    }
+  }
+  Canonicalize(triplets);
+  return triplets;
+}
+
+}  // namespace knnq

@@ -1,0 +1,60 @@
+// Section 4.2: two CHAINED kNN-joins A -> B -> C:
+//     triplets (a, b, c) with b among the k_ab nearest B-points of a
+//     and c among the k_bc nearest C-points of b.
+//
+// All three QEPs of Figure 13 are correct (the first join acts as a
+// select on the OUTER side of the second, which is a valid pushdown);
+// they differ only in cost:
+//   * QEP1 "right-deep":       A JOIN (B JOIN C), materializing B JOIN C.
+//   * QEP2 "join intersection": (A JOIN B) INTERSECT_B (B JOIN C).
+//   * QEP3 "nested join":       for each result b of (A JOIN B), join b
+//                               with C - only reachable b's are joined,
+//                               optionally memoizing per-b neighborhoods
+//                               in a hash table (Section 4.2.1).
+
+#ifndef KNNQ_SRC_CORE_CHAINED_JOINS_H_
+#define KNNQ_SRC_CORE_CHAINED_JOINS_H_
+
+#include "src/common/status.h"
+#include "src/core/result_types.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// The query: chained joins (A JOIN B) then (B JOIN C).
+struct ChainedJoinsQuery {
+  const SpatialIndex* a = nullptr;
+  const SpatialIndex* b = nullptr;
+  const SpatialIndex* c = nullptr;
+  /// k of (A JOIN_kNN B).
+  std::size_t k_ab = 0;
+  /// k of (B JOIN_kNN C).
+  std::size_t k_bc = 0;
+};
+
+/// Execution counters for tests, EXPLAIN and bench reporting.
+struct ChainedJoinsStats {
+  /// B-neighborhoods over C computed (the second join's real work).
+  std::size_t b_neighborhoods_computed = 0;
+  /// Nested-join cache hits (QEP3 with caching only).
+  std::size_t cache_hits = 0;
+};
+
+/// QEP1: materialize (B JOIN C) in full, then join A against it.
+Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
+                                            ChainedJoinsStats* stats =
+                                                nullptr);
+
+/// QEP2: evaluate both joins independently, intersect on B.
+Result<TripletResult> ChainedJoinsJoinIntersection(
+    const ChainedJoinsQuery& query, ChainedJoinsStats* stats = nullptr);
+
+/// QEP3: nested join; `cache_bc` memoizes b-neighborhoods so a b
+/// reachable from several a's is joined once (Section 4.2.1).
+Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
+                                         bool cache_bc = true,
+                                         ChainedJoinsStats* stats = nullptr);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_CHAINED_JOINS_H_

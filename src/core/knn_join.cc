@@ -1,0 +1,32 @@
+#include "src/core/knn_join.h"
+
+namespace knnq {
+
+Result<JoinResult> KnnJoin(const PointSet& outer, const SpatialIndex& inner,
+                           std::size_t k) {
+  JoinResult pairs;
+  const Status status = KnnJoinStreaming(
+      outer, inner, k, [&pairs](const Point& e1, const Point& e2) {
+        pairs.push_back(JoinPair{e1, e2});
+      });
+  if (!status.ok()) return status;
+  Canonicalize(pairs);
+  return pairs;
+}
+
+Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
+                        std::size_t k, const JoinPairSink& sink) {
+  if (k == 0) {
+    return Status::InvalidArgument("kNN-join requires k > 0");
+  }
+  KnnSearcher searcher(inner);
+  for (const Point& e1 : outer) {
+    const Neighborhood nbr = searcher.GetKnn(e1, k);
+    for (const Neighbor& n : nbr) {
+      sink(e1, n.point);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace knnq

@@ -1,0 +1,14 @@
+#include "src/core/knn_select.h"
+
+namespace knnq {
+
+Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
+                               const Point& focal, std::size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("kNN-select requires k > 0");
+  }
+  KnnSearcher searcher(relation);
+  return searcher.GetKnn(focal, k);
+}
+
+}  // namespace knnq

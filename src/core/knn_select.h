@@ -1,0 +1,21 @@
+// kNN-select: sigma_{k,f}(E) - the k points of E closest to focal f.
+// One of the paper's two base operations (Section 1).
+
+#ifndef KNNQ_SRC_CORE_KNN_SELECT_H_
+#define KNNQ_SRC_CORE_KNN_SELECT_H_
+
+#include "src/common/status.h"
+#include "src/index/knn_searcher.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// Evaluates sigma_{k,f}(relation): the neighborhood of `focal`.
+/// Returns fewer than k points only when the relation is smaller than k.
+/// Fails when k == 0 (an empty select is a query-authoring error).
+Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
+                               const Point& focal, std::size_t k);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_KNN_SELECT_H_

@@ -1,0 +1,141 @@
+#include "src/core/multi_chained_joins.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/index/knn_searcher.h"
+
+namespace knnq {
+
+namespace {
+
+Status ValidateQuery(const ChainQuery& query) {
+  if (query.relations.size() < 2) {
+    return Status::InvalidArgument("chain needs at least two relations");
+  }
+  if (query.ks.size() + 1 != query.relations.size()) {
+    return Status::InvalidArgument(
+        "chain needs exactly one k per hop (relations - 1)");
+  }
+  for (const SpatialIndex* relation : query.relations) {
+    if (relation == nullptr) {
+      return Status::InvalidArgument("chain relations must be non-null");
+    }
+  }
+  for (const std::size_t k : query.ks) {
+    if (k == 0) return Status::InvalidArgument("chain k values must be > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ChainResult> ChainedPathJoin(const ChainQuery& query, bool cache,
+                                    ChainStats* stats) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  ChainStats local;
+  if (stats == nullptr) stats = &local;
+  stats->probes_per_hop.assign(query.ks.size(), 0);
+
+  const std::size_t hops = query.ks.size();
+  std::vector<std::unique_ptr<KnnSearcher>> searchers;
+  for (std::size_t h = 0; h < hops; ++h) {
+    searchers.push_back(
+        std::make_unique<KnnSearcher>(*query.relations[h + 1]));
+  }
+  // One memo per hop: source point id -> neighborhood in the next
+  // relation. Ids are unique within a relation, which is all the key
+  // needs.
+  std::vector<std::unordered_map<PointId, Neighborhood>> memo(hops);
+
+  ChainResult rows;
+  ChainRow row(query.relations.size());
+
+  // Depth-first pipeline: extend the current row one hop at a time.
+  // Recursion depth equals the chain length (queries are short chains,
+  // not data-sized).
+  const std::function<void(std::size_t, const Point&)> extend =
+      [&](std::size_t hop, const Point& source) {
+        if (hop == hops) {
+          rows.push_back(row);
+          return;
+        }
+        const Neighborhood* nbr = nullptr;
+        Neighborhood uncached;
+        if (cache) {
+          const auto it = memo[hop].find(source.id);
+          if (it != memo[hop].end()) {
+            ++stats->cache_hits;
+            nbr = &it->second;
+          } else {
+            ++stats->probes_per_hop[hop];
+            nbr = &memo[hop]
+                       .emplace(source.id, searchers[hop]->GetKnn(
+                                               source, query.ks[hop]))
+                       .first->second;
+          }
+        } else {
+          ++stats->probes_per_hop[hop];
+          uncached = searchers[hop]->GetKnn(source, query.ks[hop]);
+          nbr = &uncached;
+        }
+        for (const Neighbor& n : *nbr) {
+          row[hop + 1] = n.point.id;
+          extend(hop + 1, n.point);
+        }
+      };
+
+  for (const Point& p0 : query.relations[0]->points()) {
+    row[0] = p0.id;
+    extend(0, p0);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Result<ChainResult> ChainedPathJoinNaive(const ChainQuery& query) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  const std::size_t hops = query.ks.size();
+
+  // Materialize every pairwise join R_i JOIN R_{i+1} in full.
+  // pairwise[h] maps a source id to the ids of its k nearest points in
+  // the next relation, computed for EVERY point of R_h.
+  std::vector<std::unordered_map<PointId, std::vector<PointId>>> pairwise(
+      hops);
+  for (std::size_t h = 0; h < hops; ++h) {
+    KnnSearcher searcher(*query.relations[h + 1]);
+    for (const Point& p : query.relations[h]->points()) {
+      std::vector<PointId>& ids = pairwise[h][p.id];
+      for (const Neighbor& n : searcher.GetKnn(p, query.ks[h])) {
+        ids.push_back(n.point.id);
+      }
+    }
+  }
+
+  // Stitch rows left to right.
+  ChainResult rows;
+  for (const Point& p0 : query.relations[0]->points()) {
+    ChainRow row(query.relations.size());
+    row[0] = p0.id;
+    const std::function<void(std::size_t, PointId)> stitch =
+        [&](std::size_t hop, PointId source) {
+          if (hop == hops) {
+            rows.push_back(row);
+            return;
+          }
+          const auto it = pairwise[hop].find(source);
+          if (it == pairwise[hop].end()) return;
+          for (const PointId next : it->second) {
+            row[hop + 1] = next;
+            stitch(hop + 1, next);
+          }
+        };
+    stitch(0, p0.id);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace knnq

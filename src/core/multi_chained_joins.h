@@ -1,0 +1,60 @@
+// The conclusion's outlook: "the ideas presented in this paper pave
+// the way towards a query optimizer that can support spatial queries
+// with MORE than two kNN predicates". This module generalizes the
+// chained case to arbitrary chain length:
+//
+//     R0 -> R1 -> ... -> Rn   with per-hop k values k_1 ... k_n,
+// producing rows (p0, p1, ..., pn) where p_{i+1} is among the k_{i+1}
+// nearest R_{i+1}-points of p_i.
+//
+// Correctness follows by induction from the paper's chained-join rule
+// (each prefix acts as a select on the OUTER side of the next join, a
+// valid pushdown), so the nested pipeline with per-hop caching -
+// QEP3's generalization - equals the independent pairwise evaluation.
+
+#ifndef KNNQ_SRC_CORE_MULTI_CHAINED_JOINS_H_
+#define KNNQ_SRC_CORE_MULTI_CHAINED_JOINS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// A chain query over n+1 relations.
+struct ChainQuery {
+  /// The relations R0 ... Rn, in chain order.
+  std::vector<const SpatialIndex*> relations;
+  /// ks[i] is the k of the join R_i -> R_{i+1}; size = relations - 1.
+  std::vector<std::size_t> ks;
+};
+
+/// One output row: point ids, one per relation, in chain order.
+using ChainRow = std::vector<PointId>;
+
+/// Rows sorted lexicographically (the canonical order).
+using ChainResult = std::vector<ChainRow>;
+
+/// Execution counters.
+struct ChainStats {
+  /// Neighborhood computations per hop (size = ks.size()).
+  std::vector<std::size_t> probes_per_hop;
+  std::size_t cache_hits = 0;
+};
+
+/// Generalized QEP3: nested pipeline; each hop memoizes neighborhoods
+/// per source point when `cache` is set. Fails on fewer than two
+/// relations, null relations, size mismatch, or zero k.
+Result<ChainResult> ChainedPathJoin(const ChainQuery& query,
+                                    bool cache = true,
+                                    ChainStats* stats = nullptr);
+
+/// Specification evaluator: every pairwise join computed independently
+/// and in full (one neighborhood per point of each R_i), rows stitched
+/// by hash join. The generalization of Figure 13's QEP2.
+Result<ChainResult> ChainedPathJoinNaive(const ChainQuery& query);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_MULTI_CHAINED_JOINS_H_

@@ -1,0 +1,63 @@
+#include "src/core/result_types.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace knnq {
+
+void Canonicalize(JoinResult& pairs) {
+  std::sort(pairs.begin(), pairs.end());
+}
+
+void Canonicalize(TripletResult& triplets) {
+  std::sort(triplets.begin(), triplets.end());
+}
+
+std::vector<Point> IntersectNeighborhoods(const Neighborhood& p,
+                                          const Neighborhood& q) {
+  std::vector<Point> result;
+  // Neighborhoods are k-sized; sort ids of the smaller side and probe.
+  const Neighborhood& probe = p.size() <= q.size() ? p : q;
+  const Neighborhood& other = p.size() <= q.size() ? q : p;
+  for (const Neighbor& n : probe) {
+    if (Contains(other, n.point.id)) result.push_back(n.point);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Point& a, const Point& b) { return a.id < b.id; });
+  return result;
+}
+
+std::vector<PointId> IdsOf(const Neighborhood& nbr) {
+  std::vector<PointId> ids;
+  ids.reserve(nbr.size());
+  for (const Neighbor& n : nbr) ids.push_back(n.point.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::string Summarize(const JoinResult& pairs, std::size_t max_rows) {
+  std::ostringstream out;
+  out << pairs.size() << " pairs";
+  if (!pairs.empty()) out << ": ";
+  for (std::size_t i = 0; i < pairs.size() && i < max_rows; ++i) {
+    if (i > 0) out << ", ";
+    out << "(" << pairs[i].outer.id << ", " << pairs[i].inner.id << ")";
+  }
+  if (pairs.size() > max_rows) out << ", ...";
+  return out.str();
+}
+
+std::string Summarize(const TripletResult& triplets, std::size_t max_rows) {
+  std::ostringstream out;
+  out << triplets.size() << " triplets";
+  if (!triplets.empty()) out << ": ";
+  for (std::size_t i = 0; i < triplets.size() && i < max_rows; ++i) {
+    if (i > 0) out << ", ";
+    out << "(" << triplets[i].a << ", " << triplets[i].b << ", "
+        << triplets[i].c << ")";
+  }
+  if (triplets.size() > max_rows) out << ", ...";
+  return out.str();
+}
+
+}  // namespace knnq

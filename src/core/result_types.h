@@ -1,0 +1,74 @@
+// Result containers shared by every query evaluator.
+//
+// All evaluators canonicalize their outputs (sorted by ids) before
+// returning, so two evaluators are equivalent iff their results compare
+// equal with ==. Pairs and triplets carry full points, not just ids,
+// because downstream operators (chained joins, candidate-block marking)
+// need coordinates; comparisons use ids only.
+
+#ifndef KNNQ_SRC_CORE_RESULT_TYPES_H_
+#define KNNQ_SRC_CORE_RESULT_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/point.h"
+#include "src/index/knn_searcher.h"
+
+namespace knnq {
+
+/// One output row of a kNN-join.
+struct JoinPair {
+  Point outer;
+  Point inner;
+
+  friend bool operator==(const JoinPair& a, const JoinPair& b) {
+    return a.outer.id == b.outer.id && a.inner.id == b.inner.id;
+  }
+  friend bool operator<(const JoinPair& a, const JoinPair& b) {
+    if (a.outer.id != b.outer.id) return a.outer.id < b.outer.id;
+    return a.inner.id < b.inner.id;
+  }
+};
+
+/// One output row of a two-join query over relations A, B, C.
+struct Triplet {
+  PointId a = 0;
+  PointId b = 0;
+  PointId c = 0;
+
+  friend bool operator==(const Triplet& x, const Triplet& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+  friend bool operator<(const Triplet& x, const Triplet& y) {
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    return x.c < y.c;
+  }
+};
+
+using JoinResult = std::vector<JoinPair>;
+using TripletResult = std::vector<Triplet>;
+
+/// Sorts pairs into the canonical (outer id, inner id) order.
+void Canonicalize(JoinResult& pairs);
+
+/// Sorts triplets into the canonical (a, b, c) order.
+void Canonicalize(TripletResult& triplets);
+
+/// Set-intersection of two neighborhoods by point id, ascending by id.
+/// This is the paper's `intersect(P, Q)` helper.
+std::vector<Point> IntersectNeighborhoods(const Neighborhood& p,
+                                          const Neighborhood& q);
+
+/// Ids of a neighborhood's points, ascending.
+std::vector<PointId> IdsOf(const Neighborhood& nbr);
+
+/// Compact "n pairs / first few" rendering for logs and examples.
+std::string Summarize(const JoinResult& pairs, std::size_t max_rows = 8);
+std::string Summarize(const TripletResult& triplets,
+                      std::size_t max_rows = 8);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_RESULT_TYPES_H_

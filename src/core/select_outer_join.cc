@@ -1,0 +1,53 @@
+#include "src/core/select_outer_join.h"
+
+#include "src/core/knn_join.h"
+#include "src/index/knn_searcher.h"
+
+namespace knnq {
+
+namespace {
+
+Status ValidateQuery(const SelectOuterJoinQuery& query) {
+  if (query.outer == nullptr || query.inner == nullptr) {
+    return Status::InvalidArgument("query relations must be non-null");
+  }
+  if (query.join_k == 0) {
+    return Status::InvalidArgument("join_k must be > 0");
+  }
+  if (query.select_k == 0) {
+    return Status::InvalidArgument("select_k must be > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  KnnSearcher outer_searcher(*query.outer);
+  const Neighborhood selected =
+      outer_searcher.GetKnn(query.focal, query.select_k);
+  PointSet survivors;
+  survivors.reserve(selected.size());
+  for (const Neighbor& n : selected) survivors.push_back(n.point);
+  return KnnJoin(survivors, *query.inner, query.join_k);
+}
+
+Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  KnnSearcher outer_searcher(*query.outer);
+  const Neighborhood selected =
+      outer_searcher.GetKnn(query.focal, query.select_k);
+
+  auto all_pairs = KnnJoin(query.outer->points(), *query.inner,
+                           query.join_k);
+  if (!all_pairs.ok()) return all_pairs.status();
+  JoinResult pairs;
+  for (const JoinPair& pair : *all_pairs) {
+    if (Contains(selected, pair.outer.id)) pairs.push_back(pair);
+  }
+  // KnnJoin already canonicalized; filtering preserves order.
+  return pairs;
+}
+
+}  // namespace knnq

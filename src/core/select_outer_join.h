@@ -1,0 +1,44 @@
+// Section 3's completeness case: a kNN-select on the OUTER relation of
+// a kNN-join. Unlike the inner-side case, this pushdown is VALID
+// (Figure 3): excluding outer points early only removes join rows the
+// final filter would discard anyway.
+//
+// Both QEPs are provided so the equivalence itself is testable and
+// benchmarkable:
+//   * Pushed  - evaluate the select, join only the selected points.
+//   * Late    - join every outer point, filter pairs afterwards.
+
+#ifndef KNNQ_SRC_CORE_SELECT_OUTER_JOIN_H_
+#define KNNQ_SRC_CORE_SELECT_OUTER_JOIN_H_
+
+#include "src/common/status.h"
+#include "src/core/result_types.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// The query: sigma_{select_k, focal}(E1) JOIN_kNN E2.
+struct SelectOuterJoinQuery {
+  /// E1: the join's outer relation and the select's input.
+  const SpatialIndex* outer = nullptr;
+  /// E2: the join's inner relation.
+  const SpatialIndex* inner = nullptr;
+  /// k of the join.
+  std::size_t join_k = 0;
+  /// Focal point of the select over E1.
+  Point focal;
+  /// k of the select.
+  std::size_t select_k = 0;
+};
+
+/// Pushed-down plan (QEP1 of Figure 3): select first, join the
+/// survivors. This is the plan an optimizer should always choose.
+Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query);
+
+/// Late-filter plan (QEP2 of Figure 3): full join, then discard pairs
+/// whose outer point fails the select. Same output, more work.
+Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_SELECT_OUTER_JOIN_H_

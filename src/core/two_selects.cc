@@ -1,0 +1,70 @@
+#include "src/core/two_selects.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/result_types.h"
+
+namespace knnq {
+
+namespace {
+
+Status ValidateQuery(const TwoSelectsQuery& query) {
+  if (query.relation == nullptr) {
+    return Status::InvalidArgument("query relation must be non-null");
+  }
+  if (query.k1 == 0 || query.k2 == 0) {
+    return Status::InvalidArgument("select k values must be > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
+                                         SearchStats* stats) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+  KnnSearcher searcher(*query.relation);
+  const Neighborhood nbr1 = searcher.GetKnn(query.f1, query.k1);
+  const Neighborhood nbr2 = searcher.GetKnn(query.f2, query.k2);
+  if (stats != nullptr) *stats = searcher.stats();
+  return IntersectNeighborhoods(nbr1, nbr2);
+}
+
+Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
+                                             SearchStats* stats) {
+  if (Status s = ValidateQuery(query); !s.ok()) return s;
+
+  // Procedure 5 lines 1-4: evaluate the smaller-k predicate first; its
+  // result is what bounds the other side's locality.
+  Point f1 = query.f1;
+  Point f2 = query.f2;
+  std::size_t k1 = query.k1;
+  std::size_t k2 = query.k2;
+  if (k1 > k2) {
+    std::swap(f1, f2);
+    std::swap(k1, k2);
+  }
+
+  KnnSearcher searcher(*query.relation);
+  const Neighborhood nbr1 = searcher.GetKnn(f1, k1);
+  if (nbr1.empty()) {
+    if (stats != nullptr) *stats = searcher.stats();
+    return TwoSelectsResult{};  // Empty relation: empty intersection.
+  }
+
+  // Line 6: the search threshold is the distance between f2 and the
+  // farthest member of nbr1 *from f2* - every candidate for the final
+  // intersection lies within it.
+  double threshold = 0.0;
+  for (const Neighbor& n : nbr1) {
+    threshold = std::max(threshold, Distance(f2, n.point));
+  }
+
+  // Lines 7-32: neighborhood of f2 from the clipped locality.
+  const Neighborhood nbr2 = searcher.GetKnnRestricted(f2, k2, threshold);
+  if (stats != nullptr) *stats = searcher.stats();
+  return IntersectNeighborhoods(nbr1, nbr2);
+}
+
+}  // namespace knnq

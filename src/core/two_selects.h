@@ -1,0 +1,49 @@
+// Section 5: two kNN-selects on one relation:
+//     sigma_{k1,f1}(E) INTERSECT sigma_{k2,f2}(E)
+//
+// Feeding either select's output into the other is wrong (Figures 14
+// and 15); the correct QEP evaluates both independently and intersects
+// (Figure 16). The optimized algorithm (Procedure 5) evaluates the
+// smaller-k select first and then clips the larger-k select's locality
+// with a search threshold derived from the first result: the
+// intersection can only contain points of the first neighborhood, all
+// of which lie within that threshold of the second focal point.
+
+#ifndef KNNQ_SRC_CORE_TWO_SELECTS_H_
+#define KNNQ_SRC_CORE_TWO_SELECTS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/knn_searcher.h"
+#include "src/index/locality.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// The query: two kNN-selects over one relation.
+struct TwoSelectsQuery {
+  const SpatialIndex* relation = nullptr;
+  Point f1;
+  std::size_t k1 = 0;
+  Point f2;
+  std::size_t k2 = 0;
+};
+
+/// Points satisfying both predicates, ascending by id.
+using TwoSelectsResult = std::vector<Point>;
+
+/// The conceptually correct QEP (Figure 16): both neighborhoods in
+/// full, then the intersection. Fails on a null relation or zero k.
+Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
+                                         SearchStats* stats = nullptr);
+
+/// Procedure 5 (the "2-kNN-select" algorithm). Same output as the
+/// naive QEP; the larger-k neighborhood is computed from a locality
+/// clipped to the first result's search threshold.
+Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
+                                             SearchStats* stats = nullptr);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_TWO_SELECTS_H_

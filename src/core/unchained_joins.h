@@ -1,0 +1,75 @@
+// Section 4.1: two UNCHAINED kNN-joins sharing their inner relation:
+//     (A JOIN_kNN B) INTERSECT_B (C JOIN_kNN B)
+// i.e. triplets (a, b, c) where b is among the k_ab nearest B-points of
+// a AND among the k_cb nearest B-points of c.
+//
+// Neither join may run on the other's filtered output (Figures 8 and 9
+// are both wrong); the correct QEP evaluates both joins independently
+// and intersects on B (Figure 10). The optimized evaluation (Procedure
+// 4) runs the first join, marks the B-blocks that received results as
+// Candidate (all others Safe), and then skips every C-block whose
+// points' neighborhoods can only reach Safe blocks.
+//
+// The paper assumes one grid shared by all relations, so its pseudocode
+// locates B-points in C's index; knnq keeps per-relation indexes and
+// marks Candidate blocks on B's own index (DESIGN.md note 4).
+
+#ifndef KNNQ_SRC_CORE_UNCHAINED_JOINS_H_
+#define KNNQ_SRC_CORE_UNCHAINED_JOINS_H_
+
+#include "src/common/status.h"
+#include "src/core/result_types.h"
+#include "src/data/distribution_stats.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// The query: joins (A JOIN B) and (C JOIN B), intersected on B.
+struct UnchainedJoinsQuery {
+  const SpatialIndex* a = nullptr;
+  const SpatialIndex* b = nullptr;
+  const SpatialIndex* c = nullptr;
+  /// k of (A JOIN_kNN B).
+  std::size_t k_ab = 0;
+  /// k of (C JOIN_kNN B).
+  std::size_t k_cb = 0;
+};
+
+/// Execution counters for tests, EXPLAIN and bench reporting.
+struct UnchainedJoinsStats {
+  /// B-blocks marked Candidate after the first join.
+  std::size_t candidate_blocks = 0;
+  /// C-blocks probed during preprocessing.
+  std::size_t blocks_preprocessed = 0;
+  /// C-blocks classified Contributing.
+  std::size_t contributing_blocks = 0;
+  /// C-points whose neighborhood was computed.
+  std::size_t neighborhoods_computed = 0;
+};
+
+/// The conceptually correct QEP (Figure 10): both joins evaluated in
+/// full, results intersected on B. Fails on null relations or zero k.
+Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query);
+
+/// Procedure 4: Candidate/Safe marking plus Contributing preprocessing
+/// of C. Evaluates (A JOIN B) first; callers wanting the other order
+/// swap a<->c and k_ab<->k_cb (see ChooseUnchainedOrder). Same output
+/// as the naive QEP.
+Result<TripletResult> UnchainedJoinsBlockMarking(
+    const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats = nullptr);
+
+/// Which outer relation should drive the first join.
+enum class UnchainedOrder {
+  kStartWithA,
+  kStartWithC,
+};
+
+/// Section 4.1.2's heuristic: start with the relation of SMALLER
+/// coverage (tighter clustering) so more of the other side's blocks
+/// turn out Safe. Ties favor starting with A.
+UnchainedOrder ChooseUnchainedOrder(const CoverageStats& coverage_a,
+                                    const CoverageStats& coverage_c);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_UNCHAINED_JOINS_H_

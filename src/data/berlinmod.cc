@@ -1,0 +1,240 @@
+#include "src/data/berlinmod.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace knnq {
+
+namespace {
+
+/// A population center of the synthetic city.
+struct District {
+  Point center;
+  double weight;
+  double radius;
+};
+
+/// Walks a polyline to the position at fraction `t` (in [0, 1]) of its
+/// total length. Returns the first vertex for degenerate polylines.
+Point WalkPolyline(const std::vector<Point>& waypoints, double t) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    total += Distance(waypoints[i - 1], waypoints[i]);
+  }
+  if (total <= 0.0 || waypoints.empty()) {
+    return waypoints.empty() ? Point{} : waypoints.front();
+  }
+  double remaining = t * total;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    const double seg = Distance(waypoints[i - 1], waypoints[i]);
+    if (remaining <= seg && seg > 0.0) {
+      const double frac = remaining / seg;
+      return Point{.id = 0,
+                   .x = waypoints[i - 1].x +
+                        frac * (waypoints[i].x - waypoints[i - 1].x),
+                   .y = waypoints[i - 1].y +
+                        frac * (waypoints[i].y - waypoints[i - 1].y)};
+    }
+    remaining -= seg;
+  }
+  return waypoints.back();
+}
+
+/// The street network: jittered Manhattan grid plus a ring arterial.
+class StreetNetwork {
+ public:
+  StreetNetwork(const BerlinModOptions& options, Rng& rng)
+      : width_(options.width),
+        height_(options.height),
+        spacing_(options.street_spacing) {
+    const auto cols =
+        static_cast<std::size_t>(std::floor(width_ / spacing_)) + 1;
+    const auto rows =
+        static_cast<std::size_t>(std::floor(height_ / spacing_)) + 1;
+    vertical_streets_.reserve(cols);
+    for (std::size_t k = 0; k < cols; ++k) {
+      const double jitter = rng.Uniform(-0.18, 0.18) * spacing_;
+      vertical_streets_.push_back(std::clamp(
+          static_cast<double>(k) * spacing_ + jitter, 0.0, width_));
+    }
+    horizontal_streets_.reserve(rows);
+    for (std::size_t k = 0; k < rows; ++k) {
+      const double jitter = rng.Uniform(-0.18, 0.18) * spacing_;
+      horizontal_streets_.push_back(std::clamp(
+          static_cast<double>(k) * spacing_ + jitter, 0.0, height_));
+    }
+    ring_center_ = Point{.id = 0, .x = width_ / 2, .y = height_ / 2};
+    ring_rx_ = 0.33 * width_;
+    ring_ry_ = 0.33 * height_;
+  }
+
+  /// Nearest vertical street to coordinate x.
+  double SnapX(double x) const { return SnapTo(vertical_streets_, x); }
+  /// Nearest horizontal street to coordinate y.
+  double SnapY(double y) const { return SnapTo(horizontal_streets_, y); }
+
+  /// Manhattan route along the street grid: home, a leg to home's
+  /// horizontal street, along it to work's vertical street, down that
+  /// street, and a final leg to work.
+  std::vector<Point> GridRoute(const Point& home, const Point& work) const {
+    const double street_y = SnapY(home.y);
+    const double street_x = SnapX(work.x);
+    return {
+        home,
+        Point{.id = 0, .x = home.x, .y = street_y},
+        Point{.id = 0, .x = street_x, .y = street_y},
+        Point{.id = 0, .x = street_x, .y = work.y},
+        work,
+    };
+  }
+
+  /// Arterial route: radial to the ring road, the shorter arc along the
+  /// ring, then radial to the destination.
+  std::vector<Point> RingRoute(const Point& home, const Point& work) const {
+    const double theta_h = AngleOf(home);
+    const double theta_w = AngleOf(work);
+    double delta = theta_w - theta_h;
+    while (delta > std::numbers::pi) delta -= 2 * std::numbers::pi;
+    while (delta < -std::numbers::pi) delta += 2 * std::numbers::pi;
+
+    std::vector<Point> route;
+    route.push_back(home);
+    const int arc_steps =
+        std::max(1, static_cast<int>(std::ceil(std::abs(delta) / 0.1)));
+    for (int s = 0; s <= arc_steps; ++s) {
+      const double theta =
+          theta_h + delta * static_cast<double>(s) /
+                        static_cast<double>(arc_steps);
+      route.push_back(RingPoint(theta));
+    }
+    route.push_back(work);
+    return route;
+  }
+
+ private:
+  static double SnapTo(const std::vector<double>& streets, double v) {
+    const auto it = std::lower_bound(streets.begin(), streets.end(), v);
+    if (it == streets.begin()) return streets.front();
+    if (it == streets.end()) return streets.back();
+    const double above = *it;
+    const double below = *(it - 1);
+    return (v - below) < (above - v) ? below : above;
+  }
+
+  double AngleOf(const Point& p) const {
+    return std::atan2(p.y - ring_center_.y, p.x - ring_center_.x);
+  }
+
+  Point RingPoint(double theta) const {
+    return Point{.id = 0,
+                 .x = ring_center_.x + ring_rx_ * std::cos(theta),
+                 .y = ring_center_.y + ring_ry_ * std::sin(theta)};
+  }
+
+  double width_;
+  double height_;
+  double spacing_;
+  std::vector<double> vertical_streets_;
+  std::vector<double> horizontal_streets_;
+  Point ring_center_;
+  double ring_rx_;
+  double ring_ry_;
+};
+
+}  // namespace
+
+Result<PointSet> GenerateBerlinModSnapshot(const BerlinModOptions& options) {
+  if (options.width <= 0.0 || options.height <= 0.0) {
+    return Status::InvalidArgument("map extent must be positive");
+  }
+  if (options.num_districts == 0) {
+    return Status::InvalidArgument("num_districts must be > 0");
+  }
+  if (options.street_spacing <= 0.0) {
+    return Status::InvalidArgument("street_spacing must be positive");
+  }
+  for (const double frac :
+       {options.arterial_fraction, options.offroad_fraction}) {
+    if (frac < 0.0 || frac > 1.0) {
+      return Status::InvalidArgument("fractions must be within [0, 1]");
+    }
+  }
+
+  Rng rng(options.seed);
+  const StreetNetwork network(options, rng);
+  const Point map_center{.id = 0,
+                         .x = options.width / 2,
+                         .y = options.height / 2};
+  const double diag = std::hypot(options.width, options.height);
+
+  // Districts: the CBD sits at the center; the rest scatter around it
+  // with population decaying by distance from the center.
+  std::vector<District> districts;
+  districts.push_back(District{.center = map_center,
+                               .weight = 2.0,
+                               .radius = 0.08 * diag});
+  for (std::size_t d = 1; d < options.num_districts; ++d) {
+    Point c{.id = 0,
+            .x = std::clamp(rng.Gaussian(map_center.x, options.width / 4.5),
+                            0.0, options.width),
+            .y = std::clamp(rng.Gaussian(map_center.y, options.height / 4.5),
+                            0.0, options.height)};
+    const double dist_ratio = Distance(c, map_center) / (0.5 * diag);
+    districts.push_back(
+        District{.center = c,
+                 .weight = std::exp(-1.2 * dist_ratio) *
+                           rng.Uniform(0.5, 1.5),
+                 .radius = rng.Uniform(0.03, 0.07) * diag});
+  }
+  std::vector<double> home_weights;
+  std::vector<double> work_weights;
+  for (const District& d : districts) {
+    home_weights.push_back(d.weight);
+    // Work places concentrate in the core: square the decay.
+    work_weights.push_back(d.weight * d.weight);
+  }
+
+  const auto sample_in_district = [&](const District& d) {
+    return Point{
+        .id = 0,
+        .x = std::clamp(rng.Gaussian(d.center.x, d.radius), 0.0,
+                        options.width),
+        .y = std::clamp(rng.Gaussian(d.center.y, d.radius), 0.0,
+                        options.height)};
+  };
+
+  PointSet points;
+  points.reserve(options.num_points);
+  PointId next_id = options.first_id;
+  while (points.size() < options.num_points) {
+    Point pos;
+    if (rng.Bernoulli(options.offroad_fraction)) {
+      pos = Point{.id = 0,
+                  .x = rng.Uniform(0.0, options.width),
+                  .y = rng.Uniform(0.0, options.height)};
+    } else {
+      const Point home =
+          sample_in_district(districts[rng.WeightedIndex(home_weights)]);
+      const Point work =
+          sample_in_district(districts[rng.WeightedIndex(work_weights)]);
+      const std::vector<Point> route =
+          rng.Bernoulli(options.arterial_fraction)
+              ? network.RingRoute(home, work)
+              : network.GridRoute(home, work);
+      pos = WalkPolyline(route, rng.NextDouble());
+    }
+    pos.x = std::clamp(pos.x + rng.Gaussian(0.0, options.gps_noise), 0.0,
+                       options.width);
+    pos.y = std::clamp(pos.y + rng.Gaussian(0.0, options.gps_noise), 0.0,
+                       options.height);
+    pos.id = next_id++;
+    points.push_back(pos);
+  }
+  return points;
+}
+
+}  // namespace knnq

@@ -1,0 +1,74 @@
+#include "src/data/clustered.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace knnq {
+
+Result<PointSet> GenerateClusters(const ClusterOptions& options) {
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be > 0");
+  }
+  if (options.cluster_radius <= 0.0) {
+    return Status::InvalidArgument("cluster_radius must be positive");
+  }
+  const double r = options.cluster_radius;
+  const BoundingBox& region = options.region;
+  if (region.width() < 2 * r || region.height() < 2 * r) {
+    return Status::InvalidArgument(
+        "region too small for even one cluster disk");
+  }
+  // Disks occupy pi r^2 each and cannot overlap; refuse plainly
+  // impossible packings before rejection sampling spins.
+  const double disk_area =
+      std::numbers::pi * r * r * static_cast<double>(options.num_clusters);
+  if (disk_area > 0.6 * region.Area()) {
+    return Status::InvalidArgument(
+        "cluster disks would exceed 60% of the region; rejection placement "
+        "would be unreliable");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Point> centers;
+  centers.reserve(options.num_clusters);
+  const std::size_t max_attempts = 10000 * options.num_clusters;
+  std::size_t attempts = 0;
+  while (centers.size() < options.num_clusters) {
+    if (++attempts > max_attempts) {
+      return Status::Internal(
+          "failed to place non-overlapping clusters; lower num_clusters or "
+          "cluster_radius");
+    }
+    const Point c{.id = 0,
+                  .x = rng.Uniform(region.min_x() + r, region.max_x() - r),
+                  .y = rng.Uniform(region.min_y() + r, region.max_y() - r)};
+    bool overlaps = false;
+    for (const Point& other : centers) {
+      if (SquaredDistance(c, other) < (2 * r) * (2 * r)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) centers.push_back(c);
+  }
+
+  PointSet points;
+  points.reserve(options.num_clusters * options.points_per_cluster);
+  PointId next_id = options.first_id;
+  for (const Point& center : centers) {
+    for (std::size_t i = 0; i < options.points_per_cluster; ++i) {
+      // Uniform in the disk: radius ~ r*sqrt(U), angle uniform.
+      const double rad = r * std::sqrt(rng.NextDouble());
+      const double ang = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+      points.push_back(Point{.id = next_id++,
+                             .x = center.x + rad * std::cos(ang),
+                             .y = center.y + rad * std::sin(ang)});
+    }
+  }
+  return points;
+}
+
+}  // namespace knnq

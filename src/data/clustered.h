@@ -1,0 +1,46 @@
+// Clustered synthetic relations matching the paper's Section 6.2.1 setup:
+// "All the clusters have the same number of points (4000), have the same
+// area, and are non-overlapping."
+
+#ifndef KNNQ_SRC_DATA_CLUSTERED_H_
+#define KNNQ_SRC_DATA_CLUSTERED_H_
+
+#include <cstdint>
+
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+#include "src/common/status.h"
+
+namespace knnq {
+
+/// Parameters of the equal-size, equal-area, non-overlapping cluster
+/// generator.
+struct ClusterOptions {
+  std::size_t num_clusters = 10;
+
+  /// Points in every cluster; the paper's experiments use 4000.
+  std::size_t points_per_cluster = 4000;
+
+  /// Radius of the disk each cluster's points are drawn from. All
+  /// clusters share it, which makes their areas equal.
+  double cluster_radius = 500.0;
+
+  /// Region the cluster disks must fit inside.
+  BoundingBox region = BoundingBox(0, 0, 30000, 24000);
+
+  std::uint64_t seed = 1;
+
+  /// Id of the first generated point.
+  PointId first_id = 0;
+};
+
+/// Generates the clustered relation: centers are placed by rejection
+/// sampling so disks never overlap, then each cluster draws
+/// points_per_cluster points uniformly from its disk. Fails when the
+/// requested disks cannot fit in the region (too many clusters or radius
+/// too large).
+Result<PointSet> GenerateClusters(const ClusterOptions& options);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_DATA_CLUSTERED_H_

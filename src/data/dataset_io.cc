@@ -1,0 +1,106 @@
+#include "src/data/dataset_io.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace knnq {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x4B4E4E5150545331ULL;  // "KNNQPTS1"
+
+struct BinaryRecord {
+  std::int64_t id;
+  double x;
+  double y;
+};
+
+}  // namespace
+
+Status SaveCsv(const PointSet& points, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "id,x,y\n";
+  char buf[128];
+  for (const Point& p : points) {
+    std::snprintf(buf, sizeof(buf), "%lld,%.17g,%.17g\n",
+                  static_cast<long long>(p.id), p.x, p.y);
+    out << buf;
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<PointSet> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  PointSet points;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1) continue;  // Header.
+    if (line.empty()) continue;
+    long long id = 0;
+    double x = 0.0, y = 0.0;
+    if (std::sscanf(line.c_str(), "%lld,%lf,%lf", &id, &x, &y) != 3) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": malformed row '" << line << "'";
+      return Status::IoError(msg.str());
+    }
+    points.push_back(Point{.id = id, .x = x, .y = y});
+  }
+  return points;
+}
+
+Status SaveBinary(const PointSet& points, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const std::uint64_t count = points.size();
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic),
+            sizeof(kBinaryMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Point& p : points) {
+    const BinaryRecord rec{p.id, p.x, p.y};
+    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<PointSet> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || magic != kBinaryMagic) {
+    return Status::IoError("not a knnq binary dataset: " + path);
+  }
+  PointSet points;
+  points.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BinaryRecord rec;
+    in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (!in.good()) {
+      return Status::IoError("truncated binary dataset: " + path);
+    }
+    points.push_back(Point{.id = rec.id, .x = rec.x, .y = rec.y});
+  }
+  return points;
+}
+
+}  // namespace knnq

@@ -1,0 +1,28 @@
+// Dataset persistence: CSV for interchange/plotting, a raw binary format
+// for fast reloads of the large benchmark relations.
+
+#ifndef KNNQ_SRC_DATA_DATASET_IO_H_
+#define KNNQ_SRC_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "src/common/point.h"
+#include "src/common/status.h"
+
+namespace knnq {
+
+/// Writes "id,x,y" rows with a header line.
+Status SaveCsv(const PointSet& points, const std::string& path);
+
+/// Reads a file written by SaveCsv (or any id,x,y CSV with a header).
+Result<PointSet> LoadCsv(const std::string& path);
+
+/// Writes a compact binary image (magic, count, raw records).
+Status SaveBinary(const PointSet& points, const std::string& path);
+
+/// Reads a file written by SaveBinary; validates magic and size.
+Result<PointSet> LoadBinary(const std::string& path);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_DATA_DATASET_IO_H_

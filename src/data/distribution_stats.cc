@@ -1,0 +1,38 @@
+#include "src/data/distribution_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+CoverageStats EstimateCoverage(const PointSet& points,
+                               const BoundingBox& frame,
+                               std::size_t cells_per_axis) {
+  KNNQ_CHECK_MSG(cells_per_axis > 0, "cells_per_axis must be > 0");
+  CoverageStats stats;
+  if (frame.empty()) return stats;
+  stats.total_cells = cells_per_axis * cells_per_axis;
+
+  const double cell_w =
+      std::max(frame.width(), 1e-12) / static_cast<double>(cells_per_axis);
+  const double cell_h =
+      std::max(frame.height(), 1e-12) / static_cast<double>(cells_per_axis);
+  std::vector<bool> occupied(stats.total_cells, false);
+  const auto clamp_cell = [&](double offset, double cell_size) {
+    if (offset < 0.0) return std::size_t{0};
+    const auto c = static_cast<std::size_t>(offset / cell_size);
+    return std::min(c, cells_per_axis - 1);
+  };
+  for (const Point& p : points) {
+    const std::size_t ci = clamp_cell(p.x - frame.min_x(), cell_w);
+    const std::size_t cj = clamp_cell(p.y - frame.min_y(), cell_h);
+    occupied[cj * cells_per_axis + ci] = true;
+  }
+  stats.occupied_cells = static_cast<std::size_t>(
+      std::count(occupied.begin(), occupied.end(), true));
+  return stats;
+}
+
+}  // namespace knnq

@@ -1,0 +1,43 @@
+// Distribution statistics driving the planner's heuristics.
+//
+// Section 4.1.2 chooses the unchained-join order by "cluster coverage":
+// the relation whose clusters cover the smaller area should drive the
+// first join. Coverage is estimated by rasterizing the relation onto a
+// fixed probe grid over a common frame and counting occupied cells.
+
+#ifndef KNNQ_SRC_DATA_DISTRIBUTION_STATS_H_
+#define KNNQ_SRC_DATA_DISTRIBUTION_STATS_H_
+
+#include <cstddef>
+
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+
+namespace knnq {
+
+/// Occupancy of a relation over a probe grid.
+struct CoverageStats {
+  std::size_t occupied_cells = 0;
+  std::size_t total_cells = 0;
+
+  /// Fraction of probe cells containing at least one point; 0 for an
+  /// empty frame.
+  double coverage() const {
+    return total_cells == 0
+               ? 0.0
+               : static_cast<double>(occupied_cells) /
+                     static_cast<double>(total_cells);
+  }
+};
+
+/// Rasterizes `points` onto `cells_per_axis`^2 cells over `frame` and
+/// counts occupied cells. Points outside the frame are clamped onto the
+/// border cells. Two relations are comparable only when measured over
+/// the same frame.
+CoverageStats EstimateCoverage(const PointSet& points,
+                               const BoundingBox& frame,
+                               std::size_t cells_per_axis = 64);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_DATA_DISTRIBUTION_STATS_H_

@@ -1,0 +1,22 @@
+#include "src/data/uniform.h"
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace knnq {
+
+PointSet GenerateUniform(std::size_t n, const BoundingBox& region,
+                         std::uint64_t seed, PointId first_id) {
+  KNNQ_CHECK_MSG(!region.empty(), "GenerateUniform requires a real region");
+  Rng rng(seed);
+  PointSet points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(Point{.id = first_id + static_cast<PointId>(i),
+                           .x = rng.Uniform(region.min_x(), region.max_x()),
+                           .y = rng.Uniform(region.min_y(), region.max_y())});
+  }
+  return points;
+}
+
+}  // namespace knnq

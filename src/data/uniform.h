@@ -1,0 +1,20 @@
+// Uniformly distributed synthetic relations.
+
+#ifndef KNNQ_SRC_DATA_UNIFORM_H_
+#define KNNQ_SRC_DATA_UNIFORM_H_
+
+#include <cstdint>
+
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+
+namespace knnq {
+
+/// Returns `n` points uniform in `region` with ids [first_id,
+/// first_id + n). Deterministic in `seed`.
+PointSet GenerateUniform(std::size_t n, const BoundingBox& region,
+                         std::uint64_t seed, PointId first_id = 0);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_DATA_UNIFORM_H_

@@ -1,0 +1,51 @@
+// Block: the unit of spatial pruning.
+//
+// Section 2 of the paper assumes an index that partitions space into
+// blocks and "maintains the count of points in each block". A Block is
+// therefore a region (bounding box) plus the contiguous span of indexed
+// points it contains. All of the paper's pruning rules consume only the
+// box (for MINDIST/MAXDIST/center/diagonal) and the count.
+
+#ifndef KNNQ_SRC_INDEX_BLOCK_H_
+#define KNNQ_SRC_INDEX_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bbox.h"
+
+namespace knnq {
+
+/// Index of a block within its SpatialIndex; dense in [0, num_blocks).
+using BlockId = std::uint32_t;
+
+/// Sentinel for "no block" (e.g. Locate on an empty region).
+inline constexpr BlockId kInvalidBlockId = static_cast<BlockId>(-1);
+
+/// A leaf region of a spatial index together with its point span.
+struct Block {
+  /// The region covered by the block. For the grid and quadtree this is
+  /// the cell region; for the R-tree it is the leaf MBR. Every indexed
+  /// point of the block lies inside `box` — the only property the
+  /// pruning proofs rely on.
+  BoundingBox box;
+
+  /// First point of the block in the index's point array.
+  std::size_t begin = 0;
+  /// One past the last point of the block.
+  std::size_t end = 0;
+
+  /// Number of points in the block (the count the paper's Section 2
+  /// requires the index to maintain).
+  std::size_t count() const { return end - begin; }
+
+  /// Center of the block region (Procedure 3 probes block centers).
+  Point Center() const { return box.Center(); }
+
+  /// Diagonal length of the block region (`block.diagonal` in the paper).
+  double Diagonal() const { return box.Diagonal(); }
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_BLOCK_H_

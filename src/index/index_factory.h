@@ -1,0 +1,51 @@
+// Index factory: build any SpatialIndex implementation from one options
+// struct. Benches and the planner use this to swap structures without
+// touching algorithm code, which is how the "structure independence"
+// claim of the paper's Section 2 is exercised.
+
+#ifndef KNNQ_SRC_INDEX_INDEX_FACTORY_H_
+#define KNNQ_SRC_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// Available index structures.
+enum class IndexType {
+  kGrid,
+  kQuadtree,
+  kRTree,
+};
+
+/// Human-readable index type name ("grid", "quadtree", "rtree").
+const char* ToString(IndexType type);
+
+/// Unified construction parameters; fields irrelevant to the selected
+/// type are ignored.
+struct IndexOptions {
+  IndexType type = IndexType::kGrid;
+
+  /// Target (grid) or maximum (trees) number of points per block.
+  std::size_t block_capacity = 64;
+
+  /// Quadtree recursion limit.
+  std::size_t quadtree_max_depth = 24;
+
+  /// R-tree internal fanout.
+  std::size_t rtree_fanout = 16;
+
+  /// Grid cell cap per axis.
+  std::size_t grid_max_cells_per_axis = 4096;
+};
+
+/// Builds the configured index over a copy-by-value point set.
+Result<std::unique_ptr<SpatialIndex>> BuildIndex(PointSet points,
+                                                 const IndexOptions& options);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_INDEX_FACTORY_H_

@@ -1,0 +1,122 @@
+#include "src/index/knn_searcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+namespace {
+
+/// Candidate during neighborhood extraction, compared by (squared
+/// distance, id). The heap keeps the *worst* candidate on top.
+struct Candidate {
+  double sq_dist;
+  PointId id;
+  double x;
+  double y;
+
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    if (a.sq_dist != b.sq_dist) return a.sq_dist < b.sq_dist;
+    return a.id < b.id;
+  }
+};
+
+Neighborhood FinalizeHeap(
+    std::priority_queue<Candidate, std::vector<Candidate>>& heap) {
+  Neighborhood result(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    const Candidate& c = heap.top();
+    result[i] = Neighbor{Point{.id = c.id, .x = c.x, .y = c.y},
+                         std::sqrt(c.sq_dist)};
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace
+
+bool Contains(const Neighborhood& nbr, PointId id) {
+  for (const Neighbor& n : nbr) {
+    if (n.point.id == id) return true;
+  }
+  return false;
+}
+
+Neighborhood KnnSearcher::GetKnn(const Point& query, std::size_t k) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const Locality locality = ComputeLocality(index_, query, k, kInf, &stats_);
+  return NeighborhoodFromLocality(query, k, locality, kInf);
+}
+
+Neighborhood KnnSearcher::GetKnnRestricted(const Point& query, std::size_t k,
+                                           double threshold) {
+  const Locality locality =
+      ComputeLocality(index_, query, k, threshold, &stats_);
+  // Individual points beyond the threshold are skipped as well: no such
+  // point can displace a within-threshold point from the top k (any
+  // point preceding a within-threshold point is itself within the
+  // threshold), and the caller's final intersection discards them
+  // regardless. This keeps the candidate heap small when k is large.
+  return NeighborhoodFromLocality(query, k, locality, threshold);
+}
+
+Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
+                                                   std::size_t k,
+                                                   const Locality& locality,
+                                                   double threshold) {
+  if (k == 0 || locality.blocks.empty()) return {};
+  const bool restricted = !std::isinf(threshold);
+
+  // Visit locality blocks nearest-first so the heap bound can cut off
+  // the scan early; [15] guarantees correctness for any visit order, so
+  // ordering is purely an optimization.
+  std::vector<std::pair<double, BlockId>> ordered;
+  ordered.reserve(locality.blocks.size());
+  for (const BlockId id : locality.blocks) {
+    ordered.emplace_back(index_.block(id).box.SquaredMinDist(query), id);
+  }
+  std::sort(ordered.begin(), ordered.end());
+
+  std::priority_queue<Candidate, std::vector<Candidate>> heap;
+  for (const auto& [sq_min_dist, id] : ordered) {
+    // Strict >: a block at exactly the k-th distance can still hold a
+    // point that wins the (distance, id) tie-break.
+    if (heap.size() == k && sq_min_dist > heap.top().sq_dist) break;
+    ++stats_.blocks_scanned;
+    for (const Point& p : index_.BlockPoints(id)) {
+      ++stats_.points_scanned;
+      const Candidate c{SquaredDistance(p, query), p.id, p.x, p.y};
+      // Compare in sqrt space: the caller derived the threshold with the
+      // same sqrt, so the boundary point is kept exactly (sq_dist
+      // against a squared threshold can lose it to rounding).
+      if (restricted && std::sqrt(c.sq_dist) > threshold) continue;
+      if (heap.size() < k) {
+        heap.push(c);
+      } else if (c < heap.top()) {
+        heap.pop();
+        heap.push(c);
+      }
+    }
+  }
+  return FinalizeHeap(heap);
+}
+
+Neighborhood BruteForceKnn(const PointSet& points, const Point& query,
+                           std::size_t k) {
+  std::priority_queue<Candidate, std::vector<Candidate>> heap;
+  for (const Point& p : points) {
+    const Candidate c{SquaredDistance(p, query), p.id, p.x, p.y};
+    if (heap.size() < k) {
+      heap.push(c);
+    } else if (k > 0 && c < heap.top()) {
+      heap.pop();
+      heap.push(c);
+    }
+  }
+  return FinalizeHeap(heap);
+}
+
+}  // namespace knnq

@@ -1,0 +1,62 @@
+#include "src/index/locality.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+Locality ComputeLocality(const SpatialIndex& index, const Point& query,
+                         std::size_t k, double restrict_to_threshold,
+                         SearchStats* stats) {
+  Locality locality;
+  if (stats != nullptr) ++stats->localities_computed;
+  if (index.num_blocks() == 0 || k == 0) {
+    locality.max_dist_bound = 0.0;
+    return locality;
+  }
+
+  // Phase 1: MAXDIST order until the counted points reach k.
+  std::vector<BlockId> phase1;  // Everything popped, kept or not.
+  std::size_t count = 0;
+  double m = std::numeric_limits<double>::infinity();
+  {
+    auto scan = index.NewScan(query, ScanOrder::kMaxDist);
+    double key = 0.0;
+    while (count < k && scan->HasNext()) {
+      const BlockId id = scan->Next(&key);
+      if (stats != nullptr) ++stats->blocks_scanned;
+      count += index.block(id).count();
+      phase1.push_back(id);
+      if (index.block(id).box.MinDist(query) <= restrict_to_threshold) {
+        locality.blocks.push_back(id);
+      }
+    }
+    if (count >= k) {
+      m = key;  // MAXDIST of the last block that completed the count.
+    }
+    // Otherwise the whole index holds fewer than k points: every block
+    // was popped and (subject to the threshold) added; M stays infinite
+    // and phase 2 has nothing left to do.
+  }
+  locality.max_dist_bound = m;
+  if (count < k) return locality;
+
+  // Phase 2: MINDIST order; every point within M lives in a block with
+  // MINDIST <= M. Skip blocks already taken in phase 1.
+  const double add_bound = std::min(m, restrict_to_threshold);
+  auto scan = index.NewScan(query, ScanOrder::kMinDist);
+  double key = 0.0;
+  while (scan->HasNext()) {
+    const BlockId id = scan->Next(&key);
+    if (key > add_bound) break;
+    if (stats != nullptr) ++stats->blocks_scanned;
+    if (std::find(phase1.begin(), phase1.end(), id) != phase1.end()) {
+      continue;
+    }
+    locality.blocks.push_back(id);
+  }
+  return locality;
+}
+
+}  // namespace knnq

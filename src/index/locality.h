@@ -1,0 +1,64 @@
+// Locality computation (Sankaranarayanan, Samet, Varshney [15]).
+//
+// Definition 2 of the paper: the *locality* of a point p is a set of
+// blocks inside which p's k nearest neighbors are guaranteed to exist.
+// The algorithm of [15], used as the paper's getkNN primitive, builds
+// the minimum locality in two phases:
+//
+//   1. MAXDIST phase: pop blocks in increasing MAXDIST from p, summing
+//      their point counts, until the sum reaches k. Record M, the
+//      MAXDIST of the last popped block. At least k points now lie
+//      within distance M of p.
+//   2. MINDIST phase: every point within distance M lies in a block with
+//      MINDIST <= M, so pop blocks in increasing MINDIST and add the
+//      unvisited ones until MINDIST exceeds M.
+//
+// Procedure 5 of the paper runs the same construction with one change:
+// a block joins the locality only if its MINDIST is within an externally
+// supplied search threshold (counting in phase 1 is unaffected). The
+// `restrict_to_threshold` parameter implements that variant; see
+// DESIGN.md note 5 for why the result stays correct for the two-select
+// intersection.
+
+#ifndef KNNQ_SRC_INDEX_LOCALITY_H_
+#define KNNQ_SRC_INDEX_LOCALITY_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/common/point.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// Blocks guaranteed to contain the query's neighborhood, plus the
+/// MAXDIST bound M that defined them.
+struct Locality {
+  std::vector<BlockId> blocks;
+  /// The bound M from the MAXDIST phase; +inf when the index holds fewer
+  /// than k points (then every block is in the locality).
+  double max_dist_bound = std::numeric_limits<double>::infinity();
+};
+
+/// Running cost counters, shared by locality construction and kNN search.
+struct SearchStats {
+  std::size_t localities_computed = 0;
+  std::size_t blocks_scanned = 0;
+  std::size_t points_scanned = 0;
+
+  void Reset() { *this = SearchStats{}; }
+};
+
+/// Builds the locality of `query` for a k-neighborhood over `index`.
+///
+/// With `restrict_to_threshold` set (Procedure 5), blocks whose MINDIST
+/// from `query` exceeds the threshold are counted but not returned.
+/// `stats` may be null.
+Locality ComputeLocality(
+    const SpatialIndex& index, const Point& query, std::size_t k,
+    double restrict_to_threshold = std::numeric_limits<double>::infinity(),
+    SearchStats* stats = nullptr);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_LOCALITY_H_

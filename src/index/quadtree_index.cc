@@ -1,0 +1,139 @@
+#include "src/index/quadtree_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+Result<std::unique_ptr<QuadtreeIndex>> QuadtreeIndex::Build(
+    PointSet points, const QuadtreeOptions& options) {
+  if (options.leaf_capacity == 0) {
+    return Status::InvalidArgument("leaf_capacity must be > 0");
+  }
+  if (options.max_depth == 0) {
+    return Status::InvalidArgument("max_depth must be > 0");
+  }
+
+  auto tree = std::unique_ptr<QuadtreeIndex>(new QuadtreeIndex());
+  tree->bounds_ = BoundingBox::Of(points);
+  tree->points_ = std::move(points);
+  if (tree->points_.empty()) return tree;
+
+  tree->nodes_.emplace_back();
+  tree->root_ = 0;
+  tree->FillNode(tree->root_, 0, tree->points_.size(), tree->bounds_, 0,
+                 options);
+  return tree;
+}
+
+std::uint32_t QuadtreeIndex::FillNode(std::uint32_t idx, std::size_t begin,
+                                      std::size_t end,
+                                      const BoundingBox& region,
+                                      std::size_t depth,
+                                      const QuadtreeOptions& options) {
+  KNNQ_DCHECK(end > begin);
+  nodes_[idx].box = region;
+  depth_ = std::max(depth_, depth);
+
+  if (end - begin <= options.leaf_capacity || depth >= options.max_depth) {
+    nodes_[idx].block = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(Block{.box = region, .begin = begin, .end = end});
+    return idx;
+  }
+
+  // Partition the span into the four midpoint quadrants: first split by
+  // y, then split each half by x, leaving each quadrant contiguous.
+  const Point mid = region.Center();
+  const auto first = points_.begin();
+  const auto y_split = std::partition(
+      first + static_cast<std::ptrdiff_t>(begin),
+      first + static_cast<std::ptrdiff_t>(end),
+      [&](const Point& p) { return p.y < mid.y; });
+  const auto x_split_low = std::partition(
+      first + static_cast<std::ptrdiff_t>(begin), y_split,
+      [&](const Point& p) { return p.x < mid.x; });
+  const auto x_split_high =
+      std::partition(y_split, first + static_cast<std::ptrdiff_t>(end),
+                     [&](const Point& p) { return p.x < mid.x; });
+
+  struct Quadrant {
+    std::size_t begin;
+    std::size_t end;
+    BoundingBox box;
+  };
+  const auto off = [&](auto it) {
+    return static_cast<std::size_t>(it - first);
+  };
+  const Quadrant quadrants[4] = {
+      {begin, off(x_split_low),
+       BoundingBox(region.min_x(), region.min_y(), mid.x, mid.y)},
+      {off(x_split_low), off(y_split),
+       BoundingBox(mid.x, region.min_y(), region.max_x(), mid.y)},
+      {off(y_split), off(x_split_high),
+       BoundingBox(region.min_x(), mid.y, mid.x, region.max_y())},
+      {off(x_split_high), end,
+       BoundingBox(mid.x, mid.y, region.max_x(), region.max_y())},
+  };
+
+  Quadrant live[4];
+  std::uint32_t live_count = 0;
+  for (const Quadrant& q : quadrants) {
+    if (q.end > q.begin) live[live_count++] = q;
+  }
+  KNNQ_DCHECK(live_count > 0);
+
+  // Claim contiguous slots for all children before recursing, so that
+  // TreeScan's first_child/num_children CSR layout holds.
+  const auto first_child = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t c = 0; c < live_count; ++c) nodes_.emplace_back();
+  nodes_[idx].first_child = first_child;
+  nodes_[idx].num_children = live_count;
+
+  for (std::uint32_t c = 0; c < live_count; ++c) {
+    FillNode(first_child + c, live[c].begin, live[c].end, live[c].box,
+             depth + 1, options);
+  }
+  return idx;
+}
+
+BlockId QuadtreeIndex::Locate(const Point& p) const {
+  if (root_ == kNoNode) return kInvalidBlockId;
+  // DFS over children whose region contains p; region boundaries are
+  // shared between siblings, so verify point identity at leaves.
+  std::vector<std::uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_[idx];
+    if (!node.box.Contains(p)) continue;
+    if (node.is_leaf()) {
+      for (const Point& q : BlockPoints(node.block)) {
+        if (q.id == p.id && q.x == p.x && q.y == p.y) return node.block;
+      }
+      continue;
+    }
+    for (std::uint32_t c = 0; c < node.num_children; ++c) {
+      stack.push_back(node.first_child + c);
+    }
+  }
+  return kInvalidBlockId;
+}
+
+std::unique_ptr<BlockScan> QuadtreeIndex::NewScan(const Point& query,
+                                                  ScanOrder order) const {
+  return std::make_unique<TreeScan>(
+      nodes_, root_ == kNoNode ? nodes_.size() : root_, query, order);
+}
+
+std::string QuadtreeIndex::Describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "quadtree depth %zu, %zu blocks, %zu points", depth_,
+                num_blocks(), num_points());
+  return buf;
+}
+
+}  // namespace knnq

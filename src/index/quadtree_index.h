@@ -1,0 +1,66 @@
+// QuadtreeIndex: point-region (PR) quadtree.
+//
+// "The quadtree and its variants are hierarchical spatial data structures
+// that recursively partition the underlying space into blocks until the
+// number of points inside a block satisfies some criterion" (paper,
+// Section 2). Space is split at region midpoints until a region holds at
+// most `leaf_capacity` points or `max_depth` is reached; non-empty leaf
+// regions become blocks. Block boxes are the leaf *regions* (not MBRs),
+// faithful to the partition-of-space reading.
+
+#ifndef KNNQ_SRC_INDEX_QUADTREE_INDEX_H_
+#define KNNQ_SRC_INDEX_QUADTREE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/spatial_index.h"
+#include "src/index/tree_scan.h"
+
+namespace knnq {
+
+/// Construction parameters for QuadtreeIndex.
+struct QuadtreeOptions {
+  /// Split a region while it holds more points than this.
+  std::size_t leaf_capacity = 64;
+
+  /// Hard depth cap; duplicate-heavy data stops splitting here.
+  std::size_t max_depth = 24;
+};
+
+/// PR-quadtree spatial index. Immutable once built.
+class QuadtreeIndex final : public SpatialIndex {
+ public:
+  /// Builds the tree over `points`. Fails on zero leaf_capacity or depth.
+  static Result<std::unique_ptr<QuadtreeIndex>> Build(
+      PointSet points, const QuadtreeOptions& options);
+
+  BlockId Locate(const Point& p) const override;
+  std::unique_ptr<BlockScan> NewScan(const Point& query,
+                                     ScanOrder order) const override;
+  std::string Describe() const override;
+
+  std::size_t depth() const { return depth_; }
+
+ private:
+  QuadtreeIndex() = default;
+
+  /// Recursively fills pre-allocated node slot `idx` with the subtree
+  /// over points_[begin, end) covering `region`. Child slots are claimed
+  /// contiguously before recursion so TreeScan's CSR layout holds.
+  std::uint32_t FillNode(std::uint32_t idx, std::size_t begin,
+                         std::size_t end, const BoundingBox& region,
+                         std::size_t depth, const QuadtreeOptions& options);
+
+  static constexpr std::uint32_t kNoNode = static_cast<std::uint32_t>(-1);
+
+  std::vector<TreeNode> nodes_;
+  std::uint32_t root_ = kNoNode;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_QUADTREE_INDEX_H_

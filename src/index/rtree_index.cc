@@ -1,0 +1,196 @@
+#include "src/index/rtree_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+namespace {
+
+/// Construction-time node with free-form child links; flattened into the
+/// CSR TreeNode array at the end of Build.
+struct TmpNode {
+  BoundingBox box;
+  std::vector<std::uint32_t> children;
+  BlockId block = kInvalidBlockId;
+};
+
+/// Splits `m` items into vertical slabs of roughly sqrt(m/group) groups
+/// per axis, STR-style. Returns the slab size.
+std::size_t StrSlabSize(std::size_t m, std::size_t group) {
+  const std::size_t num_groups = (m + group - 1) / group;
+  const auto slabs = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_groups))));
+  const std::size_t groups_per_slab = (num_groups + slabs - 1) / slabs;
+  return groups_per_slab * group;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RTreeIndex>> RTreeIndex::Build(
+    PointSet points, const RTreeOptions& options) {
+  if (options.leaf_capacity == 0) {
+    return Status::InvalidArgument("leaf_capacity must be > 0");
+  }
+  if (options.fanout < 2) {
+    return Status::InvalidArgument("fanout must be >= 2");
+  }
+
+  auto tree = std::unique_ptr<RTreeIndex>(new RTreeIndex());
+  tree->bounds_ = BoundingBox::Of(points);
+  tree->points_ = std::move(points);
+  const std::size_t n = tree->points_.size();
+  if (n == 0) return tree;
+
+  // --- Leaf level: STR tiling of the points. ---
+  auto& pts = tree->points_;
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.id < b.id;
+  });
+  const std::size_t slab = StrSlabSize(n, options.leaf_capacity);
+  for (std::size_t s = 0; s < n; s += slab) {
+    const std::size_t s_end = std::min(s + slab, n);
+    std::sort(pts.begin() + static_cast<std::ptrdiff_t>(s),
+              pts.begin() + static_cast<std::ptrdiff_t>(s_end),
+              [](const Point& a, const Point& b) {
+                if (a.y != b.y) return a.y < b.y;
+                if (a.x != b.x) return a.x < b.x;
+                return a.id < b.id;
+              });
+  }
+
+  std::vector<TmpNode> tmp;
+  std::vector<std::uint32_t> level;  // Current level, as tmp indices.
+  for (std::size_t begin = 0; begin < n;) {
+    // Leaves must not straddle slab boundaries, or the tiling degrades;
+    // cut at the next slab edge when closer than a full leaf.
+    const std::size_t slab_end = ((begin / slab) + 1) * slab;
+    const std::size_t end =
+        std::min({begin + options.leaf_capacity, slab_end, n});
+    BoundingBox mbr;
+    for (std::size_t i = begin; i < end; ++i) mbr.Extend(pts[i]);
+    TmpNode leaf;
+    leaf.box = mbr;
+    leaf.block = static_cast<BlockId>(tree->blocks_.size());
+    tree->blocks_.push_back(Block{.box = mbr, .begin = begin, .end = end});
+    level.push_back(static_cast<std::uint32_t>(tmp.size()));
+    tmp.push_back(std::move(leaf));
+    begin = end;
+  }
+  tree->height_ = 1;
+
+  // --- Internal levels: STR tiling of child-box centers. ---
+  while (level.size() > 1) {
+    const auto center_x = [&](std::uint32_t id) {
+      return tmp[id].box.Center().x;
+    };
+    const auto center_y = [&](std::uint32_t id) {
+      return tmp[id].box.Center().y;
+    };
+    std::sort(level.begin(), level.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const double ax = center_x(a), bx = center_x(b);
+                if (ax != bx) return ax < bx;
+                return a < b;
+              });
+    const std::size_t m = level.size();
+    const std::size_t level_slab = StrSlabSize(m, options.fanout);
+    for (std::size_t s = 0; s < m; s += level_slab) {
+      const std::size_t s_end = std::min(s + level_slab, m);
+      std::sort(level.begin() + static_cast<std::ptrdiff_t>(s),
+                level.begin() + static_cast<std::ptrdiff_t>(s_end),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const double ay = center_y(a), by = center_y(b);
+                  if (ay != by) return ay < by;
+                  return a < b;
+                });
+    }
+
+    std::vector<std::uint32_t> parents;
+    for (std::size_t begin = 0; begin < m;) {
+      const std::size_t slab_end = ((begin / level_slab) + 1) * level_slab;
+      const std::size_t end =
+          std::min({begin + options.fanout, slab_end, m});
+      TmpNode parent;
+      for (std::size_t i = begin; i < end; ++i) {
+        parent.box.Extend(tmp[level[i]].box);
+        parent.children.push_back(level[i]);
+      }
+      parents.push_back(static_cast<std::uint32_t>(tmp.size()));
+      tmp.push_back(std::move(parent));
+      begin = end;
+    }
+    level = std::move(parents);
+    ++tree->height_;
+  }
+
+  // --- Flatten to the CSR TreeNode array (BFS keeps each node's
+  // children contiguous). ---
+  std::vector<std::uint32_t> final_index(tmp.size(), kNoNode);
+  std::deque<std::uint32_t> queue = {level.front()};
+  final_index[level.front()] = 0;
+  tree->nodes_.resize(1);
+  while (!queue.empty()) {
+    const std::uint32_t t = queue.front();
+    queue.pop_front();
+    TreeNode& out = tree->nodes_[final_index[t]];
+    out.box = tmp[t].box;
+    out.block = tmp[t].block;
+    out.num_children = static_cast<std::uint32_t>(tmp[t].children.size());
+    if (!tmp[t].children.empty()) {
+      out.first_child = static_cast<std::uint32_t>(tree->nodes_.size());
+      for (const std::uint32_t child : tmp[t].children) {
+        final_index[child] = static_cast<std::uint32_t>(tree->nodes_.size());
+        tree->nodes_.emplace_back();
+        queue.push_back(child);
+      }
+    }
+  }
+  tree->root_ = 0;
+  return tree;
+}
+
+BlockId RTreeIndex::Locate(const Point& p) const {
+  if (root_ == kNoNode) return kInvalidBlockId;
+  // MBRs of siblings may overlap: search every containing subtree and
+  // verify point identity at the leaves.
+  std::vector<std::uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_[idx];
+    if (!node.box.Contains(p)) continue;
+    if (node.is_leaf()) {
+      for (const Point& q : BlockPoints(node.block)) {
+        if (q.id == p.id && q.x == p.x && q.y == p.y) return node.block;
+      }
+      continue;
+    }
+    for (std::uint32_t c = 0; c < node.num_children; ++c) {
+      stack.push_back(node.first_child + c);
+    }
+  }
+  return kInvalidBlockId;
+}
+
+std::unique_ptr<BlockScan> RTreeIndex::NewScan(const Point& query,
+                                               ScanOrder order) const {
+  return std::make_unique<TreeScan>(
+      nodes_, root_ == kNoNode ? nodes_.size() : root_, query, order);
+}
+
+std::string RTreeIndex::Describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "rtree height %zu, %zu blocks, %zu points",
+                height_, num_blocks(), num_points());
+  return buf;
+}
+
+}  // namespace knnq

@@ -1,0 +1,113 @@
+// SpatialIndex: the structure-independent index contract.
+//
+// "The algorithms we present do not assume a specific indexing
+// structure" (paper, Section 2). Every algorithm in src/core is written
+// against this interface; GridIndex, QuadtreeIndex and RTreeIndex
+// implement it, and the ablation benches swap them freely.
+//
+// The contract deliberately exposes exactly what the paper's algorithms
+// consume:
+//   * enumerable blocks with a bounding region and a point count,
+//   * the points inside a block,
+//   * MINDIST- and MAXDIST-ordered block scans from an arbitrary point,
+//   * Locate: the block that stores a given indexed point.
+
+#ifndef KNNQ_SRC_INDEX_SPATIAL_INDEX_H_
+#define KNNQ_SRC_INDEX_SPATIAL_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+#include "src/index/block.h"
+
+namespace knnq {
+
+/// Which distance metric orders a block scan.
+enum class ScanOrder {
+  /// Increasing MINDIST(query, block): nearest-possible blocks first.
+  kMinDist,
+  /// Increasing MAXDIST(query, block): blocks that are certainly fully
+  /// near the query first.
+  kMaxDist,
+};
+
+/// Lazily yields blocks in the requested distance order. Obtained from
+/// SpatialIndex::NewScan; cheap enough to create per query point.
+class BlockScan {
+ public:
+  virtual ~BlockScan() = default;
+
+  /// True if another block remains.
+  virtual bool HasNext() = 0;
+
+  /// Pops the next block. `*key_dist` receives the ordering key: the
+  /// block's MINDIST or MAXDIST (true distance, not squared) from the
+  /// scan's query point. Requires HasNext().
+  virtual BlockId Next(double* key_dist) = 0;
+};
+
+/// A read-only spatial index over one relation (point set).
+///
+/// Construction copies the relation and groups points by block into one
+/// contiguous array, so BlockPoints returns a span without indirection.
+/// Instances are immutable after construction and safe to share across
+/// threads for reads; BlockScan objects are single-threaded.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  SpatialIndex(const SpatialIndex&) = delete;
+  SpatialIndex& operator=(const SpatialIndex&) = delete;
+
+  /// Number of (non-empty) blocks.
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// Block metadata. `id` must be < num_blocks().
+  const Block& block(BlockId id) const { return blocks_[id]; }
+
+  /// All blocks, for whole-index passes (e.g. Procedure 4 preprocessing).
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// The points stored in block `id`.
+  std::span<const Point> BlockPoints(BlockId id) const {
+    const Block& b = blocks_[id];
+    return std::span<const Point>(points_).subspan(b.begin, b.end - b.begin);
+  }
+
+  /// All indexed points, grouped by block.
+  const PointSet& points() const { return points_; }
+
+  /// Total number of indexed points.
+  std::size_t num_points() const { return points_.size(); }
+
+  /// Bounding box of the indexed data.
+  const BoundingBox& bounds() const { return bounds_; }
+
+  /// Returns the block that stores indexed point `p` (matched by
+  /// location, and by id where regions can overlap), or kInvalidBlockId
+  /// if `p` is not in the index.
+  virtual BlockId Locate(const Point& p) const = 0;
+
+  /// Starts a lazy block scan ordered by `order` from `query`.
+  virtual std::unique_ptr<BlockScan> NewScan(const Point& query,
+                                             ScanOrder order) const = 0;
+
+  /// One-line structural description, e.g. "grid 64x48, 3072 blocks".
+  virtual std::string Describe() const = 0;
+
+ protected:
+  SpatialIndex() = default;
+
+  /// Populated by subclasses during construction.
+  PointSet points_;
+  std::vector<Block> blocks_;
+  BoundingBox bounds_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_SPATIAL_INDEX_H_

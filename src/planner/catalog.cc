@@ -1,0 +1,56 @@
+#include "src/planner/catalog.h"
+
+#include <utility>
+
+namespace knnq {
+
+Status Catalog::AddRelation(const std::string& name, PointSet points,
+                            const IndexOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (relations_.contains(name)) {
+    return Status::InvalidArgument("relation already registered: " + name);
+  }
+  auto index = BuildIndex(std::move(points), options);
+  if (!index.ok()) return index.status();
+  relations_.emplace(
+      name, Relation{.name = name, .index = std::move(index.value())});
+  return Status::Ok();
+}
+
+Result<const Relation*> Catalog::Get(const std::string& name) const {
+  const auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return &it->second;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return relations_.contains(name);
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, unused] : relations_) names.push_back(name);
+  return names;
+}
+
+Result<CoverageStats> Catalog::CoverageOf(const std::string& name,
+                                          const BoundingBox& frame) const {
+  auto relation = Get(name);
+  if (!relation.ok()) return relation.status();
+  return EstimateCoverage((*relation)->index->points(), frame);
+}
+
+BoundingBox Catalog::UnionBounds() const {
+  BoundingBox bounds;
+  for (const auto& [unused, relation] : relations_) {
+    bounds.Extend(relation.index->bounds());
+  }
+  return bounds;
+}
+
+}  // namespace knnq

@@ -1,0 +1,60 @@
+// Catalog: named relations registered with the planner.
+//
+// Each relation owns its spatial index; the planner resolves query
+// specs against catalog names and derives statistics (cardinality,
+// block coverage) for its cost heuristics.
+
+#ifndef KNNQ_SRC_PLANNER_CATALOG_H_
+#define KNNQ_SRC_PLANNER_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/distribution_stats.h"
+#include "src/index/index_factory.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// A registered relation.
+struct Relation {
+  std::string name;
+  std::unique_ptr<SpatialIndex> index;
+};
+
+/// Name -> relation registry. Not thread-safe for mutation.
+class Catalog {
+ public:
+  /// Indexes `points` and registers them under `name`. Fails on a
+  /// duplicate name or invalid index options.
+  Status AddRelation(const std::string& name, PointSet points,
+                     const IndexOptions& options = {});
+
+  /// Looks a relation up by name.
+  Result<const Relation*> Get(const std::string& name) const;
+
+  /// True when `name` is registered.
+  bool Has(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Block coverage of `name`'s points measured over `frame` (pass a
+  /// common frame to compare two relations; see Section 4.1.2).
+  Result<CoverageStats> CoverageOf(const std::string& name,
+                                   const BoundingBox& frame) const;
+
+  /// The union of all registered relations' bounding boxes; the default
+  /// frame for coverage comparisons.
+  BoundingBox UnionBounds() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_PLANNER_CATALOG_H_

@@ -1,0 +1,319 @@
+#include "src/planner/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/core/unchained_joins.h"
+#include "src/planner/rules.h"
+
+namespace knnq {
+
+/// Grants the optimizer write access to PhysicalPlan's bound state.
+class PlanBuilder {
+ public:
+  static PhysicalPlan Build(Algorithm algorithm, const SpatialIndex* r1,
+                            const SpatialIndex* r2, const SpatialIndex* r3,
+                            const Point& f1, const Point& f2, std::size_t k1,
+                            std::size_t k2, bool swapped,
+                            PreprocessMode preprocess, bool cache,
+                            std::string query_text, std::string rationale,
+                            std::string rule_note,
+                            const BoundingBox& range = BoundingBox()) {
+    PhysicalPlan plan;
+    plan.range_ = range;
+    plan.algorithm_ = algorithm;
+    plan.r1_ = r1;
+    plan.r2_ = r2;
+    plan.r3_ = r3;
+    plan.f1_ = f1;
+    plan.f2_ = f2;
+    plan.k1_ = k1;
+    plan.k2_ = k2;
+    plan.swapped_ = swapped;
+    plan.preprocess_ = preprocess;
+    plan.cache_ = cache;
+    plan.query_text_ = std::move(query_text);
+    plan.rationale_ = std::move(rationale);
+    plan.rule_note_ = std::move(rule_note);
+    return plan;
+  }
+};
+
+namespace {
+
+Status CheckK(std::size_t k, const char* what) {
+  if (k == 0) {
+    return Status::InvalidArgument(std::string(what) + " requires k > 0");
+  }
+  return Status::Ok();
+}
+
+Result<const SpatialIndex*> Resolve(const Catalog& catalog,
+                                    const std::string& name) {
+  auto relation = catalog.Get(name);
+  if (!relation.ok()) return relation.status();
+  return (*relation)->index.get();
+}
+
+std::string FormatPredicate(const KnnPredicate& p) {
+  std::ostringstream out;
+  out << "kNN[k=" << p.k << ", f=(" << p.focal.x << ", " << p.focal.y
+      << ")]";
+  return out.str();
+}
+
+Result<PhysicalPlan> PlanTwoSelects(const Catalog& catalog,
+                                    const TwoSelectsSpec& spec,
+                                    const PlannerOptions& options) {
+  if (Status s = CheckK(spec.s1.k, "select"); !s.ok()) return s;
+  if (Status s = CheckK(spec.s2.k, "select"); !s.ok()) return s;
+  auto relation = Resolve(catalog, spec.relation);
+  if (!relation.ok()) return relation.status();
+
+  std::ostringstream text;
+  text << "sigma_" << FormatPredicate(spec.s1) << "(" << spec.relation
+       << ") INTERSECT sigma_" << FormatPredicate(spec.s2) << "("
+       << spec.relation << ")";
+  const bool naive = options.force_naive;
+  std::ostringstream why;
+  if (naive) {
+    why << "forced conceptually correct QEP (both selects in full)";
+  } else {
+    why << "2-kNN-select clips the k=" << std::max(spec.s1.k, spec.s2.k)
+        << " locality with the k=" << std::min(spec.s1.k, spec.s2.k)
+        << " result's search threshold (Procedure 5)";
+  }
+  return PlanBuilder::Build(
+      naive ? Algorithm::kTwoSelectsNaive : Algorithm::kTwoSelectsOptimized,
+      *relation, nullptr, nullptr, spec.s1.focal, spec.s2.focal, spec.s1.k,
+      spec.s2.k, /*swapped=*/false, options.preprocess_mode,
+      /*cache=*/false, text.str(), why.str(),
+      RuleRationale(Rewrite::kCascadeSelects));
+}
+
+Result<PhysicalPlan> PlanSelectInnerJoin(const Catalog& catalog,
+                                         const SelectInnerJoinSpec& spec,
+                                         const PlannerOptions& options) {
+  if (Status s = CheckK(spec.join_k, "join"); !s.ok()) return s;
+  if (Status s = CheckK(spec.select.k, "select"); !s.ok()) return s;
+  auto outer = Resolve(catalog, spec.outer);
+  if (!outer.ok()) return outer.status();
+  auto inner = Resolve(catalog, spec.inner);
+  if (!inner.ok()) return inner.status();
+
+  std::ostringstream text;
+  text << "(" << spec.outer << " JOIN_kNN[" << spec.join_k << "] "
+       << spec.inner << ") INTERSECT (" << spec.outer << " x sigma_"
+       << FormatPredicate(spec.select) << "(" << spec.inner << "))";
+
+  Algorithm algorithm;
+  std::ostringstream why;
+  if (options.force_naive) {
+    algorithm = Algorithm::kSelectInnerJoinNaive;
+    why << "forced conceptually correct QEP (full join, filter after)";
+  } else if ((*outer)->num_points() < options.counting_outer_cutoff) {
+    algorithm = Algorithm::kSelectInnerJoinCounting;
+    why << "outer has " << (*outer)->num_points() << " points < cutoff "
+        << options.counting_outer_cutoff
+        << ": per-tuple Counting beats per-block preprocessing "
+           "(Section 3.3, Fig. 20)";
+  } else {
+    algorithm = Algorithm::kSelectInnerJoinBlockMarking;
+    why << "outer has " << (*outer)->num_points() << " points >= cutoff "
+        << options.counting_outer_cutoff
+        << ": Block-Marking amortizes pruning per block "
+           "(Section 3.3, Fig. 21)";
+  }
+  return PlanBuilder::Build(
+      algorithm, *outer, *inner, nullptr, spec.select.focal, Point{},
+      spec.join_k, spec.select.k, /*swapped=*/false, options.preprocess_mode,
+      /*cache=*/false, text.str(), why.str(),
+      RuleRationale(Rewrite::kPushSelectBelowInnerJoinInput));
+}
+
+Result<PhysicalPlan> PlanSelectOuterJoin(const Catalog& catalog,
+                                         const SelectOuterJoinSpec& spec,
+                                         const PlannerOptions& options) {
+  if (Status s = CheckK(spec.join_k, "join"); !s.ok()) return s;
+  if (Status s = CheckK(spec.select.k, "select"); !s.ok()) return s;
+  auto outer = Resolve(catalog, spec.outer);
+  if (!outer.ok()) return outer.status();
+  auto inner = Resolve(catalog, spec.inner);
+  if (!inner.ok()) return inner.status();
+
+  std::ostringstream text;
+  text << "sigma_" << FormatPredicate(spec.select) << "(" << spec.outer
+       << ") JOIN_kNN[" << spec.join_k << "] " << spec.inner;
+  const bool naive = options.force_naive;
+  return PlanBuilder::Build(
+      naive ? Algorithm::kSelectOuterJoinLate
+            : Algorithm::kSelectOuterJoinPushed,
+      *outer, *inner, nullptr, spec.select.focal, Point{}, spec.join_k,
+      spec.select.k, /*swapped=*/false, options.preprocess_mode,
+      /*cache=*/false, text.str(),
+      naive ? "forced late filter (join everything, then select)"
+            : "selection on the OUTER side pushes below the join safely; "
+              "only the k selected points are joined",
+      RuleRationale(Rewrite::kPushSelectBelowOuterJoinInput));
+}
+
+Result<PhysicalPlan> PlanUnchained(const Catalog& catalog,
+                                   const UnchainedJoinsSpec& spec,
+                                   const PlannerOptions& options) {
+  if (Status s = CheckK(spec.k_ab, "join"); !s.ok()) return s;
+  if (Status s = CheckK(spec.k_cb, "join"); !s.ok()) return s;
+  auto a = Resolve(catalog, spec.a);
+  if (!a.ok()) return a.status();
+  auto b = Resolve(catalog, spec.b);
+  if (!b.ok()) return b.status();
+  auto c = Resolve(catalog, spec.c);
+  if (!c.ok()) return c.status();
+
+  std::ostringstream text;
+  text << "(" << spec.a << " JOIN_kNN[" << spec.k_ab << "] " << spec.b
+       << ") INTERSECT_B (" << spec.c << " JOIN_kNN[" << spec.k_cb << "] "
+       << spec.b << ")";
+
+  // Coverage over a common frame drives both decisions of Section 4.1.2.
+  // The probe resolution adapts to cardinality so that a uniform
+  // relation reads as high coverage regardless of its size: with ~8
+  // points per probe cell, uniform occupancy approaches 1 while tight
+  // clusters stay near their area fraction.
+  BoundingBox frame = (*a)->bounds();
+  frame.Extend((*c)->bounds());
+  const std::size_t max_n =
+      std::max((*a)->num_points(), (*c)->num_points());
+  const std::size_t probe_cells = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::sqrt(static_cast<double>(max_n) / 8.0)),
+      8, 64);
+  const CoverageStats cov_a =
+      EstimateCoverage((*a)->points(), frame, probe_cells);
+  const CoverageStats cov_c =
+      EstimateCoverage((*c)->points(), frame, probe_cells);
+
+  std::ostringstream why;
+  why << "coverage(" << spec.a << ")=" << cov_a.coverage() << ", coverage("
+      << spec.c << ")=" << cov_c.coverage() << " over the common frame; ";
+
+  Algorithm algorithm;
+  bool swapped = false;
+  if (options.force_naive) {
+    algorithm = Algorithm::kUnchainedNaive;
+    why << "forced conceptually correct QEP (independent joins)";
+  } else if (cov_a.coverage() > options.uniform_coverage_cutoff &&
+             cov_c.coverage() > options.uniform_coverage_cutoff) {
+    algorithm = Algorithm::kUnchainedNaive;
+    why << "both outer relations are near-uniform: Block-Marking "
+           "preprocessing would not pay off (Section 4.1.2)";
+  } else {
+    algorithm = Algorithm::kUnchainedBlockMarking;
+    swapped = ChooseUnchainedOrder(cov_a, cov_c) ==
+              UnchainedOrder::kStartWithC;
+    why << "start with the smaller-coverage relation ("
+        << (swapped ? spec.c : spec.a)
+        << ") so more blocks of the other side prune (Section 4.1.2)";
+  }
+  return PlanBuilder::Build(algorithm, *a, *b, *c, Point{}, Point{},
+                            spec.k_ab, spec.k_cb, swapped,
+                            options.preprocess_mode, /*cache=*/false,
+                            text.str(), why.str(),
+                            RuleRationale(Rewrite::kCascadeUnchainedJoins));
+}
+
+Result<PhysicalPlan> PlanChained(const Catalog& catalog,
+                                 const ChainedJoinsSpec& spec,
+                                 const PlannerOptions& options) {
+  if (Status s = CheckK(spec.k_ab, "join"); !s.ok()) return s;
+  if (Status s = CheckK(spec.k_bc, "join"); !s.ok()) return s;
+  auto a = Resolve(catalog, spec.a);
+  if (!a.ok()) return a.status();
+  auto b = Resolve(catalog, spec.b);
+  if (!b.ok()) return b.status();
+  auto c = Resolve(catalog, spec.c);
+  if (!c.ok()) return c.status();
+
+  std::ostringstream text;
+  text << "(" << spec.a << " JOIN_kNN[" << spec.k_ab << "] " << spec.b
+       << ") JOIN_kNN[" << spec.k_bc << "] " << spec.c;
+
+  const bool naive = options.force_naive;
+  return PlanBuilder::Build(
+      naive ? Algorithm::kChainedJoinIntersection
+            : Algorithm::kChainedNestedJoin,
+      *a, *b, *c, Point{}, Point{}, spec.k_ab, spec.k_bc,
+      /*swapped=*/false, options.preprocess_mode, options.cache_chained,
+      text.str(),
+      naive ? "forced conceptually correct QEP (both joins independently, "
+              "intersect on B)"
+            : "nested join touches only b's reachable from A; the hash "
+              "cache collapses repeated (B JOIN C) probes (Section 4.2.1)",
+      RuleRationale(Rewrite::kReorderChainedJoins));
+}
+
+Result<PhysicalPlan> PlanRangeInnerJoin(const Catalog& catalog,
+                                        const RangeInnerJoinSpec& spec,
+                                        const PlannerOptions& options) {
+  if (Status s = CheckK(spec.join_k, "join"); !s.ok()) return s;
+  if (spec.range.empty()) {
+    return Status::InvalidArgument("selection rectangle must be non-empty");
+  }
+  auto outer = Resolve(catalog, spec.outer);
+  if (!outer.ok()) return outer.status();
+  auto inner = Resolve(catalog, spec.inner);
+  if (!inner.ok()) return inner.status();
+
+  std::ostringstream text;
+  text << "(" << spec.outer << " JOIN_kNN[" << spec.join_k << "] "
+       << spec.inner << ") INTERSECT (" << spec.outer << " x Range["
+       << spec.range.ToString() << "](" << spec.inner << "))";
+
+  // The Counting/Block-Marking trade-off is the same as the kNN-select
+  // case: the range behaves as a select whose "neighborhood" is fixed.
+  Algorithm algorithm;
+  std::ostringstream why;
+  if (options.force_naive) {
+    algorithm = Algorithm::kRangeInnerJoinNaive;
+    why << "forced conceptually correct QEP (full join, filter after)";
+  } else if ((*outer)->num_points() < options.counting_outer_cutoff) {
+    algorithm = Algorithm::kRangeInnerJoinCounting;
+    why << "outer has " << (*outer)->num_points() << " points < cutoff "
+        << options.counting_outer_cutoff << ": per-tuple Counting";
+  } else {
+    algorithm = Algorithm::kRangeInnerJoinBlockMarking;
+    why << "outer has " << (*outer)->num_points() << " points >= cutoff "
+        << options.counting_outer_cutoff << ": Block-Marking";
+  }
+  return PlanBuilder::Build(
+      algorithm, *outer, *inner, nullptr, Point{}, Point{}, spec.join_k, 0,
+      /*swapped=*/false, options.preprocess_mode, /*cache=*/false,
+      text.str(), why.str(),
+      RuleRationale(Rewrite::kPushSelectBelowInnerJoinInput), spec.range);
+}
+
+}  // namespace
+
+Result<PhysicalPlan> Optimize(const Catalog& catalog, const QuerySpec& spec,
+                              const PlannerOptions& options) {
+  return std::visit(
+      [&](const auto& concrete) -> Result<PhysicalPlan> {
+        using T = std::decay_t<decltype(concrete)>;
+        if constexpr (std::is_same_v<T, TwoSelectsSpec>) {
+          return PlanTwoSelects(catalog, concrete, options);
+        } else if constexpr (std::is_same_v<T, SelectInnerJoinSpec>) {
+          return PlanSelectInnerJoin(catalog, concrete, options);
+        } else if constexpr (std::is_same_v<T, SelectOuterJoinSpec>) {
+          return PlanSelectOuterJoin(catalog, concrete, options);
+        } else if constexpr (std::is_same_v<T, UnchainedJoinsSpec>) {
+          return PlanUnchained(catalog, concrete, options);
+        } else if constexpr (std::is_same_v<T, RangeInnerJoinSpec>) {
+          return PlanRangeInnerJoin(catalog, concrete, options);
+        } else {
+          return PlanChained(catalog, concrete, options);
+        }
+      },
+      spec);
+}
+
+}  // namespace knnq

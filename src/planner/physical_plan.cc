@@ -1,0 +1,166 @@
+#include "src/planner/physical_plan.h"
+
+#include <sstream>
+
+#include "src/core/chained_joins.h"
+#include "src/core/range_select_inner_join.h"
+#include "src/core/select_outer_join.h"
+#include "src/core/unchained_joins.h"
+
+namespace knnq {
+
+const char* ToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kTwoSelectsNaive:
+      return "TwoSelects(naive)";
+    case Algorithm::kTwoSelectsOptimized:
+      return "2-kNN-select";
+    case Algorithm::kSelectInnerJoinNaive:
+      return "SelectInnerJoin(naive)";
+    case Algorithm::kSelectInnerJoinCounting:
+      return "Counting";
+    case Algorithm::kSelectInnerJoinBlockMarking:
+      return "Block-Marking";
+    case Algorithm::kSelectOuterJoinPushed:
+      return "SelectOuterJoin(pushed)";
+    case Algorithm::kSelectOuterJoinLate:
+      return "SelectOuterJoin(late-filter)";
+    case Algorithm::kUnchainedNaive:
+      return "UnchainedJoins(independent)";
+    case Algorithm::kUnchainedBlockMarking:
+      return "UnchainedJoins(Block-Marking)";
+    case Algorithm::kChainedRightDeep:
+      return "ChainedJoins(right-deep)";
+    case Algorithm::kChainedJoinIntersection:
+      return "ChainedJoins(join-intersection)";
+    case Algorithm::kChainedNestedJoin:
+      return "ChainedJoins(nested)";
+    case Algorithm::kRangeInnerJoinNaive:
+      return "RangeInnerJoin(naive)";
+    case Algorithm::kRangeInnerJoinCounting:
+      return "RangeInnerJoin(Counting)";
+    case Algorithm::kRangeInnerJoinBlockMarking:
+      return "RangeInnerJoin(Block-Marking)";
+  }
+  return "unknown";
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::ostringstream out;
+  out << "Query: " << query_text_ << "\n";
+  out << "Plan:  " << ToString(algorithm_);
+  if (algorithm_ == Algorithm::kChainedNestedJoin) {
+    out << (cache_ ? " [cached]" : " [uncached]");
+  }
+  if (algorithm_ == Algorithm::kSelectInnerJoinBlockMarking ||
+      algorithm_ == Algorithm::kUnchainedBlockMarking) {
+    out << (preprocess_ == PreprocessMode::kContour ? " [contour]"
+                                                    : " [exhaustive]");
+  }
+  if (swapped_) out << " [joins reordered]";
+  out << "\n";
+  if (!rationale_.empty()) out << "Why:   " << rationale_ << "\n";
+  if (!rule_note_.empty()) out << "Rule:  " << rule_note_ << "\n";
+  return out.str();
+}
+
+Result<QueryOutput> PhysicalPlan::Execute() const {
+  switch (algorithm_) {
+    case Algorithm::kTwoSelectsNaive:
+    case Algorithm::kTwoSelectsOptimized: {
+      const TwoSelectsQuery query{
+          .relation = r1_, .f1 = f1_, .k1 = k1_, .f2 = f2_, .k2 = k2_};
+      auto result = (algorithm_ == Algorithm::kTwoSelectsOptimized)
+                        ? TwoSelectsOptimized(query)
+                        : TwoSelectsNaive(query);
+      if (!result.ok()) return result.status();
+      return QueryOutput(std::move(result.value()));
+    }
+
+    case Algorithm::kSelectInnerJoinNaive:
+    case Algorithm::kSelectInnerJoinCounting:
+    case Algorithm::kSelectInnerJoinBlockMarking: {
+      const SelectInnerJoinQuery query{.outer = r1_,
+                                       .inner = r2_,
+                                       .join_k = k1_,
+                                       .focal = f1_,
+                                       .select_k = k2_};
+      Result<JoinResult> result =
+          (algorithm_ == Algorithm::kSelectInnerJoinCounting)
+              ? SelectInnerJoinCounting(query)
+          : (algorithm_ == Algorithm::kSelectInnerJoinBlockMarking)
+              ? SelectInnerJoinBlockMarking(query, preprocess_)
+              : SelectInnerJoinNaive(query);
+      if (!result.ok()) return result.status();
+      return QueryOutput(std::move(result.value()));
+    }
+
+    case Algorithm::kSelectOuterJoinPushed:
+    case Algorithm::kSelectOuterJoinLate: {
+      const SelectOuterJoinQuery query{.outer = r1_,
+                                       .inner = r2_,
+                                       .join_k = k1_,
+                                       .focal = f1_,
+                                       .select_k = k2_};
+      auto result = (algorithm_ == Algorithm::kSelectOuterJoinPushed)
+                        ? SelectOuterJoinPushed(query)
+                        : SelectOuterJoinLate(query);
+      if (!result.ok()) return result.status();
+      return QueryOutput(std::move(result.value()));
+    }
+
+    case Algorithm::kUnchainedNaive:
+    case Algorithm::kUnchainedBlockMarking: {
+      // When swapped_, the physical A-side is the spec's C-side; swap
+      // the triplet roles back so callers always see spec order.
+      const UnchainedJoinsQuery query{.a = swapped_ ? r3_ : r1_,
+                                      .b = r2_,
+                                      .c = swapped_ ? r1_ : r3_,
+                                      .k_ab = swapped_ ? k2_ : k1_,
+                                      .k_cb = swapped_ ? k1_ : k2_};
+      auto result = (algorithm_ == Algorithm::kUnchainedBlockMarking)
+                        ? UnchainedJoinsBlockMarking(query)
+                        : UnchainedJoinsNaive(query);
+      if (!result.ok()) return result.status();
+      TripletResult triplets = std::move(result.value());
+      if (swapped_) {
+        for (Triplet& t : triplets) std::swap(t.a, t.c);
+        Canonicalize(triplets);
+      }
+      return QueryOutput(std::move(triplets));
+    }
+
+    case Algorithm::kRangeInnerJoinNaive:
+    case Algorithm::kRangeInnerJoinCounting:
+    case Algorithm::kRangeInnerJoinBlockMarking: {
+      const RangeSelectInnerJoinQuery query{
+          .outer = r1_, .inner = r2_, .join_k = k1_, .range = range_};
+      Result<JoinResult> result =
+          (algorithm_ == Algorithm::kRangeInnerJoinCounting)
+              ? RangeSelectInnerJoinCounting(query)
+          : (algorithm_ == Algorithm::kRangeInnerJoinBlockMarking)
+              ? RangeSelectInnerJoinBlockMarking(query, preprocess_)
+              : RangeSelectInnerJoinNaive(query);
+      if (!result.ok()) return result.status();
+      return QueryOutput(std::move(result.value()));
+    }
+
+    case Algorithm::kChainedRightDeep:
+    case Algorithm::kChainedJoinIntersection:
+    case Algorithm::kChainedNestedJoin: {
+      const ChainedJoinsQuery query{
+          .a = r1_, .b = r2_, .c = r3_, .k_ab = k1_, .k_bc = k2_};
+      Result<TripletResult> result =
+          (algorithm_ == Algorithm::kChainedRightDeep)
+              ? ChainedJoinsRightDeep(query)
+          : (algorithm_ == Algorithm::kChainedJoinIntersection)
+              ? ChainedJoinsJoinIntersection(query)
+              : ChainedJoinsNested(query, cache_);
+      if (!result.ok()) return result.status();
+      return QueryOutput(std::move(result.value()));
+    }
+  }
+  return Status::Internal("unhandled algorithm in PhysicalPlan::Execute");
+}
+
+}  // namespace knnq

@@ -1,0 +1,93 @@
+// PhysicalPlan: a fully bound, executable evaluation strategy produced
+// by Optimize(). Carries the chosen algorithm, the bound relations, the
+// decision rationale (for EXPLAIN), and runs the matching src/core
+// evaluator on Execute().
+
+#ifndef KNNQ_SRC_PLANNER_PHYSICAL_PLAN_H_
+#define KNNQ_SRC_PLANNER_PHYSICAL_PLAN_H_
+
+#include <string>
+#include <variant>
+
+#include "src/common/status.h"
+#include "src/core/result_types.h"
+#include "src/core/select_inner_join.h"
+#include "src/core/two_selects.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// Every executable strategy the optimizer can pick.
+enum class Algorithm {
+  kTwoSelectsNaive,
+  kTwoSelectsOptimized,
+  kSelectInnerJoinNaive,
+  kSelectInnerJoinCounting,
+  kSelectInnerJoinBlockMarking,
+  kSelectOuterJoinPushed,
+  kSelectOuterJoinLate,
+  kUnchainedNaive,
+  kUnchainedBlockMarking,
+  kChainedRightDeep,
+  kChainedJoinIntersection,
+  kChainedNestedJoin,
+  kRangeInnerJoinNaive,
+  kRangeInnerJoinCounting,
+  kRangeInnerJoinBlockMarking,
+};
+
+/// Short stable name, e.g. "Counting" or "NestedJoin(cached)".
+const char* ToString(Algorithm algorithm);
+
+/// The result of any supported query shape.
+using QueryOutput =
+    std::variant<TwoSelectsResult, JoinResult, TripletResult>;
+
+/// An executable plan. Create via Optimize() in optimizer.h.
+class PhysicalPlan {
+ public:
+  Algorithm algorithm() const { return algorithm_; }
+
+  /// Why the optimizer picked this strategy.
+  const std::string& rationale() const { return rationale_; }
+
+  /// Multi-line EXPLAIN rendering: query shape, chosen algorithm,
+  /// bound relations, rationale, and the legality rule that constrains
+  /// the shape.
+  std::string Explain() const;
+
+  /// Runs the plan. Safe to call repeatedly; plans are immutable.
+  Result<QueryOutput> Execute() const;
+
+ private:
+  friend class PlanBuilder;
+
+  Algorithm algorithm_ = Algorithm::kTwoSelectsNaive;
+
+  // Bound inputs; which fields matter depends on the algorithm.
+  const SpatialIndex* r1_ = nullptr;  // E / E1 / A.
+  const SpatialIndex* r2_ = nullptr;  // E2 / B.
+  const SpatialIndex* r3_ = nullptr;  // C.
+  Point f1_;
+  Point f2_;
+  std::size_t k1_ = 0;
+  std::size_t k2_ = 0;
+  /// Range-inner-join only: the selection rectangle.
+  BoundingBox range_;
+
+  /// Unchained only: relations were swapped so the clustered side
+  /// drives the first join; Execute swaps triplet roles back.
+  bool swapped_ = false;
+  /// Block-Marking preprocessing flavor.
+  PreprocessMode preprocess_ = PreprocessMode::kContour;
+  /// Chained nested join: memoize b-neighborhoods.
+  bool cache_ = true;
+
+  std::string query_text_;
+  std::string rationale_;
+  std::string rule_note_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_PLANNER_PHYSICAL_PLAN_H_

@@ -1,0 +1,84 @@
+// Declarative query specifications: the five two-predicate query shapes
+// the paper studies, phrased over catalog relation names. The optimizer
+// turns a spec into a physical plan; the spec itself fixes the
+// *semantics* (always the conceptually correct evaluation of [19]),
+// never the algorithm.
+
+#ifndef KNNQ_SRC_PLANNER_QUERY_SPEC_H_
+#define KNNQ_SRC_PLANNER_QUERY_SPEC_H_
+
+#include <string>
+#include <variant>
+
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+
+namespace knnq {
+
+/// One kNN predicate: "the k nearest to focal".
+struct KnnPredicate {
+  Point focal;
+  std::size_t k = 0;
+};
+
+/// sigma_{s1}(E) INTERSECT sigma_{s2}(E)  (Section 5).
+struct TwoSelectsSpec {
+  std::string relation;
+  KnnPredicate s1;
+  KnnPredicate s2;
+};
+
+/// (E1 JOIN_kNN E2) INTERSECT (E1 x sigma(E2))  (Section 3): the select
+/// constrains the join's INNER relation.
+struct SelectInnerJoinSpec {
+  std::string outer;
+  std::string inner;
+  std::size_t join_k = 0;
+  KnnPredicate select;
+};
+
+/// sigma(E1) JOIN_kNN E2  (Section 3's completeness case): the select
+/// constrains the join's OUTER relation; pushdown is valid.
+struct SelectOuterJoinSpec {
+  std::string outer;
+  std::string inner;
+  std::size_t join_k = 0;
+  KnnPredicate select;
+};
+
+/// (A JOIN_kNN B) INTERSECT_B (C JOIN_kNN B)  (Section 4.1).
+struct UnchainedJoinsSpec {
+  std::string a;
+  std::string b;
+  std::string c;
+  std::size_t k_ab = 0;
+  std::size_t k_cb = 0;
+};
+
+/// (A JOIN_kNN B) then (B JOIN_kNN C)  (Section 4.2).
+struct ChainedJoinsSpec {
+  std::string a;
+  std::string b;
+  std::string c;
+  std::size_t k_ab = 0;
+  std::size_t k_bc = 0;
+};
+
+/// (E1 JOIN_kNN E2) INTERSECT (E1 x Range_rect(E2))  (footnote 1 of
+/// Section 3): a rectangular range constrains the join's INNER
+/// relation; the same pushdown trap as the kNN-select applies.
+struct RangeInnerJoinSpec {
+  std::string outer;
+  std::string inner;
+  std::size_t join_k = 0;
+  BoundingBox range;
+};
+
+/// Any supported query.
+using QuerySpec =
+    std::variant<TwoSelectsSpec, SelectInnerJoinSpec, SelectOuterJoinSpec,
+                 UnchainedJoinsSpec, ChainedJoinsSpec, RangeInnerJoinSpec>;
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_PLANNER_QUERY_SPEC_H_

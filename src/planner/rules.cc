@@ -1,0 +1,47 @@
+#include "src/planner/rules.h"
+
+namespace knnq {
+
+bool IsSemanticsPreserving(Rewrite rewrite) {
+  switch (rewrite) {
+    case Rewrite::kPushSelectBelowOuterJoinInput:
+      return true;  // Figure 3: both QEPs agree.
+    case Rewrite::kPushSelectBelowInnerJoinInput:
+      return false;  // Figures 1 vs 2: the join loses inner candidates.
+    case Rewrite::kCascadeUnchainedJoins:
+      return false;  // Figures 8 and 9: both cascade orders are wrong.
+    case Rewrite::kReorderChainedJoins:
+      return true;  // Figure 13: all three QEPs agree.
+    case Rewrite::kCascadeSelects:
+      return false;  // Figures 14 and 15: both cascade orders are wrong.
+  }
+  return false;
+}
+
+std::string RuleRationale(Rewrite rewrite) {
+  switch (rewrite) {
+    case Rewrite::kPushSelectBelowOuterJoinInput:
+      return "valid: dropping outer points only removes join rows the "
+             "final select filter would discard (paper Fig. 3)";
+    case Rewrite::kPushSelectBelowInnerJoinInput:
+      return "invalid: the join would see only the k selected inner "
+             "points instead of the whole inner relation, so every outer "
+             "point pairs with them regardless of true proximity (paper "
+             "Figs. 1-2)";
+    case Rewrite::kCascadeUnchainedJoins:
+      return "invalid: whichever join runs first filters the shared "
+             "inner relation and corrupts the other join's neighborhoods "
+             "(paper Figs. 8-9); evaluate independently and intersect on "
+             "B (Fig. 10)";
+    case Rewrite::kReorderChainedJoins:
+      return "valid: the first join acts as a select on the OUTER side "
+             "of the second, which is a valid pushdown (paper Fig. 13)";
+    case Rewrite::kCascadeSelects:
+      return "invalid: the second select would choose among only k "
+             "survivors of the first (paper Figs. 14-15); evaluate "
+             "independently and intersect (Fig. 16)";
+  }
+  return "unknown rewrite";
+}
+
+}  // namespace knnq

@@ -1,0 +1,36 @@
+// The paper's algebraic legality rules ([19], Sections 1 and 3-5),
+// encoded as queryable facts. The optimizer consults them before
+// applying a rewrite, and error messages cite them when a user requests
+// an invalid plan shape.
+
+#ifndef KNNQ_SRC_PLANNER_RULES_H_
+#define KNNQ_SRC_PLANNER_RULES_H_
+
+#include <string>
+
+namespace knnq {
+
+/// Rewrites a relational optimizer might attempt on two-kNN-predicate
+/// queries.
+enum class Rewrite {
+  /// Push a kNN-select below the OUTER input of a kNN-join.
+  kPushSelectBelowOuterJoinInput,
+  /// Push a kNN-select below the INNER input of a kNN-join.
+  kPushSelectBelowInnerJoinInput,
+  /// Evaluate one of two unchained kNN-joins on the other's output.
+  kCascadeUnchainedJoins,
+  /// Reorder two chained kNN-joins (right-deep <-> left-deep <-> split).
+  kReorderChainedJoins,
+  /// Feed one kNN-select's output into another kNN-select.
+  kCascadeSelects,
+};
+
+/// True when the rewrite preserves the conceptually correct semantics.
+bool IsSemanticsPreserving(Rewrite rewrite);
+
+/// One-sentence justification, citing the paper's figure or section.
+std::string RuleRationale(Rewrite rewrite);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_PLANNER_RULES_H_

@@ -1,0 +1,209 @@
+// Section 4.2 tests: two chained kNN-joins A -> B -> C. All three QEPs
+// of Figure 13 must agree with each other and with brute force; the
+// nested join's cache changes cost, never results.
+
+#include "gtest/gtest.h"
+#include "src/core/chained_joins.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::MakeCity;
+using testing::MakeClustered;
+using testing::MakeIndex;
+using testing::MakeUniform;
+using testing::RefChained;
+
+struct ChainedCase {
+  IndexType type;
+  std::size_t k_ab;
+  std::size_t k_bc;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ChainedCase>& info) {
+  return std::string(ToString(info.param.type)) + "_kab" +
+         std::to_string(info.param.k_ab) + "_kbc" +
+         std::to_string(info.param.k_bc);
+}
+
+class ChainedPropertyTest : public ::testing::TestWithParam<ChainedCase> {};
+
+TEST_P(ChainedPropertyTest, AllThreeQepsMatchBruteForce) {
+  const ChainedCase& c = GetParam();
+  const PointSet a = MakeUniform(120, /*seed=*/111, /*first_id=*/0);
+  const PointSet b = MakeCity(600, /*seed=*/112, /*first_id=*/10000);
+  const PointSet cc = MakeUniform(400, /*seed=*/113, /*first_id=*/20000);
+  const auto a_index = MakeIndex(a, c.type);
+  const auto b_index = MakeIndex(b, c.type);
+  const auto c_index = MakeIndex(cc, c.type);
+  const ChainedJoinsQuery query{
+      .a = a_index.get(),
+      .b = b_index.get(),
+      .c = c_index.get(),
+      .k_ab = c.k_ab,
+      .k_bc = c.k_bc,
+  };
+  const TripletResult expected = RefChained(a, b, cc, c.k_ab, c.k_bc);
+
+  const auto qep1 = ChainedJoinsRightDeep(query);
+  ASSERT_TRUE(qep1.ok());
+  EXPECT_EQ(*qep1, expected) << "QEP1 (right-deep) deviates";
+
+  const auto qep2 = ChainedJoinsJoinIntersection(query);
+  ASSERT_TRUE(qep2.ok());
+  EXPECT_EQ(*qep2, expected) << "QEP2 (join intersection) deviates";
+
+  const auto qep3_cached = ChainedJoinsNested(query, /*cache_bc=*/true);
+  ASSERT_TRUE(qep3_cached.ok());
+  EXPECT_EQ(*qep3_cached, expected) << "QEP3 (cached) deviates";
+
+  const auto qep3_plain = ChainedJoinsNested(query, /*cache_bc=*/false);
+  ASSERT_TRUE(qep3_plain.ok());
+  EXPECT_EQ(*qep3_plain, expected) << "QEP3 (uncached) deviates";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChainedPropertyTest,
+    ::testing::Values(ChainedCase{IndexType::kGrid, 2, 2},
+                      ChainedCase{IndexType::kGrid, 2, 6},
+                      ChainedCase{IndexType::kGrid, 6, 2},
+                      ChainedCase{IndexType::kGrid, 4, 4},
+                      ChainedCase{IndexType::kQuadtree, 2, 6},
+                      ChainedCase{IndexType::kQuadtree, 4, 4},
+                      ChainedCase{IndexType::kRTree, 2, 6},
+                      ChainedCase{IndexType::kRTree, 4, 4}),
+    CaseName);
+
+TEST(ChainedJoinsTest, ExpectedCardinality) {
+  // Every a contributes k_ab b's; every reached b contributes k_bc c's;
+  // with |B| >= k_ab and |C| >= k_bc the result has exactly
+  // |A| * k_ab * k_bc triplets (triplets repeat b's, not rows).
+  const PointSet a = MakeUniform(30, 114, 0);
+  const PointSet b = MakeUniform(300, 115, 10000);
+  const PointSet cc = MakeUniform(300, 116, 20000);
+  const auto a_index = MakeIndex(a);
+  const auto b_index = MakeIndex(b);
+  const auto c_index = MakeIndex(cc);
+  const ChainedJoinsQuery query{.a = a_index.get(),
+                                .b = b_index.get(),
+                                .c = c_index.get(),
+                                .k_ab = 3,
+                                .k_bc = 5};
+  EXPECT_EQ(ChainedJoinsNested(query)->size(), 30u * 3u * 5u);
+}
+
+TEST(ChainedJoinsTest, CacheSavesRepeatedComputations) {
+  // With clustered A, many a's share the same nearest b's; the cache
+  // must collapse those repeated (B JOIN C) probes (Section 4.2.1).
+  const PointSet a = MakeClustered(2, 120, /*seed=*/117, /*first_id=*/0);
+  const PointSet b = MakeCity(600, /*seed=*/118, /*first_id=*/10000);
+  const PointSet cc = MakeCity(600, /*seed=*/119, /*first_id=*/20000);
+  const auto a_index = MakeIndex(a);
+  const auto b_index = MakeIndex(b);
+  const auto c_index = MakeIndex(cc);
+  const ChainedJoinsQuery query{.a = a_index.get(),
+                                .b = b_index.get(),
+                                .c = c_index.get(),
+                                .k_ab = 4,
+                                .k_bc = 4};
+
+  ChainedJoinsStats cached_stats;
+  ChainedJoinsStats plain_stats;
+  const auto cached = ChainedJoinsNested(query, true, &cached_stats);
+  const auto plain = ChainedJoinsNested(query, false, &plain_stats);
+  EXPECT_EQ(*cached, *plain);
+  EXPECT_GT(cached_stats.cache_hits, 0u);
+  EXPECT_LT(cached_stats.b_neighborhoods_computed,
+            plain_stats.b_neighborhoods_computed);
+  // Uncached: one probe per produced (a, b) pair.
+  EXPECT_EQ(plain_stats.b_neighborhoods_computed, a.size() * query.k_ab);
+}
+
+TEST(ChainedJoinsTest, NestedComputesFewerBNeighborhoodsThanRightDeep) {
+  // QEP1 materializes B JOIN C for every b in B; QEP3 touches only b's
+  // reachable from A - the pruning that makes it the preferred plan.
+  const PointSet a = MakeClustered(1, 50, /*seed=*/120, /*first_id=*/0);
+  const PointSet b = MakeUniform(1200, /*seed=*/121, /*first_id=*/10000);
+  const PointSet cc = MakeUniform(500, /*seed=*/122, /*first_id=*/20000);
+  const auto a_index = MakeIndex(a);
+  const auto b_index = MakeIndex(b);
+  const auto c_index = MakeIndex(cc);
+  const ChainedJoinsQuery query{.a = a_index.get(),
+                                .b = b_index.get(),
+                                .c = c_index.get(),
+                                .k_ab = 3,
+                                .k_bc = 3};
+  ChainedJoinsStats nested_stats;
+  ChainedJoinsStats right_deep_stats;
+  const auto nested = ChainedJoinsNested(query, true, &nested_stats);
+  const auto right_deep = ChainedJoinsRightDeep(query, &right_deep_stats);
+  EXPECT_EQ(*nested, *right_deep);
+  EXPECT_EQ(right_deep_stats.b_neighborhoods_computed, b.size());
+  EXPECT_LT(nested_stats.b_neighborhoods_computed, b.size() / 4);
+}
+
+TEST(ChainedJoinsTest, EmptyRelationsYieldEmptyResults) {
+  const auto empty = MakeIndex(PointSet{});
+  const auto small = MakeIndex(MakeUniform(20, 123));
+  for (const auto& [a, b, c] :
+       {std::tuple{empty.get(), small.get(), small.get()},
+        std::tuple{small.get(), empty.get(), small.get()},
+        std::tuple{small.get(), small.get(), empty.get()}}) {
+    const ChainedJoinsQuery query{
+        .a = a, .b = b, .c = c, .k_ab = 2, .k_bc = 2};
+    EXPECT_TRUE(ChainedJoinsRightDeep(query)->empty());
+    EXPECT_TRUE(ChainedJoinsJoinIntersection(query)->empty());
+    EXPECT_TRUE(ChainedJoinsNested(query)->empty());
+  }
+}
+
+TEST(ChainedJoinsTest, RejectsInvalidQueries) {
+  const auto index = MakeIndex(MakeUniform(10, 124));
+  ChainedJoinsQuery query{.a = index.get(),
+                          .b = index.get(),
+                          .c = index.get(),
+                          .k_ab = 2,
+                          .k_bc = 0};
+  EXPECT_FALSE(ChainedJoinsRightDeep(query).ok());
+  EXPECT_FALSE(ChainedJoinsJoinIntersection(query).ok());
+  EXPECT_FALSE(ChainedJoinsNested(query).ok());
+  query.k_bc = 2;
+  query.c = nullptr;
+  EXPECT_FALSE(ChainedJoinsNested(query).ok());
+}
+
+TEST(ChainedJoinsTest, PaperFigure13Scenario) {
+  // Figure 13's layout: b1 is near no a (so QEP3 never probes it), b2
+  // and b3 are each the 2-NN set of both a's.
+  const PointSet a = {{.id = 1, .x = 0, .y = 0}, {.id = 2, .x = 1, .y = 0}};
+  const PointSet b = {{.id = 11, .x = 30, .y = 30},   // b1: unreachable.
+                      {.id = 12, .x = 2, .y = 1},     // b2.
+                      {.id = 13, .x = 3, .y = -1}};   // b3.
+  const PointSet cc = {{.id = 21, .x = 2, .y = 2},
+                       {.id = 22, .x = 4, .y = 0},
+                       {.id = 23, .x = 28, .y = 28},
+                       {.id = 24, .x = 5, .y = -2}};
+  const auto a_index = MakeIndex(a, IndexType::kGrid, 1);
+  const auto b_index = MakeIndex(b, IndexType::kGrid, 1);
+  const auto c_index = MakeIndex(cc, IndexType::kGrid, 1);
+  const ChainedJoinsQuery query{.a = a_index.get(),
+                                .b = b_index.get(),
+                                .c = c_index.get(),
+                                .k_ab = 2,
+                                .k_bc = 2};
+  const TripletResult expected = RefChained(a, b, cc, 2, 2);
+  EXPECT_EQ(*ChainedJoinsRightDeep(query), expected);
+  EXPECT_EQ(*ChainedJoinsJoinIntersection(query), expected);
+  EXPECT_EQ(*ChainedJoinsNested(query), expected);
+
+  // QEP3 probes only the reachable b's (b2, b3), once each thanks to
+  // the cache; QEP1 probes all three.
+  ChainedJoinsStats stats;
+  ASSERT_TRUE(ChainedJoinsNested(query, true, &stats).ok());
+  EXPECT_EQ(stats.b_neighborhoods_computed, 2u);
+  EXPECT_EQ(stats.cache_hits, 2u);  // b2 and b3 hit once each via a2.
+}
+
+}  // namespace
+}  // namespace knnq

@@ -1,0 +1,262 @@
+// Unit tests for src/common: geometry, status, rng, stopwatch.
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+
+namespace knnq {
+namespace {
+
+TEST(PointTest, DistanceMatchesHandComputation) {
+  const Point a{.id = 1, .x = 0, .y = 0};
+  const Point b{.id = 2, .x = 3, .y = 4};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  const Point a{.id = 1, .x = -2.5, .y = 7.25};
+  const Point b{.id = 2, .x = 11.0, .y = -3.5};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, AssignSequentialIdsRenumbers) {
+  PointSet points = {{.id = 9, .x = 0, .y = 0}, {.id = 9, .x = 1, .y = 1}};
+  AssignSequentialIds(points, 100);
+  EXPECT_EQ(points[0].id, 100);
+  EXPECT_EQ(points[1].id, 101);
+}
+
+TEST(PointTest, ToStringMentionsIdAndCoords) {
+  const Point p{.id = 7, .x = 1.5, .y = -2};
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+TEST(BoundingBoxTest, EmptyBoxBehaves) {
+  const BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.width(), 0.0);
+  EXPECT_EQ(box.Area(), 0.0);
+  EXPECT_FALSE(box.Contains(Point{.id = 0, .x = 0, .y = 0}));
+}
+
+TEST(BoundingBoxTest, ExtendGrowsToCoverPoints) {
+  BoundingBox box;
+  box.Extend(Point{.id = 0, .x = 2, .y = 3});
+  box.Extend(Point{.id = 0, .x = -1, .y = 10});
+  EXPECT_EQ(box.min_x(), -1);
+  EXPECT_EQ(box.max_x(), 2);
+  EXPECT_EQ(box.min_y(), 3);
+  EXPECT_EQ(box.max_y(), 10);
+  EXPECT_TRUE(box.Contains(Point{.id = 0, .x = 0, .y = 5}));
+}
+
+TEST(BoundingBoxTest, OfComputesTightBounds) {
+  const PointSet points = {{.id = 0, .x = 1, .y = 1},
+                           {.id = 1, .x = 5, .y = 2},
+                           {.id = 2, .x = 3, .y = 9}};
+  const BoundingBox box = BoundingBox::Of(points);
+  EXPECT_EQ(box, BoundingBox(1, 1, 5, 9));
+}
+
+TEST(BoundingBoxTest, CenterAndDiagonal) {
+  const BoundingBox box(0, 0, 6, 8);
+  const Point center = box.Center();
+  EXPECT_DOUBLE_EQ(center.x, 3);
+  EXPECT_DOUBLE_EQ(center.y, 4);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 10);
+}
+
+TEST(BoundingBoxTest, MinDistZeroInside) {
+  const BoundingBox box(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{.id = 0, .x = 5, .y = 5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{.id = 0, .x = 0, .y = 0}), 0.0);
+}
+
+TEST(BoundingBoxTest, MinDistOutside) {
+  const BoundingBox box(0, 0, 10, 10);
+  // Straight left of the box.
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{.id = 0, .x = -3, .y = 5}), 3.0);
+  // Diagonal from the corner.
+  EXPECT_DOUBLE_EQ(box.MinDist(Point{.id = 0, .x = -3, .y = -4}), 5.0);
+}
+
+TEST(BoundingBoxTest, MaxDistIsFarthestCorner) {
+  const BoundingBox box(0, 0, 10, 10);
+  // From the origin corner, the farthest corner is (10, 10).
+  EXPECT_DOUBLE_EQ(box.MaxDist(Point{.id = 0, .x = 0, .y = 0}),
+                   std::sqrt(200.0));
+  // From the center, all corners are equally far.
+  EXPECT_DOUBLE_EQ(box.MaxDist(Point{.id = 0, .x = 5, .y = 5}),
+                   std::sqrt(50.0));
+}
+
+TEST(BoundingBoxTest, MinDistNeverExceedsMaxDist) {
+  Rng rng(7);
+  const BoundingBox box(-5, -3, 12, 44);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{.id = 0,
+                  .x = rng.Uniform(-100, 100),
+                  .y = rng.Uniform(-100, 100)};
+    EXPECT_LE(box.MinDist(p), box.MaxDist(p));
+  }
+}
+
+TEST(BoundingBoxTest, MinMaxDistBracketActualPointDistances) {
+  // Property: for any point q inside the box, MINDIST <= d(p, q) <=
+  // MAXDIST. This is the contract every pruning rule relies on.
+  Rng rng(13);
+  const BoundingBox box(10, 20, 50, 90);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{.id = 0,
+                  .x = rng.Uniform(-200, 200),
+                  .y = rng.Uniform(-200, 200)};
+    const Point q{.id = 0,
+                  .x = rng.Uniform(box.min_x(), box.max_x()),
+                  .y = rng.Uniform(box.min_y(), box.max_y())};
+    const double d = Distance(p, q);
+    EXPECT_LE(box.MinDist(p), d + 1e-9);
+    EXPECT_GE(box.MaxDist(p), d - 1e-9);
+  }
+}
+
+TEST(BoundingBoxTest, IntersectsDetectsOverlapAndTouching) {
+  const BoundingBox a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Intersects(BoundingBox(5, 5, 15, 15)));
+  EXPECT_TRUE(a.Intersects(BoundingBox(10, 0, 20, 10)));  // Shared edge.
+  EXPECT_FALSE(a.Intersects(BoundingBox(11, 0, 20, 10)));
+  EXPECT_FALSE(a.Intersects(BoundingBox()));
+}
+
+TEST(BoundingBoxTest, InflatedGrowsEachSide) {
+  const BoundingBox box(0, 0, 10, 10);
+  EXPECT_EQ(box.Inflated(2), BoundingBox(-2, -2, 12, 12));
+}
+
+TEST(StatusTest, OkByDefault) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformWithinRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, NextIndexCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.NextIndex(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(31);
+  parent2.Fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.Next() == parent.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace knnq

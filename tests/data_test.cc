@@ -1,0 +1,289 @@
+// Tests for the data-generation substrate: determinism, structural
+// properties, IO round-trips, coverage statistics.
+
+#include <cstdio>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/data/berlinmod.h"
+#include "src/data/clustered.h"
+#include "src/data/dataset_io.h"
+#include "src/data/distribution_stats.h"
+#include "src/data/uniform.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::TestFrame;
+
+TEST(UniformTest, GeneratesRequestedCountInRegion) {
+  const BoundingBox region(10, 20, 110, 220);
+  const PointSet points = GenerateUniform(500, region, 7);
+  ASSERT_EQ(points.size(), 500u);
+  for (const Point& p : points) {
+    EXPECT_TRUE(region.Contains(p));
+  }
+}
+
+TEST(UniformTest, DeterministicInSeed) {
+  const BoundingBox region(0, 0, 100, 100);
+  EXPECT_EQ(GenerateUniform(100, region, 5), GenerateUniform(100, region, 5));
+  EXPECT_NE(GenerateUniform(100, region, 5), GenerateUniform(100, region, 6));
+}
+
+TEST(UniformTest, IdsAreSequentialFromFirstId) {
+  const PointSet points =
+      GenerateUniform(10, BoundingBox(0, 0, 1, 1), 1, /*first_id=*/50);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].id, static_cast<PointId>(50 + i));
+  }
+}
+
+TEST(ClusteredTest, HonorsCountsAndRadius) {
+  ClusterOptions options;
+  options.num_clusters = 4;
+  options.points_per_cluster = 250;
+  options.cluster_radius = 30;
+  options.region = TestFrame();
+  options.seed = 11;
+  const auto points = GenerateClusters(options);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 1000u);
+}
+
+TEST(ClusteredTest, ClustersDoNotOverlap) {
+  // Recover cluster membership from generation order (points_per_cluster
+  // consecutive points per cluster) and check pairwise center distance.
+  ClusterOptions options;
+  options.num_clusters = 6;
+  options.points_per_cluster = 100;
+  options.cluster_radius = 40;
+  options.region = TestFrame();
+  options.seed = 13;
+  const auto points = GenerateClusters(options);
+  ASSERT_TRUE(points.ok());
+  std::vector<Point> centroids;
+  for (std::size_t c = 0; c < options.num_clusters; ++c) {
+    double sx = 0, sy = 0;
+    for (std::size_t i = 0; i < options.points_per_cluster; ++i) {
+      const Point& p = (*points)[c * options.points_per_cluster + i];
+      sx += p.x;
+      sy += p.y;
+    }
+    centroids.push_back(
+        Point{.id = 0,
+              .x = sx / static_cast<double>(options.points_per_cluster),
+              .y = sy / static_cast<double>(options.points_per_cluster)});
+  }
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    for (std::size_t j = i + 1; j < centroids.size(); ++j) {
+      // Centers were rejected below 2r separation; centroids of uniform
+      // disk samples sit close to the centers.
+      EXPECT_GT(Distance(centroids[i], centroids[j]),
+                1.5 * options.cluster_radius);
+    }
+  }
+}
+
+TEST(ClusteredTest, PointsStayNearTheirClusterCenter) {
+  ClusterOptions options;
+  options.num_clusters = 3;
+  options.points_per_cluster = 200;
+  options.cluster_radius = 25;
+  options.region = TestFrame();
+  options.seed = 17;
+  const auto points = GenerateClusters(options);
+  ASSERT_TRUE(points.ok());
+  for (std::size_t c = 0; c < options.num_clusters; ++c) {
+    const std::size_t base = c * options.points_per_cluster;
+    for (std::size_t i = 1; i < options.points_per_cluster; ++i) {
+      // All points of one cluster lie within one disk diameter of each
+      // other.
+      EXPECT_LE(Distance((*points)[base], (*points)[base + i]),
+                2 * options.cluster_radius + 1e-9);
+    }
+  }
+}
+
+TEST(ClusteredTest, RejectsImpossiblePackings) {
+  ClusterOptions options;
+  options.num_clusters = 100;
+  options.cluster_radius = 300;  // 100 disks of radius 300 cannot fit.
+  options.region = TestFrame();
+  EXPECT_FALSE(GenerateClusters(options).ok());
+}
+
+TEST(ClusteredTest, DeterministicInSeed) {
+  ClusterOptions options;
+  options.num_clusters = 3;
+  options.points_per_cluster = 50;
+  options.cluster_radius = 30;
+  options.region = TestFrame();
+  options.seed = 19;
+  const auto a = GenerateClusters(options);
+  const auto b = GenerateClusters(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(BerlinModTest, GeneratesRequestedCountInsideTheMap) {
+  BerlinModOptions options;
+  options.num_points = 3000;
+  options.seed = 23;
+  const auto points = GenerateBerlinModSnapshot(options);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3000u);
+  const BoundingBox map(0, 0, options.width, options.height);
+  for (const Point& p : *points) {
+    EXPECT_TRUE(map.Contains(p));
+  }
+}
+
+TEST(BerlinModTest, DeterministicInSeed) {
+  BerlinModOptions options;
+  options.num_points = 500;
+  options.seed = 29;
+  const auto a = GenerateBerlinModSnapshot(options);
+  const auto b = GenerateBerlinModSnapshot(options);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, *b);
+  options.seed = 31;
+  const auto c = GenerateBerlinModSnapshot(options);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(BerlinModTest, CityIsDenserInTheCoreThanThePeriphery) {
+  // The defining property the substitution must preserve: non-uniform,
+  // center-heavy density (paper Figure 18 shows the same for real
+  // BerlinMOD data).
+  BerlinModOptions options;
+  options.num_points = 20000;
+  options.seed = 37;
+  const auto points = GenerateBerlinModSnapshot(options);
+  ASSERT_TRUE(points.ok());
+  const double cx = options.width / 2, cy = options.height / 2;
+  const BoundingBox core(cx - options.width / 6, cy - options.height / 6,
+                         cx + options.width / 6, cy + options.height / 6);
+  std::size_t in_core = 0;
+  for (const Point& p : *points) {
+    if (core.Contains(p)) ++in_core;
+  }
+  // The core covers 1/9 of the area; a uniform distribution would put
+  // ~11% of points there. The city must be far denser.
+  EXPECT_GT(static_cast<double>(in_core) /
+                static_cast<double>(points->size()),
+            0.3);
+}
+
+TEST(BerlinModTest, CoverageIsSparserThanUniform) {
+  // Street alignment concentrates points: the occupied-cell fraction
+  // must be clearly below a same-size uniform relation's.
+  BerlinModOptions options;
+  options.num_points = 5000;
+  options.seed = 41;
+  const auto city = GenerateBerlinModSnapshot(options);
+  ASSERT_TRUE(city.ok());
+  const BoundingBox frame(0, 0, options.width, options.height);
+  const PointSet uniform = GenerateUniform(5000, frame, 43);
+  const double city_cov = EstimateCoverage(*city, frame, 96).coverage();
+  const double uniform_cov =
+      EstimateCoverage(uniform, frame, 96).coverage();
+  EXPECT_LT(city_cov, uniform_cov);
+}
+
+TEST(BerlinModTest, RejectsInvalidOptions) {
+  BerlinModOptions options;
+  options.num_districts = 0;
+  EXPECT_FALSE(GenerateBerlinModSnapshot(options).ok());
+  options = BerlinModOptions{};
+  options.width = -5;
+  EXPECT_FALSE(GenerateBerlinModSnapshot(options).ok());
+  options = BerlinModOptions{};
+  options.arterial_fraction = 1.5;
+  EXPECT_FALSE(GenerateBerlinModSnapshot(options).ok());
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  const PointSet points = GenerateUniform(200, TestFrame(), 47);
+  const std::string path = ::testing::TempDir() + "/knnq_points.csv";
+  ASSERT_TRUE(SaveCsv(points, path).ok());
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, points);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRoundTrip) {
+  const PointSet points = GenerateUniform(200, TestFrame(), 53);
+  const std::string path = ::testing::TempDir() + "/knnq_points.bin";
+  ASSERT_TRUE(SaveBinary(points, path).ok());
+  const auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, points);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadFailsOnMissingFile) {
+  EXPECT_FALSE(LoadCsv("/nonexistent/knnq.csv").ok());
+  EXPECT_FALSE(LoadBinary("/nonexistent/knnq.bin").ok());
+}
+
+TEST(DatasetIoTest, BinaryRejectsForeignFile) {
+  const std::string path = ::testing::TempDir() + "/knnq_bogus.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a dataset", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CoverageTest, UniformCoversMostCells) {
+  const PointSet points = GenerateUniform(20000, TestFrame(), 59);
+  const CoverageStats stats = EstimateCoverage(points, TestFrame(), 32);
+  EXPECT_GT(stats.coverage(), 0.95);
+}
+
+TEST(CoverageTest, TightClusterCoversFewCells) {
+  ClusterOptions options;
+  options.num_clusters = 1;
+  options.points_per_cluster = 5000;
+  options.cluster_radius = 30;
+  options.region = TestFrame();
+  options.seed = 61;
+  const auto points = GenerateClusters(options);
+  ASSERT_TRUE(points.ok());
+  const CoverageStats stats = EstimateCoverage(*points, TestFrame(), 32);
+  EXPECT_LT(stats.coverage(), 0.05);
+}
+
+TEST(CoverageTest, EmptyRelationHasZeroCoverage) {
+  const CoverageStats stats = EstimateCoverage({}, TestFrame(), 32);
+  EXPECT_EQ(stats.occupied_cells, 0u);
+  EXPECT_EQ(stats.coverage(), 0.0);
+}
+
+TEST(CoverageTest, MoreClustersMeanMoreCoverage) {
+  // The monotonicity Section 4.1.2's heuristic relies on.
+  double prev = 0.0;
+  for (const std::size_t clusters : {1u, 3u, 6u, 9u}) {
+    ClusterOptions options;
+    options.num_clusters = clusters;
+    options.points_per_cluster = 1000;
+    options.cluster_radius = 40;
+    options.region = TestFrame();
+    options.seed = 67;
+    const auto points = GenerateClusters(options);
+    ASSERT_TRUE(points.ok());
+    const double cov = EstimateCoverage(*points, TestFrame(), 48).coverage();
+    EXPECT_GT(cov, prev);
+    prev = cov;
+  }
+}
+
+}  // namespace
+}  // namespace knnq

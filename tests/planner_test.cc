@@ -1,0 +1,326 @@
+// Planner tests: catalog management, legality rules, optimizer
+// decisions, plan execution equivalence with direct core calls, and
+// EXPLAIN output.
+
+#include "gtest/gtest.h"
+#include "src/core/select_outer_join.h"
+#include "src/planner/catalog.h"
+#include "src/planner/optimizer.h"
+#include "src/planner/rules.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::MakeCity;
+using testing::MakeClustered;
+using testing::MakeUniform;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        catalog_.AddRelation("uniform", MakeUniform(2000, 141, 0)).ok());
+    ASSERT_TRUE(
+        catalog_.AddRelation("city", MakeCity(2000, 142, 100000)).ok());
+    ASSERT_TRUE(catalog_
+                    .AddRelation("clustered",
+                                 MakeClustered(2, 200, 143, 200000))
+                    .ok());
+    ASSERT_TRUE(
+        catalog_.AddRelation("uniform2", MakeUniform(1500, 144, 300000))
+            .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlannerTest, CatalogRejectsDuplicatesAndEmptyNames) {
+  EXPECT_FALSE(catalog_.AddRelation("uniform", MakeUniform(10, 1)).ok());
+  EXPECT_FALSE(catalog_.AddRelation("", MakeUniform(10, 1)).ok());
+}
+
+TEST_F(PlannerTest, CatalogLookups) {
+  EXPECT_TRUE(catalog_.Has("city"));
+  EXPECT_FALSE(catalog_.Has("nope"));
+  EXPECT_FALSE(catalog_.Get("nope").ok());
+  const auto relation = catalog_.Get("city");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ((*relation)->index->num_points(), 2000u);
+  EXPECT_EQ(catalog_.Names().size(), 4u);
+  EXPECT_FALSE(catalog_.UnionBounds().empty());
+}
+
+TEST_F(PlannerTest, CatalogCoverageDistinguishesShapes) {
+  const BoundingBox frame = catalog_.UnionBounds();
+  const auto uniform_cov = catalog_.CoverageOf("uniform", frame);
+  const auto clustered_cov = catalog_.CoverageOf("clustered", frame);
+  ASSERT_TRUE(uniform_cov.ok());
+  ASSERT_TRUE(clustered_cov.ok());
+  EXPECT_GT(uniform_cov->coverage(), clustered_cov->coverage());
+}
+
+TEST(RulesTest, LegalityMatchesThePaper) {
+  EXPECT_TRUE(
+      IsSemanticsPreserving(Rewrite::kPushSelectBelowOuterJoinInput));
+  EXPECT_FALSE(
+      IsSemanticsPreserving(Rewrite::kPushSelectBelowInnerJoinInput));
+  EXPECT_FALSE(IsSemanticsPreserving(Rewrite::kCascadeUnchainedJoins));
+  EXPECT_TRUE(IsSemanticsPreserving(Rewrite::kReorderChainedJoins));
+  EXPECT_FALSE(IsSemanticsPreserving(Rewrite::kCascadeSelects));
+  for (const Rewrite r :
+       {Rewrite::kPushSelectBelowOuterJoinInput,
+        Rewrite::kPushSelectBelowInnerJoinInput,
+        Rewrite::kCascadeUnchainedJoins, Rewrite::kReorderChainedJoins,
+        Rewrite::kCascadeSelects}) {
+    EXPECT_FALSE(RuleRationale(r).empty());
+  }
+}
+
+TEST_F(PlannerTest, TwoSelectsPicksOptimizedAlgorithm) {
+  const TwoSelectsSpec spec{
+      .relation = "city",
+      .s1 = {.focal = {.id = -1, .x = 500, .y = 400}, .k = 10},
+      .s2 = {.focal = {.id = -1, .x = 520, .y = 410}, .k = 100},
+  };
+  const auto plan = Optimize(catalog_, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm(), Algorithm::kTwoSelectsOptimized);
+  const auto output = plan->Execute();
+  ASSERT_TRUE(output.ok());
+  ASSERT_TRUE(std::holds_alternative<TwoSelectsResult>(*output));
+
+  PlannerOptions naive;
+  naive.force_naive = true;
+  const auto baseline = Optimize(catalog_, spec, naive);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->algorithm(), Algorithm::kTwoSelectsNaive);
+  const auto baseline_output = baseline->Execute();
+  ASSERT_TRUE(baseline_output.ok());
+  EXPECT_EQ(std::get<TwoSelectsResult>(*output),
+            std::get<TwoSelectsResult>(*baseline_output));
+}
+
+TEST_F(PlannerTest, SelectInnerJoinSwitchesOnOuterCardinality) {
+  const SelectInnerJoinSpec spec{
+      .outer = "uniform",
+      .inner = "city",
+      .join_k = 3,
+      .select = {.focal = {.id = -1, .x = 400, .y = 300}, .k = 6},
+  };
+  PlannerOptions small_cutoff;
+  small_cutoff.counting_outer_cutoff = 100;  // uniform has 2000 points.
+  const auto bm_plan = Optimize(catalog_, spec, small_cutoff);
+  ASSERT_TRUE(bm_plan.ok());
+  EXPECT_EQ(bm_plan->algorithm(), Algorithm::kSelectInnerJoinBlockMarking);
+
+  PlannerOptions large_cutoff;
+  large_cutoff.counting_outer_cutoff = 1000000;
+  const auto counting_plan = Optimize(catalog_, spec, large_cutoff);
+  ASSERT_TRUE(counting_plan.ok());
+  EXPECT_EQ(counting_plan->algorithm(),
+            Algorithm::kSelectInnerJoinCounting);
+
+  // All three strategies agree on the answer.
+  PlannerOptions naive;
+  naive.force_naive = true;
+  const auto naive_plan = Optimize(catalog_, spec, naive);
+  ASSERT_TRUE(naive_plan.ok());
+  const auto r1 = bm_plan->Execute();
+  const auto r2 = counting_plan->Execute();
+  const auto r3 = naive_plan->Execute();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(std::get<JoinResult>(*r1), std::get<JoinResult>(*r2));
+  EXPECT_EQ(std::get<JoinResult>(*r1), std::get<JoinResult>(*r3));
+}
+
+TEST_F(PlannerTest, SelectOuterJoinAlwaysPushes) {
+  const SelectOuterJoinSpec spec{
+      .outer = "city",
+      .inner = "uniform",
+      .join_k = 2,
+      .select = {.focal = {.id = -1, .x = 600, .y = 350}, .k = 12},
+  };
+  const auto plan = Optimize(catalog_, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm(), Algorithm::kSelectOuterJoinPushed);
+
+  PlannerOptions naive;
+  naive.force_naive = true;
+  const auto late = Optimize(catalog_, spec, naive);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->algorithm(), Algorithm::kSelectOuterJoinLate);
+  // Figure 3: both QEPs agree.
+  EXPECT_EQ(std::get<JoinResult>(*plan->Execute()),
+            std::get<JoinResult>(*late->Execute()));
+}
+
+TEST_F(PlannerTest, UnchainedStartsWithTheClusteredRelation) {
+  const UnchainedJoinsSpec spec{
+      .a = "uniform",
+      .b = "city",
+      .c = "clustered",  // Much smaller coverage than "uniform".
+      .k_ab = 2,
+      .k_cb = 2,
+  };
+  const auto plan = Optimize(catalog_, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm(), Algorithm::kUnchainedBlockMarking);
+  EXPECT_NE(plan->Explain().find("[joins reordered]"), std::string::npos)
+      << "planner must start with the clustered side:\n" << plan->Explain();
+
+  // Swapped execution must still report triplets in spec order: compare
+  // with the naive plan.
+  PlannerOptions naive;
+  naive.force_naive = true;
+  const auto baseline = Optimize(catalog_, spec, naive);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->algorithm(), Algorithm::kUnchainedNaive);
+  EXPECT_EQ(std::get<TripletResult>(*plan->Execute()),
+            std::get<TripletResult>(*baseline->Execute()));
+}
+
+TEST_F(PlannerTest, UnchainedUniformPairFallsBackToIndependentJoins) {
+  const UnchainedJoinsSpec spec{
+      .a = "uniform", .b = "city", .c = "uniform2", .k_ab = 2, .k_cb = 2};
+  const auto plan = Optimize(catalog_, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm(), Algorithm::kUnchainedNaive)
+      << "both outers near-uniform: preprocessing would not pay off";
+}
+
+TEST_F(PlannerTest, ChainedPicksCachedNestedJoin) {
+  const ChainedJoinsSpec spec{
+      .a = "clustered", .b = "city", .c = "uniform", .k_ab = 2, .k_bc = 3};
+  const auto plan = Optimize(catalog_, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm(), Algorithm::kChainedNestedJoin);
+  EXPECT_NE(plan->Explain().find("[cached]"), std::string::npos);
+
+  PlannerOptions naive;
+  naive.force_naive = true;
+  const auto baseline = Optimize(catalog_, spec, naive);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->algorithm(), Algorithm::kChainedJoinIntersection);
+  EXPECT_EQ(std::get<TripletResult>(*plan->Execute()),
+            std::get<TripletResult>(*baseline->Execute()));
+}
+
+TEST_F(PlannerTest, RejectsUnknownRelationsAndZeroK) {
+  const TwoSelectsSpec unknown{
+      .relation = "nope",
+      .s1 = {.focal = {}, .k = 1},
+      .s2 = {.focal = {}, .k = 1},
+  };
+  EXPECT_EQ(Optimize(catalog_, unknown).status().code(),
+            StatusCode::kNotFound);
+
+  const TwoSelectsSpec zero_k{
+      .relation = "city",
+      .s1 = {.focal = {}, .k = 0},
+      .s2 = {.focal = {}, .k = 1},
+  };
+  EXPECT_EQ(Optimize(catalog_, zero_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const ChainedJoinsSpec bad_chain{
+      .a = "city", .b = "missing", .c = "uniform", .k_ab = 1, .k_bc = 1};
+  EXPECT_FALSE(Optimize(catalog_, bad_chain).ok());
+}
+
+TEST_F(PlannerTest, RangeInnerJoinPlansAndExecutes) {
+  const RangeInnerJoinSpec spec{
+      .outer = "uniform",
+      .inner = "city",
+      .join_k = 3,
+      .range = BoundingBox(300, 250, 600, 500),
+  };
+  PlannerOptions small_cutoff;
+  small_cutoff.counting_outer_cutoff = 100;
+  const auto bm = Optimize(catalog_, spec, small_cutoff);
+  ASSERT_TRUE(bm.ok());
+  EXPECT_EQ(bm->algorithm(), Algorithm::kRangeInnerJoinBlockMarking);
+
+  PlannerOptions large_cutoff;
+  large_cutoff.counting_outer_cutoff = 1000000;
+  const auto counting = Optimize(catalog_, spec, large_cutoff);
+  ASSERT_TRUE(counting.ok());
+  EXPECT_EQ(counting->algorithm(), Algorithm::kRangeInnerJoinCounting);
+
+  PlannerOptions naive;
+  naive.force_naive = true;
+  const auto baseline = Optimize(catalog_, spec, naive);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->algorithm(), Algorithm::kRangeInnerJoinNaive);
+
+  const auto r1 = bm->Execute();
+  const auto r2 = counting->Execute();
+  const auto r3 = baseline->Execute();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(std::get<JoinResult>(*r1), std::get<JoinResult>(*r2));
+  EXPECT_EQ(std::get<JoinResult>(*r1), std::get<JoinResult>(*r3));
+
+  const RangeInnerJoinSpec empty_range{
+      .outer = "uniform", .inner = "city", .join_k = 3,
+      .range = BoundingBox()};
+  EXPECT_FALSE(Optimize(catalog_, empty_range).ok());
+}
+
+TEST_F(PlannerTest, ExplainDescribesTheDecision) {
+  const SelectInnerJoinSpec spec{
+      .outer = "uniform",
+      .inner = "city",
+      .join_k = 3,
+      .select = {.focal = {.id = -1, .x = 400, .y = 300}, .k = 6},
+  };
+  const auto plan = Optimize(catalog_, spec);
+  ASSERT_TRUE(plan.ok());
+  const std::string explain = plan->Explain();
+  EXPECT_NE(explain.find("Query:"), std::string::npos);
+  EXPECT_NE(explain.find("Plan:"), std::string::npos);
+  EXPECT_NE(explain.find("Why:"), std::string::npos);
+  EXPECT_NE(explain.find("Rule:"), std::string::npos);
+  EXPECT_NE(explain.find("invalid"), std::string::npos)
+      << "the inner-select rule must be cited:\n" << explain;
+}
+
+// Figure 3's equivalence, directly on the core operators.
+TEST(SelectOuterJoinTest, PushedEqualsLateFilter) {
+  const PointSet outer = MakeCity(800, 151, 0);
+  const PointSet inner = MakeUniform(600, 152, 100000);
+  const auto outer_index = testing::MakeIndex(outer);
+  const auto inner_index = testing::MakeIndex(inner);
+  for (const std::size_t select_k : {1u, 5u, 50u}) {
+    const SelectOuterJoinQuery query{
+        .outer = outer_index.get(),
+        .inner = inner_index.get(),
+        .join_k = 3,
+        .focal = Point{.id = -1, .x = 321, .y = 432},
+        .select_k = select_k,
+    };
+    const auto pushed = SelectOuterJoinPushed(query);
+    const auto late = SelectOuterJoinLate(query);
+    ASSERT_TRUE(pushed.ok());
+    ASSERT_TRUE(late.ok());
+    EXPECT_EQ(*pushed, *late) << "select_k=" << select_k;
+    EXPECT_EQ(pushed->size(), std::min<std::size_t>(select_k, outer.size()) * 3);
+  }
+}
+
+TEST(SelectOuterJoinTest, RejectsInvalidQueries) {
+  const auto index = testing::MakeIndex(MakeUniform(10, 153));
+  SelectOuterJoinQuery query{.outer = index.get(),
+                             .inner = index.get(),
+                             .join_k = 0,
+                             .focal = {},
+                             .select_k = 1};
+  EXPECT_FALSE(SelectOuterJoinPushed(query).ok());
+  EXPECT_FALSE(SelectOuterJoinLate(query).ok());
+}
+
+}  // namespace
+}  // namespace knnq

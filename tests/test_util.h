@@ -1,0 +1,150 @@
+// Shared helpers for the knnq test suite: dataset builders, index
+// construction shortcuts, and independent brute-force reference
+// implementations of every query class. The references deliberately use
+// only BruteForceKnn over raw point sets - no index, no locality, no
+// block pruning - so agreement with the optimized evaluators is
+// meaningful evidence of correctness.
+
+#ifndef KNNQ_TESTS_TEST_UTIL_H_
+#define KNNQ_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/point.h"
+#include "src/common/random.h"
+#include "src/core/result_types.h"
+#include "src/core/two_selects.h"
+#include "src/data/berlinmod.h"
+#include "src/data/clustered.h"
+#include "src/data/uniform.h"
+#include "src/index/index_factory.h"
+#include "src/index/knn_searcher.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq::testing {
+
+/// Standard test frame: a 1000 x 800 world.
+inline BoundingBox TestFrame() { return BoundingBox(0, 0, 1000, 800); }
+
+/// Uniform points in the test frame.
+inline PointSet MakeUniform(std::size_t n, std::uint64_t seed,
+                            PointId first_id = 0) {
+  return GenerateUniform(n, TestFrame(), seed, first_id);
+}
+
+/// A small city-shaped relation (BerlinMOD-style, scaled down).
+inline PointSet MakeCity(std::size_t n, std::uint64_t seed,
+                         PointId first_id = 0) {
+  BerlinModOptions options;
+  options.num_points = n;
+  options.seed = seed;
+  options.width = 1000;
+  options.height = 800;
+  options.street_spacing = 40;
+  options.gps_noise = 1.5;
+  options.first_id = first_id;
+  auto points = GenerateBerlinModSnapshot(options);
+  return std::move(points).value();
+}
+
+/// A clustered relation in the test frame.
+inline PointSet MakeClustered(std::size_t num_clusters,
+                              std::size_t points_per_cluster,
+                              std::uint64_t seed, PointId first_id = 0) {
+  ClusterOptions options;
+  options.num_clusters = num_clusters;
+  options.points_per_cluster = points_per_cluster;
+  options.cluster_radius = 40;
+  options.region = TestFrame();
+  options.seed = seed;
+  options.first_id = first_id;
+  auto points = GenerateClusters(options);
+  return std::move(points).value();
+}
+
+/// Builds an index of the requested type with small blocks (so even the
+/// small test relations span many blocks and the pruning paths fire).
+inline std::unique_ptr<SpatialIndex> MakeIndex(
+    const PointSet& points, IndexType type = IndexType::kGrid,
+    std::size_t block_capacity = 16) {
+  IndexOptions options;
+  options.type = type;
+  options.block_capacity = block_capacity;
+  auto index = BuildIndex(points, options);
+  return std::move(index).value();
+}
+
+// --- Brute-force reference implementations ---
+
+/// Reference for Section 3 queries: (E1 JOIN E2) filtered by the focal
+/// neighborhood, straight from the definitions.
+inline JoinResult RefSelectInnerJoin(const PointSet& outer,
+                                     const PointSet& inner,
+                                     std::size_t join_k, const Point& focal,
+                                     std::size_t select_k) {
+  const Neighborhood nbr_f = BruteForceKnn(inner, focal, select_k);
+  JoinResult pairs;
+  for (const Point& e1 : outer) {
+    for (const Neighbor& n : BruteForceKnn(inner, e1, join_k)) {
+      if (Contains(nbr_f, n.point.id)) pairs.push_back(JoinPair{e1, n.point});
+    }
+  }
+  Canonicalize(pairs);
+  return pairs;
+}
+
+/// Reference for Section 4.1: both joins independently, intersect on B.
+inline TripletResult RefUnchained(const PointSet& a, const PointSet& b,
+                                  const PointSet& c, std::size_t k_ab,
+                                  std::size_t k_cb) {
+  TripletResult triplets;
+  for (const Point& ap : a) {
+    const Neighborhood nbr_a = BruteForceKnn(b, ap, k_ab);
+    for (const Point& cp : c) {
+      const Neighborhood nbr_c = BruteForceKnn(b, cp, k_cb);
+      for (const Neighbor& bn : nbr_a) {
+        if (Contains(nbr_c, bn.point.id)) {
+          triplets.push_back(
+              Triplet{.a = ap.id, .b = bn.point.id, .c = cp.id});
+        }
+      }
+    }
+  }
+  Canonicalize(triplets);
+  return triplets;
+}
+
+/// Reference for Section 4.2: chained joins from the definitions.
+inline TripletResult RefChained(const PointSet& a, const PointSet& b,
+                                const PointSet& c, std::size_t k_ab,
+                                std::size_t k_bc) {
+  TripletResult triplets;
+  for (const Point& ap : a) {
+    for (const Neighbor& bn : BruteForceKnn(b, ap, k_ab)) {
+      for (const Neighbor& cn : BruteForceKnn(c, bn.point, k_bc)) {
+        triplets.push_back(
+            Triplet{.a = ap.id, .b = bn.point.id, .c = cn.point.id});
+      }
+    }
+  }
+  Canonicalize(triplets);
+  return triplets;
+}
+
+/// Reference for Section 5: both selects in full, intersected.
+inline TwoSelectsResult RefTwoSelects(const PointSet& relation,
+                                      const Point& f1, std::size_t k1,
+                                      const Point& f2, std::size_t k2) {
+  return IntersectNeighborhoods(BruteForceKnn(relation, f1, k1),
+                                BruteForceKnn(relation, f2, k2));
+}
+
+/// All index types, for parameterized suites.
+inline std::vector<IndexType> AllIndexTypes() {
+  return {IndexType::kGrid, IndexType::kQuadtree, IndexType::kRTree};
+}
+
+}  // namespace knnq::testing
+
+#endif  // KNNQ_TESTS_TEST_UTIL_H_

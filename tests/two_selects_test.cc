@@ -1,0 +1,250 @@
+// Section 5 tests: two kNN-selects on one relation. The optimized
+// 2-kNN-select must equal the conceptually correct evaluation for every
+// (k1, k2) combination, and its clipped locality must touch fewer
+// blocks when k2 >> k1.
+
+#include "gtest/gtest.h"
+#include "src/core/two_selects.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::MakeCity;
+using testing::MakeIndex;
+using testing::MakeUniform;
+using testing::RefTwoSelects;
+
+std::vector<PointId> IdsOfResult(const TwoSelectsResult& result) {
+  std::vector<PointId> ids;
+  for (const Point& p : result) ids.push_back(p.id);
+  return ids;
+}
+
+struct TwoSelectsCase {
+  IndexType type;
+  std::size_t k1;
+  std::size_t k2;
+};
+
+std::string CaseName(
+    const ::testing::TestParamInfo<TwoSelectsCase>& info) {
+  return std::string(ToString(info.param.type)) + "_k1_" +
+         std::to_string(info.param.k1) + "_k2_" +
+         std::to_string(info.param.k2);
+}
+
+class TwoSelectsPropertyTest
+    : public ::testing::TestWithParam<TwoSelectsCase> {};
+
+TEST_P(TwoSelectsPropertyTest, OptimizedMatchesNaiveAndBruteForce) {
+  const TwoSelectsCase& c = GetParam();
+  const PointSet points = MakeCity(2500, /*seed=*/131);
+  const auto index = MakeIndex(points, c.type);
+  Rng rng(132);
+  for (int i = 0; i < 12; ++i) {
+    const TwoSelectsQuery query{
+        .relation = index.get(),
+        .f1 = Point{.id = -1,
+                    .x = rng.Uniform(0, 1000),
+                    .y = rng.Uniform(0, 800)},
+        .k1 = c.k1,
+        .f2 = Point{.id = -1,
+                    .x = rng.Uniform(0, 1000),
+                    .y = rng.Uniform(0, 800)},
+        .k2 = c.k2,
+    };
+    const TwoSelectsResult expected =
+        RefTwoSelects(points, query.f1, query.k1, query.f2, query.k2);
+    const auto naive = TwoSelectsNaive(query);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(IdsOfResult(*naive), IdsOfResult(expected));
+    const auto optimized = TwoSelectsOptimized(query);
+    ASSERT_TRUE(optimized.ok());
+    EXPECT_EQ(IdsOfResult(*optimized), IdsOfResult(expected))
+        << "f1=" << query.f1.ToString() << " f2=" << query.f2.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TwoSelectsPropertyTest,
+    ::testing::Values(TwoSelectsCase{IndexType::kGrid, 10, 10},
+                      TwoSelectsCase{IndexType::kGrid, 10, 40},
+                      TwoSelectsCase{IndexType::kGrid, 10, 160},
+                      TwoSelectsCase{IndexType::kGrid, 10, 640},
+                      TwoSelectsCase{IndexType::kGrid, 640, 10},
+                      TwoSelectsCase{IndexType::kGrid, 1, 1},
+                      TwoSelectsCase{IndexType::kQuadtree, 10, 160},
+                      TwoSelectsCase{IndexType::kQuadtree, 160, 10},
+                      TwoSelectsCase{IndexType::kRTree, 10, 160},
+                      TwoSelectsCase{IndexType::kRTree, 160, 10}),
+    CaseName);
+
+TEST(TwoSelectsTest, NearbyFocalPointsProduceNonEmptyIntersection) {
+  const PointSet points = MakeUniform(2000, 133);
+  const auto index = MakeIndex(points);
+  const TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 500, .y = 400},
+      .k1 = 50,
+      .f2 = Point{.id = -1, .x = 505, .y = 402},
+      .k2 = 50,
+  };
+  const auto result = TwoSelectsOptimized(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->empty());
+}
+
+TEST(TwoSelectsTest, FarApartSmallSelectsAreDisjoint) {
+  const PointSet points = MakeUniform(5000, 134);
+  const auto index = MakeIndex(points);
+  const TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 10, .y = 10},
+      .k1 = 3,
+      .f2 = Point{.id = -1, .x = 990, .y = 790},
+      .k2 = 3,
+  };
+  EXPECT_TRUE(TwoSelectsOptimized(query)->empty());
+  EXPECT_TRUE(TwoSelectsNaive(query)->empty());
+}
+
+TEST(TwoSelectsTest, RestrictedSearchScansFewerBlocks) {
+  // The point of Procedure 5: with k2 >> k1 the clipped locality of f2
+  // touches far fewer blocks than the standard locality.
+  const PointSet points = MakeCity(8000, /*seed=*/135);
+  const auto index = MakeIndex(points);
+  const TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 500, .y = 400},
+      .k1 = 10,
+      .f2 = Point{.id = -1, .x = 520, .y = 410},
+      .k2 = 2000,
+  };
+  SearchStats naive_stats;
+  SearchStats optimized_stats;
+  const auto naive = TwoSelectsNaive(query, &naive_stats);
+  const auto optimized = TwoSelectsOptimized(query, &optimized_stats);
+  EXPECT_EQ(IdsOfResult(*naive), IdsOfResult(*optimized));
+  EXPECT_LT(optimized_stats.points_scanned, naive_stats.points_scanned / 2)
+      << "clipping the locality must cut the scanned volume";
+}
+
+TEST(TwoSelectsTest, SwappedPredicatesGiveSameResult) {
+  // The intersection is symmetric; the optimizer's internal swap (run
+  // the smaller k first) must be invisible in the output.
+  const PointSet points = MakeUniform(3000, 136);
+  const auto index = MakeIndex(points);
+  const TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 300, .y = 300},
+      .k1 = 15,
+      .f2 = Point{.id = -1, .x = 350, .y = 320},
+      .k2 = 200,
+  };
+  const TwoSelectsQuery swapped{
+      .relation = index.get(),
+      .f1 = query.f2,
+      .k1 = query.k2,
+      .f2 = query.f1,
+      .k2 = query.k1,
+  };
+  EXPECT_EQ(IdsOfResult(*TwoSelectsOptimized(query)),
+            IdsOfResult(*TwoSelectsOptimized(swapped)));
+}
+
+TEST(TwoSelectsTest, IdenticalPredicatesReturnTheWholeNeighborhood) {
+  const PointSet points = MakeUniform(1000, 137);
+  const auto index = MakeIndex(points);
+  const Point f{.id = -1, .x = 444, .y = 333};
+  const TwoSelectsQuery query{
+      .relation = index.get(), .f1 = f, .k1 = 20, .f2 = f, .k2 = 20};
+  const auto result = TwoSelectsOptimized(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 20u);
+}
+
+TEST(TwoSelectsTest, KBeyondRelationIntersectsEverything) {
+  const PointSet points = MakeUniform(100, 138);
+  const auto index = MakeIndex(points);
+  const TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 0, .y = 0},
+      .k1 = 1000,
+      .f2 = Point{.id = -1, .x = 999, .y = 799},
+      .k2 = 1000,
+  };
+  EXPECT_EQ(TwoSelectsOptimized(query)->size(), 100u);
+}
+
+TEST(TwoSelectsTest, EmptyRelationYieldsEmptyResult) {
+  const auto index = MakeIndex(PointSet{});
+  const TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 0, .y = 0},
+      .k1 = 5,
+      .f2 = Point{.id = -1, .x = 1, .y = 1},
+      .k2 = 5,
+  };
+  EXPECT_TRUE(TwoSelectsOptimized(query)->empty());
+  EXPECT_TRUE(TwoSelectsNaive(query)->empty());
+}
+
+TEST(TwoSelectsTest, RejectsInvalidQueries) {
+  const auto index = MakeIndex(MakeUniform(10, 139));
+  TwoSelectsQuery query{
+      .relation = index.get(),
+      .f1 = Point{.id = -1, .x = 0, .y = 0},
+      .k1 = 0,
+      .f2 = Point{.id = -1, .x = 1, .y = 1},
+      .k2 = 5,
+  };
+  EXPECT_FALSE(TwoSelectsNaive(query).ok());
+  EXPECT_FALSE(TwoSelectsOptimized(query).ok());
+  query.k1 = 5;
+  query.relation = nullptr;
+  EXPECT_FALSE(TwoSelectsOptimized(query).ok());
+}
+
+TEST(TwoSelectsTest, PaperFigure16Scenario) {
+  // Section 5's house-hunting story: houses among the 5 nearest to both
+  // Work and School. Feeding one select into the other (Figures 14/15)
+  // is wrong; the independent intersection (Figure 16) is correct.
+  const PointSet houses = {
+      {.id = 1, .x = 5, .y = 5},    // x: between both.
+      {.id = 2, .x = 6, .y = 5},    // y: between both.
+      {.id = 3, .x = 1, .y = 5},    // near Work only.
+      {.id = 4, .x = 2, .y = 5},    // near Work only.
+      {.id = 5, .x = 3, .y = 5},    // near Work, middling.
+      {.id = 6, .x = 9, .y = 5},    // near School only.
+      {.id = 7, .x = 10, .y = 5},   // near School only.
+      {.id = 8, .x = 11, .y = 5},   // near School only.
+      {.id = 9, .x = 30, .y = 30},  // far from both.
+      {.id = 10, .x = 31, .y = 30},
+  };
+  const Point work{.id = -1, .x = 0, .y = 5};
+  const Point school{.id = -1, .x = 12, .y = 5};
+  const auto index = MakeIndex(houses, IndexType::kGrid, 2);
+  const TwoSelectsQuery query{
+      .relation = index.get(), .f1 = work, .k1 = 5, .f2 = school, .k2 = 5};
+  // 5-NN of Work: {3, 4, 5, 1, 2}; 5-NN of School: {8, 7, 6, 2, 1}.
+  // Intersection: houses 1 and 2.
+  const auto result = TwoSelectsOptimized(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(IdsOfResult(*result), (std::vector<PointId>{1, 2}));
+
+  // The WRONG cascaded plan: sigma_School over the 5 houses returned by
+  // sigma_Work. It returns 5 houses - including ones the correct answer
+  // excludes.
+  PointSet work_five;
+  for (const Neighbor& n : BruteForceKnn(houses, work, 5)) {
+    work_five.push_back(n.point);
+  }
+  const Neighborhood cascaded = BruteForceKnn(work_five, school, 5);
+  EXPECT_EQ(cascaded.size(), 5u);
+  EXPECT_NE(IdsOf(cascaded), (std::vector<PointId>{1, 2}))
+      << "the cascaded plan must differ - that is the paper's point";
+}
+
+}  // namespace
+}  // namespace knnq

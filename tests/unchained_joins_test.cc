@@ -1,0 +1,208 @@
+// Section 4.1 tests: two unchained kNN-joins (A JOIN B) INTERSECT_B
+// (C JOIN B).
+
+#include "gtest/gtest.h"
+#include "src/core/unchained_joins.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::MakeCity;
+using testing::MakeClustered;
+using testing::MakeIndex;
+using testing::MakeUniform;
+using testing::RefUnchained;
+using testing::TestFrame;
+
+struct UnchainedCase {
+  IndexType type;
+  std::size_t k_ab;
+  std::size_t k_cb;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<UnchainedCase>& info) {
+  return std::string(ToString(info.param.type)) + "_kab" +
+         std::to_string(info.param.k_ab) + "_kcb" +
+         std::to_string(info.param.k_cb);
+}
+
+class UnchainedPropertyTest
+    : public ::testing::TestWithParam<UnchainedCase> {};
+
+TEST_P(UnchainedPropertyTest, BlockMarkingMatchesNaiveAndBruteForce) {
+  const UnchainedCase& c = GetParam();
+  const PointSet a = MakeClustered(3, 60, /*seed=*/81, /*first_id=*/0);
+  const PointSet b = MakeCity(900, /*seed=*/82, /*first_id=*/10000);
+  const PointSet cc = MakeUniform(250, /*seed=*/83, /*first_id=*/20000);
+  const auto a_index = MakeIndex(a, c.type);
+  const auto b_index = MakeIndex(b, c.type);
+  const auto c_index = MakeIndex(cc, c.type);
+  const UnchainedJoinsQuery query{
+      .a = a_index.get(),
+      .b = b_index.get(),
+      .c = c_index.get(),
+      .k_ab = c.k_ab,
+      .k_cb = c.k_cb,
+  };
+  const TripletResult expected = RefUnchained(a, b, cc, c.k_ab, c.k_cb);
+  const auto naive = UnchainedJoinsNaive(query);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(*naive, expected);
+  const auto marked = UnchainedJoinsBlockMarking(query);
+  ASSERT_TRUE(marked.ok());
+  EXPECT_EQ(*marked, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnchainedPropertyTest,
+    ::testing::Values(UnchainedCase{IndexType::kGrid, 2, 2},
+                      UnchainedCase{IndexType::kGrid, 2, 8},
+                      UnchainedCase{IndexType::kGrid, 8, 2},
+                      UnchainedCase{IndexType::kGrid, 5, 5},
+                      UnchainedCase{IndexType::kQuadtree, 2, 8},
+                      UnchainedCase{IndexType::kQuadtree, 5, 5},
+                      UnchainedCase{IndexType::kRTree, 2, 8},
+                      UnchainedCase{IndexType::kRTree, 5, 5}),
+    CaseName);
+
+TEST(UnchainedJoinsTest, ResultIsOrderIndependent) {
+  // Evaluating (A JOIN B) first or (C JOIN B) first must produce the
+  // same triplets; only the cost differs (Section 4.1.2).
+  const PointSet a = MakeClustered(2, 80, /*seed=*/84, /*first_id=*/0);
+  const PointSet b = MakeUniform(700, /*seed=*/85, /*first_id=*/10000);
+  const PointSet cc = MakeClustered(5, 50, /*seed=*/86, /*first_id=*/20000);
+  const auto a_index = MakeIndex(a);
+  const auto b_index = MakeIndex(b);
+  const auto c_index = MakeIndex(cc);
+
+  const UnchainedJoinsQuery forward{.a = a_index.get(),
+                                    .b = b_index.get(),
+                                    .c = c_index.get(),
+                                    .k_ab = 3,
+                                    .k_cb = 4};
+  // Swapped: start with C. The triplet roles swap with the relations,
+  // so (a, b, c) of the swapped query is (c, b, a) of the original.
+  const UnchainedJoinsQuery swapped{.a = c_index.get(),
+                                    .b = b_index.get(),
+                                    .c = a_index.get(),
+                                    .k_ab = 4,
+                                    .k_cb = 3};
+  const auto fwd = UnchainedJoinsBlockMarking(forward);
+  const auto swp = UnchainedJoinsBlockMarking(swapped);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(swp.ok());
+  TripletResult swapped_back;
+  for (const Triplet& t : *swp) {
+    swapped_back.push_back(Triplet{.a = t.c, .b = t.b, .c = t.a});
+  }
+  Canonicalize(swapped_back);
+  EXPECT_EQ(*fwd, swapped_back);
+}
+
+TEST(UnchainedJoinsTest, ClusteredFirstJoinPrunesBlocks) {
+  // A tightly clustered; C spread out. Starting with A leaves most of
+  // B Safe, so most C-blocks must be classified Non-Contributing.
+  const PointSet a = MakeClustered(1, 150, /*seed=*/87, /*first_id=*/0);
+  const PointSet b = MakeUniform(2000, /*seed=*/88, /*first_id=*/10000);
+  const PointSet cc = MakeUniform(2000, /*seed=*/89, /*first_id=*/20000);
+  const auto a_index = MakeIndex(a);
+  const auto b_index = MakeIndex(b);
+  const auto c_index = MakeIndex(cc);
+  const UnchainedJoinsQuery query{.a = a_index.get(),
+                                  .b = b_index.get(),
+                                  .c = c_index.get(),
+                                  .k_ab = 2,
+                                  .k_cb = 2};
+  UnchainedJoinsStats stats;
+  ASSERT_TRUE(UnchainedJoinsBlockMarking(query, &stats).ok());
+  EXPECT_LT(stats.candidate_blocks, b_index->num_blocks() / 4);
+  EXPECT_LT(stats.contributing_blocks, c_index->num_blocks() / 2);
+  EXPECT_LT(stats.neighborhoods_computed, cc.size());
+}
+
+TEST(UnchainedJoinsTest, ChooseOrderPrefersSmallerCoverage) {
+  const PointSet clustered = MakeClustered(2, 100, /*seed=*/90);
+  const PointSet spread = MakeUniform(200, /*seed=*/91);
+  const CoverageStats cov_clustered =
+      EstimateCoverage(clustered, TestFrame());
+  const CoverageStats cov_spread = EstimateCoverage(spread, TestFrame());
+  ASSERT_LT(cov_clustered.coverage(), cov_spread.coverage());
+  EXPECT_EQ(ChooseUnchainedOrder(cov_clustered, cov_spread),
+            UnchainedOrder::kStartWithA);
+  EXPECT_EQ(ChooseUnchainedOrder(cov_spread, cov_clustered),
+            UnchainedOrder::kStartWithC);
+}
+
+TEST(UnchainedJoinsTest, EmptyARemovesAllTriplets) {
+  const auto a_index = MakeIndex(PointSet{});
+  const auto b_index = MakeIndex(MakeUniform(100, 92, 10000));
+  const auto c_index = MakeIndex(MakeUniform(50, 93, 20000));
+  const UnchainedJoinsQuery query{.a = a_index.get(),
+                                  .b = b_index.get(),
+                                  .c = c_index.get(),
+                                  .k_ab = 2,
+                                  .k_cb = 2};
+  EXPECT_TRUE(UnchainedJoinsNaive(query)->empty());
+  EXPECT_TRUE(UnchainedJoinsBlockMarking(query)->empty());
+}
+
+TEST(UnchainedJoinsTest, EmptyBRemovesAllTriplets) {
+  const auto a_index = MakeIndex(MakeUniform(50, 94, 0));
+  const auto b_index = MakeIndex(PointSet{});
+  const auto c_index = MakeIndex(MakeUniform(50, 95, 20000));
+  const UnchainedJoinsQuery query{.a = a_index.get(),
+                                  .b = b_index.get(),
+                                  .c = c_index.get(),
+                                  .k_ab = 2,
+                                  .k_cb = 2};
+  EXPECT_TRUE(UnchainedJoinsNaive(query)->empty());
+  EXPECT_TRUE(UnchainedJoinsBlockMarking(query)->empty());
+}
+
+TEST(UnchainedJoinsTest, RejectsInvalidQueries) {
+  const auto index = MakeIndex(MakeUniform(10, 96));
+  UnchainedJoinsQuery query{.a = index.get(),
+                            .b = index.get(),
+                            .c = index.get(),
+                            .k_ab = 0,
+                            .k_cb = 2};
+  EXPECT_FALSE(UnchainedJoinsNaive(query).ok());
+  EXPECT_FALSE(UnchainedJoinsBlockMarking(query).ok());
+  query.k_ab = 2;
+  query.b = nullptr;
+  EXPECT_FALSE(UnchainedJoinsNaive(query).ok());
+}
+
+TEST(UnchainedJoinsTest, PaperFigure10Scenario) {
+  // Figures 8-10: joining first in either direction is wrong; the
+  // correct result comes from independent evaluation. Layout: b2 is
+  // near both the a-cluster and the c-cluster; b1 is the a-side's
+  // nearest but far from c; b3 vice versa.
+  const PointSet a = {{.id = 1, .x = 0, .y = 0}, {.id = 2, .x = 2, .y = 0}};
+  const PointSet b = {{.id = 11, .x = 1, .y = 2},    // b1: near a only.
+                      {.id = 12, .x = 5, .y = 5},    // b2: in the middle.
+                      {.id = 13, .x = 9, .y = 8}};   // b3: near c only.
+  const PointSet cc = {{.id = 21, .x = 10, .y = 10},
+                       {.id = 22, .x = 12, .y = 10}};
+  const auto a_index = MakeIndex(a, IndexType::kGrid, 1);
+  const auto b_index = MakeIndex(b, IndexType::kGrid, 1);
+  const auto c_index = MakeIndex(cc, IndexType::kGrid, 1);
+  const UnchainedJoinsQuery query{.a = a_index.get(),
+                                  .b = b_index.get(),
+                                  .c = c_index.get(),
+                                  .k_ab = 2,
+                                  .k_cb = 2};
+  // 2-NN of a1, a2 in B: {b1, b2}. 2-NN of c1, c2 in B: {b2, b3}.
+  // Intersection on B: b2 only -> 4 triplets.
+  TripletResult expected = {
+      Triplet{1, 12, 21}, Triplet{1, 12, 22},
+      Triplet{2, 12, 21}, Triplet{2, 12, 22},
+  };
+  Canonicalize(expected);
+  EXPECT_EQ(*UnchainedJoinsNaive(query), expected);
+  EXPECT_EQ(*UnchainedJoinsBlockMarking(query), expected);
+}
+
+}  // namespace
+}  // namespace knnq

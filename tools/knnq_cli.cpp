@@ -1,0 +1,422 @@
+// knnq command-line tool: generate datasets, inspect indexes, and run
+// two-kNN-predicate queries through the planner with EXPLAIN output.
+//
+// Usage:
+//   knnq_cli generate --kind berlin|uniform|clusters --n N [--clusters C]
+//            [--per P] [--seed S] --out FILE(.csv|.bin)
+//   knnq_cli info --data FILE [--index grid|quadtree|rtree]
+//   knnq_cli knn --data FILE --at X,Y --k K [--index TYPE]
+//   knnq_cli two-selects --data FILE --f1 X,Y --k1 K --f2 X,Y --k2 K
+//            [--naive]
+//   knnq_cli select-inner-join --outer FILE --inner FILE --join-k K
+//            --focal X,Y --select-k K [--naive]
+//   knnq_cli range-inner-join --outer FILE --inner FILE --join-k K
+//            --range X1,Y1,X2,Y2 [--naive]
+//   knnq_cli chained --a FILE --b FILE --c FILE --k-ab K --k-bc K [--naive]
+//   knnq_cli unchained --a FILE --b FILE --c FILE --k-ab K --k-cb K
+//            [--naive]
+//
+// Dataset files are produced by `generate` (CSV: id,x,y with a header;
+// .bin: the knnq binary format).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/data/berlinmod.h"
+#include "src/data/clustered.h"
+#include "src/data/dataset_io.h"
+#include "src/data/uniform.h"
+#include "src/index/knn_searcher.h"
+#include "src/planner/catalog.h"
+#include "src/planner/optimizer.h"
+
+namespace {
+
+using namespace knnq;
+
+/// Minimal "--flag value" parser; flags without '--' are rejected.
+class Args {
+ public:
+  static Result<Args> Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --flag, got: " + flag);
+      }
+      if (flag == "--naive") {
+        args.values_[flag] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + flag);
+      }
+      args.values_[flag] = argv[++i];
+    }
+    return args;
+  }
+
+  Result<std::string> Get(const std::string& flag) const {
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag " + flag);
+    }
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& flag, std::string fallback) const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  bool Has(const std::string& flag) const { return values_.contains(flag); }
+
+  Result<std::size_t> GetSize(const std::string& flag) const {
+    auto raw = Get(flag);
+    if (!raw.ok()) return raw.status();
+    const long long parsed = std::strtoll(raw->c_str(), nullptr, 10);
+    if (parsed <= 0) {
+      return Status::InvalidArgument(flag + " must be a positive integer");
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+
+  Result<Point> GetPoint(const std::string& flag) const {
+    auto raw = Get(flag);
+    if (!raw.ok()) return raw.status();
+    double x = 0.0, y = 0.0;
+    if (std::sscanf(raw->c_str(), "%lf,%lf", &x, &y) != 2) {
+      return Status::InvalidArgument(flag + " must look like X,Y");
+    }
+    return Point{.id = -1, .x = x, .y = y};
+  }
+
+  Result<BoundingBox> GetBox(const std::string& flag) const {
+    auto raw = Get(flag);
+    if (!raw.ok()) return raw.status();
+    double x1, y1, x2, y2;
+    if (std::sscanf(raw->c_str(), "%lf,%lf,%lf,%lf", &x1, &y1, &x2, &y2) !=
+        4) {
+      return Status::InvalidArgument(flag + " must look like X1,Y1,X2,Y2");
+    }
+    if (x1 > x2 || y1 > y2) {
+      return Status::InvalidArgument(flag + " corners must be min,max");
+    }
+    return BoundingBox(x1, y1, x2, y2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<PointSet> LoadDataset(const std::string& path) {
+  return EndsWith(path, ".bin") ? LoadBinary(path) : LoadCsv(path);
+}
+
+Result<IndexType> ParseIndexType(const std::string& name) {
+  if (name == "grid") return IndexType::kGrid;
+  if (name == "quadtree") return IndexType::kQuadtree;
+  if (name == "rtree") return IndexType::kRTree;
+  return Status::InvalidArgument("unknown index type: " + name);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string kind = args.GetOr("--kind", "berlin");
+  auto n = args.GetSize("--n");
+  if (!n.ok()) return Fail(n.status());
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(args.GetOr("--seed", "1").c_str(), nullptr, 10));
+  auto out = args.Get("--out");
+  if (!out.ok()) return Fail(out.status());
+
+  PointSet points;
+  if (kind == "berlin") {
+    BerlinModOptions options;
+    options.num_points = *n;
+    options.seed = seed;
+    auto generated = GenerateBerlinModSnapshot(options);
+    if (!generated.ok()) return Fail(generated.status());
+    points = std::move(generated.value());
+  } else if (kind == "uniform") {
+    points = GenerateUniform(*n, BoundingBox(0, 0, 30000, 24000), seed);
+  } else if (kind == "clusters") {
+    ClusterOptions options;
+    options.num_clusters = args.Has("--clusters")
+                               ? *args.GetSize("--clusters")
+                               : std::size_t{4};
+    options.points_per_cluster =
+        args.Has("--per") ? *args.GetSize("--per")
+                          : *n / options.num_clusters;
+    options.cluster_radius = 800.0;
+    options.region = BoundingBox(0, 0, 30000, 24000);
+    options.seed = seed;
+    auto generated = GenerateClusters(options);
+    if (!generated.ok()) return Fail(generated.status());
+    points = std::move(generated.value());
+  } else {
+    return Fail(Status::InvalidArgument("unknown --kind " + kind));
+  }
+
+  const Status saved = EndsWith(*out, ".bin") ? SaveBinary(points, *out)
+                                              : SaveCsv(points, *out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %zu points to %s\n", points.size(), out->c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto path = args.Get("--data");
+  if (!path.ok()) return Fail(path.status());
+  auto points = LoadDataset(*path);
+  if (!points.ok()) return Fail(points.status());
+  auto type = ParseIndexType(args.GetOr("--index", "grid"));
+  if (!type.ok()) return Fail(type.status());
+
+  IndexOptions options;
+  options.type = *type;
+  Stopwatch sw;
+  auto index = BuildIndex(*points, options);
+  if (!index.ok()) return Fail(index.status());
+  const double build_ms = sw.ElapsedMillis();
+
+  const BoundingBox& bounds = (*index)->bounds();
+  const CoverageStats coverage = EstimateCoverage(*points, bounds);
+  std::printf("points:   %zu\n", (*index)->num_points());
+  std::printf("bounds:   %s\n", bounds.ToString().c_str());
+  std::printf("index:    %s (built in %.1f ms)\n",
+              (*index)->Describe().c_str(), build_ms);
+  std::printf("coverage: %.1f%% of probe cells occupied\n",
+              100.0 * coverage.coverage());
+  return 0;
+}
+
+int CmdKnn(const Args& args) {
+  auto path = args.Get("--data");
+  if (!path.ok()) return Fail(path.status());
+  auto at = args.GetPoint("--at");
+  if (!at.ok()) return Fail(at.status());
+  auto k = args.GetSize("--k");
+  if (!k.ok()) return Fail(k.status());
+  auto type = ParseIndexType(args.GetOr("--index", "grid"));
+  if (!type.ok()) return Fail(type.status());
+
+  auto points = LoadDataset(*path);
+  if (!points.ok()) return Fail(points.status());
+  IndexOptions options;
+  options.type = *type;
+  auto index = BuildIndex(std::move(points.value()), options);
+  if (!index.ok()) return Fail(index.status());
+
+  KnnSearcher searcher(**index);
+  Stopwatch sw;
+  const Neighborhood nbr = searcher.GetKnn(*at, *k);
+  const double ms = sw.ElapsedMillis();
+  std::printf("%zu neighbors in %.3f ms (%zu blocks, %zu points "
+              "examined)\n",
+              nbr.size(), ms, searcher.stats().blocks_scanned,
+              searcher.stats().points_scanned);
+  for (const Neighbor& n : nbr) {
+    std::printf("  %s  dist %.2f\n", n.point.ToString().c_str(), n.dist);
+  }
+  return 0;
+}
+
+/// Loads relations, plans `spec`, prints EXPLAIN, executes, reports.
+int PlanAndRun(Catalog& catalog, const QuerySpec& spec, bool naive) {
+  PlannerOptions options;
+  options.force_naive = naive;
+  auto plan = Optimize(catalog, spec, options);
+  if (!plan.ok()) return Fail(plan.status());
+  std::printf("%s", plan->Explain().c_str());
+
+  Stopwatch sw;
+  auto output = plan->Execute();
+  const double ms = sw.ElapsedMillis();
+  if (!output.ok()) return Fail(output.status());
+
+  std::visit(
+      [&](const auto& result) {
+        using T = std::decay_t<decltype(result)>;
+        if constexpr (std::is_same_v<T, TwoSelectsResult>) {
+          std::printf("result: %zu points in %.2f ms\n", result.size(), ms);
+          for (const Point& p : result) {
+            std::printf("  %s\n", p.ToString().c_str());
+          }
+        } else if constexpr (std::is_same_v<T, JoinResult>) {
+          std::printf("result: %s in %.2f ms\n",
+                      Summarize(result).c_str(), ms);
+        } else {
+          std::printf("result: %s in %.2f ms\n",
+                      Summarize(result).c_str(), ms);
+        }
+      },
+      *output);
+  return 0;
+}
+
+int AddRelationFromFlag(Catalog& catalog, const Args& args,
+                        const std::string& flag, const std::string& name) {
+  auto path = args.Get(flag);
+  if (!path.ok()) return Fail(path.status());
+  auto points = LoadDataset(*path);
+  if (!points.ok()) return Fail(points.status());
+  const Status added =
+      catalog.AddRelation(name, std::move(points.value()));
+  if (!added.ok()) return Fail(added);
+  return 0;
+}
+
+int CmdTwoSelects(const Args& args) {
+  Catalog catalog;
+  if (int rc = AddRelationFromFlag(catalog, args, "--data", "E"); rc != 0) {
+    return rc;
+  }
+  auto f1 = args.GetPoint("--f1");
+  auto f2 = args.GetPoint("--f2");
+  auto k1 = args.GetSize("--k1");
+  auto k2 = args.GetSize("--k2");
+  for (const Status& s :
+       {f1.status(), f2.status(), k1.status(), k2.status()}) {
+    if (!s.ok() && s.code() != StatusCode::kOk) return Fail(s);
+  }
+  if (!f1.ok() || !f2.ok() || !k1.ok() || !k2.ok()) return 1;
+  return PlanAndRun(catalog,
+                    TwoSelectsSpec{.relation = "E",
+                                   .s1 = {.focal = *f1, .k = *k1},
+                                   .s2 = {.focal = *f2, .k = *k2}},
+                    args.Has("--naive"));
+}
+
+int CmdSelectInnerJoin(const Args& args) {
+  Catalog catalog;
+  if (int rc = AddRelationFromFlag(catalog, args, "--outer", "E1");
+      rc != 0) {
+    return rc;
+  }
+  if (int rc = AddRelationFromFlag(catalog, args, "--inner", "E2");
+      rc != 0) {
+    return rc;
+  }
+  auto join_k = args.GetSize("--join-k");
+  auto focal = args.GetPoint("--focal");
+  auto select_k = args.GetSize("--select-k");
+  if (!join_k.ok()) return Fail(join_k.status());
+  if (!focal.ok()) return Fail(focal.status());
+  if (!select_k.ok()) return Fail(select_k.status());
+  return PlanAndRun(
+      catalog,
+      SelectInnerJoinSpec{.outer = "E1",
+                          .inner = "E2",
+                          .join_k = *join_k,
+                          .select = {.focal = *focal, .k = *select_k}},
+      args.Has("--naive"));
+}
+
+int CmdRangeInnerJoin(const Args& args) {
+  Catalog catalog;
+  if (int rc = AddRelationFromFlag(catalog, args, "--outer", "E1");
+      rc != 0) {
+    return rc;
+  }
+  if (int rc = AddRelationFromFlag(catalog, args, "--inner", "E2");
+      rc != 0) {
+    return rc;
+  }
+  auto join_k = args.GetSize("--join-k");
+  auto range = args.GetBox("--range");
+  if (!join_k.ok()) return Fail(join_k.status());
+  if (!range.ok()) return Fail(range.status());
+  return PlanAndRun(catalog,
+                    RangeInnerJoinSpec{.outer = "E1",
+                                       .inner = "E2",
+                                       .join_k = *join_k,
+                                       .range = *range},
+                    args.Has("--naive"));
+}
+
+int CmdThreeRelations(const Args& args, bool chained) {
+  Catalog catalog;
+  for (const auto& [flag, name] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"--a", "A"}, {"--b", "B"}, {"--c", "C"}}) {
+    if (int rc = AddRelationFromFlag(catalog, args, flag, name); rc != 0) {
+      return rc;
+    }
+  }
+  auto k1 = args.GetSize("--k-ab");
+  if (!k1.ok()) return Fail(k1.status());
+  if (chained) {
+    auto k2 = args.GetSize("--k-bc");
+    if (!k2.ok()) return Fail(k2.status());
+    return PlanAndRun(catalog,
+                      ChainedJoinsSpec{.a = "A",
+                                       .b = "B",
+                                       .c = "C",
+                                       .k_ab = *k1,
+                                       .k_bc = *k2},
+                      args.Has("--naive"));
+  }
+  auto k2 = args.GetSize("--k-cb");
+  if (!k2.ok()) return Fail(k2.status());
+  return PlanAndRun(catalog,
+                    UnchainedJoinsSpec{.a = "A",
+                                       .b = "B",
+                                       .c = "C",
+                                       .k_ab = *k1,
+                                       .k_cb = *k2},
+                    args.Has("--naive"));
+}
+
+void PrintUsage() {
+  std::puts(
+      "knnq_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate           --kind berlin|uniform|clusters --n N --out F\n"
+      "  info               --data F [--index grid|quadtree|rtree]\n"
+      "  knn                --data F --at X,Y --k K\n"
+      "  two-selects        --data F --f1 X,Y --k1 K --f2 X,Y --k2 K\n"
+      "  select-inner-join  --outer F --inner F --join-k K --focal X,Y\n"
+      "                     --select-k K\n"
+      "  range-inner-join   --outer F --inner F --join-k K\n"
+      "                     --range X1,Y1,X2,Y2\n"
+      "  chained            --a F --b F --c F --k-ab K --k-bc K\n"
+      "  unchained          --a F --b F --c F --k-ab K --k-cb K\n"
+      "append --naive to run the conceptually correct baseline plan");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  auto args = Args::Parse(argc, argv, 2);
+  if (!args.ok()) return Fail(args.status());
+
+  if (command == "generate") return CmdGenerate(*args);
+  if (command == "info") return CmdInfo(*args);
+  if (command == "knn") return CmdKnn(*args);
+  if (command == "two-selects") return CmdTwoSelects(*args);
+  if (command == "select-inner-join") return CmdSelectInnerJoin(*args);
+  if (command == "range-inner-join") return CmdRangeInnerJoin(*args);
+  if (command == "chained") return CmdThreeRelations(*args, true);
+  if (command == "unchained") return CmdThreeRelations(*args, false);
+  PrintUsage();
+  return 1;
+}
