@@ -74,6 +74,17 @@ const PointSet& Uniform(std::size_t n, std::uint64_t seed,
   return *slot;
 }
 
+void ReportExecStats(benchmark::State& state, const ExecStats& stats) {
+  state.counters["blocks_scanned"] =
+      static_cast<double>(stats.blocks_scanned);
+  state.counters["points_compared"] =
+      static_cast<double>(stats.points_compared);
+  state.counters["neighborhoods"] =
+      static_cast<double>(stats.neighborhoods_computed);
+  state.counters["pruned"] = static_cast<double>(stats.candidates_pruned);
+  state.counters["exec_wall_ms"] = stats.wall_seconds * 1e3;
+}
+
 const SpatialIndex& IndexOf(const PointSet& points, IndexType type) {
   using Key = std::pair<const PointSet*, IndexType>;
   static auto& cache = *new std::map<Key, std::unique_ptr<SpatialIndex>>();

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <string>
 
+#include "benchmark/benchmark.h"
 #include "src/common/bbox.h"
 #include "src/common/point.h"
+#include "src/core/exec_stats.h"
 #include "src/index/index_factory.h"
 #include "src/index/spatial_index.h"
 
@@ -45,6 +47,11 @@ const PointSet& Uniform(std::size_t n, std::uint64_t seed = 3003,
 /// index type).
 const SpatialIndex& IndexOf(const PointSet& points,
                             IndexType type = IndexType::kGrid);
+
+/// Folds a query's ExecStats into benchmark counters. Replaces the
+/// ad-hoc per-bench stopwatch/counter plumbing: evaluators report the
+/// uniform counters and their measured wall time directly.
+void ReportExecStats(benchmark::State& state, const ExecStats& stats);
 
 }  // namespace knnq::bench
 

@@ -1,0 +1,166 @@
+// Engine batch throughput: RunBatch of a mixed bag of all six query
+// shapes over worker pools of increasing size, against serial Run.
+//
+// Expected shape: near-linear speedup with the pool size up to the
+// machine's core count, because the shared SpatialIndex instances are
+// immutable and every query runs lock-free on its own scratch state.
+// The first iteration also asserts that the batch output is identical
+// to serial execution - the equivalence the engine guarantees.
+
+#include <cstddef>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "benchmark/benchmark.h"
+#include "src/common/check.h"
+#include "src/engine/query_engine.h"
+
+namespace knnq::bench {
+namespace {
+
+constexpr std::size_t kBatchSize = 264;  // 44 rounds x 6 shapes >= 256.
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  const std::size_t n = 4000 * Scale();
+  Status s = catalog.AddRelation("uniform",
+                                 Uniform(n, /*seed=*/7001, /*first_id=*/0));
+  KNNQ_CHECK_MSG(s.ok(), s.ToString().c_str());
+  s = catalog.AddRelation(
+      "city", Berlin(n, /*seed=*/7002, /*first_id=*/10000000));
+  KNNQ_CHECK_MSG(s.ok(), s.ToString().c_str());
+  s = catalog.AddRelation(
+      "clustered",
+      Clustered(8, n / 16, /*seed=*/7003, /*first_id=*/20000000));
+  KNNQ_CHECK_MSG(s.ok(), s.ToString().c_str());
+  return catalog;
+}
+
+std::vector<QuerySpec> MixedSpecs() {
+  std::vector<QuerySpec> specs;
+  specs.reserve(kBatchSize);
+  const BoundingBox frame = Frame();
+  for (std::size_t i = 0; specs.size() < kBatchSize; ++i) {
+    const double dx = frame.min_x() +
+                      static_cast<double>((i * 997) % 28000);
+    const double dy = frame.min_y() +
+                      static_cast<double>((i * 613) % 22000);
+    const std::size_t k = 1 + i % 8;
+    specs.push_back(TwoSelectsSpec{
+        .relation = "city",
+        .s1 = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k},
+        .s2 = {.focal = {.id = -1, .x = dx + 400, .y = dy + 300},
+               .k = k + 8},
+    });
+    specs.push_back(SelectInnerJoinSpec{
+        .outer = "uniform",
+        .inner = "city",
+        .join_k = k,
+        .select = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k + 4},
+    });
+    specs.push_back(SelectOuterJoinSpec{
+        .outer = "city",
+        .inner = "uniform",
+        .join_k = 1 + k % 4,
+        .select = {.focal = {.id = -1, .x = dy, .y = dx / 2}, .k = 8 + k},
+    });
+    specs.push_back(UnchainedJoinsSpec{
+        .a = "uniform",
+        .b = "city",
+        .c = "clustered",
+        .k_ab = 1 + k % 3,
+        .k_cb = 1 + (k + 1) % 3,
+    });
+    specs.push_back(ChainedJoinsSpec{
+        .a = "clustered",
+        .b = "city",
+        .c = "uniform",
+        .k_ab = 1 + k % 3,
+        .k_bc = 1 + (k + 2) % 3,
+    });
+    specs.push_back(RangeInnerJoinSpec{
+        .outer = "uniform",
+        .inner = "city",
+        .join_k = k,
+        .range = BoundingBox(dx, dy, dx + 1500, dy + 1200),
+    });
+  }
+  return specs;
+}
+
+/// Memoized engine per pool size (index construction is not what this
+/// bench measures).
+const QueryEngine& EngineWith(std::size_t threads) {
+  static auto& cache =
+      *new std::map<std::size_t, std::unique_ptr<QueryEngine>>();
+  auto& slot = cache[threads];
+  if (slot == nullptr) {
+    EngineOptions options;
+    options.num_threads = threads;
+    slot = std::make_unique<QueryEngine>(MakeCatalog(), options);
+  }
+  return *slot;
+}
+
+/// Byte-identical equivalence check, run once per pool size.
+void CheckBatchEqualsSerial(const QueryEngine& engine,
+                            const std::vector<QuerySpec>& specs) {
+  const std::vector<EngineResult> batch = engine.RunBatch(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const EngineResult serial = engine.Run(specs[i]);
+    KNNQ_CHECK_MSG(batch[i].ok() && serial.ok(),
+                   "engine bench query failed");
+    KNNQ_CHECK_MSG(batch[i].output == serial.output,
+                   "batch result differs from serial execution");
+  }
+}
+
+void BM_EngineSerial(benchmark::State& state) {
+  const QueryEngine& engine = EngineWith(1);
+  const std::vector<QuerySpec> specs = MixedSpecs();
+  ExecStats total;
+  for (auto _ : state) {
+    total = ExecStats{};
+    for (const QuerySpec& spec : specs) {
+      EngineResult result = engine.Run(spec);
+      total.Merge(result.stats);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.counters["queries"] = static_cast<double>(specs.size());
+  ReportExecStats(state, total);
+}
+
+void BM_EngineBatch(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const QueryEngine& engine = EngineWith(threads);
+  const std::vector<QuerySpec> specs = MixedSpecs();
+  CheckBatchEqualsSerial(engine, specs);
+  ExecStats total;
+  for (auto _ : state) {
+    total = ExecStats{};
+    std::vector<EngineResult> results = engine.RunBatch(specs);
+    for (const EngineResult& result : results) {
+      total.Merge(result.stats);
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["queries"] = static_cast<double>(specs.size());
+  state.counters["pool_threads"] = static_cast<double>(threads);
+  ReportExecStats(state, total);
+}
+
+BENCHMARK(BM_EngineSerial)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK(BM_EngineBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+}  // namespace
+}  // namespace knnq::bench
+
+BENCHMARK_MAIN();

@@ -1,15 +1,18 @@
 // Quickstart: index a relation, run the two base operations, then let
-// the planner evaluate a two-predicate query end to end.
+// the QueryEngine plan and execute two-predicate queries - one at a
+// time and as a concurrent batch.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "src/core/knn_join.h"
 #include "src/core/knn_select.h"
 #include "src/data/berlinmod.h"
+#include "src/engine/query_engine.h"
 #include "src/planner/catalog.h"
-#include "src/planner/optimizer.h"
 
 int main() {
   using namespace knnq;
@@ -45,21 +48,55 @@ int main() {
               Summarize(pairs).c_str());
 
   // 4. A query with TWO kNN predicates, planned and executed by the
-  //    optimizer: vehicles among the 25 nearest of BOTH depot gates.
+  //    QueryEngine: vehicles among the 25 nearest of BOTH depot gates.
+  //    The engine owns the catalog; its EXPLAIN output includes the
+  //    uniform ExecStats counters.
   Catalog catalog;
   catalog.AddRelation("vehicles", vehicles);
+  QueryEngine engine(std::move(catalog));
   const TwoSelectsSpec spec{
       .relation = "vehicles",
       .s1 = {.focal = depot, .k = 25},
       .s2 = {.focal = {.id = -1, .x = 15060.0, .y = 12040.0}, .k = 25},
   };
-  const auto plan = Optimize(catalog, spec);
-  std::printf("\n%s\n", plan->Explain().c_str());
-  const auto output = plan->Execute().value();
-  const auto& result = std::get<TwoSelectsResult>(output);
+  const EngineResult run = engine.Run(spec);
+  if (!run.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 run.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", run.explain.c_str());
+  const auto& result = std::get<TwoSelectsResult>(run.output);
   std::printf("vehicles near both depots: %zu\n", result.size());
   for (const Point& p : result) {
     std::printf("  %s\n", p.ToString().c_str());
+  }
+
+  // 5. A batch: the same question from three different depot pairs,
+  //    executed concurrently on the engine's worker pool. Results come
+  //    back in submission order.
+  std::vector<QuerySpec> batch;
+  for (const double offset : {0.0, 2000.0, 4000.0}) {
+    batch.push_back(TwoSelectsSpec{
+        .relation = "vehicles",
+        .s1 = {.focal = {.id = -1, .x = 12000.0 + offset, .y = 10000.0},
+               .k = 25},
+        .s2 = {.focal = {.id = -1, .x = 12060.0 + offset, .y = 10040.0},
+               .k = 25},
+    });
+  }
+  std::printf("\nbatch of %zu queries over %zu worker threads:\n",
+              batch.size(), engine.num_threads());
+  const std::vector<EngineResult> results = engine.RunBatch(batch);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::printf("  query %zu failed: %s\n", i,
+                  results[i].status.ToString().c_str());
+      continue;
+    }
+    const auto& points = std::get<TwoSelectsResult>(results[i].output);
+    std::printf("  query %zu: %zu vehicles, %s\n", i, points.size(),
+                results[i].stats.ToString().c_str());
   }
   return 0;
 }

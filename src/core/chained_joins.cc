@@ -23,7 +23,8 @@ Status ValidateQuery(const ChainedJoinsQuery& query) {
 }  // namespace
 
 Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
-                                            ChainedJoinsStats* stats) {
+                                            ChainedJoinsStats* stats,
+                                            ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainedJoinsStats local;
   if (stats == nullptr) stats = &local;
@@ -49,20 +50,25 @@ Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
       }
     }
   }
+  if (exec != nullptr) {
+    exec->AddSearch(c_searcher.stats());
+    exec->AddSearch(b_searcher.stats());
+  }
   Canonicalize(triplets);
   return triplets;
 }
 
 Result<TripletResult> ChainedJoinsJoinIntersection(
-    const ChainedJoinsQuery& query, ChainedJoinsStats* stats) {
+    const ChainedJoinsQuery& query, ChainedJoinsStats* stats,
+    ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainedJoinsStats local;
   if (stats == nullptr) stats = &local;
 
   // Both joins in full, blind to each other, then INTERSECT_B.
-  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab);
+  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab, exec);
   if (!ab.ok()) return ab.status();
-  auto bc = KnnJoin(query.b->points(), *query.c, query.k_bc);
+  auto bc = KnnJoin(query.b->points(), *query.c, query.k_bc, exec);
   if (!bc.ok()) return bc.status();
   stats->b_neighborhoods_computed = query.b->num_points();
 
@@ -85,7 +91,8 @@ Result<TripletResult> ChainedJoinsJoinIntersection(
 
 Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
                                          bool cache_bc,
-                                         ChainedJoinsStats* stats) {
+                                         ChainedJoinsStats* stats,
+                                         ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainedJoinsStats local;
   if (stats == nullptr) stats = &local;
@@ -124,6 +131,12 @@ Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
             .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
       }
     }
+  }
+  if (exec != nullptr) {
+    exec->AddSearch(b_searcher.stats());
+    exec->AddSearch(c_searcher.stats());
+    // Cache hits avoided a full (B JOIN C) neighborhood computation.
+    exec->candidates_pruned += stats->cache_hits;
   }
   Canonicalize(triplets);
   return triplets;

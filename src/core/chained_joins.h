@@ -16,6 +16,7 @@
 #define KNNQ_SRC_CORE_CHAINED_JOINS_H_
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/core/result_types.h"
 #include "src/index/spatial_index.h"
 
@@ -41,19 +42,23 @@ struct ChainedJoinsStats {
 };
 
 /// QEP1: materialize (B JOIN C) in full, then join A against it.
+/// `exec` (optional, like `stats`) accumulates the uniform counters.
 Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
                                             ChainedJoinsStats* stats =
-                                                nullptr);
+                                                nullptr,
+                                            ExecStats* exec = nullptr);
 
 /// QEP2: evaluate both joins independently, intersect on B.
 Result<TripletResult> ChainedJoinsJoinIntersection(
-    const ChainedJoinsQuery& query, ChainedJoinsStats* stats = nullptr);
+    const ChainedJoinsQuery& query, ChainedJoinsStats* stats = nullptr,
+    ExecStats* exec = nullptr);
 
 /// QEP3: nested join; `cache_bc` memoizes b-neighborhoods so a b
 /// reachable from several a's is joined once (Section 4.2.1).
 Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
                                          bool cache_bc = true,
-                                         ChainedJoinsStats* stats = nullptr);
+                                         ChainedJoinsStats* stats = nullptr,
+                                         ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

@@ -1,0 +1,17 @@
+#include "src/core/exec_stats.h"
+
+#include <cstdio>
+
+namespace knnq {
+
+std::string ExecStats::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "blocks=%zu points=%zu neighborhoods=%zu pruned=%zu "
+                "wall=%.3fms",
+                blocks_scanned, points_compared, neighborhoods_computed,
+                candidates_pruned, wall_seconds * 1e3);
+  return buffer;
+}
+
+}  // namespace knnq

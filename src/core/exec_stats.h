@@ -1,0 +1,67 @@
+// ExecStats: the uniform execution counters every src/core evaluator
+// reports, regardless of query shape or algorithm.
+//
+// The per-family structs (SelectInnerJoinStats, ChainedJoinsStats, ...)
+// keep their algorithm-specific counters for ablation benches and
+// targeted tests; ExecStats is the common denominator the engine layer
+// aggregates across heterogeneous plans and surfaces in EXPLAIN, CLI
+// and benchmark output.
+
+#ifndef KNNQ_SRC_CORE_EXEC_STATS_H_
+#define KNNQ_SRC_CORE_EXEC_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/index/locality.h"
+
+namespace knnq {
+
+/// Execution counters of one evaluator call (or, merged, one batch).
+struct ExecStats {
+  /// Index blocks popped from block scans: locality construction plus
+  /// the direct pruning scans of Counting and Block-Marking.
+  std::size_t blocks_scanned = 0;
+  /// Candidate points compared against a query point during
+  /// neighborhood extraction.
+  std::size_t points_compared = 0;
+  /// getkNN invocations (localities computed).
+  std::size_t neighborhoods_computed = 0;
+  /// Outer tuples or whole blocks excluded without neighborhood work -
+  /// the quantity the paper's optimizations exist to maximize.
+  std::size_t candidates_pruned = 0;
+  /// Wall-clock time of the evaluation. Evaluators leave this at zero;
+  /// the executor wrapper (PhysicalPlan::Execute) fills it so counter
+  /// accumulation stays out of the timed region's hot loops.
+  double wall_seconds = 0.0;
+
+  /// Folds a KnnSearcher's SearchStats into the scan counters.
+  void AddSearch(const SearchStats& search) {
+    blocks_scanned += search.blocks_scanned;
+    points_compared += search.points_scanned;
+    neighborhoods_computed += search.localities_computed;
+  }
+
+  /// Sums counters and wall time (batch aggregation).
+  void Merge(const ExecStats& other) {
+    blocks_scanned += other.blocks_scanned;
+    points_compared += other.points_compared;
+    neighborhoods_computed += other.neighborhoods_computed;
+    candidates_pruned += other.candidates_pruned;
+    wall_seconds += other.wall_seconds;
+  }
+
+  /// True when every counter (wall time aside) is zero.
+  bool empty() const {
+    return blocks_scanned == 0 && points_compared == 0 &&
+           neighborhoods_computed == 0 && candidates_pruned == 0;
+  }
+
+  /// One-line rendering, e.g.
+  /// "blocks=12 points=480 neighborhoods=3 pruned=0 wall=0.52ms".
+  std::string ToString() const;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_CORE_EXEC_STATS_H_

@@ -3,19 +3,22 @@
 namespace knnq {
 
 Result<JoinResult> KnnJoin(const PointSet& outer, const SpatialIndex& inner,
-                           std::size_t k) {
+                           std::size_t k, ExecStats* exec) {
   JoinResult pairs;
   const Status status = KnnJoinStreaming(
-      outer, inner, k, [&pairs](const Point& e1, const Point& e2) {
+      outer, inner, k,
+      [&pairs](const Point& e1, const Point& e2) {
         pairs.push_back(JoinPair{e1, e2});
-      });
+      },
+      exec);
   if (!status.ok()) return status;
   Canonicalize(pairs);
   return pairs;
 }
 
 Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
-                        std::size_t k, const JoinPairSink& sink) {
+                        std::size_t k, const JoinPairSink& sink,
+                        ExecStats* exec) {
   if (k == 0) {
     return Status::InvalidArgument("kNN-join requires k > 0");
   }
@@ -26,6 +29,7 @@ Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
       sink(e1, n.point);
     }
   }
+  if (exec != nullptr) exec->AddSearch(searcher.stats());
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/core/result_types.h"
 #include "src/index/spatial_index.h"
 
@@ -22,14 +23,15 @@ using JoinPairSink = std::function<void(const Point& outer,
                                         const Point& inner)>;
 
 /// Evaluates the kNN-join and materializes all pairs in canonical order.
-/// Fails when k == 0.
+/// Fails when k == 0. `exec` (optional) accumulates scan counters.
 Result<JoinResult> KnnJoin(const PointSet& outer, const SpatialIndex& inner,
-                           std::size_t k);
+                           std::size_t k, ExecStats* exec = nullptr);
 
 /// Streaming evaluation: emits each (e1, e2) pair to `sink` in outer
 /// order. Fails when k == 0.
 Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
-                        std::size_t k, const JoinPairSink& sink);
+                        std::size_t k, const JoinPairSink& sink,
+                        ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

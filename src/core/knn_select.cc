@@ -3,12 +3,15 @@
 namespace knnq {
 
 Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
-                               const Point& focal, std::size_t k) {
+                               const Point& focal, std::size_t k,
+                               ExecStats* exec) {
   if (k == 0) {
     return Status::InvalidArgument("kNN-select requires k > 0");
   }
   KnnSearcher searcher(relation);
-  return searcher.GetKnn(focal, k);
+  Neighborhood nbr = searcher.GetKnn(focal, k);
+  if (exec != nullptr) exec->AddSearch(searcher.stats());
+  return nbr;
 }
 
 }  // namespace knnq

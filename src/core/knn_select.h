@@ -5,6 +5,7 @@
 #define KNNQ_SRC_CORE_KNN_SELECT_H_
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/index/knn_searcher.h"
 #include "src/index/spatial_index.h"
 
@@ -13,8 +14,10 @@ namespace knnq {
 /// Evaluates sigma_{k,f}(relation): the neighborhood of `focal`.
 /// Returns fewer than k points only when the relation is smaller than k.
 /// Fails when k == 0 (an empty select is a query-authoring error).
+/// `exec` (optional) accumulates scan counters.
 Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
-                               const Point& focal, std::size_t k);
+                               const Point& focal, std::size_t k,
+                               ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

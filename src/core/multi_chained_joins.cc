@@ -33,7 +33,7 @@ Status ValidateQuery(const ChainQuery& query) {
 }  // namespace
 
 Result<ChainResult> ChainedPathJoin(const ChainQuery& query, bool cache,
-                                    ChainStats* stats) {
+                                    ChainStats* stats, ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainStats local;
   if (stats == nullptr) stats = &local;
@@ -90,6 +90,12 @@ Result<ChainResult> ChainedPathJoin(const ChainQuery& query, bool cache,
   for (const Point& p0 : query.relations[0]->points()) {
     row[0] = p0.id;
     extend(0, p0);
+  }
+  if (exec != nullptr) {
+    for (const auto& searcher : searchers) {
+      exec->AddSearch(searcher->stats());
+    }
+    exec->candidates_pruned += stats->cache_hits;
   }
   std::sort(rows.begin(), rows.end());
   return rows;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/index/spatial_index.h"
 
 namespace knnq {
@@ -45,10 +46,12 @@ struct ChainStats {
 
 /// Generalized QEP3: nested pipeline; each hop memoizes neighborhoods
 /// per source point when `cache` is set. Fails on fewer than two
-/// relations, null relations, size mismatch, or zero k.
+/// relations, null relations, size mismatch, or zero k. `exec`
+/// (optional) accumulates the uniform counters.
 Result<ChainResult> ChainedPathJoin(const ChainQuery& query,
                                     bool cache = true,
-                                    ChainStats* stats = nullptr);
+                                    ChainStats* stats = nullptr,
+                                    ExecStats* exec = nullptr);
 
 /// Specification evaluator: every pairwise join computed independently
 /// and in full (one neighborhood per point of each R_i), rows stitched

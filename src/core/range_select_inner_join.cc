@@ -33,7 +33,8 @@ void EmitInRange(const Point& e1, const Neighborhood& nbr_e1,
 }  // namespace
 
 Result<JoinResult> RangeSelectInnerJoinNaive(
-    const RangeSelectInnerJoinQuery& query, SelectInnerJoinStats* stats) {
+    const RangeSelectInnerJoinQuery& query, SelectInnerJoinStats* stats,
+    ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
@@ -45,18 +46,21 @@ Result<JoinResult> RangeSelectInnerJoinNaive(
     ++stats->neighborhoods_computed;
     EmitInRange(e1, nbr_e1, query.range, pairs);
   }
+  if (exec != nullptr) exec->AddSearch(inner_searcher.stats());
   Canonicalize(pairs);
   return pairs;
 }
 
 Result<JoinResult> RangeSelectInnerJoinCounting(
-    const RangeSelectInnerJoinQuery& query, SelectInnerJoinStats* stats) {
+    const RangeSelectInnerJoinQuery& query, SelectInnerJoinStats* stats,
+    ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
   KnnSearcher inner_searcher(*query.inner);
   JoinResult pairs;
+  std::size_t counting_blocks = 0;  // Blocks popped by the pruning scan.
   for (const Point& e1 : query.outer->points()) {
     // Every rectangle point is at distance >= MINDIST(e1, rect); points
     // in blocks strictly closer displace all of them from e1's
@@ -68,6 +72,7 @@ Result<JoinResult> RangeSelectInnerJoinCounting(
       double max_dist = 0.0;
       while (count <= query.join_k && scan->HasNext()) {
         const BlockId id = scan->Next(&max_dist);
+        ++counting_blocks;
         if (max_dist >= threshold) break;
         count += query.inner->block(id).count();
       }
@@ -79,6 +84,11 @@ Result<JoinResult> RangeSelectInnerJoinCounting(
     const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
     ++stats->neighborhoods_computed;
     EmitInRange(e1, nbr_e1, query.range, pairs);
+  }
+  if (exec != nullptr) {
+    exec->AddSearch(inner_searcher.stats());
+    exec->blocks_scanned += counting_blocks;
+    exec->candidates_pruned += stats->pruned_points;
   }
   Canonicalize(pairs);
   return pairs;
@@ -111,7 +121,7 @@ bool IsNonContributing(const Block& block, const RangeMarkingContext& ctx) {
 
 Result<JoinResult> RangeSelectInnerJoinBlockMarking(
     const RangeSelectInnerJoinQuery& query, PreprocessMode mode,
-    SelectInnerJoinStats* stats) {
+    SelectInnerJoinStats* stats, ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
@@ -158,6 +168,13 @@ Result<JoinResult> RangeSelectInnerJoinBlockMarking(
       ++stats->neighborhoods_computed;
       EmitInRange(e1, nbr_e1, query.range, pairs);
     }
+  }
+  if (exec != nullptr) {
+    exec->AddSearch(inner_searcher.stats());
+    // One outer-block pop per preprocessing probe.
+    exec->blocks_scanned += stats->blocks_preprocessed;
+    exec->candidates_pruned +=
+        query.outer->num_blocks() - contributing.size();
   }
   Canonicalize(pairs);
   return pairs;

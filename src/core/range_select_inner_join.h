@@ -40,15 +40,16 @@ struct RangeSelectInnerJoinQuery {
 
 /// The conceptually correct QEP: full join, filter pairs by the
 /// rectangle. Fails on null relations, join_k == 0, or an empty
-/// rectangle.
+/// rectangle. `exec` (optional, like `stats`) accumulates the uniform
+/// counters.
 Result<JoinResult> RangeSelectInnerJoinNaive(
     const RangeSelectInnerJoinQuery& query,
-    SelectInnerJoinStats* stats = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
 
 /// Counting-style evaluation (Procedure 1 adapted to a range).
 Result<JoinResult> RangeSelectInnerJoinCounting(
     const RangeSelectInnerJoinQuery& query,
-    SelectInnerJoinStats* stats = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
 
 /// Block-Marking-style evaluation (Procedures 2 + 3 adapted to a
 /// range); blocks are scanned in MINDIST order from the rectangle
@@ -56,7 +57,7 @@ Result<JoinResult> RangeSelectInnerJoinCounting(
 Result<JoinResult> RangeSelectInnerJoinBlockMarking(
     const RangeSelectInnerJoinQuery& query,
     PreprocessMode mode = PreprocessMode::kContour,
-    SelectInnerJoinStats* stats = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

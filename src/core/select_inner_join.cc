@@ -49,7 +49,8 @@ void EmitIntersection(const Point& e1, const Neighborhood& nbr_e1,
 }  // namespace
 
 Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
-                                        SelectInnerJoinStats* stats) {
+                                        SelectInnerJoinStats* stats,
+                                        ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
@@ -67,12 +68,14 @@ Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
     ++stats->neighborhoods_computed;
     EmitIntersection(e1, nbr_e1, nbr_f, pairs);
   }
+  if (exec != nullptr) exec->AddSearch(inner_searcher.stats());
   Canonicalize(pairs);
   return pairs;
 }
 
 Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
-                                           SelectInnerJoinStats* stats) {
+                                           SelectInnerJoinStats* stats,
+                                           ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
@@ -83,6 +86,7 @@ Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
   JoinResult pairs;
   if (nbr_f.empty()) return pairs;  // E2 empty: both predicates empty.
 
+  std::size_t counting_blocks = 0;  // Blocks popped by the pruning scan.
   for (const Point& e1 : query.outer->points()) {
     // Procedure 1: points in inner blocks certainly closer to e1 than
     // the nearest focal neighbor displace every focal neighbor from
@@ -93,6 +97,7 @@ Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
     double max_dist = 0.0;
     while (count <= query.join_k && scan->HasNext()) {
       const BlockId id = scan->Next(&max_dist);
+      ++counting_blocks;
       // Strict comparison: only blocks whose every point is strictly
       // within the threshold may count (DESIGN.md note 1).
       if (max_dist >= threshold) break;
@@ -105,6 +110,11 @@ Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
     const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
     ++stats->neighborhoods_computed;
     EmitIntersection(e1, nbr_e1, nbr_f, pairs);
+  }
+  if (exec != nullptr) {
+    exec->AddSearch(inner_searcher.stats());
+    exec->blocks_scanned += counting_blocks;
+    exec->candidates_pruned += stats->pruned_points;
   }
   Canonicalize(pairs);
   return pairs;
@@ -196,7 +206,7 @@ std::vector<BlockId> PreprocessExhaustive(const BlockMarkingContext& ctx) {
 
 Result<JoinResult> SelectInnerJoinBlockMarking(
     const SelectInnerJoinQuery& query, PreprocessMode mode,
-    SelectInnerJoinStats* stats, ProbePoint probe) {
+    SelectInnerJoinStats* stats, ProbePoint probe, ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
@@ -225,6 +235,16 @@ Result<JoinResult> SelectInnerJoinBlockMarking(
       ++stats->neighborhoods_computed;
       EmitIntersection(e1, nbr_e1, nbr_f, pairs);
     }
+  }
+  if (exec != nullptr) {
+    exec->AddSearch(inner_searcher.stats());
+    // The preprocessing pass pops one outer block per probe; count that
+    // scan traffic like the Counting evaluators count theirs.
+    exec->blocks_scanned += stats->blocks_preprocessed;
+    // Every outer block not classified Contributing was excluded
+    // wholesale (probed Non-Contributing or skipped by the contour).
+    exec->candidates_pruned +=
+        query.outer->num_blocks() - contributing.size();
   }
   Canonicalize(pairs);
   return pairs;

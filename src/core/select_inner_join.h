@@ -24,6 +24,7 @@
 #define KNNQ_SRC_CORE_SELECT_INNER_JOIN_H_
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/core/result_types.h"
 #include "src/index/spatial_index.h"
 
@@ -80,21 +81,23 @@ struct SelectInnerJoinStats {
 /// The conceptually correct QEP (join first, filter after). Pairs are
 /// filtered in a pipeline, which changes memory use but not the work:
 /// every outer neighborhood is computed. Fails when join_k == 0 or
-/// select_k == 0 or any relation pointer is null.
+/// select_k == 0 or any relation pointer is null. `exec` (optional,
+/// like `stats`) accumulates the uniform counters.
 Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
-                                        SelectInnerJoinStats* stats = nullptr);
+                                        SelectInnerJoinStats* stats = nullptr,
+                                        ExecStats* exec = nullptr);
 
 /// Procedure 1. Same output as the naive QEP.
 Result<JoinResult> SelectInnerJoinCounting(
     const SelectInnerJoinQuery& query,
-    SelectInnerJoinStats* stats = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
 
 /// Procedures 2 + 3. Same output as the naive QEP.
 Result<JoinResult> SelectInnerJoinBlockMarking(
     const SelectInnerJoinQuery& query,
     PreprocessMode mode = PreprocessMode::kContour,
     SelectInnerJoinStats* stats = nullptr,
-    ProbePoint probe = ProbePoint::kCenter);
+    ProbePoint probe = ProbePoint::kCenter, ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

@@ -22,25 +22,34 @@ Status ValidateQuery(const SelectOuterJoinQuery& query) {
 
 }  // namespace
 
-Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query) {
+Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query,
+                                         ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   KnnSearcher outer_searcher(*query.outer);
   const Neighborhood selected =
       outer_searcher.GetKnn(query.focal, query.select_k);
+  if (exec != nullptr) {
+    exec->AddSearch(outer_searcher.stats());
+    // The pushdown excludes every non-selected outer point from the
+    // join - exactly the saving over the late-filter plan.
+    exec->candidates_pruned += query.outer->num_points() - selected.size();
+  }
   PointSet survivors;
   survivors.reserve(selected.size());
   for (const Neighbor& n : selected) survivors.push_back(n.point);
-  return KnnJoin(survivors, *query.inner, query.join_k);
+  return KnnJoin(survivors, *query.inner, query.join_k, exec);
 }
 
-Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query) {
+Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query,
+                                       ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   KnnSearcher outer_searcher(*query.outer);
   const Neighborhood selected =
       outer_searcher.GetKnn(query.focal, query.select_k);
+  if (exec != nullptr) exec->AddSearch(outer_searcher.stats());
 
   auto all_pairs = KnnJoin(query.outer->points(), *query.inner,
-                           query.join_k);
+                           query.join_k, exec);
   if (!all_pairs.ok()) return all_pairs.status();
   JoinResult pairs;
   for (const JoinPair& pair : *all_pairs) {

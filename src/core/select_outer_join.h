@@ -12,6 +12,7 @@
 #define KNNQ_SRC_CORE_SELECT_OUTER_JOIN_H_
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/core/result_types.h"
 #include "src/index/spatial_index.h"
 
@@ -33,11 +34,14 @@ struct SelectOuterJoinQuery {
 
 /// Pushed-down plan (QEP1 of Figure 3): select first, join the
 /// survivors. This is the plan an optimizer should always choose.
-Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query);
+/// `exec` (optional) accumulates the uniform counters.
+Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query,
+                                         ExecStats* exec = nullptr);
 
 /// Late-filter plan (QEP2 of Figure 3): full join, then discard pairs
 /// whose outer point fails the select. Same output, more work.
-Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query);
+Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query,
+                                       ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

@@ -22,17 +22,20 @@ Status ValidateQuery(const TwoSelectsQuery& query) {
 }  // namespace
 
 Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
-                                         SearchStats* stats) {
+                                         SearchStats* stats,
+                                         ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   KnnSearcher searcher(*query.relation);
   const Neighborhood nbr1 = searcher.GetKnn(query.f1, query.k1);
   const Neighborhood nbr2 = searcher.GetKnn(query.f2, query.k2);
   if (stats != nullptr) *stats = searcher.stats();
+  if (exec != nullptr) exec->AddSearch(searcher.stats());
   return IntersectNeighborhoods(nbr1, nbr2);
 }
 
 Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
-                                             SearchStats* stats) {
+                                             SearchStats* stats,
+                                             ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
 
   // Procedure 5 lines 1-4: evaluate the smaller-k predicate first; its
@@ -50,6 +53,7 @@ Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
   const Neighborhood nbr1 = searcher.GetKnn(f1, k1);
   if (nbr1.empty()) {
     if (stats != nullptr) *stats = searcher.stats();
+    if (exec != nullptr) exec->AddSearch(searcher.stats());
     return TwoSelectsResult{};  // Empty relation: empty intersection.
   }
 
@@ -64,6 +68,7 @@ Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
   // Lines 7-32: neighborhood of f2 from the clipped locality.
   const Neighborhood nbr2 = searcher.GetKnnRestricted(f2, k2, threshold);
   if (stats != nullptr) *stats = searcher.stats();
+  if (exec != nullptr) exec->AddSearch(searcher.stats());
   return IntersectNeighborhoods(nbr1, nbr2);
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/index/knn_searcher.h"
 #include "src/index/locality.h"
 #include "src/index/spatial_index.h"
@@ -35,14 +36,17 @@ using TwoSelectsResult = std::vector<Point>;
 
 /// The conceptually correct QEP (Figure 16): both neighborhoods in
 /// full, then the intersection. Fails on a null relation or zero k.
+/// `exec` (optional, like `stats`) accumulates the uniform counters.
 Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
-                                         SearchStats* stats = nullptr);
+                                         SearchStats* stats = nullptr,
+                                         ExecStats* exec = nullptr);
 
 /// Procedure 5 (the "2-kNN-select" algorithm). Same output as the
 /// naive QEP; the larger-k neighborhood is computed from a locality
 /// clipped to the first result's search threshold.
 Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
-                                             SearchStats* stats = nullptr);
+                                             SearchStats* stats = nullptr,
+                                             ExecStats* exec = nullptr);
 
 }  // namespace knnq
 

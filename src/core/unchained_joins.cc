@@ -33,13 +33,14 @@ std::unordered_map<PointId, std::vector<PointId>> GroupByInner(
 
 }  // namespace
 
-Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query) {
+Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
+                                          ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
 
   // Figure 10: both joins in full, then the intersection on B.
-  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab);
+  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab, exec);
   if (!ab.ok()) return ab.status();
-  auto cb = KnnJoin(query.c->points(), *query.b, query.k_cb);
+  auto cb = KnnJoin(query.c->points(), *query.b, query.k_cb, exec);
   if (!cb.ok()) return cb.status();
 
   const auto a_by_b = GroupByInner(*ab);
@@ -57,13 +58,14 @@ Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query) {
 }
 
 Result<TripletResult> UnchainedJoinsBlockMarking(
-    const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats) {
+    const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats,
+    ExecStats* exec) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   UnchainedJoinsStats local;
   if (stats == nullptr) stats = &local;
 
   // Step 1 (Procedure 4 lines 1-3): the first join, in full.
-  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab);
+  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab, exec);
   if (!ab.ok()) return ab.status();
   const auto a_by_b = GroupByInner(*ab);
 
@@ -85,6 +87,7 @@ Result<TripletResult> UnchainedJoinsBlockMarking(
   // threshold disk around the block's center.
   KnnSearcher b_searcher(*query.b);
   std::vector<BlockId> contributing;
+  std::size_t marking_blocks = 0;  // B-blocks popped by the direct scans.
   const auto num_c_blocks = static_cast<BlockId>(query.c->num_blocks());
   for (BlockId id = 0; id < num_c_blocks; ++id) {
     ++stats->blocks_preprocessed;
@@ -101,6 +104,7 @@ Result<TripletResult> UnchainedJoinsBlockMarking(
       double min_dist = 0.0;
       while (scan->HasNext()) {
         const BlockId b_block = scan->Next(&min_dist);
+        ++marking_blocks;
         if (min_dist > threshold) break;
         if (candidate[b_block]) {
           is_contributing = true;
@@ -129,6 +133,12 @@ Result<TripletResult> UnchainedJoinsBlockMarking(
         }
       }
     }
+  }
+  if (exec != nullptr) {
+    exec->AddSearch(b_searcher.stats());
+    exec->blocks_scanned += marking_blocks;
+    exec->candidates_pruned +=
+        query.c->num_blocks() - stats->contributing_blocks;
   }
   Canonicalize(triplets);
   return triplets;

@@ -18,6 +18,7 @@
 #define KNNQ_SRC_CORE_UNCHAINED_JOINS_H_
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/core/result_types.h"
 #include "src/data/distribution_stats.h"
 #include "src/index/spatial_index.h"
@@ -49,14 +50,17 @@ struct UnchainedJoinsStats {
 
 /// The conceptually correct QEP (Figure 10): both joins evaluated in
 /// full, results intersected on B. Fails on null relations or zero k.
-Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query);
+/// `exec` (optional) accumulates the uniform counters.
+Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
+                                          ExecStats* exec = nullptr);
 
 /// Procedure 4: Candidate/Safe marking plus Contributing preprocessing
 /// of C. Evaluates (A JOIN B) first; callers wanting the other order
 /// swap a<->c and k_ab<->k_cb (see ChooseUnchainedOrder). Same output
 /// as the naive QEP.
 Result<TripletResult> UnchainedJoinsBlockMarking(
-    const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats = nullptr);
+    const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats = nullptr,
+    ExecStats* exec = nullptr);
 
 /// Which outer relation should drive the first join.
 enum class UnchainedOrder {

@@ -1,0 +1,35 @@
+#include "src/engine/executor.h"
+
+namespace knnq {
+
+const ExecutorRegistry& ExecutorRegistry::Default() {
+  // Magic-static: built once, thread-safe per the C++11 guarantee.
+  static const ExecutorRegistry* registry = [] {
+    auto* r = new ExecutorRegistry();
+    RegisterDefaultExecutors(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status ExecutorRegistry::Register(Algorithm algorithm,
+                                  std::unique_ptr<Executor> executor) {
+  if (executor == nullptr) {
+    return Status::InvalidArgument("executor must be non-null");
+  }
+  const auto [it, inserted] =
+      executors_.emplace(algorithm, std::move(executor));
+  if (!inserted) {
+    return Status::InvalidArgument(
+        std::string("executor already registered for ") +
+        ToString(algorithm));
+  }
+  return Status::Ok();
+}
+
+const Executor* ExecutorRegistry::Find(Algorithm algorithm) const {
+  const auto it = executors_.find(algorithm);
+  return it == executors_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace knnq

@@ -1,0 +1,70 @@
+// Executor / ExecutorRegistry: polymorphic plan execution.
+//
+// Each Algorithm of the planner maps to one Executor object; the
+// registry replaces the monolithic switch PhysicalPlan::Execute() used
+// to be. Adding an evaluation strategy now means implementing an
+// Executor and registering it - no central dispatch code changes.
+//
+// Executors are stateless (all query state lives in the immutable
+// PhysicalPlan) and therefore safe to share across the engine's worker
+// threads.
+
+#ifndef KNNQ_SRC_ENGINE_EXECUTOR_H_
+#define KNNQ_SRC_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/core/exec_stats.h"
+#include "src/planner/physical_plan.h"
+
+namespace knnq {
+
+/// Executes one algorithm family variant against a bound plan.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Stable diagnostic name, e.g. "two-selects".
+  virtual const char* name() const = 0;
+
+  /// Runs `plan` and reports counters into `stats` (never null when
+  /// called through PhysicalPlan::Execute). Must be thread-safe: the
+  /// engine calls one executor from many workers concurrently.
+  virtual Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                                      ExecStats* stats) const = 0;
+};
+
+/// Algorithm -> Executor mapping. Immutable through Default(); engines
+/// or tests can build their own and extend it.
+class ExecutorRegistry {
+ public:
+  /// The process-wide registry, preloaded (once, thread-safely) with an
+  /// executor for every Algorithm via RegisterDefaultExecutors.
+  static const ExecutorRegistry& Default();
+
+  /// An empty registry.
+  ExecutorRegistry() = default;
+
+  /// Fails with InvalidArgument on a duplicate algorithm or a null
+  /// executor.
+  Status Register(Algorithm algorithm, std::unique_ptr<Executor> executor);
+
+  /// The executor for `algorithm`, or nullptr when none is registered.
+  const Executor* Find(Algorithm algorithm) const;
+
+  /// Number of registered executors.
+  std::size_t size() const { return executors_.size(); }
+
+ private:
+  std::map<Algorithm, std::unique_ptr<Executor>> executors_;
+};
+
+/// Registers the paper's full algorithm suite (all 15 Algorithm values)
+/// into `registry`. Default() is built from exactly this set.
+void RegisterDefaultExecutors(ExecutorRegistry& registry);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_ENGINE_EXECUTOR_H_

@@ -1,0 +1,257 @@
+// The default executor suite: one Executor per Algorithm, each a thin
+// adapter binding a PhysicalPlan's state to the matching src/core
+// evaluator and forwarding ExecStats. These replace the algorithm
+// switch that used to live in PhysicalPlan::Execute().
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/chained_joins.h"
+#include "src/core/range_select_inner_join.h"
+#include "src/core/select_inner_join.h"
+#include "src/core/select_outer_join.h"
+#include "src/core/two_selects.h"
+#include "src/core/unchained_joins.h"
+#include "src/engine/executor.h"
+
+namespace knnq {
+
+namespace {
+
+/// Wraps a Result<T> into a Result<QueryOutput>.
+template <typename T>
+Result<QueryOutput> Wrap(Result<T> result) {
+  if (!result.ok()) return result.status();
+  return QueryOutput(std::move(result.value()));
+}
+
+class TwoSelectsExecutor : public Executor {
+ public:
+  explicit TwoSelectsExecutor(bool optimized) : optimized_(optimized) {}
+
+  const char* name() const override {
+    return optimized_ ? "two-selects" : "two-selects-naive";
+  }
+
+  Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                              ExecStats* stats) const override {
+    const TwoSelectsQuery query{.relation = plan.r1(),
+                                .f1 = plan.f1(),
+                                .k1 = plan.k1(),
+                                .f2 = plan.f2(),
+                                .k2 = plan.k2()};
+    return Wrap(optimized_ ? TwoSelectsOptimized(query, nullptr, stats)
+                           : TwoSelectsNaive(query, nullptr, stats));
+  }
+
+ private:
+  const bool optimized_;
+};
+
+/// Which select-inner-join evaluator a plan maps to.
+enum class InnerJoinStrategy { kNaive, kCounting, kBlockMarking };
+
+class SelectInnerJoinExecutor : public Executor {
+ public:
+  explicit SelectInnerJoinExecutor(InnerJoinStrategy strategy)
+      : strategy_(strategy) {}
+
+  const char* name() const override { return "select-inner-join"; }
+
+  Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                              ExecStats* stats) const override {
+    const SelectInnerJoinQuery query{.outer = plan.r1(),
+                                     .inner = plan.r2(),
+                                     .join_k = plan.k1(),
+                                     .focal = plan.f1(),
+                                     .select_k = plan.k2()};
+    switch (strategy_) {
+      case InnerJoinStrategy::kCounting:
+        return Wrap(SelectInnerJoinCounting(query, nullptr, stats));
+      case InnerJoinStrategy::kBlockMarking:
+        return Wrap(SelectInnerJoinBlockMarking(query, plan.preprocess(),
+                                                nullptr, ProbePoint::kCenter,
+                                                stats));
+      case InnerJoinStrategy::kNaive:
+        break;
+    }
+    return Wrap(SelectInnerJoinNaive(query, nullptr, stats));
+  }
+
+ private:
+  const InnerJoinStrategy strategy_;
+};
+
+class SelectOuterJoinExecutor : public Executor {
+ public:
+  explicit SelectOuterJoinExecutor(bool pushed) : pushed_(pushed) {}
+
+  const char* name() const override { return "select-outer-join"; }
+
+  Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                              ExecStats* stats) const override {
+    const SelectOuterJoinQuery query{.outer = plan.r1(),
+                                     .inner = plan.r2(),
+                                     .join_k = plan.k1(),
+                                     .focal = plan.f1(),
+                                     .select_k = plan.k2()};
+    return Wrap(pushed_ ? SelectOuterJoinPushed(query, stats)
+                        : SelectOuterJoinLate(query, stats));
+  }
+
+ private:
+  const bool pushed_;
+};
+
+class UnchainedJoinsExecutor : public Executor {
+ public:
+  explicit UnchainedJoinsExecutor(bool block_marking)
+      : block_marking_(block_marking) {}
+
+  const char* name() const override { return "unchained-joins"; }
+
+  Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                              ExecStats* stats) const override {
+    // When swapped, the physical A-side is the spec's C-side; swap the
+    // triplet roles back so callers always see spec order.
+    const bool swapped = plan.swapped();
+    const UnchainedJoinsQuery query{
+        .a = swapped ? plan.r3() : plan.r1(),
+        .b = plan.r2(),
+        .c = swapped ? plan.r1() : plan.r3(),
+        .k_ab = swapped ? plan.k2() : plan.k1(),
+        .k_cb = swapped ? plan.k1() : plan.k2()};
+    auto result = block_marking_
+                      ? UnchainedJoinsBlockMarking(query, nullptr, stats)
+                      : UnchainedJoinsNaive(query, stats);
+    if (!result.ok()) return result.status();
+    TripletResult triplets = std::move(result.value());
+    if (swapped) {
+      for (Triplet& t : triplets) std::swap(t.a, t.c);
+      Canonicalize(triplets);
+    }
+    return QueryOutput(std::move(triplets));
+  }
+
+ private:
+  const bool block_marking_;
+};
+
+/// Which chained-joins QEP of Figure 13 a plan maps to.
+enum class ChainedStrategy { kRightDeep, kJoinIntersection, kNested };
+
+class ChainedJoinsExecutor : public Executor {
+ public:
+  explicit ChainedJoinsExecutor(ChainedStrategy strategy)
+      : strategy_(strategy) {}
+
+  const char* name() const override { return "chained-joins"; }
+
+  Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                              ExecStats* stats) const override {
+    const ChainedJoinsQuery query{.a = plan.r1(),
+                                  .b = plan.r2(),
+                                  .c = plan.r3(),
+                                  .k_ab = plan.k1(),
+                                  .k_bc = plan.k2()};
+    switch (strategy_) {
+      case ChainedStrategy::kRightDeep:
+        return Wrap(ChainedJoinsRightDeep(query, nullptr, stats));
+      case ChainedStrategy::kJoinIntersection:
+        return Wrap(ChainedJoinsJoinIntersection(query, nullptr, stats));
+      case ChainedStrategy::kNested:
+        break;
+    }
+    return Wrap(ChainedJoinsNested(query, plan.cache(), nullptr, stats));
+  }
+
+ private:
+  const ChainedStrategy strategy_;
+};
+
+class RangeInnerJoinExecutor : public Executor {
+ public:
+  explicit RangeInnerJoinExecutor(InnerJoinStrategy strategy)
+      : strategy_(strategy) {}
+
+  const char* name() const override { return "range-inner-join"; }
+
+  Result<QueryOutput> Execute(const PhysicalPlan& plan,
+                              ExecStats* stats) const override {
+    const RangeSelectInnerJoinQuery query{.outer = plan.r1(),
+                                          .inner = plan.r2(),
+                                          .join_k = plan.k1(),
+                                          .range = plan.range()};
+    switch (strategy_) {
+      case InnerJoinStrategy::kCounting:
+        return Wrap(RangeSelectInnerJoinCounting(query, nullptr, stats));
+      case InnerJoinStrategy::kBlockMarking:
+        return Wrap(RangeSelectInnerJoinBlockMarking(query, plan.preprocess(),
+                                                     nullptr, stats));
+      case InnerJoinStrategy::kNaive:
+        break;
+    }
+    return Wrap(RangeSelectInnerJoinNaive(query, nullptr, stats));
+  }
+
+ private:
+  const InnerJoinStrategy strategy_;
+};
+
+void MustRegister(ExecutorRegistry& registry, Algorithm algorithm,
+                  std::unique_ptr<Executor> executor) {
+  const Status status = registry.Register(algorithm, std::move(executor));
+  KNNQ_CHECK_MSG(status.ok(), status.ToString().c_str());
+}
+
+}  // namespace
+
+void RegisterDefaultExecutors(ExecutorRegistry& registry) {
+  MustRegister(registry, Algorithm::kTwoSelectsNaive,
+               std::make_unique<TwoSelectsExecutor>(false));
+  MustRegister(registry, Algorithm::kTwoSelectsOptimized,
+               std::make_unique<TwoSelectsExecutor>(true));
+
+  MustRegister(
+      registry, Algorithm::kSelectInnerJoinNaive,
+      std::make_unique<SelectInnerJoinExecutor>(InnerJoinStrategy::kNaive));
+  MustRegister(registry, Algorithm::kSelectInnerJoinCounting,
+               std::make_unique<SelectInnerJoinExecutor>(
+                   InnerJoinStrategy::kCounting));
+  MustRegister(registry, Algorithm::kSelectInnerJoinBlockMarking,
+               std::make_unique<SelectInnerJoinExecutor>(
+                   InnerJoinStrategy::kBlockMarking));
+
+  MustRegister(registry, Algorithm::kSelectOuterJoinPushed,
+               std::make_unique<SelectOuterJoinExecutor>(true));
+  MustRegister(registry, Algorithm::kSelectOuterJoinLate,
+               std::make_unique<SelectOuterJoinExecutor>(false));
+
+  MustRegister(registry, Algorithm::kUnchainedNaive,
+               std::make_unique<UnchainedJoinsExecutor>(false));
+  MustRegister(registry, Algorithm::kUnchainedBlockMarking,
+               std::make_unique<UnchainedJoinsExecutor>(true));
+
+  MustRegister(
+      registry, Algorithm::kChainedRightDeep,
+      std::make_unique<ChainedJoinsExecutor>(ChainedStrategy::kRightDeep));
+  MustRegister(registry, Algorithm::kChainedJoinIntersection,
+               std::make_unique<ChainedJoinsExecutor>(
+                   ChainedStrategy::kJoinIntersection));
+  MustRegister(
+      registry, Algorithm::kChainedNestedJoin,
+      std::make_unique<ChainedJoinsExecutor>(ChainedStrategy::kNested));
+
+  MustRegister(
+      registry, Algorithm::kRangeInnerJoinNaive,
+      std::make_unique<RangeInnerJoinExecutor>(InnerJoinStrategy::kNaive));
+  MustRegister(registry, Algorithm::kRangeInnerJoinCounting,
+               std::make_unique<RangeInnerJoinExecutor>(
+                   InnerJoinStrategy::kCounting));
+  MustRegister(registry, Algorithm::kRangeInnerJoinBlockMarking,
+               std::make_unique<RangeInnerJoinExecutor>(
+                   InnerJoinStrategy::kBlockMarking));
+}
+
+}  // namespace knnq

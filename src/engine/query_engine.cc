@@ -1,0 +1,73 @@
+#include "src/engine/query_engine.h"
+
+#include <latch>
+#include <thread>
+#include <utility>
+
+#include "src/engine/executor.h"
+
+namespace knnq {
+
+namespace {
+
+std::size_t ResolveThreads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(Catalog catalog, EngineOptions options)
+    : catalog_(std::move(catalog)),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          ResolveThreads(options.num_threads))) {}
+
+QueryEngine::~QueryEngine() = default;
+
+std::size_t QueryEngine::num_threads() const { return pool_->size(); }
+
+EngineResult QueryEngine::Run(const QuerySpec& spec) const {
+  EngineResult result;
+  const auto plan = Optimize(catalog_, spec, options_.planner);
+  if (!plan.ok()) {
+    result.status = plan.status();
+    return result;
+  }
+  result.algorithm = plan->algorithm();
+  const ExecutorRegistry& registry = options_.registry != nullptr
+                                         ? *options_.registry
+                                         : ExecutorRegistry::Default();
+  auto output = plan->Execute(registry, &result.stats);
+  // The plan was built either way; keep its EXPLAIN for debugging
+  // failed executions too.
+  result.explain = plan->Explain(&result.stats);
+  if (!output.ok()) {
+    result.status = output.status();
+    return result;
+  }
+  result.output = std::move(output.value());
+  return result;
+}
+
+std::vector<EngineResult> QueryEngine::RunBatch(
+    const std::vector<QuerySpec>& specs) const {
+  std::vector<EngineResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  // One task per query; slots keep submission order and isolate
+  // failures. The latch is the only cross-thread synchronization -
+  // indexes are immutable and each task touches only its own slot.
+  std::latch done(static_cast<std::ptrdiff_t>(specs.size()));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool_->Submit([this, &specs, &results, &done, i] {
+      results[i] = Run(specs[i]);
+      done.count_down();
+    });
+  }
+  done.wait();
+  return results;
+}
+
+}  // namespace knnq

@@ -1,0 +1,93 @@
+// QueryEngine: the serving facade of the repository.
+//
+// Owns a Catalog, the PlannerOptions every query is planned with, and a
+// fixed-size worker thread pool. Run() plans and executes one query;
+// RunBatch() fans a batch out over the workers and returns results in
+// submission order, with per-query errors isolated to their slot.
+//
+// Concurrency model: SpatialIndex instances are immutable and
+// read-thread-safe (src/index/spatial_index.h); every evaluator creates
+// its own KnnSearcher scratch state. Planning reads only catalog
+// statistics. So queries share indexes with zero synchronization and a
+// batch's speedup is bounded only by cores and memory bandwidth.
+
+#ifndef KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
+#define KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/exec_stats.h"
+#include "src/engine/thread_pool.h"
+#include "src/planner/catalog.h"
+#include "src/planner/optimizer.h"
+#include "src/planner/physical_plan.h"
+
+namespace knnq {
+
+class ExecutorRegistry;  // src/engine/executor.h
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Worker threads for RunBatch. 0 means hardware concurrency.
+  std::size_t num_threads = 0;
+
+  /// Planning heuristics applied to every query.
+  PlannerOptions planner;
+
+  /// Executor registry to dispatch through; null means
+  /// ExecutorRegistry::Default(). Must outlive the engine.
+  const ExecutorRegistry* registry = nullptr;
+};
+
+/// Outcome of one query. A failed plan or execution sets `status` and
+/// leaves the rest defaulted; a batch never fails as a whole.
+struct EngineResult {
+  Status status = Status::Ok();
+  /// Valid only when status.ok().
+  QueryOutput output;
+  /// The algorithm the optimizer chose (valid when planning succeeded).
+  Algorithm algorithm = Algorithm::kTwoSelectsNaive;
+  /// EXPLAIN rendering of the executed plan, including the Stats line.
+  std::string explain;
+  /// Uniform execution counters plus wall time.
+  ExecStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Plans and executes queries against an immutable catalog.
+class QueryEngine {
+ public:
+  /// Takes ownership of `catalog`; relations are fixed for the engine's
+  /// lifetime (immutability is what makes RunBatch lock-free).
+  explicit QueryEngine(Catalog catalog, EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  const Catalog& catalog() const { return catalog_; }
+  const EngineOptions& options() const { return options_; }
+  std::size_t num_threads() const;
+
+  /// Plans and executes one query on the calling thread.
+  EngineResult Run(const QuerySpec& spec) const;
+
+  /// Executes `specs` concurrently on the worker pool. results[i] is
+  /// the outcome of specs[i]; a bad query (unknown relation, k = 0)
+  /// fails only its own slot.
+  std::vector<EngineResult> RunBatch(
+      const std::vector<QuerySpec>& specs) const;
+
+ private:
+  Catalog catalog_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,54 @@
+// ThreadPool: a fixed-size worker pool for the query engine.
+//
+// Deliberately minimal: tasks are type-erased closures, the queue is
+// unbounded, and shutdown drains nothing - the destructor wakes the
+// workers, lets in-flight tasks finish, and joins. Query fan-out needs
+// nothing fancier, and a small pool is easy to reason about under the
+// engine's "immutable shared indexes, per-thread searchers" model.
+
+#ifndef KNNQ_SRC_ENGINE_THREAD_POOL_H_
+#define KNNQ_SRC_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace knnq {
+
+/// Fixed-size worker pool. Submit is thread-safe; tasks run in FIFO
+/// order per worker pickup (no ordering guarantee across workers).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Stops accepting tasks, discards tasks never started, finishes the
+  /// in-flight ones and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Tasks must not
+  /// throw; submitting after destruction begins is a caller bug.
+  void Submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_ENGINE_THREAD_POOL_H_

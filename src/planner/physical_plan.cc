@@ -2,10 +2,8 @@
 
 #include <sstream>
 
-#include "src/core/chained_joins.h"
-#include "src/core/range_select_inner_join.h"
-#include "src/core/select_outer_join.h"
-#include "src/core/unchained_joins.h"
+#include "src/common/stopwatch.h"
+#include "src/engine/executor.h"
 
 namespace knnq {
 
@@ -45,7 +43,7 @@ const char* ToString(Algorithm algorithm) {
   return "unknown";
 }
 
-std::string PhysicalPlan::Explain() const {
+std::string PhysicalPlan::Explain(const ExecStats* stats) const {
   std::ostringstream out;
   out << "Query: " << query_text_ << "\n";
   out << "Plan:  " << ToString(algorithm_);
@@ -61,106 +59,28 @@ std::string PhysicalPlan::Explain() const {
   out << "\n";
   if (!rationale_.empty()) out << "Why:   " << rationale_ << "\n";
   if (!rule_note_.empty()) out << "Rule:  " << rule_note_ << "\n";
+  if (stats != nullptr) out << "Stats: " << stats->ToString() << "\n";
   return out.str();
 }
 
-Result<QueryOutput> PhysicalPlan::Execute() const {
-  switch (algorithm_) {
-    case Algorithm::kTwoSelectsNaive:
-    case Algorithm::kTwoSelectsOptimized: {
-      const TwoSelectsQuery query{
-          .relation = r1_, .f1 = f1_, .k1 = k1_, .f2 = f2_, .k2 = k2_};
-      auto result = (algorithm_ == Algorithm::kTwoSelectsOptimized)
-                        ? TwoSelectsOptimized(query)
-                        : TwoSelectsNaive(query);
-      if (!result.ok()) return result.status();
-      return QueryOutput(std::move(result.value()));
-    }
+Result<QueryOutput> PhysicalPlan::Execute(ExecStats* stats) const {
+  return Execute(ExecutorRegistry::Default(), stats);
+}
 
-    case Algorithm::kSelectInnerJoinNaive:
-    case Algorithm::kSelectInnerJoinCounting:
-    case Algorithm::kSelectInnerJoinBlockMarking: {
-      const SelectInnerJoinQuery query{.outer = r1_,
-                                       .inner = r2_,
-                                       .join_k = k1_,
-                                       .focal = f1_,
-                                       .select_k = k2_};
-      Result<JoinResult> result =
-          (algorithm_ == Algorithm::kSelectInnerJoinCounting)
-              ? SelectInnerJoinCounting(query)
-          : (algorithm_ == Algorithm::kSelectInnerJoinBlockMarking)
-              ? SelectInnerJoinBlockMarking(query, preprocess_)
-              : SelectInnerJoinNaive(query);
-      if (!result.ok()) return result.status();
-      return QueryOutput(std::move(result.value()));
-    }
-
-    case Algorithm::kSelectOuterJoinPushed:
-    case Algorithm::kSelectOuterJoinLate: {
-      const SelectOuterJoinQuery query{.outer = r1_,
-                                       .inner = r2_,
-                                       .join_k = k1_,
-                                       .focal = f1_,
-                                       .select_k = k2_};
-      auto result = (algorithm_ == Algorithm::kSelectOuterJoinPushed)
-                        ? SelectOuterJoinPushed(query)
-                        : SelectOuterJoinLate(query);
-      if (!result.ok()) return result.status();
-      return QueryOutput(std::move(result.value()));
-    }
-
-    case Algorithm::kUnchainedNaive:
-    case Algorithm::kUnchainedBlockMarking: {
-      // When swapped_, the physical A-side is the spec's C-side; swap
-      // the triplet roles back so callers always see spec order.
-      const UnchainedJoinsQuery query{.a = swapped_ ? r3_ : r1_,
-                                      .b = r2_,
-                                      .c = swapped_ ? r1_ : r3_,
-                                      .k_ab = swapped_ ? k2_ : k1_,
-                                      .k_cb = swapped_ ? k1_ : k2_};
-      auto result = (algorithm_ == Algorithm::kUnchainedBlockMarking)
-                        ? UnchainedJoinsBlockMarking(query)
-                        : UnchainedJoinsNaive(query);
-      if (!result.ok()) return result.status();
-      TripletResult triplets = std::move(result.value());
-      if (swapped_) {
-        for (Triplet& t : triplets) std::swap(t.a, t.c);
-        Canonicalize(triplets);
-      }
-      return QueryOutput(std::move(triplets));
-    }
-
-    case Algorithm::kRangeInnerJoinNaive:
-    case Algorithm::kRangeInnerJoinCounting:
-    case Algorithm::kRangeInnerJoinBlockMarking: {
-      const RangeSelectInnerJoinQuery query{
-          .outer = r1_, .inner = r2_, .join_k = k1_, .range = range_};
-      Result<JoinResult> result =
-          (algorithm_ == Algorithm::kRangeInnerJoinCounting)
-              ? RangeSelectInnerJoinCounting(query)
-          : (algorithm_ == Algorithm::kRangeInnerJoinBlockMarking)
-              ? RangeSelectInnerJoinBlockMarking(query, preprocess_)
-              : RangeSelectInnerJoinNaive(query);
-      if (!result.ok()) return result.status();
-      return QueryOutput(std::move(result.value()));
-    }
-
-    case Algorithm::kChainedRightDeep:
-    case Algorithm::kChainedJoinIntersection:
-    case Algorithm::kChainedNestedJoin: {
-      const ChainedJoinsQuery query{
-          .a = r1_, .b = r2_, .c = r3_, .k_ab = k1_, .k_bc = k2_};
-      Result<TripletResult> result =
-          (algorithm_ == Algorithm::kChainedRightDeep)
-              ? ChainedJoinsRightDeep(query)
-          : (algorithm_ == Algorithm::kChainedJoinIntersection)
-              ? ChainedJoinsJoinIntersection(query)
-              : ChainedJoinsNested(query, cache_);
-      if (!result.ok()) return result.status();
-      return QueryOutput(std::move(result.value()));
-    }
+Result<QueryOutput> PhysicalPlan::Execute(const ExecutorRegistry& registry,
+                                          ExecStats* stats) const {
+  const Executor* executor = registry.Find(algorithm_);
+  if (executor == nullptr) {
+    return Status::Internal(std::string("no executor registered for ") +
+                            ToString(algorithm_));
   }
-  return Status::Internal("unhandled algorithm in PhysicalPlan::Execute");
+  ExecStats local;
+  ExecStats* out = stats != nullptr ? stats : &local;
+  *out = ExecStats{};
+  Stopwatch timer;
+  Result<QueryOutput> result = executor->Execute(*this, out);
+  out->wall_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 }  // namespace knnq

@@ -1,7 +1,9 @@
 // PhysicalPlan: a fully bound, executable evaluation strategy produced
-// by Optimize(). Carries the chosen algorithm, the bound relations, the
-// decision rationale (for EXPLAIN), and runs the matching src/core
-// evaluator on Execute().
+// by Optimize(). Carries the chosen algorithm, the bound relations and
+// the decision rationale (for EXPLAIN). Execution is delegated to the
+// engine layer: Execute() looks the algorithm up in the process-wide
+// ExecutorRegistry (src/engine/executor.h), so adding an algorithm
+// means registering an executor, not editing a switch here.
 
 #ifndef KNNQ_SRC_PLANNER_PHYSICAL_PLAN_H_
 #define KNNQ_SRC_PLANNER_PHYSICAL_PLAN_H_
@@ -10,12 +12,15 @@
 #include <variant>
 
 #include "src/common/status.h"
+#include "src/core/exec_stats.h"
 #include "src/core/result_types.h"
 #include "src/core/select_inner_join.h"
 #include "src/core/two_selects.h"
 #include "src/index/spatial_index.h"
 
 namespace knnq {
+
+class ExecutorRegistry;  // src/engine/executor.h
 
 /// Every executable strategy the optimizer can pick.
 enum class Algorithm {
@@ -44,6 +49,9 @@ using QueryOutput =
     std::variant<TwoSelectsResult, JoinResult, TripletResult>;
 
 /// An executable plan. Create via Optimize() in optimizer.h.
+///
+/// The bound state is exposed read-only so engine executors can run the
+/// plan without befriending it; plans are immutable once built.
 class PhysicalPlan {
  public:
   Algorithm algorithm() const { return algorithm_; }
@@ -53,34 +61,61 @@ class PhysicalPlan {
 
   /// Multi-line EXPLAIN rendering: query shape, chosen algorithm,
   /// bound relations, rationale, and the legality rule that constrains
-  /// the shape.
-  std::string Explain() const;
+  /// the shape. With `stats` given (from a prior Execute), a final
+  /// "Stats:" line reports the uniform execution counters.
+  std::string Explain(const ExecStats* stats = nullptr) const;
 
-  /// Runs the plan. Safe to call repeatedly; plans are immutable.
-  Result<QueryOutput> Execute() const;
+  /// Runs the plan through ExecutorRegistry::Default(). Safe to call
+  /// repeatedly and from several threads at once; plans are immutable.
+  /// `stats` (optional) is overwritten with the execution's counters
+  /// and wall time.
+  Result<QueryOutput> Execute(ExecStats* stats = nullptr) const;
+
+  /// Runs the plan through a caller-supplied registry - the extension
+  /// point for engines that register their own executors. Fails with
+  /// Internal when the registry has no executor for this algorithm.
+  Result<QueryOutput> Execute(const ExecutorRegistry& registry,
+                              ExecStats* stats = nullptr) const;
+
+  // --- Bound inputs, read by the engine's executors. ---
+  // Which fields are meaningful depends on the algorithm.
+
+  /// E / E1 / A.
+  const SpatialIndex* r1() const { return r1_; }
+  /// E2 / B.
+  const SpatialIndex* r2() const { return r2_; }
+  /// C.
+  const SpatialIndex* r3() const { return r3_; }
+  const Point& f1() const { return f1_; }
+  const Point& f2() const { return f2_; }
+  std::size_t k1() const { return k1_; }
+  std::size_t k2() const { return k2_; }
+  /// Range-inner-join only: the selection rectangle.
+  const BoundingBox& range() const { return range_; }
+  /// Unchained only: relations were swapped so the clustered side
+  /// drives the first join; the executor swaps triplet roles back.
+  bool swapped() const { return swapped_; }
+  /// Block-Marking preprocessing flavor.
+  PreprocessMode preprocess() const { return preprocess_; }
+  /// Chained nested join: memoize b-neighborhoods.
+  bool cache() const { return cache_; }
 
  private:
   friend class PlanBuilder;
 
   Algorithm algorithm_ = Algorithm::kTwoSelectsNaive;
 
-  // Bound inputs; which fields matter depends on the algorithm.
-  const SpatialIndex* r1_ = nullptr;  // E / E1 / A.
-  const SpatialIndex* r2_ = nullptr;  // E2 / B.
-  const SpatialIndex* r3_ = nullptr;  // C.
+  const SpatialIndex* r1_ = nullptr;
+  const SpatialIndex* r2_ = nullptr;
+  const SpatialIndex* r3_ = nullptr;
   Point f1_;
   Point f2_;
   std::size_t k1_ = 0;
   std::size_t k2_ = 0;
-  /// Range-inner-join only: the selection rectangle.
   BoundingBox range_;
 
-  /// Unchained only: relations were swapped so the clustered side
-  /// drives the first join; Execute swaps triplet roles back.
   bool swapped_ = false;
-  /// Block-Marking preprocessing flavor.
   PreprocessMode preprocess_ = PreprocessMode::kContour;
-  /// Chained nested join: memoize b-neighborhoods.
   bool cache_ = true;
 
   std::string query_text_;

@@ -1,0 +1,385 @@
+// Engine-layer tests: executor registry completeness, QueryEngine
+// batch-vs-serial equivalence over every query shape, per-query error
+// isolation, and the guarantee that every src/core evaluator reports
+// non-zero ExecStats.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/chained_joins.h"
+#include "src/core/knn_join.h"
+#include "src/core/knn_select.h"
+#include "src/core/multi_chained_joins.h"
+#include "src/core/range_select_inner_join.h"
+#include "src/core/select_inner_join.h"
+#include "src/core/select_outer_join.h"
+#include "src/core/two_selects.h"
+#include "src/core/unchained_joins.h"
+#include "src/engine/executor.h"
+#include "src/engine/query_engine.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::MakeCity;
+using testing::MakeClustered;
+using testing::MakeIndex;
+using testing::MakeUniform;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kTwoSelectsNaive,
+    Algorithm::kTwoSelectsOptimized,
+    Algorithm::kSelectInnerJoinNaive,
+    Algorithm::kSelectInnerJoinCounting,
+    Algorithm::kSelectInnerJoinBlockMarking,
+    Algorithm::kSelectOuterJoinPushed,
+    Algorithm::kSelectOuterJoinLate,
+    Algorithm::kUnchainedNaive,
+    Algorithm::kUnchainedBlockMarking,
+    Algorithm::kChainedRightDeep,
+    Algorithm::kChainedJoinIntersection,
+    Algorithm::kChainedNestedJoin,
+    Algorithm::kRangeInnerJoinNaive,
+    Algorithm::kRangeInnerJoinCounting,
+    Algorithm::kRangeInnerJoinBlockMarking,
+};
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  IndexOptions options;
+  options.block_capacity = 16;  // Many blocks: pruning paths fire.
+  EXPECT_TRUE(
+      catalog.AddRelation("uniform", MakeUniform(800, 41, 0), options).ok());
+  EXPECT_TRUE(
+      catalog.AddRelation("city", MakeCity(800, 42, 100000), options).ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation("clustered", MakeClustered(3, 120, 43, 200000),
+                               options)
+                  .ok());
+  return catalog;
+}
+
+EngineOptions WithThreads(std::size_t num_threads) {
+  EngineOptions options;
+  options.num_threads = num_threads;
+  return options;
+}
+
+/// `rounds` cycles through all six QuerySpec shapes with varying
+/// parameters: 6 * rounds specs total.
+std::vector<QuerySpec> MixedSpecs(std::size_t rounds) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(rounds * 6);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double dx = static_cast<double>((i * 37) % 900);
+    const double dy = static_cast<double>((i * 53) % 700);
+    const std::size_t k = 1 + i % 7;
+    specs.push_back(TwoSelectsSpec{
+        .relation = "city",
+        .s1 = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k},
+        .s2 = {.focal = {.id = -1, .x = dx + 40, .y = dy + 25}, .k = k + 6},
+    });
+    specs.push_back(SelectInnerJoinSpec{
+        .outer = "uniform",
+        .inner = "city",
+        .join_k = k,
+        .select = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k + 2},
+    });
+    specs.push_back(SelectOuterJoinSpec{
+        .outer = "city",
+        .inner = "uniform",
+        .join_k = 1 + k % 3,
+        .select = {.focal = {.id = -1, .x = dy, .y = dx / 2}, .k = 5 + k},
+    });
+    specs.push_back(UnchainedJoinsSpec{
+        .a = "uniform",
+        .b = "city",
+        .c = "clustered",
+        .k_ab = 1 + k % 3,
+        .k_cb = 1 + (k + 1) % 3,
+    });
+    specs.push_back(ChainedJoinsSpec{
+        .a = "clustered",
+        .b = "city",
+        .c = "uniform",
+        .k_ab = 1 + k % 3,
+        .k_bc = 1 + (k + 2) % 3,
+    });
+    specs.push_back(RangeInnerJoinSpec{
+        .outer = "uniform",
+        .inner = "city",
+        .join_k = k,
+        .range = BoundingBox(dx, dy, dx + 150, dy + 120),
+    });
+  }
+  return specs;
+}
+
+void ExpectBatchMatchesSerial(const QueryEngine& engine,
+                              const std::vector<QuerySpec>& specs) {
+  std::vector<EngineResult> serial;
+  serial.reserve(specs.size());
+  for (const QuerySpec& spec : specs) serial.push_back(engine.Run(spec));
+
+  const std::vector<EngineResult> batch = engine.RunBatch(specs);
+  ASSERT_EQ(batch.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << "query " << i << ": "
+                               << batch[i].status.ToString();
+    ASSERT_TRUE(serial[i].ok());
+    EXPECT_EQ(batch[i].algorithm, serial[i].algorithm) << "query " << i;
+    EXPECT_TRUE(batch[i].output == serial[i].output)
+        << "batch result differs from serial for query " << i;
+    EXPECT_FALSE(batch[i].stats.empty())
+        << "query " << i << " reported no execution counters";
+  }
+}
+
+TEST(ExecutorRegistryTest, DefaultCoversEveryAlgorithm) {
+  const ExecutorRegistry& registry = ExecutorRegistry::Default();
+  EXPECT_EQ(registry.size(), std::size(kAllAlgorithms));
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    const Executor* executor = registry.Find(algorithm);
+    ASSERT_NE(executor, nullptr) << ToString(algorithm);
+    EXPECT_NE(std::string(executor->name()), "");
+  }
+}
+
+TEST(ExecutorRegistryTest, RejectsDuplicatesAndNull) {
+  ExecutorRegistry registry;
+  RegisterDefaultExecutors(registry);
+  EXPECT_FALSE(registry.Register(Algorithm::kTwoSelectsNaive, nullptr).ok());
+  // Re-registering the full default set must fail on the first key.
+  ExecutorRegistry fresh;
+  RegisterDefaultExecutors(fresh);
+  EXPECT_EQ(fresh.size(), std::size(kAllAlgorithms));
+}
+
+TEST(ExecutorRegistryTest, PlanExecutesThroughCustomRegistry) {
+  ExecutorRegistry registry;
+  RegisterDefaultExecutors(registry);
+  const Catalog catalog = MakeCatalog();
+  const auto plan = Optimize(catalog, TwoSelectsSpec{
+      .relation = "city",
+      .s1 = {.focal = {.id = -1, .x = 500, .y = 400}, .k = 4},
+      .s2 = {.focal = {.id = -1, .x = 520, .y = 410}, .k = 8},
+  });
+  ASSERT_TRUE(plan.ok());
+
+  ExecStats stats;
+  const auto output = plan->Execute(registry, &stats);
+  ASSERT_TRUE(output.ok());
+  EXPECT_FALSE(stats.empty());
+
+  // An empty registry has no executor for the plan's algorithm.
+  const ExecutorRegistry empty;
+  const auto missing = plan->Execute(empty);
+  EXPECT_EQ(missing.status().code(), StatusCode::kInternal);
+
+  // An engine dispatches through a caller-supplied registry too.
+  EngineOptions options = WithThreads(1);
+  options.registry = &registry;
+  QueryEngine engine(MakeCatalog(), options);
+  EXPECT_TRUE(engine
+                  .Run(TwoSelectsSpec{
+                      .relation = "city",
+                      .s1 = {.focal = {.id = -1, .x = 100, .y = 100}, .k = 3},
+                      .s2 = {.focal = {.id = -1, .x = 120, .y = 90}, .k = 5},
+                  })
+                  .ok());
+}
+
+TEST(QueryEngineTest, BatchMatchesSerialOverAllShapes) {
+  // 43 rounds * 6 shapes = 258 queries >= 256, on a 4-thread pool.
+  QueryEngine engine(MakeCatalog(), WithThreads(4));
+  EXPECT_EQ(engine.num_threads(), 4u);
+  ExpectBatchMatchesSerial(engine, MixedSpecs(43));
+}
+
+TEST(QueryEngineTest, BatchMatchesSerialUnderForceNaive) {
+  EngineOptions options;
+  options.num_threads = 4;
+  options.planner.force_naive = true;
+  QueryEngine engine(MakeCatalog(), options);
+  ExpectBatchMatchesSerial(engine, MixedSpecs(8));
+}
+
+TEST(QueryEngineTest, PerQueryErrorsAreIsolated) {
+  QueryEngine engine(MakeCatalog(), WithThreads(2));
+  std::vector<QuerySpec> specs = MixedSpecs(1);
+  const std::size_t good = specs.size();
+  // Slot `good`: unknown relation. Slot `good + 1`: zero k.
+  specs.push_back(TwoSelectsSpec{
+      .relation = "does-not-exist",
+      .s1 = {.focal = {}, .k = 2},
+      .s2 = {.focal = {}, .k = 2},
+  });
+  specs.push_back(SelectInnerJoinSpec{
+      .outer = "uniform",
+      .inner = "city",
+      .join_k = 0,
+      .select = {.focal = {}, .k = 1},
+  });
+
+  const std::vector<EngineResult> results = engine.RunBatch(specs);
+  ASSERT_EQ(results.size(), good + 2);
+  for (std::size_t i = 0; i < good; ++i) {
+    EXPECT_TRUE(results[i].ok())
+        << "good query " << i << " failed: " << results[i].status.ToString();
+  }
+  EXPECT_EQ(results[good].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(results[good + 1].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, ExplainSurfacesExecStats) {
+  QueryEngine engine(MakeCatalog(), WithThreads(1));
+  const EngineResult result = engine.Run(TwoSelectsSpec{
+      .relation = "city",
+      .s1 = {.focal = {.id = -1, .x = 500, .y = 400}, .k = 5},
+      .s2 = {.focal = {.id = -1, .x = 520, .y = 410}, .k = 9},
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.explain.find("Stats:"), std::string::npos)
+      << result.explain;
+  EXPECT_NE(result.explain.find("blocks="), std::string::npos)
+      << result.explain;
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+}
+
+// --- Every src/core evaluator reports non-zero ExecStats. ---
+
+class EvaluatorStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    outer_points_ = MakeUniform(500, 61, 0);
+    inner_points_ = MakeCity(500, 62, 100000);
+    third_points_ = MakeClustered(2, 100, 63, 200000);
+    outer_ = MakeIndex(outer_points_);
+    inner_ = MakeIndex(inner_points_);
+    third_ = MakeIndex(third_points_);
+  }
+
+  PointSet outer_points_, inner_points_, third_points_;
+  std::unique_ptr<SpatialIndex> outer_, inner_, third_;
+};
+
+TEST_F(EvaluatorStatsTest, TwoSelectsReportStats) {
+  const TwoSelectsQuery query{.relation = outer_.get(),
+                              .f1 = {.id = -1, .x = 300, .y = 300},
+                              .k1 = 4,
+                              .f2 = {.id = -1, .x = 320, .y = 310},
+                              .k2 = 9};
+  ExecStats naive, optimized;
+  ASSERT_TRUE(TwoSelectsNaive(query, nullptr, &naive).ok());
+  ASSERT_TRUE(TwoSelectsOptimized(query, nullptr, &optimized).ok());
+  EXPECT_FALSE(naive.empty());
+  EXPECT_FALSE(optimized.empty());
+  EXPECT_EQ(naive.neighborhoods_computed, 2u);
+}
+
+TEST_F(EvaluatorStatsTest, SelectInnerJoinFamilyReportsStats) {
+  const SelectInnerJoinQuery query{.outer = outer_.get(),
+                                   .inner = inner_.get(),
+                                   .join_k = 3,
+                                   .focal = {.id = -1, .x = 400, .y = 300},
+                                   .select_k = 5};
+  ExecStats naive, counting, marking;
+  ASSERT_TRUE(SelectInnerJoinNaive(query, nullptr, &naive).ok());
+  ASSERT_TRUE(SelectInnerJoinCounting(query, nullptr, &counting).ok());
+  ASSERT_TRUE(SelectInnerJoinBlockMarking(query, PreprocessMode::kContour,
+                                          nullptr, ProbePoint::kCenter,
+                                          &marking)
+                  .ok());
+  EXPECT_FALSE(naive.empty());
+  EXPECT_FALSE(counting.empty());
+  EXPECT_FALSE(marking.empty());
+  EXPECT_GT(counting.candidates_pruned, 0u)
+      << "a tight focal neighborhood must prune most outer points";
+  EXPECT_GT(marking.candidates_pruned, 0u);
+}
+
+TEST_F(EvaluatorStatsTest, RangeInnerJoinFamilyReportsStats) {
+  const RangeSelectInnerJoinQuery query{
+      .outer = outer_.get(),
+      .inner = inner_.get(),
+      .join_k = 3,
+      .range = BoundingBox(300, 250, 450, 380)};
+  ExecStats naive, counting, marking;
+  ASSERT_TRUE(RangeSelectInnerJoinNaive(query, nullptr, &naive).ok());
+  ASSERT_TRUE(RangeSelectInnerJoinCounting(query, nullptr, &counting).ok());
+  ASSERT_TRUE(RangeSelectInnerJoinBlockMarking(
+                  query, PreprocessMode::kContour, nullptr, &marking)
+                  .ok());
+  EXPECT_FALSE(naive.empty());
+  EXPECT_FALSE(counting.empty());
+  EXPECT_FALSE(marking.empty());
+}
+
+TEST_F(EvaluatorStatsTest, SelectOuterJoinReportsStats) {
+  const SelectOuterJoinQuery query{.outer = outer_.get(),
+                                   .inner = inner_.get(),
+                                   .join_k = 2,
+                                   .focal = {.id = -1, .x = 500, .y = 400},
+                                   .select_k = 10};
+  ExecStats pushed, late;
+  ASSERT_TRUE(SelectOuterJoinPushed(query, &pushed).ok());
+  ASSERT_TRUE(SelectOuterJoinLate(query, &late).ok());
+  EXPECT_FALSE(pushed.empty());
+  EXPECT_FALSE(late.empty());
+  EXPECT_GT(pushed.candidates_pruned, 0u)
+      << "the pushdown skips all non-selected outer points";
+  EXPECT_LT(pushed.neighborhoods_computed, late.neighborhoods_computed);
+}
+
+TEST_F(EvaluatorStatsTest, UnchainedJoinsReportStats) {
+  const UnchainedJoinsQuery query{.a = outer_.get(),
+                                  .b = inner_.get(),
+                                  .c = third_.get(),
+                                  .k_ab = 2,
+                                  .k_cb = 2};
+  ExecStats naive, marking;
+  ASSERT_TRUE(UnchainedJoinsNaive(query, &naive).ok());
+  ASSERT_TRUE(UnchainedJoinsBlockMarking(query, nullptr, &marking).ok());
+  EXPECT_FALSE(naive.empty());
+  EXPECT_FALSE(marking.empty());
+}
+
+TEST_F(EvaluatorStatsTest, ChainedJoinsFamilyReportsStats) {
+  const ChainedJoinsQuery query{.a = third_.get(),
+                                .b = inner_.get(),
+                                .c = outer_.get(),
+                                .k_ab = 2,
+                                .k_bc = 2};
+  ExecStats right_deep, intersection, nested;
+  ASSERT_TRUE(ChainedJoinsRightDeep(query, nullptr, &right_deep).ok());
+  ASSERT_TRUE(
+      ChainedJoinsJoinIntersection(query, nullptr, &intersection).ok());
+  ASSERT_TRUE(ChainedJoinsNested(query, true, nullptr, &nested).ok());
+  EXPECT_FALSE(right_deep.empty());
+  EXPECT_FALSE(intersection.empty());
+  EXPECT_FALSE(nested.empty());
+  EXPECT_LT(nested.neighborhoods_computed,
+            right_deep.neighborhoods_computed)
+      << "the nested join must not touch unreachable b's";
+}
+
+TEST_F(EvaluatorStatsTest, BaseOperationsReportStats) {
+  ExecStats select_stats, join_stats, chain_stats;
+  ASSERT_TRUE(KnnSelect(*outer_, {.id = -1, .x = 100, .y = 100}, 5,
+                        &select_stats)
+                  .ok());
+  ASSERT_TRUE(KnnJoin(third_points_, *inner_, 2, &join_stats).ok());
+  const ChainQuery chain{
+      .relations = {third_.get(), inner_.get(), outer_.get()},
+      .ks = {2, 2}};
+  ASSERT_TRUE(ChainedPathJoin(chain, true, nullptr, &chain_stats).ok());
+  EXPECT_FALSE(select_stats.empty());
+  EXPECT_FALSE(join_stats.empty());
+  EXPECT_FALSE(chain_stats.empty());
+}
+
+}  // namespace
+}  // namespace knnq

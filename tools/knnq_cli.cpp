@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/stopwatch.h"
@@ -30,9 +31,9 @@
 #include "src/data/clustered.h"
 #include "src/data/dataset_io.h"
 #include "src/data/uniform.h"
+#include "src/engine/query_engine.h"
 #include "src/index/knn_searcher.h"
 #include "src/planner/catalog.h"
-#include "src/planner/optimizer.h"
 
 namespace {
 
@@ -235,19 +236,19 @@ int CmdKnn(const Args& args) {
   return 0;
 }
 
-/// Loads relations, plans `spec`, prints EXPLAIN, executes, reports.
-int PlanAndRun(Catalog& catalog, const QuerySpec& spec, bool naive) {
-  PlannerOptions options;
-  options.force_naive = naive;
-  auto plan = Optimize(catalog, spec, options);
-  if (!plan.ok()) return Fail(plan.status());
-  std::printf("%s", plan->Explain().c_str());
+/// Hands the catalog to a QueryEngine, runs `spec`, prints EXPLAIN
+/// (including the ExecStats line) and the result.
+int PlanAndRun(Catalog catalog, const QuerySpec& spec, bool naive) {
+  EngineOptions options;
+  options.num_threads = 1;  // One ad-hoc query; no fan-out needed.
+  options.planner.force_naive = naive;
+  const QueryEngine engine(std::move(catalog), options);
 
-  Stopwatch sw;
-  auto output = plan->Execute();
-  const double ms = sw.ElapsedMillis();
-  if (!output.ok()) return Fail(output.status());
+  const EngineResult run = engine.Run(spec);
+  if (!run.ok()) return Fail(run.status);
+  std::printf("%s", run.explain.c_str());
 
+  const double ms = run.stats.wall_seconds * 1e3;
   std::visit(
       [&](const auto& result) {
         using T = std::decay_t<decltype(result)>;
@@ -264,7 +265,7 @@ int PlanAndRun(Catalog& catalog, const QuerySpec& spec, bool naive) {
                       Summarize(result).c_str(), ms);
         }
       },
-      *output);
+      run.output);
   return 0;
 }
 
@@ -294,7 +295,7 @@ int CmdTwoSelects(const Args& args) {
     if (!s.ok() && s.code() != StatusCode::kOk) return Fail(s);
   }
   if (!f1.ok() || !f2.ok() || !k1.ok() || !k2.ok()) return 1;
-  return PlanAndRun(catalog,
+  return PlanAndRun(std::move(catalog),
                     TwoSelectsSpec{.relation = "E",
                                    .s1 = {.focal = *f1, .k = *k1},
                                    .s2 = {.focal = *f2, .k = *k2}},
@@ -318,7 +319,7 @@ int CmdSelectInnerJoin(const Args& args) {
   if (!focal.ok()) return Fail(focal.status());
   if (!select_k.ok()) return Fail(select_k.status());
   return PlanAndRun(
-      catalog,
+      std::move(catalog),
       SelectInnerJoinSpec{.outer = "E1",
                           .inner = "E2",
                           .join_k = *join_k,
@@ -340,7 +341,7 @@ int CmdRangeInnerJoin(const Args& args) {
   auto range = args.GetBox("--range");
   if (!join_k.ok()) return Fail(join_k.status());
   if (!range.ok()) return Fail(range.status());
-  return PlanAndRun(catalog,
+  return PlanAndRun(std::move(catalog),
                     RangeInnerJoinSpec{.outer = "E1",
                                        .inner = "E2",
                                        .join_k = *join_k,
@@ -362,7 +363,7 @@ int CmdThreeRelations(const Args& args, bool chained) {
   if (chained) {
     auto k2 = args.GetSize("--k-bc");
     if (!k2.ok()) return Fail(k2.status());
-    return PlanAndRun(catalog,
+    return PlanAndRun(std::move(catalog),
                       ChainedJoinsSpec{.a = "A",
                                        .b = "B",
                                        .c = "C",
@@ -372,7 +373,7 @@ int CmdThreeRelations(const Args& args, bool chained) {
   }
   auto k2 = args.GetSize("--k-cb");
   if (!k2.ok()) return Fail(k2.status());
-  return PlanAndRun(catalog,
+  return PlanAndRun(std::move(catalog),
                     UnchainedJoinsSpec{.a = "A",
                                        .b = "B",
                                        .c = "C",
