@@ -1,24 +1,45 @@
 // Engine batch throughput: RunBatch of a mixed bag of all six query
-// shapes over worker pools of increasing size, against serial Run.
+// shapes over worker pools of increasing size, against serial Run -
+// now under two workload skews and with/without the engine's shared
+// NeighborhoodCache:
 //
-// Expected shape: near-linear speedup with the pool size up to the
-// machine's core count, because the shared SpatialIndex instances are
-// immutable and every query runs lock-free on its own scratch state.
-// The first iteration also asserts that the batch output is identical
-// to serial execution - the equivalence the engine guarantees.
+//   * uniform - every query has distinct parameters; the cache can
+//     only reuse join probes that happen to collide. Expected: cached
+//     within noise of uncached (the no-regression guard).
+//   * skewed  - queries drawn from a small pool of hot templates
+//     (repeated focal points, repeated join specs), the shape of real
+//     serving traffic. Expected: the cache converts repeated getkNN
+//     probes into hits and wins throughput outright.
+//
+// Besides the usual console counters, the binary writes a
+// machine-readable summary to BENCH_engine_batch.json (override with
+// KNNQ_BENCH_JSON) that CI archives and gates with
+// tools/check_bench.py: per-run throughput, cache hit rates, and the
+// skewed cached-vs-uncached speedup.
+//
+// The first iteration of every cached configuration also asserts that
+// the cached batch output is byte-identical to uncached serial
+// execution - the equivalence the engine guarantees.
 
-#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "benchmark/benchmark.h"
 #include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/engine/neighborhood_cache.h"
 #include "src/engine/query_engine.h"
 
 namespace knnq::bench {
 namespace {
 
 constexpr std::size_t kBatchSize = 264;  // 44 rounds x 6 shapes >= 256.
+constexpr std::size_t kCacheMb = 64;
 
 Catalog MakeCatalog() {
   Catalog catalog;
@@ -36,118 +57,238 @@ Catalog MakeCatalog() {
   return catalog;
 }
 
-std::vector<QuerySpec> MixedSpecs() {
+/// One round of the six query shapes parameterized by (dx, dy, k).
+void AppendRound(std::vector<QuerySpec>& specs, double dx, double dy,
+                 std::size_t k) {
+  specs.push_back(TwoSelectsSpec{
+      .relation = "city",
+      .s1 = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k},
+      .s2 = {.focal = {.id = -1, .x = dx + 400, .y = dy + 300},
+             .k = k + 8},
+  });
+  specs.push_back(SelectInnerJoinSpec{
+      .outer = "uniform",
+      .inner = "city",
+      .join_k = k,
+      .select = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k + 4},
+  });
+  specs.push_back(SelectOuterJoinSpec{
+      .outer = "city",
+      .inner = "uniform",
+      .join_k = 1 + k % 4,
+      .select = {.focal = {.id = -1, .x = dy, .y = dx / 2}, .k = 8 + k},
+  });
+  specs.push_back(UnchainedJoinsSpec{
+      .a = "uniform",
+      .b = "city",
+      .c = "clustered",
+      .k_ab = 1 + k % 3,
+      .k_cb = 1 + (k + 1) % 3,
+  });
+  specs.push_back(ChainedJoinsSpec{
+      .a = "clustered",
+      .b = "city",
+      .c = "uniform",
+      .k_ab = 1 + k % 3,
+      .k_bc = 1 + (k + 2) % 3,
+  });
+  specs.push_back(RangeInnerJoinSpec{
+      .outer = "uniform",
+      .inner = "city",
+      .join_k = k,
+      .range = BoundingBox(dx, dy, dx + 1500, dy + 1200),
+  });
+}
+
+/// Every round gets distinct parameters: the cache's worst case.
+std::vector<QuerySpec> UniformSpecs() {
   std::vector<QuerySpec> specs;
   specs.reserve(kBatchSize);
   const BoundingBox frame = Frame();
   for (std::size_t i = 0; specs.size() < kBatchSize; ++i) {
-    const double dx = frame.min_x() +
-                      static_cast<double>((i * 997) % 28000);
-    const double dy = frame.min_y() +
-                      static_cast<double>((i * 613) % 22000);
-    const std::size_t k = 1 + i % 8;
-    specs.push_back(TwoSelectsSpec{
-        .relation = "city",
-        .s1 = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k},
-        .s2 = {.focal = {.id = -1, .x = dx + 400, .y = dy + 300},
-               .k = k + 8},
-    });
-    specs.push_back(SelectInnerJoinSpec{
-        .outer = "uniform",
-        .inner = "city",
-        .join_k = k,
-        .select = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k + 4},
-    });
-    specs.push_back(SelectOuterJoinSpec{
-        .outer = "city",
-        .inner = "uniform",
-        .join_k = 1 + k % 4,
-        .select = {.focal = {.id = -1, .x = dy, .y = dx / 2}, .k = 8 + k},
-    });
-    specs.push_back(UnchainedJoinsSpec{
-        .a = "uniform",
-        .b = "city",
-        .c = "clustered",
-        .k_ab = 1 + k % 3,
-        .k_cb = 1 + (k + 1) % 3,
-    });
-    specs.push_back(ChainedJoinsSpec{
-        .a = "clustered",
-        .b = "city",
-        .c = "uniform",
-        .k_ab = 1 + k % 3,
-        .k_bc = 1 + (k + 2) % 3,
-    });
-    specs.push_back(RangeInnerJoinSpec{
-        .outer = "uniform",
-        .inner = "city",
-        .join_k = k,
-        .range = BoundingBox(dx, dy, dx + 1500, dy + 1200),
-    });
+    AppendRound(specs,
+                frame.min_x() + static_cast<double>((i * 997) % 28000),
+                frame.min_y() + static_cast<double>((i * 613) % 22000),
+                1 + i % 8);
   }
   return specs;
 }
 
-/// Memoized engine per pool size (index construction is not what this
-/// bench measures).
-const QueryEngine& EngineWith(std::size_t threads) {
-  static auto& cache =
-      *new std::map<std::size_t, std::unique_ptr<QueryEngine>>();
-  auto& slot = cache[threads];
+/// Rounds cycle through a pool of 4 hot parameter triples: the same
+/// focal points and k values recur all batch long, the way real
+/// serving traffic concentrates on hot spots.
+std::vector<QuerySpec> SkewedSpecs() {
+  constexpr std::size_t kHotSpots = 4;
+  std::vector<QuerySpec> specs;
+  specs.reserve(kBatchSize);
+  const BoundingBox frame = Frame();
+  for (std::size_t i = 0; specs.size() < kBatchSize; ++i) {
+    const std::size_t hot = i % kHotSpots;
+    AppendRound(specs,
+                frame.min_x() + static_cast<double>(4000 + hot * 5600),
+                frame.min_y() + static_cast<double>(3000 + hot * 4400),
+                2 + hot);
+  }
+  return specs;
+}
+
+/// Memoized engine per (pool size, cache budget) - index construction
+/// is not what this bench measures, and keeping the cached engines
+/// alive measures the steady-state hit rate a serving process reaches.
+const QueryEngine& EngineWith(std::size_t threads, std::size_t cache_mb) {
+  using Key = std::pair<std::size_t, std::size_t>;
+  static auto& engines = *new std::map<Key, std::unique_ptr<QueryEngine>>();
+  auto& slot = engines[{threads, cache_mb}];
   if (slot == nullptr) {
     EngineOptions options;
     options.num_threads = threads;
+    options.planner.cache_mb = cache_mb;
     slot = std::make_unique<QueryEngine>(MakeCatalog(), options);
   }
   return *slot;
 }
 
-/// Byte-identical equivalence check, run once per pool size.
-void CheckBatchEqualsSerial(const QueryEngine& engine,
-                            const std::vector<QuerySpec>& specs) {
+/// Byte-identical equivalence: `engine`'s batch against UNCACHED serial
+/// execution. Run once per (engine config, workload).
+void CheckBatchEqualsUncachedSerial(const QueryEngine& engine,
+                                    const std::vector<QuerySpec>& specs) {
+  const QueryEngine& reference = EngineWith(1, /*cache_mb=*/0);
   const std::vector<EngineResult> batch = engine.RunBatch(specs);
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const EngineResult serial = engine.Run(specs[i]);
+    const EngineResult serial = reference.Run(specs[i]);
     KNNQ_CHECK_MSG(batch[i].ok() && serial.ok(),
                    "engine bench query failed");
     KNNQ_CHECK_MSG(batch[i].output == serial.output,
-                   "batch result differs from serial execution");
+                   "batch result differs from uncached serial execution");
   }
 }
 
-void BM_EngineSerial(benchmark::State& state) {
-  const QueryEngine& engine = EngineWith(1);
-  const std::vector<QuerySpec> specs = MixedSpecs();
+/// One row of BENCH_engine_batch.json.
+struct RunRecord {
+  std::size_t threads = 1;
+  std::string workload;
+  std::size_t cache_mb = 0;
+  double wall_seconds = 0.0;
+  std::size_t queries = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_bytes = 0;
+
+  double qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds
+                              : 0.0;
+  }
+  double hit_rate() const {
+    const std::size_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) / total;
+  }
+};
+
+/// name -> record; re-running a benchmark overwrites its row.
+std::map<std::string, RunRecord>& Records() {
+  static auto& records = *new std::map<std::string, RunRecord>();
+  return records;
+}
+
+/// Shared body of every batch benchmark: measure RunBatch wall time,
+/// fold ExecStats, record a JSON row and the console counters.
+void RunBatchBenchmark(benchmark::State& state, const std::string& name,
+                       const char* workload, std::size_t threads,
+                       std::size_t cache_mb,
+                       const std::vector<QuerySpec>& specs) {
+  const QueryEngine& engine = EngineWith(threads, cache_mb);
+  if (cache_mb > 0) {
+    CheckBatchEqualsUncachedSerial(engine, specs);
+    // The check warmed the cache; measure from cold so the reported
+    // hit rate and speedup reflect one batch, not prior traffic.
+    engine.neighborhood_cache()->Clear();
+  }
+
   ExecStats total;
+  double wall = 0.0;
+  std::size_t ran = 0;
   for (auto _ : state) {
     total = ExecStats{};
+    Stopwatch timer;
+    std::vector<EngineResult> results = engine.RunBatch(specs);
+    wall += timer.ElapsedSeconds();
+    ran += specs.size();
+    for (const EngineResult& result : results) total.Merge(result.stats);
+    benchmark::DoNotOptimize(results);
+  }
+
+  RunRecord record;
+  record.threads = threads;
+  record.workload = workload;
+  record.cache_mb = cache_mb;
+  record.wall_seconds = wall;
+  record.queries = ran;
+  record.cache_hits = total.cache_hits;
+  record.cache_misses = total.cache_misses;
+  record.cache_bytes = total.cache_bytes;
+  Records()[name] = record;
+
+  state.counters["queries"] = static_cast<double>(specs.size());
+  state.counters["pool_threads"] = static_cast<double>(threads);
+  state.counters["qps"] = record.qps();
+  state.counters["cache_hit_rate"] = record.hit_rate();
+  ReportExecStats(state, total);
+}
+
+void BM_EngineSerial(benchmark::State& state) {
+  const QueryEngine& engine = EngineWith(1, /*cache_mb=*/0);
+  const std::vector<QuerySpec> specs = UniformSpecs();
+  ExecStats total;
+  double wall = 0.0;
+  std::size_t ran = 0;
+  for (auto _ : state) {
+    total = ExecStats{};
+    Stopwatch timer;
     for (const QuerySpec& spec : specs) {
       EngineResult result = engine.Run(spec);
       total.Merge(result.stats);
       benchmark::DoNotOptimize(result);
     }
+    wall += timer.ElapsedSeconds();
+    ran += specs.size();
   }
+  RunRecord record;
+  record.workload = "uniform";
+  record.wall_seconds = wall;
+  record.queries = ran;
+  Records()["serial/uniform/uncached"] = record;
   state.counters["queries"] = static_cast<double>(specs.size());
+  state.counters["qps"] = record.qps();
   ReportExecStats(state, total);
 }
 
 void BM_EngineBatch(benchmark::State& state) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
-  const QueryEngine& engine = EngineWith(threads);
-  const std::vector<QuerySpec> specs = MixedSpecs();
-  CheckBatchEqualsSerial(engine, specs);
-  ExecStats total;
-  for (auto _ : state) {
-    total = ExecStats{};
-    std::vector<EngineResult> results = engine.RunBatch(specs);
-    for (const EngineResult& result : results) {
-      total.Merge(result.stats);
-    }
-    benchmark::DoNotOptimize(results);
-  }
-  state.counters["queries"] = static_cast<double>(specs.size());
-  state.counters["pool_threads"] = static_cast<double>(threads);
-  ReportExecStats(state, total);
+  RunBatchBenchmark(state,
+                    "batch/uniform/uncached/t" + std::to_string(threads),
+                    "uniform", threads, 0, UniformSpecs());
+}
+
+void BM_EngineBatchCached(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  RunBatchBenchmark(state,
+                    "batch/uniform/cached/t" + std::to_string(threads),
+                    "uniform", threads, kCacheMb, UniformSpecs());
+}
+
+void BM_EngineBatchSkewed(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  RunBatchBenchmark(state,
+                    "batch/skewed/uncached/t" + std::to_string(threads),
+                    "skewed", threads, 0, SkewedSpecs());
+}
+
+void BM_EngineBatchSkewedCached(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  RunBatchBenchmark(state,
+                    "batch/skewed/cached/t" + std::to_string(threads),
+                    "skewed", threads, kCacheMb, SkewedSpecs());
 }
 
 BENCHMARK(BM_EngineSerial)->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -160,7 +301,99 @@ BENCHMARK(BM_EngineBatch)
     ->Arg(4)
     ->Arg(8);
 
+BENCHMARK(BM_EngineBatchCached)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(4);
+
+BENCHMARK(BM_EngineBatchSkewed)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(4);
+
+BENCHMARK(BM_EngineBatchSkewedCached)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(4);
+
 }  // namespace
+
+/// Writes every recorded run plus derived summary ratios. Called from
+/// main after the benchmarks finish; a partial run (filtered
+/// benchmarks) writes whatever rows exist and null summary fields.
+void WriteBenchJson() {
+  const char* env = std::getenv("KNNQ_BENCH_JSON");
+  const std::string path =
+      env != nullptr ? env : "BENCH_engine_batch.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+
+  std::fprintf(out, "{\n  \"bench\": \"engine_batch\",\n");
+  std::fprintf(out, "  \"scale\": %zu,\n", Scale());
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  bool first = true;
+  for (const auto& [name, r] : Records()) {
+    std::fprintf(
+        out,
+        "%s    {\"name\": \"%s\", \"threads\": %zu, \"workload\": "
+        "\"%s\", \"cache_mb\": %zu, \"wall_seconds\": %.6f, "
+        "\"queries\": %zu, \"qps\": %.2f, \"cache_hits\": %zu, "
+        "\"cache_misses\": %zu, \"cache_hit_rate\": %.4f, "
+        "\"cache_bytes\": %zu}",
+        first ? "" : ",\n", name.c_str(), r.threads, r.workload.c_str(),
+        r.cache_mb, r.wall_seconds, r.queries, r.qps(), r.cache_hits,
+        r.cache_misses, r.hit_rate(), r.cache_bytes);
+    first = false;
+  }
+  std::fprintf(out, "\n  ],\n");
+
+  // Summary: the cached-vs-uncached ratios CI gates on. A ratio is the
+  // uncached wall time over the cached wall time at equal thread count
+  // (> 1 means the cache won).
+  auto ratio = [](const char* cached, const char* uncached) {
+    const auto& records = Records();
+    const auto c = records.find(cached);
+    const auto u = records.find(uncached);
+    if (c == records.end() || u == records.end()) return 0.0;
+    if (c->second.wall_seconds <= 0.0) return 0.0;
+    return u->second.wall_seconds / c->second.wall_seconds;
+  };
+  const double skewed_1 =
+      ratio("batch/skewed/cached/t1", "batch/skewed/uncached/t1");
+  const double skewed_4 =
+      ratio("batch/skewed/cached/t4", "batch/skewed/uncached/t4");
+  const double uniform_4 =
+      ratio("batch/uniform/cached/t4", "batch/uniform/uncached/t4");
+  double skewed_hit_rate = 0.0;
+  if (const auto it = Records().find("batch/skewed/cached/t4");
+      it != Records().end()) {
+    skewed_hit_rate = it->second.hit_rate();
+  }
+  std::fprintf(out,
+               "  \"summary\": {\"skewed_speedup_t1\": %.3f, "
+               "\"skewed_speedup_t4\": %.3f, "
+               "\"uniform_cached_ratio_t4\": %.3f, "
+               "\"skewed_hit_rate\": %.4f}\n}\n",
+               skewed_1, skewed_4, uniform_4, skewed_hit_rate);
+  std::fclose(out);
+  std::printf("wrote %s (skewed speedup t1=%.2fx t4=%.2fx, hit rate "
+              "%.1f%%)\n",
+              path.c_str(), skewed_1, skewed_4, 100.0 * skewed_hit_rate);
+}
+
 }  // namespace knnq::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  knnq::bench::WriteBenchJson();
+  return 0;
+}

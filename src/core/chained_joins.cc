@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/knn_join.h"
+#include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -24,14 +25,15 @@ Status ValidateQuery(const ChainedJoinsQuery& query) {
 
 Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
                                             ChainedJoinsStats* stats,
-                                            ExecStats* exec) {
+                                            ExecStats* exec,
+                                            NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainedJoinsStats local;
   if (stats == nullptr) stats = &local;
 
   // Materialize B JOIN C for every b - including b's no a will ever
   // reach; that blind effort is QEP1's documented drawback.
-  KnnSearcher c_searcher(*query.c);
+  CachingKnnSearcher c_searcher(*query.c, shared_cache);
   std::unordered_map<PointId, Neighborhood> bc;
   bc.reserve(query.b->num_points());
   for (const Point& b_point : query.b->points()) {
@@ -39,7 +41,7 @@ Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
     ++stats->b_neighborhoods_computed;
   }
 
-  KnnSearcher b_searcher(*query.b);
+  CachingKnnSearcher b_searcher(*query.b, shared_cache);
   TripletResult triplets;
   for (const Point& a_point : query.a->points()) {
     const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
@@ -60,15 +62,17 @@ Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
 
 Result<TripletResult> ChainedJoinsJoinIntersection(
     const ChainedJoinsQuery& query, ChainedJoinsStats* stats,
-    ExecStats* exec) {
+    ExecStats* exec, NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainedJoinsStats local;
   if (stats == nullptr) stats = &local;
 
   // Both joins in full, blind to each other, then INTERSECT_B.
-  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab, exec);
+  auto ab =
+      KnnJoin(query.a->points(), *query.b, query.k_ab, exec, shared_cache);
   if (!ab.ok()) return ab.status();
-  auto bc = KnnJoin(query.b->points(), *query.c, query.k_bc, exec);
+  auto bc =
+      KnnJoin(query.b->points(), *query.c, query.k_bc, exec, shared_cache);
   if (!bc.ok()) return bc.status();
   stats->b_neighborhoods_computed = query.b->num_points();
 
@@ -92,13 +96,14 @@ Result<TripletResult> ChainedJoinsJoinIntersection(
 Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
                                          bool cache_bc,
                                          ChainedJoinsStats* stats,
-                                         ExecStats* exec) {
+                                         ExecStats* exec,
+                                         NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainedJoinsStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher b_searcher(*query.b);
-  KnnSearcher c_searcher(*query.c);
+  CachingKnnSearcher b_searcher(*query.b, shared_cache);
+  CachingKnnSearcher c_searcher(*query.c, shared_cache);
   // Section 4.2.1: key the cache by b; a b in the neighborhood of
   // several a's is joined with C only once.
   std::unordered_map<PointId, Neighborhood> cache;

@@ -22,6 +22,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// The query: chained joins (A JOIN B) then (B JOIN C).
 struct ChainedJoinsQuery {
   const SpatialIndex* a = nullptr;
@@ -42,23 +44,24 @@ struct ChainedJoinsStats {
 };
 
 /// QEP1: materialize (B JOIN C) in full, then join A against it.
-/// `exec` (optional, like `stats`) accumulates the uniform counters.
-Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
-                                            ChainedJoinsStats* stats =
-                                                nullptr,
-                                            ExecStats* exec = nullptr);
+/// `exec` (optional, like `stats`) accumulates the uniform counters;
+/// `shared_cache` (optional) memoizes getkNN probes across queries
+/// (orthogonal to the per-query b-memo of QEP3).
+Result<TripletResult> ChainedJoinsRightDeep(
+    const ChainedJoinsQuery& query, ChainedJoinsStats* stats = nullptr,
+    ExecStats* exec = nullptr, NeighborhoodCache* shared_cache = nullptr);
 
 /// QEP2: evaluate both joins independently, intersect on B.
 Result<TripletResult> ChainedJoinsJoinIntersection(
     const ChainedJoinsQuery& query, ChainedJoinsStats* stats = nullptr,
-    ExecStats* exec = nullptr);
+    ExecStats* exec = nullptr, NeighborhoodCache* shared_cache = nullptr);
 
 /// QEP3: nested join; `cache_bc` memoizes b-neighborhoods so a b
 /// reachable from several a's is joined once (Section 4.2.1).
-Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
-                                         bool cache_bc = true,
-                                         ChainedJoinsStats* stats = nullptr,
-                                         ExecStats* exec = nullptr);
+Result<TripletResult> ChainedJoinsNested(
+    const ChainedJoinsQuery& query, bool cache_bc = true,
+    ChainedJoinsStats* stats = nullptr, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

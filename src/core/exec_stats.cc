@@ -5,12 +5,18 @@
 namespace knnq {
 
 std::string ExecStats::ToString() const {
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer),
-                "blocks=%zu points=%zu neighborhoods=%zu pruned=%zu "
-                "wall=%.3fms",
-                blocks_scanned, points_compared, neighborhoods_computed,
-                candidates_pruned, wall_seconds * 1e3);
+  char buffer[240];
+  int written = std::snprintf(
+      buffer, sizeof(buffer),
+      "blocks=%zu points=%zu neighborhoods=%zu pruned=%zu wall=%.3fms",
+      blocks_scanned, points_compared, neighborhoods_computed,
+      candidates_pruned, wall_seconds * 1e3);
+  if ((cache_hits != 0 || cache_misses != 0 || cache_bytes != 0) &&
+      written > 0 && static_cast<std::size_t>(written) < sizeof(buffer)) {
+    std::snprintf(buffer + written, sizeof(buffer) - written,
+                  " cache_hits=%zu cache_misses=%zu cache_bytes=%zu",
+                  cache_hits, cache_misses, cache_bytes);
+  }
   return buffer;
 }
 

@@ -34,31 +34,49 @@ struct ExecStats {
   /// the executor wrapper (PhysicalPlan::Execute) fills it so counter
   /// accumulation stays out of the timed region's hot loops.
   double wall_seconds = 0.0;
+  /// getkNN probes served from the engine's shared NeighborhoodCache
+  /// (a hit skips locality construction entirely) vs. computed and
+  /// memoized. Both zero when the engine runs without a cache.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Footprint snapshot of the shared cache after this query (bytes).
+  /// Filled by QueryEngine::Run; a snapshot, not a per-query cost.
+  std::size_t cache_bytes = 0;
 
   /// Folds a KnnSearcher's SearchStats into the scan counters.
   void AddSearch(const SearchStats& search) {
     blocks_scanned += search.blocks_scanned;
     points_compared += search.points_scanned;
     neighborhoods_computed += search.localities_computed;
+    cache_hits += search.cache_hits;
+    cache_misses += search.cache_misses;
   }
 
-  /// Sums counters and wall time (batch aggregation).
+  /// Sums counters and wall time (batch aggregation). cache_bytes is a
+  /// footprint snapshot, so merging keeps the maximum, not the sum.
   void Merge(const ExecStats& other) {
     blocks_scanned += other.blocks_scanned;
     points_compared += other.points_compared;
     neighborhoods_computed += other.neighborhoods_computed;
     candidates_pruned += other.candidates_pruned;
     wall_seconds += other.wall_seconds;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    if (other.cache_bytes > cache_bytes) cache_bytes = other.cache_bytes;
   }
 
-  /// True when every counter (wall time aside) is zero.
+  /// True when every counter (wall time and cache footprint aside) is
+  /// zero. A fully cache-served query is not empty: its hits count.
   bool empty() const {
     return blocks_scanned == 0 && points_compared == 0 &&
-           neighborhoods_computed == 0 && candidates_pruned == 0;
+           neighborhoods_computed == 0 && candidates_pruned == 0 &&
+           cache_hits == 0 && cache_misses == 0;
   }
 
   /// One-line rendering, e.g.
-  /// "blocks=12 points=480 neighborhoods=3 pruned=0 wall=0.52ms".
+  /// "blocks=12 points=480 neighborhoods=3 pruned=0 wall=0.52ms"; when
+  /// a cache was in play, " cache_hits=5 cache_misses=2 cache_bytes=.."
+  /// is appended.
   std::string ToString() const;
 };
 

@@ -1,16 +1,19 @@
 #include "src/core/knn_join.h"
 
+#include "src/engine/neighborhood_cache.h"
+
 namespace knnq {
 
 Result<JoinResult> KnnJoin(const PointSet& outer, const SpatialIndex& inner,
-                           std::size_t k, ExecStats* exec) {
+                           std::size_t k, ExecStats* exec,
+                           NeighborhoodCache* shared_cache) {
   JoinResult pairs;
   const Status status = KnnJoinStreaming(
       outer, inner, k,
       [&pairs](const Point& e1, const Point& e2) {
         pairs.push_back(JoinPair{e1, e2});
       },
-      exec);
+      exec, shared_cache);
   if (!status.ok()) return status;
   Canonicalize(pairs);
   return pairs;
@@ -18,11 +21,11 @@ Result<JoinResult> KnnJoin(const PointSet& outer, const SpatialIndex& inner,
 
 Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
                         std::size_t k, const JoinPairSink& sink,
-                        ExecStats* exec) {
+                        ExecStats* exec, NeighborhoodCache* shared_cache) {
   if (k == 0) {
     return Status::InvalidArgument("kNN-join requires k > 0");
   }
-  KnnSearcher searcher(inner);
+  CachingKnnSearcher searcher(inner, shared_cache);
   for (const Point& e1 : outer) {
     const Neighborhood nbr = searcher.GetKnn(e1, k);
     for (const Neighbor& n : nbr) {

@@ -18,20 +18,26 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// Receives one join pair at a time; return value is ignored.
 using JoinPairSink = std::function<void(const Point& outer,
                                         const Point& inner)>;
 
 /// Evaluates the kNN-join and materializes all pairs in canonical order.
-/// Fails when k == 0. `exec` (optional) accumulates scan counters.
+/// Fails when k == 0. `exec` (optional) accumulates scan counters;
+/// `shared_cache` (optional) memoizes per-outer-point probes across
+/// queries.
 Result<JoinResult> KnnJoin(const PointSet& outer, const SpatialIndex& inner,
-                           std::size_t k, ExecStats* exec = nullptr);
+                           std::size_t k, ExecStats* exec = nullptr,
+                           NeighborhoodCache* shared_cache = nullptr);
 
 /// Streaming evaluation: emits each (e1, e2) pair to `sink` in outer
 /// order. Fails when k == 0.
 Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
                         std::size_t k, const JoinPairSink& sink,
-                        ExecStats* exec = nullptr);
+                        ExecStats* exec = nullptr,
+                        NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

@@ -1,14 +1,17 @@
 #include "src/core/knn_select.h"
 
+#include "src/engine/neighborhood_cache.h"
+
 namespace knnq {
 
 Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
                                const Point& focal, std::size_t k,
-                               ExecStats* exec) {
+                               ExecStats* exec,
+                               NeighborhoodCache* shared_cache) {
   if (k == 0) {
     return Status::InvalidArgument("kNN-select requires k > 0");
   }
-  KnnSearcher searcher(relation);
+  CachingKnnSearcher searcher(relation, shared_cache);
   Neighborhood nbr = searcher.GetKnn(focal, k);
   if (exec != nullptr) exec->AddSearch(searcher.stats());
   return nbr;

@@ -11,13 +11,17 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// Evaluates sigma_{k,f}(relation): the neighborhood of `focal`.
 /// Returns fewer than k points only when the relation is smaller than k.
 /// Fails when k == 0 (an empty select is a query-authoring error).
-/// `exec` (optional) accumulates scan counters.
+/// `exec` (optional) accumulates scan counters; `shared_cache`
+/// (optional) memoizes the probe across queries.
 Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
                                const Point& focal, std::size_t k,
-                               ExecStats* exec = nullptr);
+                               ExecStats* exec = nullptr,
+                               NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

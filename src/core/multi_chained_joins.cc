@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -33,17 +34,18 @@ Status ValidateQuery(const ChainQuery& query) {
 }  // namespace
 
 Result<ChainResult> ChainedPathJoin(const ChainQuery& query, bool cache,
-                                    ChainStats* stats, ExecStats* exec) {
+                                    ChainStats* stats, ExecStats* exec,
+                                    NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   ChainStats local;
   if (stats == nullptr) stats = &local;
   stats->probes_per_hop.assign(query.ks.size(), 0);
 
   const std::size_t hops = query.ks.size();
-  std::vector<std::unique_ptr<KnnSearcher>> searchers;
+  std::vector<std::unique_ptr<CachingKnnSearcher>> searchers;
   for (std::size_t h = 0; h < hops; ++h) {
-    searchers.push_back(
-        std::make_unique<KnnSearcher>(*query.relations[h + 1]));
+    searchers.push_back(std::make_unique<CachingKnnSearcher>(
+        *query.relations[h + 1], shared_cache));
   }
   // One memo per hop: source point id -> neighborhood in the next
   // relation. Ids are unique within a relation, which is all the key

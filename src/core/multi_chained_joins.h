@@ -23,6 +23,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// A chain query over n+1 relations.
 struct ChainQuery {
   /// The relations R0 ... Rn, in chain order.
@@ -47,11 +49,11 @@ struct ChainStats {
 /// Generalized QEP3: nested pipeline; each hop memoizes neighborhoods
 /// per source point when `cache` is set. Fails on fewer than two
 /// relations, null relations, size mismatch, or zero k. `exec`
-/// (optional) accumulates the uniform counters.
-Result<ChainResult> ChainedPathJoin(const ChainQuery& query,
-                                    bool cache = true,
-                                    ChainStats* stats = nullptr,
-                                    ExecStats* exec = nullptr);
+/// (optional) accumulates the uniform counters; `shared_cache`
+/// (optional) memoizes getkNN probes across queries.
+Result<ChainResult> ChainedPathJoin(
+    const ChainQuery& query, bool cache = true, ChainStats* stats = nullptr,
+    ExecStats* exec = nullptr, NeighborhoodCache* shared_cache = nullptr);
 
 /// Specification evaluator: every pairwise join computed independently
 /// and in full (one neighborhood per point of each R_i), rows stitched

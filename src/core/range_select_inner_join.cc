@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -34,12 +35,12 @@ void EmitInRange(const Point& e1, const Neighborhood& nbr_e1,
 
 Result<JoinResult> RangeSelectInnerJoinNaive(
     const RangeSelectInnerJoinQuery& query, SelectInnerJoinStats* stats,
-    ExecStats* exec) {
+    ExecStats* exec, NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher inner_searcher(*query.inner);
+  CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   JoinResult pairs;
   for (const Point& e1 : query.outer->points()) {
     const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
@@ -53,12 +54,12 @@ Result<JoinResult> RangeSelectInnerJoinNaive(
 
 Result<JoinResult> RangeSelectInnerJoinCounting(
     const RangeSelectInnerJoinQuery& query, SelectInnerJoinStats* stats,
-    ExecStats* exec) {
+    ExecStats* exec, NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher inner_searcher(*query.inner);
+  CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   JoinResult pairs;
   std::size_t counting_blocks = 0;  // Blocks popped by the pruning scan.
   for (const Point& e1 : query.outer->points()) {
@@ -98,7 +99,7 @@ namespace {
 
 struct RangeMarkingContext {
   const RangeSelectInnerJoinQuery* query;
-  KnnSearcher* inner_searcher;
+  CachingKnnSearcher* inner_searcher;
   SelectInnerJoinStats* stats;
 };
 
@@ -121,12 +122,13 @@ bool IsNonContributing(const Block& block, const RangeMarkingContext& ctx) {
 
 Result<JoinResult> RangeSelectInnerJoinBlockMarking(
     const RangeSelectInnerJoinQuery& query, PreprocessMode mode,
-    SelectInnerJoinStats* stats, ExecStats* exec) {
+    SelectInnerJoinStats* stats, ExecStats* exec,
+    NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher inner_searcher(*query.inner);
+  CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   const RangeMarkingContext ctx{
       .query = &query,
       .inner_searcher = &inner_searcher,

@@ -41,15 +41,18 @@ struct RangeSelectInnerJoinQuery {
 /// The conceptually correct QEP: full join, filter pairs by the
 /// rectangle. Fails on null relations, join_k == 0, or an empty
 /// rectangle. `exec` (optional, like `stats`) accumulates the uniform
-/// counters.
+/// counters; `shared_cache` (optional) memoizes getkNN probes across
+/// queries.
 Result<JoinResult> RangeSelectInnerJoinNaive(
     const RangeSelectInnerJoinQuery& query,
-    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 /// Counting-style evaluation (Procedure 1 adapted to a range).
 Result<JoinResult> RangeSelectInnerJoinCounting(
     const RangeSelectInnerJoinQuery& query,
-    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 /// Block-Marking-style evaluation (Procedures 2 + 3 adapted to a
 /// range); blocks are scanned in MINDIST order from the rectangle
@@ -57,7 +60,8 @@ Result<JoinResult> RangeSelectInnerJoinCounting(
 Result<JoinResult> RangeSelectInnerJoinBlockMarking(
     const RangeSelectInnerJoinQuery& query,
     PreprocessMode mode = PreprocessMode::kContour,
-    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

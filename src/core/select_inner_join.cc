@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/common/check.h"
+#include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -50,12 +51,13 @@ void EmitIntersection(const Point& e1, const Neighborhood& nbr_e1,
 
 Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
                                         SelectInnerJoinStats* stats,
-                                        ExecStats* exec) {
+                                        ExecStats* exec,
+                                        NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher inner_searcher(*query.inner);
+  CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   const Neighborhood nbr_f =
       inner_searcher.GetKnn(query.focal, query.select_k);
 
@@ -75,12 +77,13 @@ Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
 
 Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
                                            SelectInnerJoinStats* stats,
-                                           ExecStats* exec) {
+                                           ExecStats* exec,
+                                           NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher inner_searcher(*query.inner);
+  CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   const Neighborhood nbr_f =
       inner_searcher.GetKnn(query.focal, query.select_k);
   JoinResult pairs;
@@ -125,7 +128,7 @@ namespace {
 /// Shared state of the Block-Marking preprocessing checks.
 struct BlockMarkingContext {
   const SelectInnerJoinQuery* query;
-  KnnSearcher* inner_searcher;
+  CachingKnnSearcher* inner_searcher;
   /// Distance from the focal point to the farthest focal neighbor.
   double f_farthest;
   SelectInnerJoinStats* stats;
@@ -206,12 +209,13 @@ std::vector<BlockId> PreprocessExhaustive(const BlockMarkingContext& ctx) {
 
 Result<JoinResult> SelectInnerJoinBlockMarking(
     const SelectInnerJoinQuery& query, PreprocessMode mode,
-    SelectInnerJoinStats* stats, ProbePoint probe, ExecStats* exec) {
+    SelectInnerJoinStats* stats, ProbePoint probe, ExecStats* exec,
+    NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   SelectInnerJoinStats local;
   if (stats == nullptr) stats = &local;
 
-  KnnSearcher inner_searcher(*query.inner);
+  CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   const Neighborhood nbr_f =
       inner_searcher.GetKnn(query.focal, query.select_k);
   JoinResult pairs;

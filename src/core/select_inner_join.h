@@ -30,6 +30,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// The query: E1 (outer) joined with E2 (inner), select on E2.
 struct SelectInnerJoinQuery {
   /// E1. The Block-Marking preprocessing walks this index's blocks.
@@ -82,22 +84,26 @@ struct SelectInnerJoinStats {
 /// filtered in a pipeline, which changes memory use but not the work:
 /// every outer neighborhood is computed. Fails when join_k == 0 or
 /// select_k == 0 or any relation pointer is null. `exec` (optional,
-/// like `stats`) accumulates the uniform counters.
-Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
-                                        SelectInnerJoinStats* stats = nullptr,
-                                        ExecStats* exec = nullptr);
+/// like `stats`) accumulates the uniform counters; `shared_cache`
+/// (optional) memoizes getkNN probes across queries.
+Result<JoinResult> SelectInnerJoinNaive(
+    const SelectInnerJoinQuery& query,
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 /// Procedure 1. Same output as the naive QEP.
 Result<JoinResult> SelectInnerJoinCounting(
     const SelectInnerJoinQuery& query,
-    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr);
+    SelectInnerJoinStats* stats = nullptr, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 /// Procedures 2 + 3. Same output as the naive QEP.
 Result<JoinResult> SelectInnerJoinBlockMarking(
     const SelectInnerJoinQuery& query,
     PreprocessMode mode = PreprocessMode::kContour,
     SelectInnerJoinStats* stats = nullptr,
-    ProbePoint probe = ProbePoint::kCenter, ExecStats* exec = nullptr);
+    ProbePoint probe = ProbePoint::kCenter, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

@@ -1,6 +1,7 @@
 #include "src/core/select_outer_join.h"
 
 #include "src/core/knn_join.h"
+#include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -23,9 +24,10 @@ Status ValidateQuery(const SelectOuterJoinQuery& query) {
 }  // namespace
 
 Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query,
-                                         ExecStats* exec) {
+                                         ExecStats* exec,
+                                         NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
-  KnnSearcher outer_searcher(*query.outer);
+  CachingKnnSearcher outer_searcher(*query.outer, shared_cache);
   const Neighborhood selected =
       outer_searcher.GetKnn(query.focal, query.select_k);
   if (exec != nullptr) {
@@ -37,19 +39,21 @@ Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query,
   PointSet survivors;
   survivors.reserve(selected.size());
   for (const Neighbor& n : selected) survivors.push_back(n.point);
-  return KnnJoin(survivors, *query.inner, query.join_k, exec);
+  return KnnJoin(survivors, *query.inner, query.join_k, exec,
+                 shared_cache);
 }
 
 Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query,
-                                       ExecStats* exec) {
+                                       ExecStats* exec,
+                                       NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
-  KnnSearcher outer_searcher(*query.outer);
+  CachingKnnSearcher outer_searcher(*query.outer, shared_cache);
   const Neighborhood selected =
       outer_searcher.GetKnn(query.focal, query.select_k);
   if (exec != nullptr) exec->AddSearch(outer_searcher.stats());
 
   auto all_pairs = KnnJoin(query.outer->points(), *query.inner,
-                           query.join_k, exec);
+                           query.join_k, exec, shared_cache);
   if (!all_pairs.ok()) return all_pairs.status();
   JoinResult pairs;
   for (const JoinPair& pair : *all_pairs) {

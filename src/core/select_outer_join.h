@@ -18,6 +18,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// The query: sigma_{select_k, focal}(E1) JOIN_kNN E2.
 struct SelectOuterJoinQuery {
   /// E1: the join's outer relation and the select's input.
@@ -34,14 +36,17 @@ struct SelectOuterJoinQuery {
 
 /// Pushed-down plan (QEP1 of Figure 3): select first, join the
 /// survivors. This is the plan an optimizer should always choose.
-/// `exec` (optional) accumulates the uniform counters.
-Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query,
-                                         ExecStats* exec = nullptr);
+/// `exec` (optional) accumulates the uniform counters; `shared_cache`
+/// (optional) memoizes getkNN probes across queries.
+Result<JoinResult> SelectOuterJoinPushed(
+    const SelectOuterJoinQuery& query, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 /// Late-filter plan (QEP2 of Figure 3): full join, then discard pairs
 /// whose outer point fails the select. Same output, more work.
-Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query,
-                                       ExecStats* exec = nullptr);
+Result<JoinResult> SelectOuterJoinLate(
+    const SelectOuterJoinQuery& query, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

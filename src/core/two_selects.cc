@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/result_types.h"
+#include "src/engine/neighborhood_cache.h"
 
 namespace knnq {
 
@@ -23,9 +24,10 @@ Status ValidateQuery(const TwoSelectsQuery& query) {
 
 Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
                                          SearchStats* stats,
-                                         ExecStats* exec) {
+                                         ExecStats* exec,
+                                         NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
-  KnnSearcher searcher(*query.relation);
+  CachingKnnSearcher searcher(*query.relation, shared_cache);
   const Neighborhood nbr1 = searcher.GetKnn(query.f1, query.k1);
   const Neighborhood nbr2 = searcher.GetKnn(query.f2, query.k2);
   if (stats != nullptr) *stats = searcher.stats();
@@ -33,9 +35,9 @@ Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
   return IntersectNeighborhoods(nbr1, nbr2);
 }
 
-Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
-                                             SearchStats* stats,
-                                             ExecStats* exec) {
+Result<TwoSelectsResult> TwoSelectsOptimized(
+    const TwoSelectsQuery& query, SearchStats* stats, ExecStats* exec,
+    NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
 
   // Procedure 5 lines 1-4: evaluate the smaller-k predicate first; its
@@ -49,7 +51,7 @@ Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
     std::swap(k1, k2);
   }
 
-  KnnSearcher searcher(*query.relation);
+  CachingKnnSearcher searcher(*query.relation, shared_cache);
   const Neighborhood nbr1 = searcher.GetKnn(f1, k1);
   if (nbr1.empty()) {
     if (stats != nullptr) *stats = searcher.stats();

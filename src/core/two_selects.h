@@ -22,6 +22,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// The query: two kNN-selects over one relation.
 struct TwoSelectsQuery {
   const SpatialIndex* relation = nullptr;
@@ -36,17 +38,18 @@ using TwoSelectsResult = std::vector<Point>;
 
 /// The conceptually correct QEP (Figure 16): both neighborhoods in
 /// full, then the intersection. Fails on a null relation or zero k.
-/// `exec` (optional, like `stats`) accumulates the uniform counters.
-Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
-                                         SearchStats* stats = nullptr,
-                                         ExecStats* exec = nullptr);
+/// `exec` (optional, like `stats`) accumulates the uniform counters;
+/// `shared_cache` (optional) memoizes getkNN probes across queries.
+Result<TwoSelectsResult> TwoSelectsNaive(
+    const TwoSelectsQuery& query, SearchStats* stats = nullptr,
+    ExecStats* exec = nullptr, NeighborhoodCache* shared_cache = nullptr);
 
 /// Procedure 5 (the "2-kNN-select" algorithm). Same output as the
 /// naive QEP; the larger-k neighborhood is computed from a locality
 /// clipped to the first result's search threshold.
-Result<TwoSelectsResult> TwoSelectsOptimized(const TwoSelectsQuery& query,
-                                             SearchStats* stats = nullptr,
-                                             ExecStats* exec = nullptr);
+Result<TwoSelectsResult> TwoSelectsOptimized(
+    const TwoSelectsQuery& query, SearchStats* stats = nullptr,
+    ExecStats* exec = nullptr, NeighborhoodCache* shared_cache = nullptr);
 
 }  // namespace knnq
 

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/core/knn_join.h"
+#include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -34,13 +35,16 @@ std::unordered_map<PointId, std::vector<PointId>> GroupByInner(
 }  // namespace
 
 Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
-                                          ExecStats* exec) {
+                                          ExecStats* exec,
+                                          NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
 
   // Figure 10: both joins in full, then the intersection on B.
-  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab, exec);
+  auto ab =
+      KnnJoin(query.a->points(), *query.b, query.k_ab, exec, shared_cache);
   if (!ab.ok()) return ab.status();
-  auto cb = KnnJoin(query.c->points(), *query.b, query.k_cb, exec);
+  auto cb =
+      KnnJoin(query.c->points(), *query.b, query.k_cb, exec, shared_cache);
   if (!cb.ok()) return cb.status();
 
   const auto a_by_b = GroupByInner(*ab);
@@ -59,13 +63,14 @@ Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
 
 Result<TripletResult> UnchainedJoinsBlockMarking(
     const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats,
-    ExecStats* exec) {
+    ExecStats* exec, NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   UnchainedJoinsStats local;
   if (stats == nullptr) stats = &local;
 
   // Step 1 (Procedure 4 lines 1-3): the first join, in full.
-  auto ab = KnnJoin(query.a->points(), *query.b, query.k_ab, exec);
+  auto ab =
+      KnnJoin(query.a->points(), *query.b, query.k_ab, exec, shared_cache);
   if (!ab.ok()) return ab.status();
   const auto a_by_b = GroupByInner(*ab);
 
@@ -85,7 +90,7 @@ Result<TripletResult> UnchainedJoinsBlockMarking(
   // Step 3 (lines 9-22): preprocess C. A block is Contributing iff some
   // Candidate B-block lies fully or partially within the search
   // threshold disk around the block's center.
-  KnnSearcher b_searcher(*query.b);
+  CachingKnnSearcher b_searcher(*query.b, shared_cache);
   std::vector<BlockId> contributing;
   std::size_t marking_blocks = 0;  // B-blocks popped by the direct scans.
   const auto num_c_blocks = static_cast<BlockId>(query.c->num_blocks());

@@ -25,6 +25,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// The query: joins (A JOIN B) and (C JOIN B), intersected on B.
 struct UnchainedJoinsQuery {
   const SpatialIndex* a = nullptr;
@@ -50,9 +52,11 @@ struct UnchainedJoinsStats {
 
 /// The conceptually correct QEP (Figure 10): both joins evaluated in
 /// full, results intersected on B. Fails on null relations or zero k.
-/// `exec` (optional) accumulates the uniform counters.
-Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
-                                          ExecStats* exec = nullptr);
+/// `exec` (optional) accumulates the uniform counters; `shared_cache`
+/// (optional) memoizes getkNN probes across queries.
+Result<TripletResult> UnchainedJoinsNaive(
+    const UnchainedJoinsQuery& query, ExecStats* exec = nullptr,
+    NeighborhoodCache* shared_cache = nullptr);
 
 /// Procedure 4: Candidate/Safe marking plus Contributing preprocessing
 /// of C. Evaluates (A JOIN B) first; callers wanting the other order
@@ -60,7 +64,7 @@ Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
 /// as the naive QEP.
 Result<TripletResult> UnchainedJoinsBlockMarking(
     const UnchainedJoinsQuery& query, UnchainedJoinsStats* stats = nullptr,
-    ExecStats* exec = nullptr);
+    ExecStats* exec = nullptr, NeighborhoodCache* shared_cache = nullptr);
 
 /// Which outer relation should drive the first join.
 enum class UnchainedOrder {

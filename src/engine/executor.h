@@ -21,6 +21,8 @@
 
 namespace knnq {
 
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+
 /// Executes one algorithm family variant against a bound plan.
 class Executor {
  public:
@@ -30,10 +32,14 @@ class Executor {
   virtual const char* name() const = 0;
 
   /// Runs `plan` and reports counters into `stats` (never null when
-  /// called through PhysicalPlan::Execute). Must be thread-safe: the
-  /// engine calls one executor from many workers concurrently.
+  /// called through PhysicalPlan::Execute). `cache` (nullable) is the
+  /// engine's shared cross-query neighborhood memo; executors forward
+  /// it to their evaluator. Must be thread-safe: the engine calls one
+  /// executor from many workers concurrently, and the cache is
+  /// internally synchronized.
   virtual Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                                      ExecStats* stats) const = 0;
+                                      ExecStats* stats,
+                                      NeighborhoodCache* cache) const = 0;
 };
 
 /// Algorithm -> Executor mapping. Immutable through Default(); engines

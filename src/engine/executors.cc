@@ -14,6 +14,7 @@
 #include "src/core/two_selects.h"
 #include "src/core/unchained_joins.h"
 #include "src/engine/executor.h"
+#include "src/engine/neighborhood_cache.h"
 
 namespace knnq {
 
@@ -34,15 +35,16 @@ class TwoSelectsExecutor : public Executor {
     return optimized_ ? "two-selects" : "two-selects-naive";
   }
 
-  Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                              ExecStats* stats) const override {
+  Result<QueryOutput> Execute(const PhysicalPlan& plan, ExecStats* stats,
+                              NeighborhoodCache* cache) const override {
     const TwoSelectsQuery query{.relation = plan.r1(),
                                 .f1 = plan.f1(),
                                 .k1 = plan.k1(),
                                 .f2 = plan.f2(),
                                 .k2 = plan.k2()};
-    return Wrap(optimized_ ? TwoSelectsOptimized(query, nullptr, stats)
-                           : TwoSelectsNaive(query, nullptr, stats));
+    return Wrap(optimized_
+                    ? TwoSelectsOptimized(query, nullptr, stats, cache)
+                    : TwoSelectsNaive(query, nullptr, stats, cache));
   }
 
  private:
@@ -59,8 +61,8 @@ class SelectInnerJoinExecutor : public Executor {
 
   const char* name() const override { return "select-inner-join"; }
 
-  Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                              ExecStats* stats) const override {
+  Result<QueryOutput> Execute(const PhysicalPlan& plan, ExecStats* stats,
+                              NeighborhoodCache* cache) const override {
     const SelectInnerJoinQuery query{.outer = plan.r1(),
                                      .inner = plan.r2(),
                                      .join_k = plan.k1(),
@@ -68,15 +70,15 @@ class SelectInnerJoinExecutor : public Executor {
                                      .select_k = plan.k2()};
     switch (strategy_) {
       case InnerJoinStrategy::kCounting:
-        return Wrap(SelectInnerJoinCounting(query, nullptr, stats));
+        return Wrap(SelectInnerJoinCounting(query, nullptr, stats, cache));
       case InnerJoinStrategy::kBlockMarking:
         return Wrap(SelectInnerJoinBlockMarking(query, plan.preprocess(),
                                                 nullptr, ProbePoint::kCenter,
-                                                stats));
+                                                stats, cache));
       case InnerJoinStrategy::kNaive:
         break;
     }
-    return Wrap(SelectInnerJoinNaive(query, nullptr, stats));
+    return Wrap(SelectInnerJoinNaive(query, nullptr, stats, cache));
   }
 
  private:
@@ -89,15 +91,15 @@ class SelectOuterJoinExecutor : public Executor {
 
   const char* name() const override { return "select-outer-join"; }
 
-  Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                              ExecStats* stats) const override {
+  Result<QueryOutput> Execute(const PhysicalPlan& plan, ExecStats* stats,
+                              NeighborhoodCache* cache) const override {
     const SelectOuterJoinQuery query{.outer = plan.r1(),
                                      .inner = plan.r2(),
                                      .join_k = plan.k1(),
                                      .focal = plan.f1(),
                                      .select_k = plan.k2()};
-    return Wrap(pushed_ ? SelectOuterJoinPushed(query, stats)
-                        : SelectOuterJoinLate(query, stats));
+    return Wrap(pushed_ ? SelectOuterJoinPushed(query, stats, cache)
+                        : SelectOuterJoinLate(query, stats, cache));
   }
 
  private:
@@ -111,8 +113,8 @@ class UnchainedJoinsExecutor : public Executor {
 
   const char* name() const override { return "unchained-joins"; }
 
-  Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                              ExecStats* stats) const override {
+  Result<QueryOutput> Execute(const PhysicalPlan& plan, ExecStats* stats,
+                              NeighborhoodCache* cache) const override {
     // When swapped, the physical A-side is the spec's C-side; swap the
     // triplet roles back so callers always see spec order.
     const bool swapped = plan.swapped();
@@ -122,9 +124,10 @@ class UnchainedJoinsExecutor : public Executor {
         .c = swapped ? plan.r1() : plan.r3(),
         .k_ab = swapped ? plan.k2() : plan.k1(),
         .k_cb = swapped ? plan.k1() : plan.k2()};
-    auto result = block_marking_
-                      ? UnchainedJoinsBlockMarking(query, nullptr, stats)
-                      : UnchainedJoinsNaive(query, stats);
+    auto result =
+        block_marking_
+            ? UnchainedJoinsBlockMarking(query, nullptr, stats, cache)
+            : UnchainedJoinsNaive(query, stats, cache);
     if (!result.ok()) return result.status();
     TripletResult triplets = std::move(result.value());
     if (swapped) {
@@ -148,8 +151,8 @@ class ChainedJoinsExecutor : public Executor {
 
   const char* name() const override { return "chained-joins"; }
 
-  Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                              ExecStats* stats) const override {
+  Result<QueryOutput> Execute(const PhysicalPlan& plan, ExecStats* stats,
+                              NeighborhoodCache* cache) const override {
     const ChainedJoinsQuery query{.a = plan.r1(),
                                   .b = plan.r2(),
                                   .c = plan.r3(),
@@ -157,13 +160,15 @@ class ChainedJoinsExecutor : public Executor {
                                   .k_bc = plan.k2()};
     switch (strategy_) {
       case ChainedStrategy::kRightDeep:
-        return Wrap(ChainedJoinsRightDeep(query, nullptr, stats));
+        return Wrap(ChainedJoinsRightDeep(query, nullptr, stats, cache));
       case ChainedStrategy::kJoinIntersection:
-        return Wrap(ChainedJoinsJoinIntersection(query, nullptr, stats));
+        return Wrap(
+            ChainedJoinsJoinIntersection(query, nullptr, stats, cache));
       case ChainedStrategy::kNested:
         break;
     }
-    return Wrap(ChainedJoinsNested(query, plan.cache(), nullptr, stats));
+    return Wrap(
+        ChainedJoinsNested(query, plan.cache(), nullptr, stats, cache));
   }
 
  private:
@@ -177,22 +182,23 @@ class RangeInnerJoinExecutor : public Executor {
 
   const char* name() const override { return "range-inner-join"; }
 
-  Result<QueryOutput> Execute(const PhysicalPlan& plan,
-                              ExecStats* stats) const override {
+  Result<QueryOutput> Execute(const PhysicalPlan& plan, ExecStats* stats,
+                              NeighborhoodCache* cache) const override {
     const RangeSelectInnerJoinQuery query{.outer = plan.r1(),
                                           .inner = plan.r2(),
                                           .join_k = plan.k1(),
                                           .range = plan.range()};
     switch (strategy_) {
       case InnerJoinStrategy::kCounting:
-        return Wrap(RangeSelectInnerJoinCounting(query, nullptr, stats));
+        return Wrap(
+            RangeSelectInnerJoinCounting(query, nullptr, stats, cache));
       case InnerJoinStrategy::kBlockMarking:
-        return Wrap(RangeSelectInnerJoinBlockMarking(query, plan.preprocess(),
-                                                     nullptr, stats));
+        return Wrap(RangeSelectInnerJoinBlockMarking(
+            query, plan.preprocess(), nullptr, stats, cache));
       case InnerJoinStrategy::kNaive:
         break;
     }
-    return Wrap(RangeSelectInnerJoinNaive(query, nullptr, stats));
+    return Wrap(RangeSelectInnerJoinNaive(query, nullptr, stats, cache));
   }
 
  private:

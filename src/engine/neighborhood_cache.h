@@ -1,0 +1,193 @@
+// NeighborhoodCache: a sharded, thread-safe, bounded memo of getkNN
+// results shared ACROSS queries.
+//
+// The paper's chained-join cache (Section 4.2.1) reuses b-neighborhoods
+// within one query; under batch load (QueryEngine::RunBatch) different
+// queries over the same relations recompute identical neighborhoods -
+// repeated focal points, repeated (outer point, join k) probes, and
+// Block-Marking's block-center probes. This cache memoizes the full
+// GetKnn primitive under the key (relation, query point, k) so that
+// work is shared across the whole batch.
+//
+// Only unrestricted GetKnn results are cached. GetKnnRestricted output
+// depends on the caller-supplied threshold (entries beyond it may
+// deviate from the true neighborhood, see DESIGN.md note 5), so those
+// searches always pass through - keeping cached and uncached execution
+// byte-identical.
+//
+// Concurrency: the key space is split over power-of-two shards, each a
+// mutex-protected LRU list + hash map. Eviction is LRU per shard with a
+// byte budget of capacity_bytes / num_shards. Hit/miss/eviction
+// counters are relaxed atomics; exact cross-shard snapshots are not
+// needed, only monotone totals.
+
+#ifndef KNNQ_SRC_ENGINE_NEIGHBORHOOD_CACHE_H_
+#define KNNQ_SRC_ENGINE_NEIGHBORHOOD_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/point.h"
+#include "src/index/knn_searcher.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq {
+
+/// Cache construction knobs.
+struct NeighborhoodCacheOptions {
+  /// Total byte budget across all shards. A cache of 0 bytes holds
+  /// nothing (every Insert is dropped) but stays safe to use.
+  std::size_t capacity_bytes = 64ull << 20;
+
+  /// Requested shard count; rounded up to a power of two, minimum 1.
+  /// More shards mean less lock contention under RunBatch.
+  std::size_t num_shards = 16;
+};
+
+/// Monotone counters plus a point-in-time footprint snapshot.
+struct NeighborhoodCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Sharded (relation, query point, k) -> Neighborhood memo. All public
+/// member functions are thread-safe.
+class NeighborhoodCache {
+ public:
+  explicit NeighborhoodCache(NeighborhoodCacheOptions options = {});
+
+  NeighborhoodCache(const NeighborhoodCache&) = delete;
+  NeighborhoodCache& operator=(const NeighborhoodCache&) = delete;
+
+  /// On a hit, copies the cached neighborhood into `*out`, refreshes
+  /// the entry's LRU position and returns true. Identity of `relation`
+  /// is the index object itself: two structures over the same points
+  /// cache separately (and, GetKnn being deterministic, hold
+  /// byte-identical values).
+  bool Lookup(const SpatialIndex* relation, const Point& query,
+              std::size_t k, Neighborhood* out);
+
+  /// Memoizes a computed neighborhood. Entries larger than a whole
+  /// shard's budget are dropped; otherwise the shard evicts LRU-first
+  /// until the new entry fits. Inserting a key that is already present
+  /// (a concurrent miss on both threads) only refreshes its position.
+  void Insert(const SpatialIndex* relation, const Point& query,
+              std::size_t k, const Neighborhood& neighborhood);
+
+  /// Drops every entry. Counters other than `entries`/`bytes` persist.
+  void Clear();
+
+  /// Invalidation hook for catalog changes: when `generation` differs
+  /// from the last observed value, the cache clears itself (cached
+  /// pointers could otherwise dangle or alias a new relation).
+  void InvalidateIfGenerationChanged(std::uint64_t generation);
+
+  NeighborhoodCacheStats GetStats() const;
+
+  /// Current footprint from a relaxed atomic - no shard locks. The
+  /// per-query cache_bytes snapshot in ExecStats reads this.
+  std::size_t size_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  /// Coordinates are keyed by BIT PATTERN, not double equality: hashing
+  /// already inspects the bits, and defaulted double comparison would
+  /// break the map's hash/equality contract for -0.0 vs +0.0 and make
+  /// NaN keys (NaN != NaN) unfindable - and thus unevictable.
+  struct Key {
+    const SpatialIndex* relation;
+    std::uint64_t x_bits;
+    std::uint64_t y_bits;
+    std::size_t k;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  struct Entry {
+    Key key;
+    Neighborhood neighborhood;
+    std::size_t bytes;
+  };
+
+  /// One lock domain. LRU list front = most recently used.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+    std::size_t bytes = 0;
+  };
+
+  static Key MakeKey(const SpatialIndex* relation, const Point& query,
+                     std::size_t k);
+
+  /// Approximate heap charge of one entry (list node + map node + the
+  /// neighborhood's own allocation).
+  static std::size_t EntryCost(const Neighborhood& neighborhood);
+
+  Shard& ShardFor(const Key& key);
+
+  const std::size_t capacity_bytes_;
+  const std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Drop-in KnnSearcher with an optional shared cache behind GetKnn.
+/// With a null cache it is a plain KnnSearcher; with one attached,
+/// GetKnn consults the memo first and records hits/misses in the
+/// searcher's SearchStats (folded into ExecStats by the evaluators).
+/// GetKnnRestricted always passes through (see the cache's header
+/// comment). Like KnnSearcher, not thread-safe: one per thread; the
+/// cache itself is safely shared.
+class CachingKnnSearcher {
+ public:
+  explicit CachingKnnSearcher(const SpatialIndex& index,
+                              NeighborhoodCache* cache = nullptr)
+      : searcher_(index), cache_(cache) {}
+
+  Neighborhood GetKnn(const Point& query, std::size_t k);
+
+  Neighborhood GetKnnRestricted(const Point& query, std::size_t k,
+                                double threshold) {
+    return searcher_.GetKnnRestricted(query, k, threshold);
+  }
+
+  const SpatialIndex& index() const { return searcher_.index(); }
+
+  SearchStats& stats() { return searcher_.stats(); }
+  const SearchStats& stats() const { return searcher_.stats(); }
+
+ private:
+  KnnSearcher searcher_;
+  NeighborhoodCache* cache_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_ENGINE_NEIGHBORHOOD_CACHE_H_

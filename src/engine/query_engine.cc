@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/engine/executor.h"
+#include "src/engine/neighborhood_cache.h"
 
 namespace knnq {
 
@@ -16,13 +17,30 @@ std::size_t ResolveThreads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+std::unique_ptr<NeighborhoodCache> MakeCache(const PlannerOptions& planner) {
+  if (planner.cache_mb == 0) return nullptr;
+  NeighborhoodCacheOptions options;
+  options.capacity_bytes = planner.cache_mb << 20;
+  return std::make_unique<NeighborhoodCache>(options);
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Catalog catalog, EngineOptions options)
     : catalog_(std::move(catalog)),
       options_(options),
       pool_(std::make_unique<ThreadPool>(
-          ResolveThreads(options.num_threads))) {}
+          ResolveThreads(options.num_threads))),
+      cache_(MakeCache(options.planner)) {
+  if (cache_ != nullptr) {
+    // Adopt the catalog's generation as the cache's baseline. The
+    // engine's catalog is owned by value and never mutated afterwards,
+    // so construction is the only point where the two can diverge;
+    // InvalidateIfGenerationChanged stays available for callers
+    // embedding the cache alongside a catalog they keep extending.
+    cache_->InvalidateIfGenerationChanged(catalog_.generation());
+  }
+}
 
 QueryEngine::~QueryEngine() = default;
 
@@ -39,7 +57,10 @@ EngineResult QueryEngine::Run(const QuerySpec& spec) const {
   const ExecutorRegistry& registry = options_.registry != nullptr
                                          ? *options_.registry
                                          : ExecutorRegistry::Default();
-  auto output = plan->Execute(registry, &result.stats);
+  auto output = plan->Execute(registry, &result.stats, cache_.get());
+  if (cache_ != nullptr) {
+    result.stats.cache_bytes = cache_->size_bytes();
+  }
   // The plan was built either way; keep its EXPLAIN for debugging
   // failed executions too.
   result.explain = plan->Explain(&result.stats);

@@ -10,6 +10,13 @@
 // its own KnnSearcher scratch state. Planning reads only catalog
 // statistics. So queries share indexes with zero synchronization and a
 // batch's speedup is bounded only by cores and memory bandwidth.
+//
+// The one shared mutable structure is optional: with
+// PlannerOptions::cache_mb > 0 the engine owns a NeighborhoodCache, a
+// sharded cross-query memo of getkNN results, consulted by every
+// evaluator and invalidated if the catalog's generation ever changes.
+// Cached execution returns byte-identical results (GetKnn is
+// deterministic; restricted searches bypass the cache).
 
 #ifndef KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 #define KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
@@ -27,7 +34,8 @@
 
 namespace knnq {
 
-class ExecutorRegistry;  // src/engine/executor.h
+class ExecutorRegistry;   // src/engine/executor.h
+class NeighborhoodCache;  // src/engine/neighborhood_cache.h
 
 /// Engine construction knobs.
 struct EngineOptions {
@@ -73,6 +81,11 @@ class QueryEngine {
   const EngineOptions& options() const { return options_; }
   std::size_t num_threads() const;
 
+  /// The engine's cross-query neighborhood cache; null when
+  /// options.planner.cache_mb == 0. Exposed for stats inspection
+  /// (hit rate, footprint) and explicit Clear().
+  NeighborhoodCache* neighborhood_cache() const { return cache_.get(); }
+
   /// Plans and executes one query on the calling thread.
   EngineResult Run(const QuerySpec& spec) const;
 
@@ -86,6 +99,8 @@ class QueryEngine {
   Catalog catalog_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Shared across all workers; internally synchronized.
+  std::unique_ptr<NeighborhoodCache> cache_;
 };
 
 }  // namespace knnq

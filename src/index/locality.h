@@ -45,6 +45,11 @@ struct SearchStats {
   std::size_t localities_computed = 0;
   std::size_t blocks_scanned = 0;
   std::size_t points_scanned = 0;
+  /// GetKnn calls served from / missing a shared NeighborhoodCache
+  /// (src/engine/neighborhood_cache.h). Both stay zero when no cache is
+  /// attached, so uncached callers see unchanged stats.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 
   void Reset() { *this = SearchStats{}; }
 };

@@ -16,6 +16,7 @@ Status Catalog::AddRelation(const std::string& name, PointSet points,
   if (!index.ok()) return index.status();
   relations_.emplace(
       name, Relation{.name = name, .index = std::move(index.value())});
+  ++generation_;
   return Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 #ifndef KNNQ_SRC_PLANNER_CATALOG_H_
 #define KNNQ_SRC_PLANNER_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,8 +52,14 @@ class Catalog {
   /// frame for coverage comparisons.
   BoundingBox UnionBounds() const;
 
+  /// Bumped by every successful AddRelation. Caches keyed by relation
+  /// identity (QueryEngine's NeighborhoodCache) compare generations to
+  /// detect catalog changes and invalidate themselves.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   std::map<std::string, Relation> relations_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace knnq

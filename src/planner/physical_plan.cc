@@ -68,7 +68,8 @@ Result<QueryOutput> PhysicalPlan::Execute(ExecStats* stats) const {
 }
 
 Result<QueryOutput> PhysicalPlan::Execute(const ExecutorRegistry& registry,
-                                          ExecStats* stats) const {
+                                          ExecStats* stats,
+                                          NeighborhoodCache* cache) const {
   const Executor* executor = registry.Find(algorithm_);
   if (executor == nullptr) {
     return Status::Internal(std::string("no executor registered for ") +
@@ -78,7 +79,7 @@ Result<QueryOutput> PhysicalPlan::Execute(const ExecutorRegistry& registry,
   ExecStats* out = stats != nullptr ? stats : &local;
   *out = ExecStats{};
   Stopwatch timer;
-  Result<QueryOutput> result = executor->Execute(*this, out);
+  Result<QueryOutput> result = executor->Execute(*this, out, cache);
   out->wall_seconds = timer.ElapsedSeconds();
   return result;
 }

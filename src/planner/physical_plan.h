@@ -20,7 +20,8 @@
 
 namespace knnq {
 
-class ExecutorRegistry;  // src/engine/executor.h
+class ExecutorRegistry;    // src/engine/executor.h
+class NeighborhoodCache;   // src/engine/neighborhood_cache.h
 
 /// Every executable strategy the optimizer can pick.
 enum class Algorithm {
@@ -74,8 +75,11 @@ class PhysicalPlan {
   /// Runs the plan through a caller-supplied registry - the extension
   /// point for engines that register their own executors. Fails with
   /// Internal when the registry has no executor for this algorithm.
+  /// `cache` (optional) is a shared cross-query neighborhood memo
+  /// (src/engine/neighborhood_cache.h) forwarded to the executor.
   Result<QueryOutput> Execute(const ExecutorRegistry& registry,
-                              ExecStats* stats = nullptr) const;
+                              ExecStats* stats = nullptr,
+                              NeighborhoodCache* cache = nullptr) const;
 
   // --- Bound inputs, read by the engine's executors. ---
   // Which fields are meaningful depends on the algorithm.

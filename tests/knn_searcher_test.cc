@@ -241,6 +241,63 @@ TEST(LocalityTest, StatsCountWork) {
   EXPECT_GT(stats.blocks_scanned, 0u);
 }
 
+TEST(RestrictedSearchTest, ThresholdBelowFirstBlockMindistIsEmpty) {
+  // A query far outside the data's extent with a threshold smaller
+  // than every block's MINDIST: the clipped locality is empty, so the
+  // neighborhood is too - no block may be scanned "just in case".
+  const PointSet points = MakeUniform(800, 31);
+  for (const IndexType type : AllIndexTypes()) {
+    const auto index = MakeIndex(points, type);
+    KnnSearcher searcher(*index);
+    const Point far_away{.id = -1, .x = 5000, .y = 5000};
+    // The frame ends at (1000, 800); every block is > 4000 away.
+    const Neighborhood nbr =
+        searcher.GetKnnRestricted(far_away, 10, /*threshold=*/100.0);
+    EXPECT_TRUE(nbr.empty()) << ToString(type);
+  }
+}
+
+TEST(RestrictedSearchTest, ZeroThresholdOnDataPointKeepsOnlyIt) {
+  // threshold = 0 still admits blocks at MINDIST 0 and points at
+  // distance exactly 0: probing a data point returns that point (and
+  // any exact duplicates), nothing else.
+  const PointSet points = MakeUniform(500, 37);
+  for (const IndexType type : AllIndexTypes()) {
+    const auto index = MakeIndex(points, type);
+    KnnSearcher searcher(*index);
+    const Neighborhood nbr =
+        searcher.GetKnnRestricted(points[123], 10, /*threshold=*/0.0);
+    ASSERT_EQ(nbr.size(), 1u) << ToString(type);
+    EXPECT_EQ(nbr[0].point.id, points[123].id);
+    EXPECT_EQ(nbr[0].dist, 0.0);
+  }
+}
+
+TEST(RestrictedSearchTest, ThresholdCoveringRelationEqualsFullSearch) {
+  // A threshold beyond the farthest point clips nothing: the restricted
+  // search must be byte-identical to the unrestricted one, for every
+  // index structure and for k both below and above the relation size.
+  const PointSet points = MakeCity(700, 41);
+  const Point q{.id = -1, .x = 480, .y = 390};
+  constexpr double kWholeWorld = 1e7;
+  for (const IndexType type : AllIndexTypes()) {
+    const auto index = MakeIndex(points, type);
+    KnnSearcher searcher(*index);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{25},
+                                std::size_t{2000}}) {
+      const Neighborhood full = searcher.GetKnn(q, k);
+      const Neighborhood restricted =
+          searcher.GetKnnRestricted(q, k, kWholeWorld);
+      ASSERT_EQ(full.size(), restricted.size())
+          << ToString(type) << " k=" << k;
+      for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(full[i], restricted[i]) << ToString(type) << " k=" << k
+                                          << " rank " << i;
+      }
+    }
+  }
+}
+
 TEST(RestrictedSearchTest, ExactWithinThresholdRegion) {
   // GetKnnRestricted must rank all points within the threshold exactly;
   // beyond the threshold it may differ (DESIGN.md note 5).

@@ -1,0 +1,337 @@
+// NeighborhoodCache tests: hit/miss accounting, LRU capacity
+// eviction, cross-index-structure determinism of cached values,
+// catalog-generation invalidation, and the engine-level guarantee the
+// whole subsystem exists to preserve - a multi-threaded cached
+// RunBatch returns results byte-identical to uncached serial
+// execution over all six query shapes and all three index structures.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/engine/neighborhood_cache.h"
+#include "src/engine/query_engine.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using testing::AllIndexTypes;
+using testing::MakeCity;
+using testing::MakeClustered;
+using testing::MakeIndex;
+using testing::MakeUniform;
+
+NeighborhoodCacheOptions SmallCache(std::size_t capacity_bytes,
+                                    std::size_t shards = 1) {
+  NeighborhoodCacheOptions options;
+  options.capacity_bytes = capacity_bytes;
+  options.num_shards = shards;
+  return options;
+}
+
+TEST(NeighborhoodCacheTest, HitAndMissAccounting) {
+  const PointSet points = MakeUniform(300, 11);
+  const auto index = MakeIndex(points);
+  NeighborhoodCache cache;
+
+  CachingKnnSearcher searcher(*index, &cache);
+  const Point q{.id = -1, .x = 500, .y = 400};
+  const Neighborhood first = searcher.GetKnn(q, 7);
+  EXPECT_EQ(searcher.stats().cache_hits, 0u);
+  EXPECT_EQ(searcher.stats().cache_misses, 1u);
+
+  const Neighborhood second = searcher.GetKnn(q, 7);
+  EXPECT_EQ(searcher.stats().cache_hits, 1u);
+  EXPECT_EQ(searcher.stats().cache_misses, 1u);
+  EXPECT_EQ(first, second);
+
+  // A different k is a different key.
+  (void)searcher.GetKnn(q, 8);
+  EXPECT_EQ(searcher.stats().cache_misses, 2u);
+
+  const NeighborhoodCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+  // The lock-free footprint counter agrees with the shard walk.
+  EXPECT_EQ(stats.bytes, cache.size_bytes());
+  EXPECT_NEAR(stats.hit_rate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(NeighborhoodCacheTest, CachedValueMatchesFreshComputation) {
+  const PointSet points = MakeCity(1000, 13);
+  const auto index = MakeIndex(points);
+  NeighborhoodCache cache;
+  CachingKnnSearcher cached(*index, &cache);
+  KnnSearcher plain(*index);
+
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    const Point q{.id = -1,
+                  .x = rng.Uniform(0, 1000),
+                  .y = rng.Uniform(0, 800)};
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextIndex(12));
+    // Probe twice: the second answer comes from the cache and must be
+    // byte-identical to an uncached searcher's.
+    (void)cached.GetKnn(q, k);
+    EXPECT_EQ(cached.GetKnn(q, k), plain.GetKnn(q, k));
+  }
+  EXPECT_EQ(cache.GetStats().hits, 40u);
+}
+
+TEST(NeighborhoodCacheTest, NullCachePassesThrough) {
+  const PointSet points = MakeUniform(200, 19);
+  const auto index = MakeIndex(points);
+  CachingKnnSearcher searcher(*index, nullptr);
+  KnnSearcher plain(*index);
+  const Point q{.id = -1, .x = 100, .y = 100};
+  EXPECT_EQ(searcher.GetKnn(q, 5), plain.GetKnn(q, 5));
+  EXPECT_EQ(searcher.stats().cache_hits, 0u);
+  EXPECT_EQ(searcher.stats().cache_misses, 0u);
+}
+
+TEST(NeighborhoodCacheTest, CapacityEvictionIsLruAndBounded) {
+  const PointSet points = MakeUniform(500, 23);
+  const auto index = MakeIndex(points);
+  // Room for only a handful of k=4 entries in a single shard.
+  NeighborhoodCache cache(SmallCache(2048));
+  CachingKnnSearcher searcher(*index, &cache);
+
+  const Point hot{.id = -1, .x = 500, .y = 400};
+  (void)searcher.GetKnn(hot, 4);
+  for (int i = 0; i < 64; ++i) {
+    // Keep the hot key recent while a stream of distinct keys churns
+    // the rest of the shard.
+    (void)searcher.GetKnn(hot, 4);
+    (void)searcher.GetKnn(
+        Point{.id = -1, .x = static_cast<double>(i * 13 % 1000),
+              .y = static_cast<double>(i * 29 % 800)},
+        4);
+  }
+
+  const NeighborhoodCacheStats stats = cache.GetStats();
+  EXPECT_LE(stats.bytes, 2048u);
+  EXPECT_EQ(stats.bytes, cache.size_bytes());
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+
+  // LRU kept the constantly-touched key through all that churn.
+  Neighborhood out;
+  EXPECT_TRUE(cache.Lookup(index.get(), hot, 4, &out));
+  EXPECT_EQ(out, KnnSearcher(*index).GetKnn(hot, 4));
+}
+
+TEST(NeighborhoodCacheTest, OversizedEntryIsDropped) {
+  const PointSet points = MakeUniform(400, 29);
+  const auto index = MakeIndex(points);
+  NeighborhoodCache cache(SmallCache(64));  // Smaller than any entry.
+  CachingKnnSearcher searcher(*index, &cache);
+  const Neighborhood nbr =
+      searcher.GetKnn(Point{.id = -1, .x = 10, .y = 10}, 50);
+  EXPECT_EQ(nbr.size(), 50u);  // The search itself is unaffected.
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().bytes, 0u);
+}
+
+TEST(NeighborhoodCacheTest, CrossIndexStructureDeterminism) {
+  // One shared cache over grid, quadtree and R-tree indexes of the
+  // same relation: the entries are keyed per index object, yet hold
+  // byte-identical neighborhoods, because getkNN is deterministic.
+  const PointSet points = MakeClustered(4, 100, 31);
+  NeighborhoodCache cache;
+  std::vector<std::unique_ptr<SpatialIndex>> indexes;
+  for (const IndexType type : AllIndexTypes()) {
+    indexes.push_back(MakeIndex(points, type));
+  }
+
+  Rng rng(37);
+  for (int i = 0; i < 25; ++i) {
+    const Point q{.id = -1,
+                  .x = rng.Uniform(0, 1000),
+                  .y = rng.Uniform(0, 800)};
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextIndex(10));
+    std::vector<Neighborhood> cached;
+    for (const auto& index : indexes) {
+      CachingKnnSearcher searcher(*index, &cache);
+      (void)searcher.GetKnn(q, k);  // Fill.
+      cached.push_back(searcher.GetKnn(q, k));  // Served from cache.
+    }
+    EXPECT_EQ(cached[0], cached[1]);
+    EXPECT_EQ(cached[0], cached[2]);
+    EXPECT_EQ(cached[0], BruteForceKnn(points, q, k));
+  }
+  // Per-structure keys: every (index, q, k) triple cached separately.
+  EXPECT_EQ(cache.GetStats().entries, 3u * 25u);
+}
+
+TEST(NeighborhoodCacheTest, GenerationChangeInvalidates) {
+  const PointSet points = MakeUniform(200, 41);
+  const auto index = MakeIndex(points);
+  NeighborhoodCache cache;
+  cache.InvalidateIfGenerationChanged(1);
+  CachingKnnSearcher searcher(*index, &cache);
+  (void)searcher.GetKnn(Point{.id = -1, .x = 50, .y = 50}, 3);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+
+  cache.InvalidateIfGenerationChanged(1);  // Same generation: no-op.
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+
+  cache.InvalidateIfGenerationChanged(2);  // Catalog changed: flush.
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+// --- Engine-level equivalence: the acceptance bar of this subsystem ---
+
+Catalog MakeCatalog(IndexType type) {
+  Catalog catalog;
+  IndexOptions options;
+  options.type = type;
+  options.block_capacity = 16;  // Many blocks: pruning paths fire.
+  EXPECT_TRUE(
+      catalog.AddRelation("uniform", MakeUniform(600, 141, 0), options)
+          .ok());
+  EXPECT_TRUE(
+      catalog.AddRelation("city", MakeCity(600, 142, 100000), options)
+          .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation("clustered",
+                               MakeClustered(3, 90, 143, 200000), options)
+                  .ok());
+  return catalog;
+}
+
+/// `rounds` cycles of all six query shapes; the modulus keeps focal
+/// points and k values repeating, so the cache sees real sharing.
+std::vector<QuerySpec> SkewedSpecs(std::size_t rounds) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(rounds * 6);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double dx = static_cast<double>((i * 37) % 200);
+    const double dy = static_cast<double>((i * 53) % 150);
+    const std::size_t k = 1 + i % 3;
+    specs.push_back(TwoSelectsSpec{
+        .relation = "city",
+        .s1 = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k},
+        .s2 = {.focal = {.id = -1, .x = dx + 40, .y = dy + 25},
+               .k = k + 6},
+    });
+    specs.push_back(SelectInnerJoinSpec{
+        .outer = "uniform",
+        .inner = "city",
+        .join_k = k,
+        .select = {.focal = {.id = -1, .x = dx, .y = dy}, .k = k + 2},
+    });
+    specs.push_back(SelectOuterJoinSpec{
+        .outer = "city",
+        .inner = "uniform",
+        .join_k = 1 + k % 3,
+        .select = {.focal = {.id = -1, .x = dy, .y = dx / 2}, .k = 5 + k},
+    });
+    specs.push_back(UnchainedJoinsSpec{
+        .a = "uniform",
+        .b = "city",
+        .c = "clustered",
+        .k_ab = 1 + k % 3,
+        .k_cb = 1 + (k + 1) % 3,
+    });
+    specs.push_back(ChainedJoinsSpec{
+        .a = "clustered",
+        .b = "city",
+        .c = "uniform",
+        .k_ab = 1 + k % 3,
+        .k_bc = 1 + (k + 2) % 3,
+    });
+    specs.push_back(RangeInnerJoinSpec{
+        .outer = "uniform",
+        .inner = "city",
+        .join_k = k,
+        .range = BoundingBox(dx, dy, dx + 150, dy + 120),
+    });
+  }
+  return specs;
+}
+
+class CachedEngineEquivalenceTest
+    : public ::testing::TestWithParam<IndexType> {};
+
+TEST_P(CachedEngineEquivalenceTest, CachedBatchEqualsUncachedSerial) {
+  // Two engines over identical catalogs: one with a cache on a 4-thread
+  // pool, one uncached. Every batch result must be byte-identical to
+  // the uncached serial reference; repeating the batch exercises the
+  // fully warm cache as well as the cold one.
+  EngineOptions cached_options;
+  cached_options.num_threads = 4;
+  cached_options.planner.cache_mb = 32;
+  QueryEngine cached(MakeCatalog(GetParam()), cached_options);
+  ASSERT_NE(cached.neighborhood_cache(), nullptr);
+
+  EngineOptions plain_options;
+  plain_options.num_threads = 1;
+  QueryEngine plain(MakeCatalog(GetParam()), plain_options);
+  ASSERT_EQ(plain.neighborhood_cache(), nullptr);
+
+  const std::vector<QuerySpec> specs = SkewedSpecs(15);
+  std::vector<EngineResult> serial;
+  serial.reserve(specs.size());
+  for (const QuerySpec& spec : specs) serial.push_back(plain.Run(spec));
+
+  ExecStats total;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::vector<EngineResult> batch = cached.RunBatch(specs);
+    ASSERT_EQ(batch.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok()) << "query " << i << ": "
+                                 << batch[i].status.ToString();
+      ASSERT_TRUE(serial[i].ok());
+      EXPECT_EQ(batch[i].algorithm, serial[i].algorithm) << "query " << i;
+      EXPECT_TRUE(batch[i].output == serial[i].output)
+          << "cached batch differs from uncached serial for query " << i
+          << " (pass " << pass << ")";
+      EXPECT_FALSE(batch[i].stats.empty()) << "query " << i;
+      total.Merge(batch[i].stats);
+    }
+  }
+  // The skewed workload must actually share work across queries.
+  EXPECT_GT(total.cache_hits, 0u);
+  EXPECT_GT(total.cache_bytes, 0u);
+  EXPECT_GT(cached.neighborhood_cache()->GetStats().hit_rate(), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, CachedEngineEquivalenceTest,
+    ::testing::Values(IndexType::kGrid, IndexType::kQuadtree,
+                      IndexType::kRTree),
+    [](const ::testing::TestParamInfo<IndexType>& info) {
+      return std::string(ToString(info.param));
+    });
+
+TEST(CachedEngineTest, StatsAndExplainSurfaceCacheCounters) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.planner.cache_mb = 8;
+  QueryEngine engine(MakeCatalog(IndexType::kGrid), options);
+  const TwoSelectsSpec spec{
+      .relation = "city",
+      .s1 = {.focal = {.id = -1, .x = 500, .y = 400}, .k = 5},
+      .s2 = {.focal = {.id = -1, .x = 520, .y = 410}, .k = 9},
+  };
+  const EngineResult cold = engine.Run(spec);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold.stats.cache_misses, 0u);
+  EXPECT_GT(cold.stats.cache_bytes, 0u);
+
+  const EngineResult warm = engine.Run(spec);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm.stats.cache_hits, 0u);
+  EXPECT_NE(warm.explain.find("cache_hits="), std::string::npos)
+      << warm.explain;
+  EXPECT_TRUE(warm.output == cold.output);
+}
+
+}  // namespace
+}  // namespace knnq

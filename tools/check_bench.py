@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate BENCH_engine_batch.json against a committed baseline.
+
+Usage: check_bench.py CURRENT_JSON BASELINE_JSON [--threshold 0.25]
+
+Machines differ, so absolute throughput is never compared. Every
+benchmark row's qps is normalized by the same file's serial reference
+row ("serial/uniform/uncached"), which cancels the host's speed; the
+gate fails when a row's normalized throughput drops more than
+--threshold (default 25%) below the baseline's normalized value.
+
+Two absolute invariants from the cache's acceptance criteria are also
+enforced, because they are machine-independent ratios measured within
+one run:
+  * skewed_speedup_t1 >= 1.3  (cached skewed batch beats uncached)
+  * skewed_hit_rate   >= 0.5  (the skew actually hits the cache)
+
+Exit code 0 = pass, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+SERIAL_REF = "serial/uniform/uncached"
+MIN_SKEWED_SPEEDUP = 1.3
+MIN_SKEWED_HIT_RATE = 0.5
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def normalized_qps(doc, path):
+    rows = {b["name"]: b for b in doc.get("benchmarks", [])}
+    ref = rows.get(SERIAL_REF)
+    if ref is None or ref.get("qps", 0) <= 0:
+        sys.exit(f"{path}: missing or zero serial reference row "
+                 f"'{SERIAL_REF}'")
+    return {name: b["qps"] / ref["qps"] for name, b in rows.items()
+            if name != SERIAL_REF and b.get("qps", 0) > 0}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional drop in normalized "
+                             "throughput (default 0.25)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    cur_rel = normalized_qps(current, args.current)
+    base_rel = normalized_qps(baseline, args.baseline)
+
+    failures = []
+    print(f"{'benchmark':<32} {'base':>8} {'now':>8} {'ratio':>7}")
+    for name in sorted(base_rel):
+        if name not in cur_rel:
+            failures.append(f"{name}: present in baseline but not in "
+                            f"current run")
+            continue
+        ratio = cur_rel[name] / base_rel[name]
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{name}: normalized throughput {cur_rel[name]:.3f} is "
+                f"{100 * (1 - ratio):.1f}% below baseline "
+                f"{base_rel[name]:.3f}")
+            flag = "  <-- REGRESSION"
+        print(f"{name:<32} {base_rel[name]:>8.3f} {cur_rel[name]:>8.3f} "
+              f"{ratio:>7.3f}{flag}")
+
+    summary = current.get("summary", {})
+    speedup = summary.get("skewed_speedup_t1", 0.0)
+    hit_rate = summary.get("skewed_hit_rate", 0.0)
+    print(f"\nskewed_speedup_t1={speedup:.2f}x "
+          f"(floor {MIN_SKEWED_SPEEDUP}x), "
+          f"skewed_hit_rate={hit_rate:.2%} "
+          f"(floor {MIN_SKEWED_HIT_RATE:.0%})")
+    if speedup < MIN_SKEWED_SPEEDUP:
+        failures.append(f"skewed_speedup_t1 {speedup:.2f}x is below the "
+                        f"{MIN_SKEWED_SPEEDUP}x floor")
+    if hit_rate < MIN_SKEWED_HIT_RATE:
+        failures.append(f"skewed_hit_rate {hit_rate:.2%} is below the "
+                        f"{MIN_SKEWED_HIT_RATE:.0%} floor")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nPASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@
 //   knnq_cli unchained --a FILE --b FILE --c FILE --k-ab K --k-cb K
 //            [--naive]
 //
+// Every query command accepts --cache-mb M to give the engine an M-MiB
+// cross-query neighborhood cache (0, the default, disables it).
+//
 // Dataset files are produced by `generate` (CSV: id,x,y with a header;
 // .bin: the knnq binary format).
 
@@ -82,6 +85,20 @@ class Args {
     const long long parsed = std::strtoll(raw->c_str(), nullptr, 10);
     if (parsed <= 0) {
       return Status::InvalidArgument(flag + " must be a positive integer");
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+
+  /// Like GetSize, but absent means `fallback` and 0 is legal (used by
+  /// --cache-mb, where 0 means "cache disabled").
+  Result<std::size_t> GetSizeOr(const std::string& flag,
+                                std::size_t fallback) const {
+    if (!Has(flag)) return fallback;
+    auto raw = Get(flag);
+    if (!raw.ok()) return raw.status();
+    const long long parsed = std::strtoll(raw->c_str(), nullptr, 10);
+    if (parsed < 0) {
+      return Status::InvalidArgument(flag + " must be >= 0");
     }
     return static_cast<std::size_t>(parsed);
   }
@@ -237,11 +254,15 @@ int CmdKnn(const Args& args) {
 }
 
 /// Hands the catalog to a QueryEngine, runs `spec`, prints EXPLAIN
-/// (including the ExecStats line) and the result.
-int PlanAndRun(Catalog catalog, const QuerySpec& spec, bool naive) {
+/// (including the ExecStats line) and the result. `cache_mb` sizes the
+/// engine's cross-query neighborhood cache (0 = off; one ad-hoc query
+/// still benefits when its evaluator probes repeated points).
+int PlanAndRun(Catalog catalog, const QuerySpec& spec, bool naive,
+               std::size_t cache_mb) {
   EngineOptions options;
   options.num_threads = 1;  // One ad-hoc query; no fan-out needed.
   options.planner.force_naive = naive;
+  options.planner.cache_mb = cache_mb;
   const QueryEngine engine(std::move(catalog), options);
 
   const EngineResult run = engine.Run(spec);
@@ -295,11 +316,13 @@ int CmdTwoSelects(const Args& args) {
     if (!s.ok() && s.code() != StatusCode::kOk) return Fail(s);
   }
   if (!f1.ok() || !f2.ok() || !k1.ok() || !k2.ok()) return 1;
+  auto cache_mb = args.GetSizeOr("--cache-mb", 0);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
   return PlanAndRun(std::move(catalog),
                     TwoSelectsSpec{.relation = "E",
                                    .s1 = {.focal = *f1, .k = *k1},
                                    .s2 = {.focal = *f2, .k = *k2}},
-                    args.Has("--naive"));
+                    args.Has("--naive"), *cache_mb);
 }
 
 int CmdSelectInnerJoin(const Args& args) {
@@ -318,13 +341,15 @@ int CmdSelectInnerJoin(const Args& args) {
   if (!join_k.ok()) return Fail(join_k.status());
   if (!focal.ok()) return Fail(focal.status());
   if (!select_k.ok()) return Fail(select_k.status());
+  auto cache_mb = args.GetSizeOr("--cache-mb", 0);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
   return PlanAndRun(
       std::move(catalog),
       SelectInnerJoinSpec{.outer = "E1",
                           .inner = "E2",
                           .join_k = *join_k,
                           .select = {.focal = *focal, .k = *select_k}},
-      args.Has("--naive"));
+      args.Has("--naive"), *cache_mb);
 }
 
 int CmdRangeInnerJoin(const Args& args) {
@@ -341,12 +366,14 @@ int CmdRangeInnerJoin(const Args& args) {
   auto range = args.GetBox("--range");
   if (!join_k.ok()) return Fail(join_k.status());
   if (!range.ok()) return Fail(range.status());
+  auto cache_mb = args.GetSizeOr("--cache-mb", 0);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
   return PlanAndRun(std::move(catalog),
                     RangeInnerJoinSpec{.outer = "E1",
                                        .inner = "E2",
                                        .join_k = *join_k,
                                        .range = *range},
-                    args.Has("--naive"));
+                    args.Has("--naive"), *cache_mb);
 }
 
 int CmdThreeRelations(const Args& args, bool chained) {
@@ -360,6 +387,8 @@ int CmdThreeRelations(const Args& args, bool chained) {
   }
   auto k1 = args.GetSize("--k-ab");
   if (!k1.ok()) return Fail(k1.status());
+  auto cache_mb = args.GetSizeOr("--cache-mb", 0);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
   if (chained) {
     auto k2 = args.GetSize("--k-bc");
     if (!k2.ok()) return Fail(k2.status());
@@ -369,7 +398,7 @@ int CmdThreeRelations(const Args& args, bool chained) {
                                        .c = "C",
                                        .k_ab = *k1,
                                        .k_bc = *k2},
-                      args.Has("--naive"));
+                      args.Has("--naive"), *cache_mb);
   }
   auto k2 = args.GetSize("--k-cb");
   if (!k2.ok()) return Fail(k2.status());
@@ -379,7 +408,7 @@ int CmdThreeRelations(const Args& args, bool chained) {
                                        .c = "C",
                                        .k_ab = *k1,
                                        .k_cb = *k2},
-                    args.Has("--naive"));
+                    args.Has("--naive"), *cache_mb);
 }
 
 void PrintUsage() {
@@ -396,7 +425,9 @@ void PrintUsage() {
       "                     --range X1,Y1,X2,Y2\n"
       "  chained            --a F --b F --c F --k-ab K --k-bc K\n"
       "  unchained          --a F --b F --c F --k-ab K --k-cb K\n"
-      "append --naive to run the conceptually correct baseline plan");
+      "append --naive to run the conceptually correct baseline plan;\n"
+      "append --cache-mb M to any query command to enable the engine's\n"
+      "cross-query neighborhood cache with an M-MiB budget (0 = off)");
 }
 
 }  // namespace
