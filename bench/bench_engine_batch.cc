@@ -20,6 +20,13 @@
 // The first iteration of every cached configuration also asserts that
 // the cached batch output is byte-identical to uncached serial
 // execution - the equivalence the engine guarantees.
+//
+// Workloads are textual: --workload FILE / --workload-skewed FILE
+// replace the generated uniform / skewed batches with the statements
+// of a .knnql script (parsed against the bench catalog:  relations
+// "uniform", "city", "clustered"), so benchmark mixes are committable
+// and diffable. The committed files under bench/workloads/ are the
+// generators' exact output; --dump-workloads DIR regenerates them.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,8 +39,10 @@
 #include "benchmark/benchmark.h"
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/data/dataset_io.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/engine/query_engine.h"
+#include "src/lang/unparser.h"
 
 namespace knnq::bench {
 namespace {
@@ -101,7 +110,7 @@ void AppendRound(std::vector<QuerySpec>& specs, double dx, double dy,
 }
 
 /// Every round gets distinct parameters: the cache's worst case.
-std::vector<QuerySpec> UniformSpecs() {
+std::vector<QuerySpec> GeneratedUniformSpecs() {
   std::vector<QuerySpec> specs;
   specs.reserve(kBatchSize);
   const BoundingBox frame = Frame();
@@ -117,7 +126,7 @@ std::vector<QuerySpec> UniformSpecs() {
 /// Rounds cycle through a pool of 4 hot parameter triples: the same
 /// focal points and k values recur all batch long, the way real
 /// serving traffic concentrates on hot spots.
-std::vector<QuerySpec> SkewedSpecs() {
+std::vector<QuerySpec> GeneratedSkewedSpecs() {
   constexpr std::size_t kHotSpots = 4;
   std::vector<QuerySpec> specs;
   specs.reserve(kBatchSize);
@@ -146,6 +155,55 @@ const QueryEngine& EngineWith(std::size_t threads, std::size_t cache_mb) {
     slot = std::make_unique<QueryEngine>(MakeCatalog(), options);
   }
   return *slot;
+}
+
+/// --workload / --workload-skewed override paths, set by main() before
+/// the benchmarks run; empty means "use the generated batch".
+std::string& WorkloadPath(const char* kind) {
+  static auto& paths = *new std::map<std::string, std::string>();
+  return paths[kind];
+}
+
+/// Parses a committed .knnql workload against the bench catalog.
+std::vector<QuerySpec> LoadWorkload(const std::string& path) {
+  auto text = ReadTextFile(path);
+  KNNQ_CHECK_MSG(text.ok(), text.status().ToString().c_str());
+  auto specs = EngineWith(1, /*cache_mb=*/0).ParseBatch(*text);
+  KNNQ_CHECK_MSG(specs.ok(), specs.status().ToString().c_str());
+  return std::move(specs.value());
+}
+
+std::vector<QuerySpec> UniformSpecs() {
+  const std::string& path = WorkloadPath("uniform");
+  return path.empty() ? GeneratedUniformSpecs() : LoadWorkload(path);
+}
+
+std::vector<QuerySpec> SkewedSpecs() {
+  const std::string& path = WorkloadPath("skewed");
+  return path.empty() ? GeneratedSkewedSpecs() : LoadWorkload(path);
+}
+
+/// Writes the generated batches as canonical KNNQL, one statement per
+/// line — the source of the committed bench/workloads/*.knnql files.
+void DumpWorkloads(const std::string& dir) {
+  const auto dump = [&](const char* name,
+                        const std::vector<QuerySpec>& specs) {
+    const std::string path = dir + "/engine_batch_" + name + ".knnql";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    KNNQ_CHECK_MSG(out != nullptr, path.c_str());
+    std::fprintf(out,
+                 "-- bench_engine_batch %s workload (%zu queries).\n"
+                 "-- Generated by: bench_engine_batch --dump-workloads\n"
+                 "-- relations: uniform city clustered\n",
+                 name, specs.size());
+    for (const QuerySpec& spec : specs) {
+      std::fprintf(out, "%s\n", knnql::Unparse(spec).c_str());
+    }
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  };
+  dump("uniform", GeneratedUniformSpecs());
+  dump("skewed", GeneratedSkewedSpecs());
 }
 
 /// Byte-identical equivalence: `engine`'s batch against UNCACHED serial
@@ -321,6 +379,40 @@ BENCHMARK(BM_EngineBatchSkewedCached)
 
 }  // namespace
 
+/// Consumes this binary's own flags before benchmark::Initialize sees
+/// argv: --workload FILE and --workload-skewed FILE replace the
+/// uniform / skewed batches, --dump-workloads DIR writes the generated
+/// batches as .knnql and exits. Returns -1 to continue into the
+/// benchmarks, or a process exit code.
+int HandleWorkloadArgs(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool takes_value = flag == "--workload" ||
+                             flag == "--workload-skewed" ||
+                             flag == "--dump-workloads";
+    if (!takes_value) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return 1;
+    }
+    const std::string value = argv[++i];
+    if (flag == "--workload") {
+      WorkloadPath("uniform") = value;
+    } else if (flag == "--workload-skewed") {
+      WorkloadPath("skewed") = value;
+    } else {
+      DumpWorkloads(value);
+      return 0;
+    }
+  }
+  argc = kept;
+  return -1;
+}
+
 /// Writes every recorded run plus derived summary ratios. Called from
 /// main after the benchmarks finish; a partial run (filtered
 /// benchmarks) writes whatever rows exist and null summary fields.
@@ -390,6 +482,9 @@ void WriteBenchJson() {
 }  // namespace knnq::bench
 
 int main(int argc, char** argv) {
+  if (const int rc = knnq::bench::HandleWorkloadArgs(argc, argv); rc >= 0) {
+    return rc;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,114 @@
+#include "src/common/text_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace knnq {
+
+std::string_view TrimWhitespace(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(
+                              text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+namespace {
+
+/// Splits on ','; a wrong field count yields the not-ok result.
+Result<std::vector<double>> ParseFields(std::string_view text,
+                                        std::size_t count,
+                                        const std::string& expected) {
+  std::vector<double> fields;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string_view field =
+        text.substr(begin, comma == std::string_view::npos
+                               ? std::string_view::npos
+                               : comma - begin);
+    auto value = ParseDouble(TrimWhitespace(field));
+    if (!value.ok() || fields.size() == count) {
+      return Status::InvalidArgument("must look like " + expected);
+    }
+    fields.push_back(*value);
+    if (comma == std::string_view::npos) break;
+    begin = comma + 1;
+  }
+  if (fields.size() != count) {
+    return Status::InvalidArgument("must look like " + expected);
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got empty text");
+  }
+  // strtod needs NUL termination; the inputs here are short flag values
+  // and lexer token slices, so the copy is irrelevant.
+  const std::string owned(text);
+  // strtod also understands hex literals ("0x10") and hex floats
+  // ("0x1p3"); the documented grammar is decimal only, so a stray 'x'
+  // must read as a typo, not as base sixteen.
+  if (owned.find_first_of("xX") != std::string::npos) {
+    return Status::InvalidArgument("malformed number '" + owned + "'");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("malformed number '" + owned + "'");
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("number '" + owned + "' is not finite");
+  }
+  return value;
+}
+
+Result<std::size_t> ParseSize(std::string_view text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string_view::npos) {
+    return Status::InvalidArgument("expected a non-negative integer, got '" +
+                                   std::string(text) + "'");
+  }
+  const std::string owned(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(owned.c_str(), &end, 10);
+  constexpr unsigned long long kMax = SIZE_MAX;
+  if (end != owned.c_str() + owned.size() || errno == ERANGE ||
+      value > kMax) {
+    return Status::InvalidArgument("integer out of range: '" + owned + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+Result<Point> ParsePointText(std::string_view text) {
+  auto fields = ParseFields(text, 2, "X,Y");
+  if (!fields.ok()) return fields.status();
+  return Point{.id = -1, .x = (*fields)[0], .y = (*fields)[1]};
+}
+
+Result<BoundingBox> ParseBoxText(std::string_view text) {
+  auto fields = ParseFields(text, 4, "X1,Y1,X2,Y2");
+  if (!fields.ok()) return fields.status();
+  const double x1 = (*fields)[0], y1 = (*fields)[1];
+  const double x2 = (*fields)[2], y2 = (*fields)[3];
+  if (x1 > x2 || y1 > y2) {
+    return Status::InvalidArgument("corners must be min,max");
+  }
+  return BoundingBox(x1, y1, x2, y2);
+}
+
+}  // namespace knnq

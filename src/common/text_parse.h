@@ -1,0 +1,39 @@
+// Strict textual parsing of the scalar shapes user input arrives in:
+// numbers, "X,Y" points and "X1,Y1,X2,Y2" boxes.
+//
+// One set of rules serves every front door — the CLI's flag values and
+// the KNNQL lexer (src/lang/lexer.h) — so a coordinate that parses in
+// one place parses everywhere, with the same error message.
+
+#ifndef KNNQ_SRC_COMMON_TEXT_PARSE_H_
+#define KNNQ_SRC_COMMON_TEXT_PARSE_H_
+
+#include <string_view>
+
+#include "src/common/bbox.h"
+#include "src/common/point.h"
+#include "src/common/status.h"
+
+namespace knnq {
+
+/// `text` without leading/trailing whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Parses `text` as one finite double, consuming all of it. Accepts the
+/// forms strtod round-trips ("3", "-0.5", "1.25e-3"); rejects empty
+/// input, trailing junk ("1.2.3"), infinities and NaN.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses `text` as one non-negative integer, consuming all of it.
+Result<std::size_t> ParseSize(std::string_view text);
+
+/// Parses "X,Y" into a point with id -1 (focal points are not relation
+/// members). Whitespace around each coordinate is allowed.
+Result<Point> ParsePointText(std::string_view text);
+
+/// Parses "X1,Y1,X2,Y2" into a box, requiring min,max corner order.
+Result<BoundingBox> ParseBoxText(std::string_view text);
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_COMMON_TEXT_PARSE_H_

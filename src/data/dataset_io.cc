@@ -103,4 +103,15 @@ Result<PointSet> LoadBinary(const std::string& path) {
   return points;
 }
 
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buffer.str();
+}
+
 }  // namespace knnq

@@ -23,6 +23,9 @@ Status SaveBinary(const PointSet& points, const std::string& path);
 /// Reads a file written by SaveBinary; validates magic and size.
 Result<PointSet> LoadBinary(const std::string& path);
 
+/// Reads a whole text file (e.g. a .knnql script) into a string.
+Result<std::string> ReadTextFile(const std::string& path);
+
 }  // namespace knnq
 
 #endif  // KNNQ_SRC_DATA_DATASET_IO_H_

@@ -6,6 +6,7 @@
 
 #include "src/engine/executor.h"
 #include "src/engine/neighborhood_cache.h"
+#include "src/lang/knnql.h"
 
 namespace knnq {
 
@@ -89,6 +90,25 @@ std::vector<EngineResult> QueryEngine::RunBatch(
   }
   done.wait();
   return results;
+}
+
+Result<std::vector<QuerySpec>> QueryEngine::ParseBatch(
+    std::string_view text) const {
+  auto statements = knnql::ParseBoundScript(text, &catalog_);
+  if (!statements.ok()) return statements.status();
+  std::vector<QuerySpec> specs;
+  specs.reserve(statements->size());
+  for (knnql::BoundStatement& statement : *statements) {
+    specs.push_back(std::move(statement.spec));
+  }
+  return specs;
+}
+
+Result<std::vector<EngineResult>> QueryEngine::RunScript(
+    std::string_view text) const {
+  auto specs = ParseBatch(text);
+  if (!specs.ok()) return specs.status();
+  return RunBatch(*specs);
 }
 
 }  // namespace knnq

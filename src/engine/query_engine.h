@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -94,6 +95,18 @@ class QueryEngine {
   /// fails only its own slot.
   std::vector<EngineResult> RunBatch(
       const std::vector<QuerySpec>& specs) const;
+
+  /// Parses a KNNQL script (src/lang/knnql.h) against this engine's
+  /// catalog into a batch of specs, one per statement in script order.
+  /// EXPLAIN prefixes are presentation hints for interactive front
+  /// ends and are ignored here. Fails with a "line:col: ..."
+  /// diagnostic on the first syntax or binding error.
+  Result<std::vector<QuerySpec>> ParseBatch(std::string_view text) const;
+
+  /// ParseBatch + RunBatch: a .knnql workload file, executed on the
+  /// worker pool. The whole call fails only when the script does not
+  /// parse; per-query failures stay isolated to their slot.
+  Result<std::vector<EngineResult>> RunScript(std::string_view text) const;
 
  private:
   Catalog catalog_;

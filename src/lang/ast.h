@@ -1,0 +1,93 @@
+// KNNQL abstract syntax: the parsed, *unbound* form of a query.
+//
+// Names are still strings and every component remembers its source
+// position, so the binder (src/lang/binder.h) can report semantic
+// errors — unknown relation, mismatched join sides — at the exact
+// line:column of the offending name. Binding an AST yields the
+// planner's QuerySpec; the AST itself never reaches the optimizer.
+
+#ifndef KNNQ_SRC_LANG_AST_H_
+#define KNNQ_SRC_LANG_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/bbox.h"
+#include "src/lang/token.h"
+
+namespace knnq::knnql {
+
+/// KNN(relation, k, AT(x, y)) — a kNN-select predicate.
+struct KnnSelectExpr {
+  std::string relation;
+  SourcePos relation_pos;
+  std::size_t k = 0;
+  SourcePos k_pos;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// KNN(outer, inner, k) — a kNN-join.
+struct KnnJoinExpr {
+  std::string outer;
+  SourcePos outer_pos;
+  std::string inner;
+  SourcePos inner_pos;
+  std::size_t k = 0;
+  SourcePos k_pos;
+};
+
+/// SELECT knn INTERSECT knn — the two-selects shape.
+struct SelectQuery {
+  KnnSelectExpr s1;
+  KnnSelectExpr s2;
+};
+
+/// Which join input a WHERE clause constrains.
+enum class JoinSide { kInner, kOuter };
+
+/// JOIN knn-join WHERE side IN knn — select-inner / select-outer join.
+struct JoinWhereKnnQuery {
+  KnnJoinExpr join;
+  JoinSide side = JoinSide::kInner;
+  SourcePos side_pos;
+  KnnSelectExpr select;
+};
+
+/// JOIN knn-join WHERE INNER IN RANGE(x1, y1, x2, y2).
+struct JoinWhereRangeQuery {
+  KnnJoinExpr join;
+  BoundingBox range;
+  SourcePos range_pos;
+};
+
+/// JOIN knn-join THEN knn-join — chained joins (A->B then B->C).
+struct JoinThenQuery {
+  KnnJoinExpr first;
+  KnnJoinExpr second;
+};
+
+/// JOIN knn-join INTERSECT knn-join — unchained joins sharing B.
+struct JoinIntersectQuery {
+  KnnJoinExpr first;
+  KnnJoinExpr second;
+};
+
+using Query = std::variant<SelectQuery, JoinWhereKnnQuery,
+                           JoinWhereRangeQuery, JoinThenQuery,
+                           JoinIntersectQuery>;
+
+/// One parsed statement: a query, optionally prefixed with EXPLAIN.
+struct Statement {
+  bool explain = false;
+  Query query;
+  /// Where the statement started, for script-level error reporting.
+  SourcePos pos;
+};
+
+using Script = std::vector<Statement>;
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_AST_H_

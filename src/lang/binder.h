@@ -1,0 +1,47 @@
+// KNNQL semantic binder: AST -> planner QuerySpec.
+//
+// Binding checks what the grammar cannot:
+//   * every relation name resolves in the Catalog (skipped when no
+//     catalog is given — the unparser round-trip tests bind shapes
+//     whose relations exist nowhere);
+//   * SELECT ... INTERSECT ... names the same relation twice (the
+//     two-selects shape is defined over ONE relation);
+//   * WHERE INNER/OUTER IN KNN(r, ...) names the join input it
+//     constrains (r must equal the join's inner/outer relation);
+//   * JOIN ... THEN KNN(b, c, k): the second join starts from the
+//     first join's inner relation;
+//   * JOIN ... INTERSECT KNN(c, b, k): both joins share the inner
+//     relation B they intersect on.
+//
+// Every violation is reported at the line:column of the offending name.
+
+#ifndef KNNQ_SRC_LANG_BINDER_H_
+#define KNNQ_SRC_LANG_BINDER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lang/ast.h"
+#include "src/planner/catalog.h"
+#include "src/planner/query_spec.h"
+
+namespace knnq::knnql {
+
+/// A bound statement: the executable spec plus presentation flags.
+struct BoundStatement {
+  bool explain = false;
+  QuerySpec spec;
+};
+
+/// Binds one parsed query. `catalog` may be null to skip existence
+/// checks (syntax-only binding).
+Result<QuerySpec> Bind(const Query& query, const Catalog* catalog);
+
+/// Binds every statement of a parsed script, failing on the first
+/// semantic error.
+Result<std::vector<BoundStatement>> BindScript(const Script& script,
+                                               const Catalog* catalog);
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_BINDER_H_

@@ -1,0 +1,23 @@
+#include "src/lang/knnql.h"
+
+#include <utility>
+
+#include "src/lang/parser.h"
+
+namespace knnq::knnql {
+
+Result<QuerySpec> ParseQuerySpec(std::string_view text,
+                                 const Catalog* catalog) {
+  auto statement = ParseStatement(text);
+  if (!statement.ok()) return statement.status();
+  return Bind(statement->query, catalog);
+}
+
+Result<std::vector<BoundStatement>> ParseBoundScript(
+    std::string_view text, const Catalog* catalog) {
+  auto script = ParseScript(text);
+  if (!script.ok()) return script.status();
+  return BindScript(*script, catalog);
+}
+
+}  // namespace knnq::knnql

@@ -1,0 +1,44 @@
+// KNNQL front door: parse + bind in one call.
+//
+// KNNQL is the textual form of the planner's QuerySpec — one statement
+// per paper query shape (see src/lang/parser.h for the grammar and
+// README "KNNQL" for examples):
+//
+//   SELECT KNN(hotels, 5, AT(3, 4)) INTERSECT KNN(hotels, 8, AT(1, 2));
+//   JOIN KNN(mechanics, hotels, 3) WHERE INNER IN KNN(hotels, 10, AT(1, 2));
+//   JOIN KNN(stations, depots, 3) WHERE OUTER IN KNN(stations, 9, AT(1, 2));
+//   JOIN KNN(trucks, depots, 2) WHERE INNER IN RANGE(0, 0, 100, 80);
+//   JOIN KNN(depots, warehouses, 3) THEN KNN(warehouses, customers, 5);
+//   JOIN KNN(depots, warehouses, 3) INTERSECT KNN(sites, warehouses, 5);
+//
+// These helpers run the full lexer -> parser -> binder pipeline and
+// return planner specs ready for Optimize()/QueryEngine. Lower layers
+// (lexer.h, parser.h, binder.h, unparser.h) stay available for tools
+// that need the AST or positions.
+
+#ifndef KNNQ_SRC_LANG_KNNQL_H_
+#define KNNQ_SRC_LANG_KNNQL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lang/binder.h"
+#include "src/lang/unparser.h"
+#include "src/planner/query_spec.h"
+
+namespace knnq::knnql {
+
+/// Parses and binds exactly one statement (an EXPLAIN prefix is
+/// accepted and ignored). `catalog` may be null to skip relation
+/// existence checks.
+Result<QuerySpec> ParseQuerySpec(std::string_view text,
+                                 const Catalog* catalog = nullptr);
+
+/// Parses and binds a whole script; statements keep their EXPLAIN flag.
+Result<std::vector<BoundStatement>> ParseBoundScript(
+    std::string_view text, const Catalog* catalog = nullptr);
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_KNNQL_H_

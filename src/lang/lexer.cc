@@ -1,0 +1,149 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <string>
+
+#include "src/common/text_parse.h"
+
+namespace knnq::knnql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+TokenKind KeywordOrIdentifier(std::string_view text) {
+  std::string upper(text);
+  for (char& c : upper) c = static_cast<char>(std::toupper(
+                             static_cast<unsigned char>(c)));
+  if (upper == "SELECT") return TokenKind::kSelect;
+  if (upper == "JOIN") return TokenKind::kJoin;
+  if (upper == "KNN") return TokenKind::kKnn;
+  if (upper == "AT") return TokenKind::kAt;
+  if (upper == "RANGE") return TokenKind::kRange;
+  if (upper == "INTERSECT") return TokenKind::kIntersect;
+  if (upper == "WHERE") return TokenKind::kWhere;
+  if (upper == "THEN") return TokenKind::kThen;
+  if (upper == "INNER") return TokenKind::kInner;
+  if (upper == "OUTER") return TokenKind::kOuter;
+  if (upper == "IN") return TokenKind::kIn;
+  if (upper == "EXPLAIN") return TokenKind::kExplain;
+  return TokenKind::kIdentifier;
+}
+
+/// Cursor over the source with line:column bookkeeping.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return offset_ >= text_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return offset_ + ahead < text_.size() ? text_[offset_ + ahead] : '\0';
+  }
+  SourcePos pos() const { return pos_; }
+
+  void Advance() {
+    if (AtEnd()) return;
+    if (text_[offset_] == '\n') {
+      ++pos_.line;
+      pos_.column = 1;
+    } else {
+      ++pos_.column;
+    }
+    ++offset_;
+  }
+
+  std::size_t offset() const { return offset_; }
+  std::string_view Slice(std::size_t from) const {
+    return text_.substr(from, offset_ - from);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t offset_ = 0;
+  SourcePos pos_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  Cursor cursor(text);
+
+  while (!cursor.AtEnd()) {
+    const char c = cursor.Peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cursor.Advance();
+      continue;
+    }
+    // "--" comment to end of line.
+    if (c == '-' && cursor.Peek(1) == '-') {
+      while (!cursor.AtEnd() && cursor.Peek() != '\n') cursor.Advance();
+      continue;
+    }
+
+    const SourcePos pos = cursor.pos();
+    // Punctuation.
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      TokenKind kind = TokenKind::kComma;
+      if (c == '(') kind = TokenKind::kLeftParen;
+      if (c == ')') kind = TokenKind::kRightParen;
+      if (c == ';') kind = TokenKind::kSemicolon;
+      tokens.push_back(Token{kind, std::string(1, c), pos});
+      cursor.Advance();
+      continue;
+    }
+    // Keyword or identifier.
+    if (IsIdentStart(c)) {
+      const std::size_t start = cursor.offset();
+      while (!cursor.AtEnd() && IsIdentChar(cursor.Peek())) cursor.Advance();
+      const std::string_view word = cursor.Slice(start);
+      tokens.push_back(
+          Token{KeywordOrIdentifier(word), std::string(word), pos});
+      continue;
+    }
+    // Number: optional sign, digits/dots, optional exponent. Trailing
+    // identifier characters or extra dots are swallowed into the token
+    // so that ParseDouble reports "1.2.3" or "12abc" as one malformed
+    // number at the token's start rather than two confusing tokens.
+    if (IsDigit(c) || c == '.' ||
+        ((c == '-' || c == '+') &&
+         (IsDigit(cursor.Peek(1)) || cursor.Peek(1) == '.'))) {
+      const std::size_t start = cursor.offset();
+      if (c == '-' || c == '+') cursor.Advance();
+      while (IsDigit(cursor.Peek()) || cursor.Peek() == '.') {
+        cursor.Advance();
+      }
+      if (cursor.Peek() == 'e' || cursor.Peek() == 'E') {
+        cursor.Advance();
+        if (cursor.Peek() == '-' || cursor.Peek() == '+') cursor.Advance();
+        while (IsDigit(cursor.Peek())) cursor.Advance();
+      }
+      while (IsIdentChar(cursor.Peek()) || cursor.Peek() == '.') {
+        cursor.Advance();
+      }
+      const std::string_view number = cursor.Slice(start);
+      if (auto parsed = ParseDouble(number); !parsed.ok()) {
+        return ErrorAt(pos, parsed.status().message());
+      }
+      tokens.push_back(
+          Token{TokenKind::kNumber, std::string(number), pos});
+      continue;
+    }
+
+    return ErrorAt(pos, std::string("unexpected character '") + c + "'");
+  }
+
+  tokens.push_back(Token{TokenKind::kEof, "", cursor.pos()});
+  return tokens;
+}
+
+}  // namespace knnq::knnql

@@ -1,0 +1,28 @@
+// Hand-written KNNQL lexer.
+//
+// Turns source text into a token stream with 1-based line:column
+// positions. Keywords are matched case-insensitively; identifiers are
+// case-sensitive; "--" starts a comment running to end of line (SQL
+// style). Numbers accept everything ParseDouble (src/common/text_parse.h)
+// accepts — the lexer and the CLI flag parser agree on what a number is.
+
+#ifndef KNNQ_SRC_LANG_LEXER_H_
+#define KNNQ_SRC_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lang/token.h"
+
+namespace knnq::knnql {
+
+/// Tokenizes all of `text`. The returned stream always ends with one
+/// kEof token carrying the position just past the last character. Fails
+/// with a positioned diagnostic on an unexpected character or a
+/// malformed number ("1.2.3", "4e", "12abc").
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_LEXER_H_

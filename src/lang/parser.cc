@@ -1,0 +1,285 @@
+#include "src/lang/parser.h"
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/common/text_parse.h"
+#include "src/lang/lexer.h"
+
+namespace knnq::knnql {
+
+namespace {
+
+/// "line:col: expected X, got Y". When the offender is the end of the
+/// input the statement may simply be unfinished, so the status carries
+/// kOutOfRange for IsIncompleteInput().
+Status Expected(const Token& got, const std::string& what) {
+  const std::string message =
+      got.pos.ToString() + ": expected " + what + ", got " + got.Describe();
+  if (got.kind == TokenKind::kEof) {
+    return Status::OutOfRange(message);
+  }
+  return Status::InvalidArgument(message);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Script> ParseScript() {
+    Script script;
+    SkipSemicolons();
+    while (Peek().kind != TokenKind::kEof) {
+      auto statement = ParseOneStatement();
+      if (!statement.ok()) return statement.status();
+      script.push_back(std::move(statement.value()));
+      SkipSemicolons();
+    }
+    return script;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = next_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Token Take() {
+    Token token = Peek();
+    if (next_ + 1 < tokens_.size()) ++next_;
+    return token;
+  }
+
+  Result<Token> Eat(TokenKind kind) {
+    if (Peek().kind != kind) return Expected(Peek(), ToString(kind));
+    return Take();
+  }
+
+  void SkipSemicolons() {
+    while (Peek().kind == TokenKind::kSemicolon) Take();
+  }
+
+  Result<Statement> ParseOneStatement() {
+    Statement statement;
+    statement.pos = Peek().pos;
+    if (Peek().kind == TokenKind::kExplain) {
+      Take();
+      statement.explain = true;
+    }
+    auto query = ParseQuery();
+    if (!query.ok()) return query.status();
+    statement.query = std::move(query.value());
+    // ';' terminates; end of input is accepted after a complete query
+    // so that one-shot "-e" strings need no trailing semicolon.
+    if (Peek().kind != TokenKind::kSemicolon &&
+        Peek().kind != TokenKind::kEof) {
+      return Expected(Peek(), "';'");
+    }
+    return statement;
+  }
+
+  Result<Query> ParseQuery() {
+    if (Peek().kind == TokenKind::kSelect) return ParseSelectQuery();
+    if (Peek().kind == TokenKind::kJoin) return ParseJoinQuery();
+    return Expected(Peek(), "SELECT or JOIN");
+  }
+
+  Result<Query> ParseSelectQuery() {
+    if (auto t = Eat(TokenKind::kSelect); !t.ok()) return t.status();
+    auto s1 = ParseKnnSelect();
+    if (!s1.ok()) return s1.status();
+    if (auto t = Eat(TokenKind::kIntersect); !t.ok()) return t.status();
+    auto s2 = ParseKnnSelect();
+    if (!s2.ok()) return s2.status();
+    return Query(SelectQuery{std::move(s1.value()), std::move(s2.value())});
+  }
+
+  Result<Query> ParseJoinQuery() {
+    if (auto t = Eat(TokenKind::kJoin); !t.ok()) return t.status();
+    auto join = ParseKnnJoin();
+    if (!join.ok()) return join.status();
+
+    switch (Peek().kind) {
+      case TokenKind::kWhere:
+        return ParseWhereTail(std::move(join.value()));
+      case TokenKind::kThen: {
+        Take();
+        auto second = ParseKnnJoin();
+        if (!second.ok()) return second.status();
+        return Query(JoinThenQuery{std::move(join.value()),
+                                   std::move(second.value())});
+      }
+      case TokenKind::kIntersect: {
+        Take();
+        auto second = ParseKnnJoin();
+        if (!second.ok()) return second.status();
+        return Query(JoinIntersectQuery{std::move(join.value()),
+                                        std::move(second.value())});
+      }
+      default:
+        return Expected(Peek(),
+                        "WHERE, THEN or INTERSECT (a kNN-join needs a "
+                        "second predicate)");
+    }
+  }
+
+  Result<Query> ParseWhereTail(KnnJoinExpr join) {
+    Take();  // WHERE
+    const Token side = Peek();
+    if (side.kind != TokenKind::kInner && side.kind != TokenKind::kOuter) {
+      return Expected(side, "INNER or OUTER");
+    }
+    Take();
+    if (auto t = Eat(TokenKind::kIn); !t.ok()) return t.status();
+
+    if (Peek().kind == TokenKind::kRange) {
+      const SourcePos range_pos = Peek().pos;
+      if (side.kind == TokenKind::kOuter) {
+        return ErrorAt(range_pos,
+                       "a RANGE selection applies to the INNER join "
+                       "input (use WHERE INNER IN RANGE(...))");
+      }
+      auto range = ParseRange();
+      if (!range.ok()) return range.status();
+      return Query(JoinWhereRangeQuery{std::move(join),
+                                       std::move(range.value()), range_pos});
+    }
+
+    auto select = ParseKnnSelect();
+    if (!select.ok()) return select.status();
+    JoinWhereKnnQuery query;
+    query.join = std::move(join);
+    query.side = side.kind == TokenKind::kInner ? JoinSide::kInner
+                                                : JoinSide::kOuter;
+    query.side_pos = side.pos;
+    query.select = std::move(select.value());
+    return Query(std::move(query));
+  }
+
+  /// KNN ( identifier , k , AT ( x , y ) )
+  Result<KnnSelectExpr> ParseKnnSelect() {
+    KnnSelectExpr expr;
+    if (auto t = Eat(TokenKind::kKnn); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kLeftParen); !t.ok()) return t.status();
+    auto name = Eat(TokenKind::kIdentifier);
+    if (!name.ok()) return name.status();
+    expr.relation = name->text;
+    expr.relation_pos = name->pos;
+    if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+    auto k = ParseK();
+    if (!k.ok()) return k.status();
+    std::tie(expr.k, expr.k_pos) = *k;
+    if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kAt); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kLeftParen); !t.ok()) return t.status();
+    auto x = ParseNumber();
+    if (!x.ok()) return x.status();
+    expr.x = *x;
+    if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+    auto y = ParseNumber();
+    if (!y.ok()) return y.status();
+    expr.y = *y;
+    if (auto t = Eat(TokenKind::kRightParen); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kRightParen); !t.ok()) return t.status();
+    return expr;
+  }
+
+  /// KNN ( outer , inner , k )
+  Result<KnnJoinExpr> ParseKnnJoin() {
+    KnnJoinExpr expr;
+    if (auto t = Eat(TokenKind::kKnn); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kLeftParen); !t.ok()) return t.status();
+    auto outer = Eat(TokenKind::kIdentifier);
+    if (!outer.ok()) return outer.status();
+    expr.outer = outer->text;
+    expr.outer_pos = outer->pos;
+    if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+    auto inner = Eat(TokenKind::kIdentifier);
+    if (!inner.ok()) return inner.status();
+    expr.inner = inner->text;
+    expr.inner_pos = inner->pos;
+    if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+    auto k = ParseK();
+    if (!k.ok()) return k.status();
+    std::tie(expr.k, expr.k_pos) = *k;
+    if (auto t = Eat(TokenKind::kRightParen); !t.ok()) return t.status();
+    return expr;
+  }
+
+  /// RANGE ( x1 , y1 , x2 , y2 ) with min,max corner order.
+  Result<BoundingBox> ParseRange() {
+    const SourcePos pos = Peek().pos;
+    if (auto t = Eat(TokenKind::kRange); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kLeftParen); !t.ok()) return t.status();
+    double corner[4] = {};
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) {
+        if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+      }
+      auto value = ParseNumber();
+      if (!value.ok()) return value.status();
+      corner[i] = *value;
+    }
+    if (auto t = Eat(TokenKind::kRightParen); !t.ok()) return t.status();
+    if (corner[0] > corner[2] || corner[1] > corner[3]) {
+      return ErrorAt(pos, "RANGE corners must be min,max order");
+    }
+    return BoundingBox(corner[0], corner[1], corner[2], corner[3]);
+  }
+
+  /// A k operand: a positive integer literal.
+  Result<std::pair<std::size_t, SourcePos>> ParseK() {
+    auto token = Eat(TokenKind::kNumber);
+    if (!token.ok()) return token.status();
+    auto k = ParseSize(token->text);
+    if (!k.ok()) {
+      return ErrorAt(token->pos,
+                     "k must be a positive integer, got " + token->Describe());
+    }
+    if (*k == 0) {
+      return ErrorAt(token->pos, "k must be > 0");
+    }
+    return std::make_pair(*k, token->pos);
+  }
+
+  Result<double> ParseNumber() {
+    auto token = Eat(TokenKind::kNumber);
+    if (!token.ok()) return token.status();
+    auto value = ParseDouble(token->text);
+    if (!value.ok()) {
+      return ErrorAt(token->pos, value.status().message());
+    }
+    return *value;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+Result<Script> ParseScript(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens.value())).ParseScript();
+}
+
+Result<Statement> ParseStatement(std::string_view text) {
+  auto script = ParseScript(text);
+  if (!script.ok()) return script.status();
+  if (script->empty()) {
+    return Status::OutOfRange("expected a statement, got empty input");
+  }
+  if (script->size() > 1) {
+    return ErrorAt((*script)[1].pos, "expected exactly one statement");
+  }
+  return std::move((*script)[0]);
+}
+
+bool IsIncompleteInput(const Status& status) {
+  return status.code() == StatusCode::kOutOfRange;
+}
+
+}  // namespace knnq::knnql

@@ -1,0 +1,49 @@
+// Recursive-descent KNNQL parser.
+//
+// Grammar (see README "KNNQL" for the full EBNF):
+//
+//   script     = { statement } ;
+//   statement  = [ "EXPLAIN" ] query ( ";" | end-of-input ) ;
+//   query      = "SELECT" knn-select "INTERSECT" knn-select
+//              | "JOIN" knn-join join-tail ;
+//   join-tail  = "WHERE" "INNER" "IN" ( knn-select | range )
+//              | "WHERE" "OUTER" "IN" knn-select
+//              | "THEN" knn-join
+//              | "INTERSECT" knn-join ;
+//   knn-select = "KNN" "(" identifier "," integer ","
+//                "AT" "(" number "," number ")" ")" ;
+//   knn-join   = "KNN" "(" identifier "," identifier "," integer ")" ;
+//   range      = "RANGE" "(" number "," number "," number "," number ")" ;
+//
+// A bare "JOIN knn-join" (no tail) is rejected with a diagnostic: every
+// paper query has two predicates, and the single-join form is what the
+// base `knn` CLI command covers.
+//
+// All diagnostics are positioned ("line:col: expected ..."). Errors
+// caused by the input *ending* mid-statement carry StatusCode::
+// kOutOfRange so interactive callers can distinguish "keep typing" from
+// "this is wrong"; IsIncompleteInput() tests for that.
+
+#ifndef KNNQ_SRC_LANG_PARSER_H_
+#define KNNQ_SRC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/lang/ast.h"
+
+namespace knnq::knnql {
+
+/// Parses a whole script (zero or more statements).
+Result<Script> ParseScript(std::string_view text);
+
+/// Parses exactly one statement; fails if trailing statements follow.
+Result<Statement> ParseStatement(std::string_view text);
+
+/// True when `status` means the statement was syntactically fine so far
+/// but the input ended before it was complete (REPL: read more lines).
+bool IsIncompleteInput(const Status& status);
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_PARSER_H_

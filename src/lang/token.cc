@@ -1,0 +1,62 @@
+#include "src/lang/token.h"
+
+namespace knnq::knnql {
+
+std::string SourcePos::ToString() const {
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+Status ErrorAt(SourcePos pos, const std::string& message) {
+  return Status::InvalidArgument(pos.ToString() + ": " + message);
+}
+
+const char* ToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kJoin:
+      return "JOIN";
+    case TokenKind::kKnn:
+      return "KNN";
+    case TokenKind::kAt:
+      return "AT";
+    case TokenKind::kRange:
+      return "RANGE";
+    case TokenKind::kIntersect:
+      return "INTERSECT";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kThen:
+      return "THEN";
+    case TokenKind::kInner:
+      return "INNER";
+    case TokenKind::kOuter:
+      return "OUTER";
+    case TokenKind::kIn:
+      return "IN";
+    case TokenKind::kExplain:
+      return "EXPLAIN";
+    case TokenKind::kIdentifier:
+      return "a relation name";
+    case TokenKind::kNumber:
+      return "a number";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kEof) return "end of input";
+  return "'" + text + "'";
+}
+
+}  // namespace knnq::knnql

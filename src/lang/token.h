@@ -1,0 +1,67 @@
+// KNNQL tokens. Every token remembers where it started (1-based
+// line:column) so that the parser and binder can anchor diagnostics to
+// the exact offending character — the "3:14: expected ')'" contract.
+
+#ifndef KNNQ_SRC_LANG_TOKEN_H_
+#define KNNQ_SRC_LANG_TOKEN_H_
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace knnq::knnql {
+
+/// A position in the source text, 1-based.
+struct SourcePos {
+  int line = 1;
+  int column = 1;
+
+  /// "line:column" rendering used as the diagnostic prefix.
+  std::string ToString() const;
+};
+
+/// Builds the canonical positioned diagnostic: "line:col: message".
+Status ErrorAt(SourcePos pos, const std::string& message);
+
+enum class TokenKind {
+  // Keywords (matched case-insensitively, canonically upper-case).
+  kSelect,
+  kJoin,
+  kKnn,
+  kAt,
+  kRange,
+  kIntersect,
+  kWhere,
+  kThen,
+  kInner,
+  kOuter,
+  kIn,
+  kExplain,
+  // Literals and names.
+  kIdentifier,
+  kNumber,
+  // Punctuation.
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kSemicolon,
+  // End of input.
+  kEof,
+};
+
+/// Printable token-kind name for diagnostics, e.g. "')'" or "a number".
+const char* ToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  /// The token's spelling; keywords keep the user's casing.
+  std::string text;
+  SourcePos pos;
+
+  /// Diagnostic rendering: the spelling in quotes, or "end of input".
+  std::string Describe() const;
+};
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_TOKEN_H_

@@ -1,0 +1,71 @@
+#include "src/lang/unparser.h"
+
+#include <charconv>
+#include <system_error>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace knnq::knnql {
+
+namespace {
+
+std::string Knn(const std::string& relation, const KnnPredicate& p) {
+  return "KNN(" + relation + ", " + std::to_string(p.k) + ", AT(" +
+         FormatNumber(p.focal.x) + ", " + FormatNumber(p.focal.y) + "))";
+}
+
+std::string KnnJoin(const std::string& outer, const std::string& inner,
+                    std::size_t k) {
+  return "KNN(" + outer + ", " + inner + ", " + std::to_string(k) + ")";
+}
+
+}  // namespace
+
+std::string FormatNumber(double value) {
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  KNNQ_CHECK(ec == std::errc());
+  return std::string(buffer, end);
+}
+
+std::string Unparse(const TwoSelectsSpec& spec) {
+  return "SELECT " + Knn(spec.relation, spec.s1) + " INTERSECT " +
+         Knn(spec.relation, spec.s2) + ";";
+}
+
+std::string Unparse(const SelectInnerJoinSpec& spec) {
+  return "JOIN " + KnnJoin(spec.outer, spec.inner, spec.join_k) +
+         " WHERE INNER IN " + Knn(spec.inner, spec.select) + ";";
+}
+
+std::string Unparse(const SelectOuterJoinSpec& spec) {
+  return "JOIN " + KnnJoin(spec.outer, spec.inner, spec.join_k) +
+         " WHERE OUTER IN " + Knn(spec.outer, spec.select) + ";";
+}
+
+std::string Unparse(const UnchainedJoinsSpec& spec) {
+  return "JOIN " + KnnJoin(spec.a, spec.b, spec.k_ab) + " INTERSECT " +
+         KnnJoin(spec.c, spec.b, spec.k_cb) + ";";
+}
+
+std::string Unparse(const ChainedJoinsSpec& spec) {
+  return "JOIN " + KnnJoin(spec.a, spec.b, spec.k_ab) + " THEN " +
+         KnnJoin(spec.b, spec.c, spec.k_bc) + ";";
+}
+
+std::string Unparse(const RangeInnerJoinSpec& spec) {
+  return "JOIN " + KnnJoin(spec.outer, spec.inner, spec.join_k) +
+         " WHERE INNER IN RANGE(" + FormatNumber(spec.range.min_x()) +
+         ", " + FormatNumber(spec.range.min_y()) + ", " +
+         FormatNumber(spec.range.max_x()) + ", " +
+         FormatNumber(spec.range.max_y()) + ");";
+}
+
+std::string Unparse(const QuerySpec& spec) {
+  return std::visit(
+      [](const auto& concrete) { return Unparse(concrete); }, spec);
+}
+
+}  // namespace knnq::knnql

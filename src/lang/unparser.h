@@ -1,0 +1,39 @@
+// KNNQL unparser: QuerySpec -> canonical text.
+//
+// The canonical form is what Parse produces positions against: upper
+// keywords, one space after commas, shortest-round-trip number
+// rendering, a trailing ';'. The guarantee tests rely on:
+//
+//   Bind(Parse(Unparse(spec))) == spec
+//
+// holds for every spec whose relation names are KNNQL identifiers
+// ([A-Za-z_][A-Za-z0-9_]*). It is also the "Query:" line of
+// PhysicalPlan::Explain(), so every EXPLAIN echoes a string the parser
+// accepts back.
+
+#ifndef KNNQ_SRC_LANG_UNPARSER_H_
+#define KNNQ_SRC_LANG_UNPARSER_H_
+
+#include <string>
+
+#include "src/planner/query_spec.h"
+
+namespace knnq::knnql {
+
+/// Shortest decimal rendering of `value` that strtod parses back to
+/// exactly `value` (std::to_chars). Shared by every spec formatter.
+std::string FormatNumber(double value);
+
+std::string Unparse(const TwoSelectsSpec& spec);
+std::string Unparse(const SelectInnerJoinSpec& spec);
+std::string Unparse(const SelectOuterJoinSpec& spec);
+std::string Unparse(const UnchainedJoinsSpec& spec);
+std::string Unparse(const ChainedJoinsSpec& spec);
+std::string Unparse(const RangeInnerJoinSpec& spec);
+
+/// Canonical text of any spec, with the trailing ';'.
+std::string Unparse(const QuerySpec& spec);
+
+}  // namespace knnq::knnql
+
+#endif  // KNNQ_SRC_LANG_UNPARSER_H_

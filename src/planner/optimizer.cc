@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/core/unchained_joins.h"
+#include "src/lang/unparser.h"
 #include "src/planner/rules.h"
 
 namespace knnq {
@@ -56,13 +57,6 @@ Result<const SpatialIndex*> Resolve(const Catalog& catalog,
   return (*relation)->index.get();
 }
 
-std::string FormatPredicate(const KnnPredicate& p) {
-  std::ostringstream out;
-  out << "kNN[k=" << p.k << ", f=(" << p.focal.x << ", " << p.focal.y
-      << ")]";
-  return out.str();
-}
-
 Result<PhysicalPlan> PlanTwoSelects(const Catalog& catalog,
                                     const TwoSelectsSpec& spec,
                                     const PlannerOptions& options) {
@@ -71,10 +65,6 @@ Result<PhysicalPlan> PlanTwoSelects(const Catalog& catalog,
   auto relation = Resolve(catalog, spec.relation);
   if (!relation.ok()) return relation.status();
 
-  std::ostringstream text;
-  text << "sigma_" << FormatPredicate(spec.s1) << "(" << spec.relation
-       << ") INTERSECT sigma_" << FormatPredicate(spec.s2) << "("
-       << spec.relation << ")";
   const bool naive = options.force_naive;
   std::ostringstream why;
   if (naive) {
@@ -88,7 +78,7 @@ Result<PhysicalPlan> PlanTwoSelects(const Catalog& catalog,
       naive ? Algorithm::kTwoSelectsNaive : Algorithm::kTwoSelectsOptimized,
       *relation, nullptr, nullptr, spec.s1.focal, spec.s2.focal, spec.s1.k,
       spec.s2.k, /*swapped=*/false, options.preprocess_mode,
-      /*cache=*/false, text.str(), why.str(),
+      /*cache=*/false, knnql::Unparse(spec), why.str(),
       RuleRationale(Rewrite::kCascadeSelects));
 }
 
@@ -101,11 +91,6 @@ Result<PhysicalPlan> PlanSelectInnerJoin(const Catalog& catalog,
   if (!outer.ok()) return outer.status();
   auto inner = Resolve(catalog, spec.inner);
   if (!inner.ok()) return inner.status();
-
-  std::ostringstream text;
-  text << "(" << spec.outer << " JOIN_kNN[" << spec.join_k << "] "
-       << spec.inner << ") INTERSECT (" << spec.outer << " x sigma_"
-       << FormatPredicate(spec.select) << "(" << spec.inner << "))";
 
   Algorithm algorithm;
   std::ostringstream why;
@@ -128,7 +113,7 @@ Result<PhysicalPlan> PlanSelectInnerJoin(const Catalog& catalog,
   return PlanBuilder::Build(
       algorithm, *outer, *inner, nullptr, spec.select.focal, Point{},
       spec.join_k, spec.select.k, /*swapped=*/false, options.preprocess_mode,
-      /*cache=*/false, text.str(), why.str(),
+      /*cache=*/false, knnql::Unparse(spec), why.str(),
       RuleRationale(Rewrite::kPushSelectBelowInnerJoinInput));
 }
 
@@ -142,16 +127,13 @@ Result<PhysicalPlan> PlanSelectOuterJoin(const Catalog& catalog,
   auto inner = Resolve(catalog, spec.inner);
   if (!inner.ok()) return inner.status();
 
-  std::ostringstream text;
-  text << "sigma_" << FormatPredicate(spec.select) << "(" << spec.outer
-       << ") JOIN_kNN[" << spec.join_k << "] " << spec.inner;
   const bool naive = options.force_naive;
   return PlanBuilder::Build(
       naive ? Algorithm::kSelectOuterJoinLate
             : Algorithm::kSelectOuterJoinPushed,
       *outer, *inner, nullptr, spec.select.focal, Point{}, spec.join_k,
       spec.select.k, /*swapped=*/false, options.preprocess_mode,
-      /*cache=*/false, text.str(),
+      /*cache=*/false, knnql::Unparse(spec),
       naive ? "forced late filter (join everything, then select)"
             : "selection on the OUTER side pushes below the join safely; "
               "only the k selected points are joined",
@@ -169,11 +151,6 @@ Result<PhysicalPlan> PlanUnchained(const Catalog& catalog,
   if (!b.ok()) return b.status();
   auto c = Resolve(catalog, spec.c);
   if (!c.ok()) return c.status();
-
-  std::ostringstream text;
-  text << "(" << spec.a << " JOIN_kNN[" << spec.k_ab << "] " << spec.b
-       << ") INTERSECT_B (" << spec.c << " JOIN_kNN[" << spec.k_cb << "] "
-       << spec.b << ")";
 
   // Coverage over a common frame drives both decisions of Section 4.1.2.
   // The probe resolution adapts to cardinality so that a uniform
@@ -218,7 +195,7 @@ Result<PhysicalPlan> PlanUnchained(const Catalog& catalog,
   return PlanBuilder::Build(algorithm, *a, *b, *c, Point{}, Point{},
                             spec.k_ab, spec.k_cb, swapped,
                             options.preprocess_mode, /*cache=*/false,
-                            text.str(), why.str(),
+                            knnql::Unparse(spec), why.str(),
                             RuleRationale(Rewrite::kCascadeUnchainedJoins));
 }
 
@@ -234,17 +211,13 @@ Result<PhysicalPlan> PlanChained(const Catalog& catalog,
   auto c = Resolve(catalog, spec.c);
   if (!c.ok()) return c.status();
 
-  std::ostringstream text;
-  text << "(" << spec.a << " JOIN_kNN[" << spec.k_ab << "] " << spec.b
-       << ") JOIN_kNN[" << spec.k_bc << "] " << spec.c;
-
   const bool naive = options.force_naive;
   return PlanBuilder::Build(
       naive ? Algorithm::kChainedJoinIntersection
             : Algorithm::kChainedNestedJoin,
       *a, *b, *c, Point{}, Point{}, spec.k_ab, spec.k_bc,
       /*swapped=*/false, options.preprocess_mode, options.cache_chained,
-      text.str(),
+      knnql::Unparse(spec),
       naive ? "forced conceptually correct QEP (both joins independently, "
               "intersect on B)"
             : "nested join touches only b's reachable from A; the hash "
@@ -263,11 +236,6 @@ Result<PhysicalPlan> PlanRangeInnerJoin(const Catalog& catalog,
   if (!outer.ok()) return outer.status();
   auto inner = Resolve(catalog, spec.inner);
   if (!inner.ok()) return inner.status();
-
-  std::ostringstream text;
-  text << "(" << spec.outer << " JOIN_kNN[" << spec.join_k << "] "
-       << spec.inner << ") INTERSECT (" << spec.outer << " x Range["
-       << spec.range.ToString() << "](" << spec.inner << "))";
 
   // The Counting/Block-Marking trade-off is the same as the kNN-select
   // case: the range behaves as a select whose "neighborhood" is fixed.
@@ -288,7 +256,7 @@ Result<PhysicalPlan> PlanRangeInnerJoin(const Catalog& catalog,
   return PlanBuilder::Build(
       algorithm, *outer, *inner, nullptr, Point{}, Point{}, spec.join_k, 0,
       /*swapped=*/false, options.preprocess_mode, /*cache=*/false,
-      text.str(), why.str(),
+      knnql::Unparse(spec), why.str(),
       RuleRationale(Rewrite::kPushSelectBelowInnerJoinInput), spec.range);
 }
 

@@ -19,6 +19,9 @@ namespace knnq {
 struct KnnPredicate {
   Point focal;
   std::size_t k = 0;
+
+  friend bool operator==(const KnnPredicate&,
+                         const KnnPredicate&) = default;
 };
 
 /// sigma_{s1}(E) INTERSECT sigma_{s2}(E)  (Section 5).
@@ -26,6 +29,9 @@ struct TwoSelectsSpec {
   std::string relation;
   KnnPredicate s1;
   KnnPredicate s2;
+
+  friend bool operator==(const TwoSelectsSpec&,
+                         const TwoSelectsSpec&) = default;
 };
 
 /// (E1 JOIN_kNN E2) INTERSECT (E1 x sigma(E2))  (Section 3): the select
@@ -35,6 +41,9 @@ struct SelectInnerJoinSpec {
   std::string inner;
   std::size_t join_k = 0;
   KnnPredicate select;
+
+  friend bool operator==(const SelectInnerJoinSpec&,
+                         const SelectInnerJoinSpec&) = default;
 };
 
 /// sigma(E1) JOIN_kNN E2  (Section 3's completeness case): the select
@@ -44,6 +53,9 @@ struct SelectOuterJoinSpec {
   std::string inner;
   std::size_t join_k = 0;
   KnnPredicate select;
+
+  friend bool operator==(const SelectOuterJoinSpec&,
+                         const SelectOuterJoinSpec&) = default;
 };
 
 /// (A JOIN_kNN B) INTERSECT_B (C JOIN_kNN B)  (Section 4.1).
@@ -53,6 +65,9 @@ struct UnchainedJoinsSpec {
   std::string c;
   std::size_t k_ab = 0;
   std::size_t k_cb = 0;
+
+  friend bool operator==(const UnchainedJoinsSpec&,
+                         const UnchainedJoinsSpec&) = default;
 };
 
 /// (A JOIN_kNN B) then (B JOIN_kNN C)  (Section 4.2).
@@ -62,6 +77,9 @@ struct ChainedJoinsSpec {
   std::string c;
   std::size_t k_ab = 0;
   std::size_t k_bc = 0;
+
+  friend bool operator==(const ChainedJoinsSpec&,
+                         const ChainedJoinsSpec&) = default;
 };
 
 /// (E1 JOIN_kNN E2) INTERSECT (E1 x Range_rect(E2))  (footnote 1 of
@@ -72,6 +90,9 @@ struct RangeInnerJoinSpec {
   std::string inner;
   std::size_t join_k = 0;
   BoundingBox range;
+
+  friend bool operator==(const RangeInnerJoinSpec&,
+                         const RangeInnerJoinSpec&) = default;
 };
 
 /// Any supported query.

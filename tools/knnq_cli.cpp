@@ -6,6 +6,9 @@
 //            [--per P] [--seed S] --out FILE(.csv|.bin)
 //   knnq_cli info --data FILE [--index grid|quadtree|rtree]
 //   knnq_cli knn --data FILE --at X,Y --k K [--index TYPE]
+//   knnq_cli query --data NAME=FILE [--data NAME=FILE ...]
+//            [-e "KNNQL"] [--file SCRIPT.knnql] [--json] [--naive]
+//            [--index TYPE] [--cache-mb M]
 //   knnq_cli two-selects --data FILE --f1 X,Y --k1 K --f2 X,Y --k2 K
 //            [--naive]
 //   knnq_cli select-inner-join --outer FILE --inner FILE --join-k K
@@ -16,50 +19,68 @@
 //   knnq_cli unchained --a FILE --b FILE --c FILE --k-ab K --k-cb K
 //            [--naive]
 //
+// `query` is the declarative front door: statements in KNNQL (see
+// README "KNNQL"), from -e, a script file, or an interactive REPL when
+// neither is given. An EXPLAIN prefix plans a statement without
+// executing it; --json emits one JSON object per statement for
+// scripted consumers.
+//
 // Every query command accepts --cache-mb M to give the engine an M-MiB
 // cross-query neighborhood cache (0, the default, disables it).
 //
 // Dataset files are produced by `generate` (CSV: id,x,y with a header;
 // .bin: the knnq binary format).
 
+#include <unistd.h>
+
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "src/common/stopwatch.h"
+#include "src/common/text_parse.h"
 #include "src/data/berlinmod.h"
 #include "src/data/clustered.h"
 #include "src/data/dataset_io.h"
 #include "src/data/uniform.h"
 #include "src/engine/query_engine.h"
 #include "src/index/knn_searcher.h"
+#include "src/lang/knnql.h"
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
 #include "src/planner/catalog.h"
+#include "src/planner/optimizer.h"
 
 namespace {
 
 using namespace knnq;
 
-/// Minimal "--flag value" parser; flags without '--' are rejected.
+/// Minimal "--flag value" parser. Flags may repeat (--data twice loads
+/// two relations); Get sees the last occurrence, GetAll sees every one.
+/// "-e" is accepted as the conventional short form for query text.
 class Args {
  public:
   static Result<Args> Parse(int argc, char** argv, int first) {
     Args args;
     for (int i = first; i < argc; ++i) {
       const std::string flag = argv[i];
-      if (flag.rfind("--", 0) != 0) {
+      if (flag.rfind("--", 0) != 0 && flag != "-e") {
         return Status::InvalidArgument("expected --flag, got: " + flag);
       }
-      if (flag == "--naive") {
-        args.values_[flag] = "1";
+      if (flag == "--naive" || flag == "--json") {
+        args.values_[flag].push_back("1");
         continue;
       }
       if (i + 1 >= argc) {
         return Status::InvalidArgument("missing value for " + flag);
       }
-      args.values_[flag] = argv[++i];
+      args.values_[flag].push_back(argv[++i]);
     }
     return args;
   }
@@ -69,12 +90,18 @@ class Args {
     if (it == values_.end()) {
       return Status::InvalidArgument("missing required flag " + flag);
     }
-    return it->second;
+    return it->second.back();
   }
 
   std::string GetOr(const std::string& flag, std::string fallback) const {
     const auto it = values_.find(flag);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
+  }
+
+  /// Every value the flag was given, in command-line order.
+  std::vector<std::string> GetAll(const std::string& flag) const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
   }
 
   bool Has(const std::string& flag) const { return values_.contains(flag); }
@@ -82,11 +109,11 @@ class Args {
   Result<std::size_t> GetSize(const std::string& flag) const {
     auto raw = Get(flag);
     if (!raw.ok()) return raw.status();
-    const long long parsed = std::strtoll(raw->c_str(), nullptr, 10);
-    if (parsed <= 0) {
+    auto parsed = ParseSize(*raw);
+    if (!parsed.ok() || *parsed == 0) {
       return Status::InvalidArgument(flag + " must be a positive integer");
     }
-    return static_cast<std::size_t>(parsed);
+    return *parsed;
   }
 
   /// Like GetSize, but absent means `fallback` and 0 is legal (used by
@@ -96,39 +123,36 @@ class Args {
     if (!Has(flag)) return fallback;
     auto raw = Get(flag);
     if (!raw.ok()) return raw.status();
-    const long long parsed = std::strtoll(raw->c_str(), nullptr, 10);
-    if (parsed < 0) {
+    auto parsed = ParseSize(*raw);
+    if (!parsed.ok()) {
       return Status::InvalidArgument(flag + " must be >= 0");
     }
-    return static_cast<std::size_t>(parsed);
+    return *parsed;
   }
 
   Result<Point> GetPoint(const std::string& flag) const {
     auto raw = Get(flag);
     if (!raw.ok()) return raw.status();
-    double x = 0.0, y = 0.0;
-    if (std::sscanf(raw->c_str(), "%lf,%lf", &x, &y) != 2) {
-      return Status::InvalidArgument(flag + " must look like X,Y");
+    auto point = ParsePointText(*raw);
+    if (!point.ok()) {
+      return Status::InvalidArgument(flag + " " +
+                                     point.status().message());
     }
-    return Point{.id = -1, .x = x, .y = y};
+    return point;
   }
 
   Result<BoundingBox> GetBox(const std::string& flag) const {
     auto raw = Get(flag);
     if (!raw.ok()) return raw.status();
-    double x1, y1, x2, y2;
-    if (std::sscanf(raw->c_str(), "%lf,%lf,%lf,%lf", &x1, &y1, &x2, &y2) !=
-        4) {
-      return Status::InvalidArgument(flag + " must look like X1,Y1,X2,Y2");
+    auto box = ParseBoxText(*raw);
+    if (!box.ok()) {
+      return Status::InvalidArgument(flag + " " + box.status().message());
     }
-    if (x1 > x2 || y1 > y2) {
-      return Status::InvalidArgument(flag + " corners must be min,max");
-    }
-    return BoundingBox(x1, y1, x2, y2);
+    return box;
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -253,6 +277,324 @@ int CmdKnn(const Args& args) {
   return 0;
 }
 
+// --------------------------------------------------------------- query
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonPoint(const Point& p) {
+  return "{\"id\": " + std::to_string(p.id) +
+         ", \"x\": " + knnql::FormatNumber(p.x) +
+         ", \"y\": " + knnql::FormatNumber(p.y) + "}";
+}
+
+/// The result rows as a JSON field pair: `"result_type": ..., "rows":
+/// [...]`. Points carry coordinates; triplets are id-only, like their
+/// C++ counterparts.
+std::string JsonRows(const QueryOutput& output) {
+  std::string out;
+  std::visit(
+      [&](const auto& result) {
+        using T = std::decay_t<decltype(result)>;
+        if constexpr (std::is_same_v<T, TwoSelectsResult>) {
+          out = "\"result_type\": \"points\", \"rows\": [";
+          for (std::size_t i = 0; i < result.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += JsonPoint(result[i]);
+          }
+        } else if constexpr (std::is_same_v<T, JoinResult>) {
+          out = "\"result_type\": \"pairs\", \"rows\": [";
+          for (std::size_t i = 0; i < result.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "{\"outer\": " + JsonPoint(result[i].outer) +
+                   ", \"inner\": " + JsonPoint(result[i].inner) + "}";
+          }
+        } else {
+          out = "\"result_type\": \"triplets\", \"rows\": [";
+          for (std::size_t i = 0; i < result.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "{\"a\": " + std::to_string(result[i].a) +
+                   ", \"b\": " + std::to_string(result[i].b) +
+                   ", \"c\": " + std::to_string(result[i].c) + "}";
+          }
+        }
+        out += "]";
+      },
+      output);
+  return out;
+}
+
+std::string JsonStats(const ExecStats& stats) {
+  return "{\"blocks_scanned\": " + std::to_string(stats.blocks_scanned) +
+         ", \"points_compared\": " + std::to_string(stats.points_compared) +
+         ", \"neighborhoods_computed\": " +
+         std::to_string(stats.neighborhoods_computed) +
+         ", \"candidates_pruned\": " +
+         std::to_string(stats.candidates_pruned) +
+         ", \"cache_hits\": " + std::to_string(stats.cache_hits) +
+         ", \"cache_misses\": " + std::to_string(stats.cache_misses) +
+         ", \"cache_bytes\": " + std::to_string(stats.cache_bytes) +
+         ", \"wall_ms\": " +
+         knnql::FormatNumber(stats.wall_seconds * 1e3) + "}";
+}
+
+void PrintHumanResult(const EngineResult& run) {
+  std::printf("%s", run.explain.c_str());
+  const double ms = run.stats.wall_seconds * 1e3;
+  std::visit(
+      [&](const auto& result) {
+        using T = std::decay_t<decltype(result)>;
+        if constexpr (std::is_same_v<T, TwoSelectsResult>) {
+          std::printf("result: %zu points in %.2f ms\n", result.size(), ms);
+          for (const Point& p : result) {
+            std::printf("  %s\n", p.ToString().c_str());
+          }
+        } else {
+          std::printf("result: %s in %.2f ms\n", Summarize(result).c_str(),
+                      ms);
+        }
+      },
+      run.output);
+}
+
+/// Executes one bound statement and prints it in the requested format.
+/// Returns 0 on success (including a successfully printed EXPLAIN).
+int ExecuteStatement(const QueryEngine& engine,
+                     const knnql::BoundStatement& statement, bool json) {
+  const std::string text = knnql::Unparse(statement.spec);
+  if (statement.explain) {
+    const auto plan =
+        Optimize(engine.catalog(), statement.spec, engine.options().planner);
+    if (!plan.ok()) {
+      if (json) {
+        std::printf("{\"query\": \"%s\", \"status\": \"error\", "
+                    "\"error\": \"%s\"}\n",
+                    JsonEscape(text).c_str(),
+                    JsonEscape(plan.status().ToString()).c_str());
+        return 1;
+      }
+      return Fail(plan.status());
+    }
+    if (json) {
+      std::printf("{\"query\": \"%s\", \"status\": \"ok\", "
+                  "\"explain\": \"%s\"}\n",
+                  JsonEscape(text).c_str(),
+                  JsonEscape(plan->Explain()).c_str());
+    } else {
+      std::printf("%s", plan->Explain().c_str());
+    }
+    return 0;
+  }
+
+  const EngineResult run = engine.Run(statement.spec);
+  if (!run.ok()) {
+    if (json) {
+      std::printf("{\"query\": \"%s\", \"status\": \"error\", "
+                  "\"error\": \"%s\"}\n",
+                  JsonEscape(text).c_str(),
+                  JsonEscape(run.status.ToString()).c_str());
+      return 1;
+    }
+    return Fail(run.status);
+  }
+  if (json) {
+    std::printf("{\"query\": \"%s\", \"status\": \"ok\", "
+                "\"algorithm\": \"%s\", %s, \"stats\": %s}\n",
+                JsonEscape(text).c_str(), ToString(run.algorithm),
+                JsonRows(run.output).c_str(),
+                JsonStats(run.stats).c_str());
+  } else {
+    PrintHumanResult(run);
+  }
+  return 0;
+}
+
+/// A script-level failure (parse or bind): in JSON mode it must still
+/// land on stdout as a JSON record, not as a bare stderr line.
+int FailScript(const Status& status, bool json) {
+  if (json) {
+    std::printf("{\"status\": \"error\", \"error\": \"%s\"}\n",
+                JsonEscape(status.ToString()).c_str());
+    return 1;
+  }
+  return Fail(status);
+}
+
+int ExecuteStatements(
+    const QueryEngine& engine,
+    const std::vector<knnql::BoundStatement>& statements, bool json) {
+  int rc = 0;
+  for (const knnql::BoundStatement& statement : statements) {
+    if (ExecuteStatement(engine, statement, json) != 0) rc = 1;
+  }
+  return rc;
+}
+
+/// Parses and executes `text` (possibly several statements). Returns
+/// nonzero when anything — parse, bind, plan, execution — failed.
+int RunKnnqlText(const QueryEngine& engine, const std::string& text,
+                 bool json) {
+  const auto statements =
+      knnql::ParseBoundScript(text, &engine.catalog());
+  if (!statements.ok()) return FailScript(statements.status(), json);
+  return ExecuteStatements(engine, *statements, json);
+}
+
+/// Interactive loop: statements accumulate across lines until they are
+/// syntactically complete, errors never end the session, EXPLAIN plans
+/// without executing. Exits on end-of-input or "quit"/"exit". When
+/// stdin is not a terminal (a piped script), any failed statement
+/// makes the final exit code nonzero.
+int RunRepl(const QueryEngine& engine, bool json) {
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::printf("KNNQL. Statements end with ';'. EXPLAIN <query>; shows "
+                "the plan. quit to leave.\n");
+    for (const std::string& name : engine.catalog().Names()) {
+      std::printf("  relation %s (%zu points)\n", name.c_str(),
+                  engine.catalog().Get(name).value()->index->num_points());
+    }
+  }
+  std::string buffer;
+  std::string line;
+  int rc = 0;
+  while (true) {
+    if (interactive) {
+      std::fputs(buffer.empty() ? "knnql> " : "  ...> ", stdout);
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty()) {
+      const std::string_view command = TrimWhitespace(line);
+      if (command == "quit" || command == "exit" || command == "\\q") {
+        break;
+      }
+    }
+    buffer += line;
+    buffer += '\n';
+    if (TrimWhitespace(buffer).empty()) {
+      buffer.clear();
+      continue;
+    }
+    // A statement may span lines: on "ended mid-statement" keep
+    // reading; on any other parse error report and reset.
+    const auto parsed = knnql::ParseBoundScript(buffer, &engine.catalog());
+    if (!parsed.ok()) {
+      if (knnql::IsIncompleteInput(parsed.status())) continue;
+      FailScript(parsed.status(), json);
+      rc = 1;
+    } else if (ExecuteStatements(engine, *parsed, json) != 0) {
+      rc = 1;
+    }
+    buffer.clear();
+  }
+  if (!TrimWhitespace(buffer).empty()) {
+    // Input ended mid-statement (script piped without a final ';').
+    if (RunKnnqlText(engine, buffer, json) != 0) rc = 1;
+  }
+  // An interactive session already showed its errors; only a piped
+  // script propagates them as the exit code.
+  return interactive ? 0 : rc;
+}
+
+int CmdQuery(const Args& args) {
+  const std::vector<std::string> data = args.GetAll("--data");
+  if (data.empty()) {
+    return Fail(Status::InvalidArgument(
+        "query needs at least one --data NAME=FILE"));
+  }
+  if (args.Has("-e") && args.Has("--file")) {
+    return Fail(Status::InvalidArgument(
+        "pass statements with -e or --file, not both"));
+  }
+  auto type = ParseIndexType(args.GetOr("--index", "grid"));
+  if (!type.ok()) return Fail(type.status());
+  IndexOptions index_options;
+  index_options.type = *type;
+
+  Catalog catalog;
+  for (const std::string& spec : data) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Fail(Status::InvalidArgument(
+          "--data must look like NAME=FILE, got: " + spec));
+    }
+    const std::string name = spec.substr(0, eq);
+    // A relation no KNNQL statement could reference (keyword, bad
+    // character) is a mistake better caught at load time.
+    const auto tokens = knnql::Tokenize(name);
+    if (!tokens.ok() || tokens->size() != 2 ||
+        (*tokens)[0].kind != knnql::TokenKind::kIdentifier ||
+        (*tokens)[0].text != name) {
+      return Fail(Status::InvalidArgument(
+          "--data relation name '" + name +
+          "' must be a KNNQL identifier ([A-Za-z_][A-Za-z0-9_]*, "
+          "not a keyword)"));
+    }
+    auto points = LoadDataset(spec.substr(eq + 1));
+    if (!points.ok()) return Fail(points.status());
+    const Status added = catalog.AddRelation(
+        name, std::move(points.value()), index_options);
+    if (!added.ok()) return Fail(added);
+  }
+
+  auto cache_mb = args.GetSizeOr("--cache-mb", 0);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
+  EngineOptions options;
+  options.num_threads = 1;  // Statements run one at a time.
+  options.planner.force_naive = args.Has("--naive");
+  options.planner.cache_mb = *cache_mb;
+  const QueryEngine engine(std::move(catalog), options);
+  const bool json = args.Has("--json");
+
+  if (args.Has("-e")) {
+    int rc = 0;
+    for (const std::string& text : args.GetAll("-e")) {
+      if (RunKnnqlText(engine, text, json) != 0) rc = 1;
+    }
+    return rc;
+  }
+  if (args.Has("--file")) {
+    auto script = ReadTextFile(*args.Get("--file"));
+    if (!script.ok()) return Fail(script.status());
+    return RunKnnqlText(engine, *script, json);
+  }
+  return RunRepl(engine, json);
+}
+
+// ------------------------------------------------- per-shape commands
+
 /// Hands the catalog to a QueryEngine, runs `spec`, prints EXPLAIN
 /// (including the ExecStats line) and the result. `cache_mb` sizes the
 /// engine's cross-query neighborhood cache (0 = off; one ad-hoc query
@@ -267,26 +609,7 @@ int PlanAndRun(Catalog catalog, const QuerySpec& spec, bool naive,
 
   const EngineResult run = engine.Run(spec);
   if (!run.ok()) return Fail(run.status);
-  std::printf("%s", run.explain.c_str());
-
-  const double ms = run.stats.wall_seconds * 1e3;
-  std::visit(
-      [&](const auto& result) {
-        using T = std::decay_t<decltype(result)>;
-        if constexpr (std::is_same_v<T, TwoSelectsResult>) {
-          std::printf("result: %zu points in %.2f ms\n", result.size(), ms);
-          for (const Point& p : result) {
-            std::printf("  %s\n", p.ToString().c_str());
-          }
-        } else if constexpr (std::is_same_v<T, JoinResult>) {
-          std::printf("result: %s in %.2f ms\n",
-                      Summarize(result).c_str(), ms);
-        } else {
-          std::printf("result: %s in %.2f ms\n",
-                      Summarize(result).c_str(), ms);
-        }
-      },
-      run.output);
+  PrintHumanResult(run);
   return 0;
 }
 
@@ -418,6 +741,8 @@ void PrintUsage() {
       "  generate           --kind berlin|uniform|clusters --n N --out F\n"
       "  info               --data F [--index grid|quadtree|rtree]\n"
       "  knn                --data F --at X,Y --k K\n"
+      "  query              --data NAME=F [--data NAME=F ...]\n"
+      "                     [-e \"KNNQL\"] [--file SCRIPT.knnql] [--json]\n"
       "  two-selects        --data F --f1 X,Y --k1 K --f2 X,Y --k2 K\n"
       "  select-inner-join  --outer F --inner F --join-k K --focal X,Y\n"
       "                     --select-k K\n"
@@ -425,6 +750,7 @@ void PrintUsage() {
       "                     --range X1,Y1,X2,Y2\n"
       "  chained            --a F --b F --c F --k-ab K --k-bc K\n"
       "  unchained          --a F --b F --c F --k-ab K --k-cb K\n"
+      "query reads KNNQL statements (-e, --file, or a REPL; see README);\n"
       "append --naive to run the conceptually correct baseline plan;\n"
       "append --cache-mb M to any query command to enable the engine's\n"
       "cross-query neighborhood cache with an M-MiB budget (0 = off)");
@@ -444,6 +770,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(*args);
   if (command == "info") return CmdInfo(*args);
   if (command == "knn") return CmdKnn(*args);
+  if (command == "query") return CmdQuery(*args);
   if (command == "two-selects") return CmdTwoSelects(*args);
   if (command == "select-inner-join") return CmdSelectInnerJoin(*args);
   if (command == "range-inner-join") return CmdRangeInnerJoin(*args);
