@@ -27,7 +27,18 @@
 // "uniform", "city", "clustered"), so benchmark mixes are committable
 // and diffable. The committed files under bench/workloads/ are the
 // generators' exact output; --dump-workloads DIR regenerates them.
+//
+// Churn mode measures the query/update workload class: the skewed
+// workload replays while QueryEngine::Mutate interleaves insert/delete
+// batches against the "clustered" relation (so per-relation cache
+// invalidation keeps "uniform" and "city" neighborhoods hot). The
+// update:query ratio defaults to 1:4 and is configurable with
+// --churn U:Q. The JSON summary's churn_read_ratio_t4 (churn qps over
+// read-only qps at the same config) is gated by tools/check_bench.py
+// at >= 0.5x.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -221,6 +232,17 @@ void CheckBatchEqualsUncachedSerial(const QueryEngine& engine,
   }
 }
 
+/// Churn configuration: updates applied per ChurnQueries() queries.
+/// Set by --churn U:Q before the benchmarks run.
+std::size_t& ChurnUpdates() {
+  static std::size_t updates = 1;
+  return updates;
+}
+std::size_t& ChurnQueries() {
+  static std::size_t queries = 4;
+  return queries;
+}
+
 /// One row of BENCH_engine_batch.json.
 struct RunRecord {
   std::size_t threads = 1;
@@ -228,6 +250,8 @@ struct RunRecord {
   std::size_t cache_mb = 0;
   double wall_seconds = 0.0;
   std::size_t queries = 0;
+  /// Churn rows only: mutation ops applied while the queries ran.
+  std::size_t updates = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_bytes = 0;
@@ -294,6 +318,99 @@ void RunBatchBenchmark(benchmark::State& state, const std::string& name,
   ReportExecStats(state, total);
 }
 
+/// Churn body: replay the skewed workload in groups of ChurnQueries()
+/// queries with ChurnUpdates() mutation ops applied between groups.
+/// Uses a dedicated engine (NOT the memoized EngineWith pool): churn
+/// mutates relations, and the shared engines must stay pristine for
+/// the read-only benchmarks and their byte-identical checks.
+void RunChurnBenchmark(benchmark::State& state, const std::string& name,
+                       std::size_t threads, std::size_t cache_mb) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.planner.cache_mb = cache_mb;
+  QueryEngine engine(MakeCatalog(), options);
+  const std::vector<QuerySpec> specs = SkewedSpecs();
+
+  ExecStats total;
+  double wall = 0.0;
+  std::size_t ran = 0;
+  std::size_t updates = 0;
+  // Deterministic mutation stream: inserts draw fresh ids and frame
+  // coordinates from an LCG; once enough points accumulated, every
+  // batch erases as many as it inserts, so the relation's cardinality
+  // stays put across iterations.
+  std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+  const auto next_rand = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 11;
+  };
+  PointId next_id = 50'000'000;
+  std::vector<PointId> live;
+  const BoundingBox frame = Frame();
+
+  for (auto _ : state) {
+    total = ExecStats{};
+    Stopwatch timer;
+    std::size_t cursor = 0;
+    while (cursor < specs.size()) {
+      const std::size_t group =
+          std::min(ChurnQueries(), specs.size() - cursor);
+      const std::vector<QuerySpec> batch(
+          specs.begin() + static_cast<std::ptrdiff_t>(cursor),
+          specs.begin() + static_cast<std::ptrdiff_t>(cursor + group));
+      std::vector<EngineResult> results = engine.RunBatch(batch);
+      for (const EngineResult& result : results) {
+        KNNQ_CHECK_MSG(result.ok(), "churn query failed");
+        total.Merge(result.stats);
+      }
+      benchmark::DoNotOptimize(results);
+      cursor += group;
+
+      std::vector<MutationOp> ops;
+      ops.reserve(ChurnUpdates());
+      for (std::size_t u = 0; u < ChurnUpdates(); ++u) {
+        if (live.size() >= 256 && (live.size() + u) % 2 == 0) {
+          const std::size_t victim = next_rand() % live.size();
+          ops.push_back(MutationOp::Erase(live[victim]));
+          live.erase(live.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+        } else {
+          const double x =
+              frame.min_x() + static_cast<double>(next_rand() % 30000);
+          const double y =
+              frame.min_y() + static_cast<double>(next_rand() % 24000);
+          ops.push_back(MutationOp::Insert(x, y, next_id));
+          live.push_back(next_id++);
+        }
+      }
+      const EngineResult applied = engine.Mutate("clustered", ops);
+      KNNQ_CHECK_MSG(applied.ok(), applied.status.ToString().c_str());
+      updates += ops.size();
+    }
+    wall += timer.ElapsedSeconds();
+    ran += specs.size();
+  }
+
+  RunRecord record;
+  record.threads = threads;
+  record.workload = "skewed-churn";
+  record.cache_mb = cache_mb;
+  record.wall_seconds = wall;
+  record.queries = ran;
+  record.updates = updates;
+  record.cache_hits = total.cache_hits;
+  record.cache_misses = total.cache_misses;
+  record.cache_bytes = total.cache_bytes;
+  Records()[name] = record;
+
+  state.counters["queries"] = static_cast<double>(specs.size());
+  state.counters["pool_threads"] = static_cast<double>(threads);
+  state.counters["qps"] = record.qps();
+  state.counters["updates"] = static_cast<double>(updates);
+  state.counters["cache_hit_rate"] = record.hit_rate();
+  ReportExecStats(state, total);
+}
+
 void BM_EngineSerial(benchmark::State& state) {
   const QueryEngine& engine = EngineWith(1, /*cache_mb=*/0);
   const std::vector<QuerySpec> specs = UniformSpecs();
@@ -349,6 +466,20 @@ void BM_EngineBatchSkewedCached(benchmark::State& state) {
                     "skewed", threads, kCacheMb, SkewedSpecs());
 }
 
+void BM_EngineChurn(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  RunChurnBenchmark(state,
+                    "churn/skewed/uncached/t" + std::to_string(threads),
+                    threads, 0);
+}
+
+void BM_EngineChurnCached(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  RunChurnBenchmark(state,
+                    "churn/skewed/cached/t" + std::to_string(threads),
+                    threads, kCacheMb);
+}
+
 BENCHMARK(BM_EngineSerial)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 BENCHMARK(BM_EngineBatch)
@@ -377,20 +508,31 @@ BENCHMARK(BM_EngineBatchSkewedCached)
     ->Arg(1)
     ->Arg(4);
 
+BENCHMARK(BM_EngineChurn)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(4);
+
+BENCHMARK(BM_EngineChurnCached)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(4);
+
 }  // namespace
 
 /// Consumes this binary's own flags before benchmark::Initialize sees
 /// argv: --workload FILE and --workload-skewed FILE replace the
-/// uniform / skewed batches, --dump-workloads DIR writes the generated
-/// batches as .knnql and exits. Returns -1 to continue into the
-/// benchmarks, or a process exit code.
+/// uniform / skewed batches, --churn U:Q sets the churn benchmarks'
+/// update:query ratio (default 1:4), --dump-workloads DIR writes the
+/// generated batches as .knnql and exits. Returns -1 to continue into
+/// the benchmarks, or a process exit code.
 int HandleWorkloadArgs(int& argc, char** argv) {
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    const bool takes_value = flag == "--workload" ||
-                             flag == "--workload-skewed" ||
-                             flag == "--dump-workloads";
+    const bool takes_value =
+        flag == "--workload" || flag == "--workload-skewed" ||
+        flag == "--dump-workloads" || flag == "--churn";
     if (!takes_value) {
       argv[kept++] = argv[i];
       continue;
@@ -404,6 +546,17 @@ int HandleWorkloadArgs(int& argc, char** argv) {
       WorkloadPath("uniform") = value;
     } else if (flag == "--workload-skewed") {
       WorkloadPath("skewed") = value;
+    } else if (flag == "--churn") {
+      std::size_t updates = 0, queries = 0;
+      if (std::sscanf(value.c_str(), "%zu:%zu", &updates, &queries) != 2 ||
+          updates == 0 || queries == 0) {
+        std::fprintf(stderr,
+                     "--churn wants UPDATES:QUERIES (e.g. 1:4), got %s\n",
+                     value.c_str());
+        return 1;
+      }
+      ChurnUpdates() = updates;
+      ChurnQueries() = queries;
     } else {
       DumpWorkloads(value);
       return 0;
@@ -435,12 +588,12 @@ void WriteBenchJson() {
         out,
         "%s    {\"name\": \"%s\", \"threads\": %zu, \"workload\": "
         "\"%s\", \"cache_mb\": %zu, \"wall_seconds\": %.6f, "
-        "\"queries\": %zu, \"qps\": %.2f, \"cache_hits\": %zu, "
-        "\"cache_misses\": %zu, \"cache_hit_rate\": %.4f, "
-        "\"cache_bytes\": %zu}",
+        "\"queries\": %zu, \"updates\": %zu, \"qps\": %.2f, "
+        "\"cache_hits\": %zu, \"cache_misses\": %zu, "
+        "\"cache_hit_rate\": %.4f, \"cache_bytes\": %zu}",
         first ? "" : ",\n", name.c_str(), r.threads, r.workload.c_str(),
-        r.cache_mb, r.wall_seconds, r.queries, r.qps(), r.cache_hits,
-        r.cache_misses, r.hit_rate(), r.cache_bytes);
+        r.cache_mb, r.wall_seconds, r.queries, r.updates, r.qps(),
+        r.cache_hits, r.cache_misses, r.hit_rate(), r.cache_bytes);
     first = false;
   }
   std::fprintf(out, "\n  ],\n");
@@ -467,16 +620,37 @@ void WriteBenchJson() {
       it != Records().end()) {
     skewed_hit_rate = it->second.hit_rate();
   }
+  // Churn vs read-only throughput at the same engine config: the
+  // "updates are not allowed to crater serving" ratio check_bench.py
+  // gates at >= 0.5x.
+  const auto qps_ratio = [](const char* num, const char* den) {
+    const auto& records = Records();
+    const auto n = records.find(num);
+    const auto d = records.find(den);
+    if (n == records.end() || d == records.end()) return 0.0;
+    if (d->second.qps() <= 0.0) return 0.0;
+    return n->second.qps() / d->second.qps();
+  };
+  const double churn_cached =
+      qps_ratio("churn/skewed/cached/t4", "batch/skewed/cached/t4");
+  const double churn_uncached =
+      qps_ratio("churn/skewed/uncached/t4", "batch/skewed/uncached/t4");
   std::fprintf(out,
                "  \"summary\": {\"skewed_speedup_t1\": %.3f, "
                "\"skewed_speedup_t4\": %.3f, "
                "\"uniform_cached_ratio_t4\": %.3f, "
-               "\"skewed_hit_rate\": %.4f}\n}\n",
-               skewed_1, skewed_4, uniform_4, skewed_hit_rate);
+               "\"skewed_hit_rate\": %.4f, "
+               "\"churn_updates_per_queries\": \"%zu:%zu\", "
+               "\"churn_read_ratio_t4\": %.3f, "
+               "\"churn_read_ratio_uncached_t4\": %.3f}\n}\n",
+               skewed_1, skewed_4, uniform_4, skewed_hit_rate,
+               ChurnUpdates(), ChurnQueries(), churn_cached,
+               churn_uncached);
   std::fclose(out);
   std::printf("wrote %s (skewed speedup t1=%.2fx t4=%.2fx, hit rate "
-              "%.1f%%)\n",
-              path.c_str(), skewed_1, skewed_4, 100.0 * skewed_hit_rate);
+              "%.1f%%, churn ratio %.2fx)\n",
+              path.c_str(), skewed_1, skewed_4, 100.0 * skewed_hit_rate,
+              churn_cached);
 }
 
 }  // namespace knnq::bench

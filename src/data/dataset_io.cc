@@ -103,6 +103,14 @@ Result<PointSet> LoadBinary(const std::string& path) {
   return points;
 }
 
+Result<PointSet> LoadPoints(const std::string& path) {
+  const std::string suffix = ".bin";
+  const bool binary = path.size() >= suffix.size() &&
+                      path.compare(path.size() - suffix.size(),
+                                   suffix.size(), suffix) == 0;
+  return binary ? LoadBinary(path) : LoadCsv(path);
+}
+
 Result<std::string> ReadTextFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {

@@ -23,6 +23,10 @@ Status SaveBinary(const PointSet& points, const std::string& path);
 /// Reads a file written by SaveBinary; validates magic and size.
 Result<PointSet> LoadBinary(const std::string& path);
 
+/// Loads a dataset by extension: ".bin" via LoadBinary, anything else
+/// via LoadCsv. The dispatch the CLI and KNNQL `LOAD` share.
+Result<PointSet> LoadPoints(const std::string& path);
+
 /// Reads a whole text file (e.g. a .knnql script) into a string.
 Result<std::string> ReadTextFile(const std::string& path);
 

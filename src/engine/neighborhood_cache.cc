@@ -128,6 +128,43 @@ void NeighborhoodCache::Clear() {
   }
 }
 
+void NeighborhoodCache::InvalidateRelation(const SpatialIndex* relation) {
+  std::uint64_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.relation != relation) {
+        ++it;
+        continue;
+      }
+      shard->bytes -= it->bytes;
+      bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+      shard->map.erase(it->key);
+      it = shard->lru.erase(it);
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+void NeighborhoodCache::InvalidateIfGenerationChanged(
+    const SpatialIndex* relation, std::uint64_t generation) {
+  {
+    std::lock_guard<std::mutex> lock(relation_generations_mu_);
+    // A first observation still invalidates: entries cached before the
+    // relation was ever reported here date from an older generation.
+    auto [it, inserted] =
+        relation_generations_.try_emplace(relation, generation);
+    if (!inserted) {
+      if (it->second == generation) return;
+      it->second = generation;
+    }
+  }
+  InvalidateRelation(relation);
+}
+
 void NeighborhoodCache::InvalidateIfGenerationChanged(
     std::uint64_t generation) {
   std::uint64_t seen = generation_.load(std::memory_order_acquire);
@@ -146,6 +183,7 @@ NeighborhoodCacheStats NeighborhoodCache::GetStats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidated = invalidated_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.entries += shard->map.size();

@@ -55,6 +55,8 @@ struct NeighborhoodCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Entries dropped by per-relation invalidation (not LRU pressure).
+  std::uint64_t invalidated = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
 
@@ -91,9 +93,23 @@ class NeighborhoodCache {
   /// Drops every entry. Counters other than `entries`/`bytes` persist.
   void Clear();
 
-  /// Invalidation hook for catalog changes: when `generation` differs
-  /// from the last observed value, the cache clears itself (cached
-  /// pointers could otherwise dangle or alias a new relation).
+  /// Drops only the entries cached for `relation`, leaving every other
+  /// relation's neighborhoods hot — the point of keying invalidation
+  /// per relation instead of nuking the cache on any catalog change.
+  void InvalidateRelation(const SpatialIndex* relation);
+
+  /// Per-relation generation hook: when `generation` differs from the
+  /// last value observed for `relation`, that relation's entries (and
+  /// only those) are dropped. QueryEngine::Mutate calls this with the
+  /// mutated relation's new Catalog generation.
+  void InvalidateIfGenerationChanged(const SpatialIndex* relation,
+                                     std::uint64_t generation);
+
+  /// Whole-catalog invalidation hook: when `generation` differs from
+  /// the last observed catalog-wide value, the cache clears itself
+  /// (cached pointers could otherwise dangle or alias a new relation).
+  /// Kept for callers embedding the cache next to a catalog they keep
+  /// extending; mutations go through the per-relation overload.
   void InvalidateIfGenerationChanged(std::uint64_t generation);
 
   NeighborhoodCacheStats GetStats() const;
@@ -155,7 +171,12 @@ class NeighborhoodCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidated_{0};
   std::atomic<std::uint64_t> generation_{0};
+  /// Last generation observed per relation (per-relation invalidation).
+  mutable std::mutex relation_generations_mu_;
+  std::unordered_map<const SpatialIndex*, std::uint64_t>
+      relation_generations_;
 };
 
 /// Drop-in KnnSearcher with an optional shared cache behind GetKnn.

@@ -1,12 +1,17 @@
 #include "src/engine/query_engine.h"
 
 #include <latch>
+#include <mutex>
 #include <thread>
 #include <utility>
+#include <variant>
 
+#include "src/common/stopwatch.h"
+#include "src/data/dataset_io.h"
 #include "src/engine/executor.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/lang/knnql.h"
+#include "src/lang/parser.h"
 
 namespace knnq {
 
@@ -25,6 +30,14 @@ std::unique_ptr<NeighborhoodCache> MakeCache(const PlannerOptions& planner) {
   return std::make_unique<NeighborhoodCache>(options);
 }
 
+/// The one-line EngineResult::explain of a DML statement.
+std::string MutationSummary(const char* verb, const std::string& relation,
+                            const MutationOutcome& outcome) {
+  return std::string("Mutation: ") + verb + " " + relation + " (" +
+         std::to_string(outcome.rows_affected) + " rows, generation " +
+         std::to_string(outcome.generation) + ")\n";
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Catalog catalog, EngineOptions options)
@@ -34,11 +47,9 @@ QueryEngine::QueryEngine(Catalog catalog, EngineOptions options)
           ResolveThreads(options.num_threads))),
       cache_(MakeCache(options.planner)) {
   if (cache_ != nullptr) {
-    // Adopt the catalog's generation as the cache's baseline. The
-    // engine's catalog is owned by value and never mutated afterwards,
-    // so construction is the only point where the two can diverge;
-    // InvalidateIfGenerationChanged stays available for callers
-    // embedding the cache alongside a catalog they keep extending.
+    // Adopt the catalog's generation as the cache's baseline; every
+    // later change flows through Mutate/LoadRelation, which invalidate
+    // per relation.
     cache_->InvalidateIfGenerationChanged(catalog_.generation());
   }
 }
@@ -48,6 +59,11 @@ QueryEngine::~QueryEngine() = default;
 std::size_t QueryEngine::num_threads() const { return pool_->size(); }
 
 EngineResult QueryEngine::Run(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return RunLocked(spec);
+}
+
+EngineResult QueryEngine::RunLocked(const QuerySpec& spec) const {
   EngineResult result;
   const auto plan = Optimize(catalog_, spec, options_.planner);
   if (!plan.ok()) {
@@ -79,8 +95,9 @@ std::vector<EngineResult> QueryEngine::RunBatch(
   if (specs.empty()) return results;
 
   // One task per query; slots keep submission order and isolate
-  // failures. The latch is the only cross-thread synchronization -
-  // indexes are immutable and each task touches only its own slot.
+  // failures. Each task takes its own reader lock, so a batch
+  // interleaves with writers at query granularity while the queries
+  // themselves stay lock-free among each other.
   std::latch done(static_cast<std::ptrdiff_t>(specs.size()));
   for (std::size_t i = 0; i < specs.size(); ++i) {
     pool_->Submit([this, &specs, &results, &done, i] {
@@ -92,23 +109,143 @@ std::vector<EngineResult> QueryEngine::RunBatch(
   return results;
 }
 
+EngineResult QueryEngine::Mutate(const std::string& relation,
+                                 const std::vector<MutationOp>& ops) {
+  EngineResult result;
+  result.is_mutation = true;
+  Stopwatch timer;
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto outcome = catalog_.Mutate(relation, ops);
+    if (!outcome.ok()) {
+      // A failed batch may still have applied a prefix; re-sync the
+      // cache with whatever generation the relation is at now.
+      if (cache_ != nullptr) {
+        if (auto rel = catalog_.Get(relation); rel.ok()) {
+          cache_->InvalidateIfGenerationChanged((*rel)->index.get(),
+                                                (*rel)->generation);
+        }
+      }
+      result.status = outcome.status();
+      return result;
+    }
+    if (cache_ != nullptr) {
+      cache_->InvalidateIfGenerationChanged(outcome->index,
+                                            outcome->generation);
+    }
+    result.rows_affected = outcome->rows_affected;
+    result.explain = MutationSummary("MUTATE", relation, *outcome);
+  }
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+EngineResult QueryEngine::LoadRelation(const std::string& relation,
+                                       PointSet points) {
+  EngineResult result;
+  result.is_mutation = true;
+  Stopwatch timer;
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto outcome = catalog_.LoadRelation(relation, std::move(points),
+                                         options_.index_options);
+    if (!outcome.ok()) {
+      result.status = outcome.status();
+      return result;
+    }
+    if (cache_ != nullptr) {
+      cache_->InvalidateIfGenerationChanged(outcome->index,
+                                            outcome->generation);
+    }
+    result.rows_affected = outcome->rows_affected;
+    result.explain = MutationSummary("LOAD", relation, *outcome);
+  }
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
 Result<std::vector<QuerySpec>> QueryEngine::ParseBatch(
     std::string_view text) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   auto statements = knnql::ParseBoundScript(text, &catalog_);
   if (!statements.ok()) return statements.status();
   std::vector<QuerySpec> specs;
   specs.reserve(statements->size());
   for (knnql::BoundStatement& statement : *statements) {
-    specs.push_back(std::move(statement.spec));
+    auto* spec = std::get_if<QuerySpec>(&statement.op);
+    if (spec == nullptr) {
+      return knnql::ErrorAt(
+          statement.pos,
+          "DML statements cannot run in a query batch; use RunScript");
+    }
+    specs.push_back(std::move(*spec));
   }
   return specs;
 }
 
 Result<std::vector<EngineResult>> QueryEngine::RunScript(
-    std::string_view text) const {
-  auto specs = ParseBatch(text);
-  if (!specs.ok()) return specs.status();
-  return RunBatch(*specs);
+    std::string_view text) {
+  auto script = knnql::ParseScript(text);
+  if (!script.ok()) return script.status();
+  std::vector<EngineResult> results(script->size());
+
+  // Statements execute in script order, but maximal runs of
+  // consecutive queries become one concurrent batch. Queries bind
+  // right before their batch runs, so they see every mutation earlier
+  // statements applied.
+  std::vector<std::size_t> pending;
+  const auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::Ok();
+    std::vector<QuerySpec> specs;
+    specs.reserve(pending.size());
+    {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      for (const std::size_t slot : pending) {
+        auto spec = knnql::Bind(
+            std::get<knnql::Query>((*script)[slot].body), &catalog_);
+        if (!spec.ok()) return spec.status();
+        specs.push_back(std::move(spec.value()));
+      }
+    }
+    std::vector<EngineResult> batch = RunBatch(specs);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      results[pending[i]] = std::move(batch[i]);
+    }
+    pending.clear();
+    return Status::Ok();
+  };
+
+  for (std::size_t i = 0; i < script->size(); ++i) {
+    const knnql::Statement& statement = (*script)[i];
+    if (std::holds_alternative<knnql::Query>(statement.body)) {
+      pending.push_back(i);
+      continue;
+    }
+    if (Status s = flush(); !s.ok()) return s;
+    if (const auto* insert =
+            std::get_if<knnql::InsertStatement>(&statement.body)) {
+      std::vector<MutationOp> ops;
+      ops.reserve(insert->values.size());
+      for (const auto& value : insert->values) {
+        ops.push_back(MutationOp::Insert(value.x, value.y));
+      }
+      results[i] = Mutate(insert->relation, ops);
+    } else if (const auto* del =
+                   std::get_if<knnql::DeleteStatement>(&statement.body)) {
+      results[i] = Mutate(del->relation, {MutationOp::Erase(del->id)});
+    } else {
+      const auto& load = std::get<knnql::LoadStatement>(statement.body);
+      auto points = LoadPoints(load.path);
+      if (!points.ok()) {
+        results[i].is_mutation = true;
+        results[i].status = points.status();
+      } else {
+        results[i] = LoadRelation(load.relation, std::move(points.value()));
+      }
+    }
+  }
+  if (Status s = flush(); !s.ok()) return s;
+  return results;
 }
 
 }  // namespace knnq

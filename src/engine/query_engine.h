@@ -4,24 +4,34 @@
 // fixed-size worker thread pool. Run() plans and executes one query;
 // RunBatch() fans a batch out over the workers and returns results in
 // submission order, with per-query errors isolated to their slot.
+// Mutate() and LoadRelation() change relations in place; RunScript()
+// executes a KNNQL script that may interleave DML with queries.
 //
-// Concurrency model: SpatialIndex instances are immutable and
-// read-thread-safe (src/index/spatial_index.h); every evaluator creates
-// its own KnnSearcher scratch state. Planning reads only catalog
-// statistics. So queries share indexes with zero synchronization and a
-// batch's speedup is bounded only by cores and memory bandwidth.
+// Concurrency model: SpatialIndex instances are read-thread-safe with
+// no synchronization as long as no write is in flight; every evaluator
+// creates its own KnnSearcher scratch state and planning reads only
+// catalog statistics. The engine serializes writers against readers
+// with one std::shared_mutex: every Run()/RunBatch() slot holds a
+// reader lock for its whole plan+execute, Mutate()/LoadRelation() hold
+// the writer lock. Reads therefore still scale across cores (shared
+// locks don't contend with each other), each query sees a consistent
+// snapshot of every relation, and writes apply between queries, never
+// under one.
 //
 // The one shared mutable structure is optional: with
 // PlannerOptions::cache_mb > 0 the engine owns a NeighborhoodCache, a
 // sharded cross-query memo of getkNN results, consulted by every
-// evaluator and invalidated if the catalog's generation ever changes.
-// Cached execution returns byte-identical results (GetKnn is
-// deterministic; restricted searches bypass the cache).
+// evaluator. A mutation invalidates only the mutated relation's cache
+// entries (keyed by the relation's Catalog generation); every other
+// relation's neighborhoods stay hot. Cached execution returns
+// byte-identical results (GetKnn is deterministic; restricted searches
+// bypass the cache).
 
 #ifndef KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 #define KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +39,7 @@
 #include "src/common/status.h"
 #include "src/core/exec_stats.h"
 #include "src/engine/thread_pool.h"
+#include "src/index/index_factory.h"
 #include "src/planner/catalog.h"
 #include "src/planner/optimizer.h"
 #include "src/planner/physical_plan.h"
@@ -49,35 +60,48 @@ struct EngineOptions {
   /// Executor registry to dispatch through; null means
   /// ExecutorRegistry::Default(). Must outlive the engine.
   const ExecutorRegistry* registry = nullptr;
+
+  /// Index construction parameters for relations the engine creates
+  /// itself (LoadRelation / KNNQL LOAD on an unknown name).
+  IndexOptions index_options;
 };
 
-/// Outcome of one query. A failed plan or execution sets `status` and
-/// leaves the rest defaulted; a batch never fails as a whole.
+/// Outcome of one statement. A failed plan or execution sets `status`
+/// and leaves the rest defaulted; a batch never fails as a whole.
 struct EngineResult {
   Status status = Status::Ok();
-  /// Valid only when status.ok().
+  /// Valid only when status.ok() (queries only; empty for DML).
   QueryOutput output;
   /// The algorithm the optimizer chose (valid when planning succeeded).
   Algorithm algorithm = Algorithm::kTwoSelectsNaive;
-  /// EXPLAIN rendering of the executed plan, including the Stats line.
+  /// EXPLAIN rendering of the executed plan (queries), or a one-line
+  /// mutation summary (DML).
   std::string explain;
   /// Uniform execution counters plus wall time.
   ExecStats stats;
+  /// True when this slot was a DML statement (INSERT/DELETE/LOAD).
+  bool is_mutation = false;
+  /// DML only: rows inserted, deleted or loaded.
+  std::size_t rows_affected = 0;
 
   bool ok() const { return status.ok(); }
 };
 
-/// Plans and executes queries against an immutable catalog.
+/// Plans and executes queries — and applies writes — against an owned
+/// catalog, under the reader/writer protocol described above.
 class QueryEngine {
  public:
-  /// Takes ownership of `catalog`; relations are fixed for the engine's
-  /// lifetime (immutability is what makes RunBatch lock-free).
+  /// Takes ownership of `catalog`. Relations stay mutable through
+  /// Mutate / LoadRelation / RunScript only; all other entry points
+  /// are reads.
   explicit QueryEngine(Catalog catalog, EngineOptions options = {});
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  /// Callers inspecting the catalog while writers may be active must
+  /// not hold the returned reference across a Mutate.
   const Catalog& catalog() const { return catalog_; }
   const EngineOptions& options() const { return options_; }
   std::size_t num_threads() const;
@@ -87,7 +111,8 @@ class QueryEngine {
   /// (hit rate, footprint) and explicit Clear().
   NeighborhoodCache* neighborhood_cache() const { return cache_.get(); }
 
-  /// Plans and executes one query on the calling thread.
+  /// Plans and executes one query on the calling thread (under a
+  /// reader lock: safe to call concurrently with Mutate).
   EngineResult Run(const QuerySpec& spec) const;
 
   /// Executes `specs` concurrently on the worker pool. results[i] is
@@ -96,24 +121,48 @@ class QueryEngine {
   std::vector<EngineResult> RunBatch(
       const std::vector<QuerySpec>& specs) const;
 
+  /// Applies `ops` in order to `relation` under the writer lock: the
+  /// batch waits for in-flight queries, applies between batches, bumps
+  /// only that relation's generation and invalidates only its cache
+  /// entries. The result's status carries any failure; rows_affected
+  /// and explain summarize the applied writes.
+  EngineResult Mutate(const std::string& relation,
+                      const std::vector<MutationOp>& ops);
+
+  /// Replaces (or creates, with options().index_options) `relation`
+  /// with `points`, under the writer lock. The KNNQL `LOAD` fast path.
+  EngineResult LoadRelation(const std::string& relation, PointSet points);
+
   /// Parses a KNNQL script (src/lang/knnql.h) against this engine's
-  /// catalog into a batch of specs, one per statement in script order.
-  /// EXPLAIN prefixes are presentation hints for interactive front
-  /// ends and are ignored here. Fails with a "line:col: ..."
-  /// diagnostic on the first syntax or binding error.
+  /// catalog into a batch of query specs, one per statement in script
+  /// order. EXPLAIN prefixes are presentation hints for interactive
+  /// front ends and are ignored here. Fails with a "line:col: ..."
+  /// diagnostic on the first syntax or binding error — including DML
+  /// statements, which cannot be represented as specs (RunScript
+  /// executes those).
   Result<std::vector<QuerySpec>> ParseBatch(std::string_view text) const;
 
-  /// ParseBatch + RunBatch: a .knnql workload file, executed on the
-  /// worker pool. The whole call fails only when the script does not
-  /// parse; per-query failures stay isolated to their slot.
-  Result<std::vector<EngineResult>> RunScript(std::string_view text) const;
+  /// Executes a .knnql script that may interleave DML with queries.
+  /// Statements run in script order; maximal runs of consecutive
+  /// queries execute concurrently on the worker pool (a batch), DML
+  /// applies between batches under the writer lock. results[i] is
+  /// statement i's outcome; per-statement failures stay isolated to
+  /// their slot. The whole call fails only when the script does not
+  /// parse or a query does not bind against the catalog state at its
+  /// batch's start (mutations applied by earlier statements persist).
+  Result<std::vector<EngineResult>> RunScript(std::string_view text);
 
  private:
+  /// Plan + execute without taking the reader lock (callers hold it).
+  EngineResult RunLocked(const QuerySpec& spec) const;
+
   Catalog catalog_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   /// Shared across all workers; internally synchronized.
   std::unique_ptr<NeighborhoodCache> cache_;
+  /// The reader/writer protocol: queries shared, mutations exclusive.
+  mutable std::shared_mutex catalog_mu_;
 };
 
 }  // namespace knnq

@@ -146,10 +146,12 @@ Result<std::unique_ptr<GridIndex>> GridIndex::Build(
   }
 
   auto grid = std::unique_ptr<GridIndex>(new GridIndex());
+  grid->options_ = options;
   grid->bounds_ = BoundingBox::Of(points);
   grid->points_ = std::move(points);
 
   const std::size_t n = grid->points_.size();
+  grid->built_points_ = n;
   if (n == 0) {
     grid->cols_ = grid->rows_ = 0;
     return grid;
@@ -210,6 +212,7 @@ Result<std::unique_ptr<GridIndex>> GridIndex::Build(
       if (cell_counts[cell] == 0) continue;
       grid->cell_to_block_[cell] =
           static_cast<BlockId>(grid->blocks_.size());
+      grid->block_cell_.push_back(cell);
       Block block{.box = grid->CellBox(ci, cj),
                   .begin = cell_begin[cell],
                   .end = cell_begin[cell + 1]};
@@ -220,6 +223,93 @@ Result<std::unique_ptr<GridIndex>> GridIndex::Build(
     }
   }
   return grid;
+}
+
+Status GridIndex::Rebuild(PointSet points) {
+  auto built = Build(std::move(points), options_);
+  if (!built.ok()) return built.status();
+  GridIndex& other = **built;
+  AdoptBaseFrom(other);
+  cols_ = other.cols_;
+  rows_ = other.rows_;
+  cell_w_ = other.cell_w_;
+  cell_h_ = other.cell_h_;
+  min_cell_dim_ = other.min_cell_dim_;
+  cell_to_block_ = std::move(other.cell_to_block_);
+  block_cell_ = std::move(other.block_cell_);
+  built_points_ = other.built_points_;
+  return Status::Ok();
+}
+
+bool GridIndex::GeometryStale(std::size_t n) const {
+  // Asymmetric hysteresis: re-grid when growth doubles the average
+  // occupancy the sizing heuristic aimed for, but tolerate shrinking
+  // to a quarter before re-gridding (an oversized grid merely scans a
+  // few more cells; an undersized one packs cells past the capacity
+  // the pruning maths were tuned for). The slack constant keeps small
+  // relations from re-gridding on every insert.
+  return n > 2 * built_points_ + 4 * options_.target_points_per_cell ||
+         4 * n + 4 * options_.target_points_per_cell < built_points_;
+}
+
+void GridIndex::RemoveEmptyBlock(BlockId b) {
+  KNNQ_DCHECK(blocks_[b].count() == 0);
+  cell_to_block_[block_cell_[b]] = kInvalidBlockId;
+  const BlockId last = static_cast<BlockId>(blocks_.size() - 1);
+  if (b != last) {
+    blocks_[b] = blocks_[last];
+    block_cell_[b] = block_cell_[last];
+    cell_to_block_[block_cell_[b]] = b;
+  }
+  blocks_.pop_back();
+  block_cell_.pop_back();
+}
+
+Status GridIndex::Insert(const Point& p) {
+  if (Status s = ValidateInsertable(p); !s.ok()) return s;
+  // Outside the built extent the cell geometry does not cover p (and
+  // extending an edge cell's box would break the ring scan's distance
+  // bounds); drifted occupancy makes the geometry a poor fit. Both
+  // re-grid.
+  if (cols_ == 0 || !bounds_.Contains(p) ||
+      GeometryStale(points_.size() + 1)) {
+    PointSet points = std::move(points_);
+    points.push_back(p);
+    return Rebuild(std::move(points));
+  }
+  std::size_t ci, cj;
+  CellOf(p.x, p.y, &ci, &cj);
+  const std::size_t cell = cj * cols_ + ci;
+  BlockId b = cell_to_block_[cell];
+  if (b == kInvalidBlockId) {
+    b = static_cast<BlockId>(blocks_.size());
+    cell_to_block_[cell] = b;
+    block_cell_.push_back(cell);
+    blocks_.push_back(Block{.box = CellBox(ci, cj),
+                            .begin = points_.size(),
+                            .end = points_.size()});
+  }
+  InsertIntoBlock(b, p);
+  return Status::Ok();
+}
+
+Status GridIndex::Erase(PointId id) {
+  BlockId b;
+  std::size_t pos;
+  if (!FindPoint(id, &b, &pos)) {
+    return Status::NotFound("no indexed point with id " +
+                            std::to_string(id));
+  }
+  EraseFromBlock(b, pos);
+  if (blocks_[b].count() == 0) RemoveEmptyBlock(b);
+  if (points_.empty() || GeometryStale(points_.size())) {
+    return Rebuild(std::move(points_));
+  }
+  return Status::Ok();
+}
+
+Status GridIndex::BulkLoad(PointSet points) {
+  return Rebuild(std::move(points));
 }
 
 void GridIndex::CellOf(double x, double y, std::size_t* ci,

@@ -33,7 +33,12 @@ struct GridOptions {
   std::size_t max_cells_per_axis = 4096;
 };
 
-/// Uniform-grid spatial index. Immutable once built.
+/// Uniform-grid spatial index. Mutable via Insert / Erase / BulkLoad:
+/// in-extent inserts and erases maintain per-cell spans, counts and
+/// boxes incrementally; a point outside the built extent or an
+/// occupancy drift past a factor of two triggers an automatic
+/// re-gridding (the cell geometry is only near-optimal for the
+/// cardinality it was sized for).
 class GridIndex final : public SpatialIndex {
  public:
   /// Builds a grid over `points`. Fails on invalid options
@@ -46,6 +51,10 @@ class GridIndex final : public SpatialIndex {
   std::unique_ptr<BlockScan> NewScan(const Point& query,
                                      ScanOrder order) const override;
   std::string Describe() const override;
+
+  Status Insert(const Point& p) override;
+  Status Erase(PointId id) override;
+  Status BulkLoad(PointSet points) override;
 
   std::size_t cols() const { return cols_; }
   std::size_t rows() const { return rows_; }
@@ -66,6 +75,17 @@ class GridIndex final : public SpatialIndex {
     return cell_to_block_[cj * cols_ + ci];
   }
 
+  /// Rebuilds this object in place from `points` (cell geometry is
+  /// re-derived for the new cardinality and extent).
+  Status Rebuild(PointSet points);
+
+  /// True when the point count has drifted far enough from the count
+  /// the cell geometry was sized for that a re-grid pays off.
+  bool GeometryStale(std::size_t n) const;
+
+  /// Swap-removes the (empty) block `b`, fixing cell_to_block_ links.
+  void RemoveEmptyBlock(BlockId b);
+
   std::size_t cols_ = 0;
   std::size_t rows_ = 0;
   double cell_w_ = 0.0;
@@ -73,6 +93,11 @@ class GridIndex final : public SpatialIndex {
   /// min(cell_w_, cell_h_): the per-ring distance lower bound.
   double min_cell_dim_ = 0.0;
   std::vector<BlockId> cell_to_block_;
+  /// blocks_ index -> flat cell index (the reverse of cell_to_block_).
+  std::vector<std::size_t> block_cell_;
+  /// Point count the current geometry was sized for.
+  std::size_t built_points_ = 0;
+  GridOptions options_;
 };
 
 }  // namespace knnq

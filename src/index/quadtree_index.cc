@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 
@@ -18,6 +20,7 @@ Result<std::unique_ptr<QuadtreeIndex>> QuadtreeIndex::Build(
   }
 
   auto tree = std::unique_ptr<QuadtreeIndex>(new QuadtreeIndex());
+  tree->options_ = options;
   tree->bounds_ = BoundingBox::Of(points);
   tree->points_ = std::move(points);
   if (tree->points_.empty()) return tree;
@@ -26,6 +29,7 @@ Result<std::unique_ptr<QuadtreeIndex>> QuadtreeIndex::Build(
   tree->root_ = 0;
   tree->FillNode(tree->root_, 0, tree->points_.size(), tree->bounds_, 0,
                  options);
+  tree->RefreshTreeLinks();
   return tree;
 }
 
@@ -120,6 +124,221 @@ BlockId QuadtreeIndex::Locate(const Point& p) const {
     }
   }
   return kInvalidBlockId;
+}
+
+Status QuadtreeIndex::Rebuild(PointSet points) {
+  auto built = Build(std::move(points), options_);
+  if (!built.ok()) return built.status();
+  QuadtreeIndex& other = **built;
+  AdoptTreeFrom(other);
+  depth_ = other.depth_;
+  return Status::Ok();
+}
+
+BoundingBox QuadtreeIndex::QuadrantBox(const BoundingBox& region,
+                                       const Point& p) {
+  const Point mid = region.Center();
+  const bool x_high = !(p.x < mid.x);
+  const bool y_high = !(p.y < mid.y);
+  const double x0 = x_high ? mid.x : region.min_x();
+  const double x1 = x_high ? region.max_x() : mid.x;
+  const double y0 = y_high ? mid.y : region.min_y();
+  const double y1 = y_high ? region.max_y() : mid.y;
+  return BoundingBox(x0, y0, x1, y1);
+}
+
+std::uint32_t QuadtreeIndex::FindChildWithBox(std::uint32_t node,
+                                              const BoundingBox& box) const {
+  const TreeNode& t = nodes_[node];
+  for (std::uint32_t c = 0; c < t.num_children; ++c) {
+    if (nodes_[t.first_child + c].box == box) return t.first_child + c;
+  }
+  return kNoNode;
+}
+
+void QuadtreeIndex::SplitLeaf(std::uint32_t node, std::size_t depth) {
+  const BlockId old_block = nodes_[node].block;
+  const BoundingBox region = nodes_[node].box;
+  const std::size_t begin = blocks_[old_block].begin;
+  const std::size_t end = blocks_[old_block].end;
+
+  // The exact partition FillNode performs: y first, then x per half.
+  const Point mid = region.Center();
+  const auto first = points_.begin();
+  const auto y_split = std::partition(
+      first + static_cast<std::ptrdiff_t>(begin),
+      first + static_cast<std::ptrdiff_t>(end),
+      [&](const Point& p) { return p.y < mid.y; });
+  const auto x_split_low = std::partition(
+      first + static_cast<std::ptrdiff_t>(begin), y_split,
+      [&](const Point& p) { return p.x < mid.x; });
+  const auto x_split_high =
+      std::partition(y_split, first + static_cast<std::ptrdiff_t>(end),
+                     [&](const Point& p) { return p.x < mid.x; });
+  const auto off = [&](auto it) {
+    return static_cast<std::size_t>(it - first);
+  };
+  struct Quadrant {
+    std::size_t begin;
+    std::size_t end;
+    BoundingBox box;
+  };
+  const Quadrant quadrants[4] = {
+      {begin, off(x_split_low),
+       BoundingBox(region.min_x(), region.min_y(), mid.x, mid.y)},
+      {off(x_split_low), off(y_split),
+       BoundingBox(mid.x, region.min_y(), region.max_x(), mid.y)},
+      {off(y_split), off(x_split_high),
+       BoundingBox(region.min_x(), mid.y, mid.x, region.max_y())},
+      {off(x_split_high), end,
+       BoundingBox(mid.x, mid.y, region.max_x(), region.max_y())},
+  };
+
+  nodes_[node].block = kInvalidBlockId;
+  bool reused = false;
+  for (const Quadrant& q : quadrants) {
+    if (q.end <= q.begin) continue;
+    BlockId block;
+    if (!reused) {
+      block = old_block;
+      reused = true;
+    } else {
+      block = static_cast<BlockId>(blocks_.size());
+      blocks_.emplace_back();
+      block_node_.push_back(kNoNode);
+    }
+    blocks_[block] = Block{.box = q.box, .begin = q.begin, .end = q.end};
+    TreeNode leaf;
+    leaf.box = q.box;
+    leaf.block = block;
+    const std::uint32_t child = AttachNewChild(node, leaf);
+    block_node_[block] = child;
+  }
+  depth_ = std::max(depth_, depth + 1);
+
+  // A quadrant can inherit every point (duplicates, skew): keep
+  // splitting while capacity and depth allow.
+  const std::uint32_t first_child = nodes_[node].first_child;
+  const std::uint32_t num_children = nodes_[node].num_children;
+  for (std::uint32_t c = 0; c < num_children; ++c) {
+    const std::uint32_t child = first_child + c;
+    if (blocks_[nodes_[child].block].count() > options_.leaf_capacity &&
+        depth + 1 < options_.max_depth) {
+      SplitLeaf(child, depth + 1);
+    }
+  }
+}
+
+Status QuadtreeIndex::Insert(const Point& p) {
+  if (Status s = ValidateInsertable(p); !s.ok()) return s;
+  if (root_ == kNoNode || !nodes_[root_].box.Contains(p) ||
+      TooManyDeadNodes()) {
+    PointSet points = std::move(points_);
+    points.push_back(p);
+    return Rebuild(std::move(points));
+  }
+  std::uint32_t node = root_;
+  std::size_t depth = 0;
+  while (!nodes_[node].is_leaf()) {
+    const BoundingBox quadrant = QuadrantBox(nodes_[node].box, p);
+    std::uint32_t child = FindChildWithBox(node, quadrant);
+    if (child == kNoNode) {
+      // The quadrant was empty at build time: grow a fresh leaf whose
+      // (empty) span sits at the end of the parent's subtree span, so
+      // sibling spans keep tiling their ancestors' spans.
+      std::size_t sb = static_cast<std::size_t>(-1), se = 0;
+      SubtreeSpan(node, &sb, &se);
+      const auto block = static_cast<BlockId>(blocks_.size());
+      blocks_.push_back(Block{.box = quadrant, .begin = se, .end = se});
+      block_node_.push_back(kNoNode);
+      TreeNode leaf;
+      leaf.box = quadrant;
+      leaf.block = block;
+      child = AttachNewChild(node, leaf);
+      block_node_[block] = child;
+    }
+    node = child;
+    ++depth;
+  }
+  InsertIntoBlock(nodes_[node].block, p);
+  if (blocks_[nodes_[node].block].count() > options_.leaf_capacity &&
+      depth < options_.max_depth) {
+    SplitLeaf(node, depth);
+  }
+  return Status::Ok();
+}
+
+void QuadtreeIndex::MaybeMerge(std::uint32_t parent) {
+  if (parent == kNoNode) return;
+  const TreeNode& p = nodes_[parent];
+  if (p.is_leaf() || p.num_children == 0) return;
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < p.num_children; ++c) {
+    const TreeNode& child = nodes_[p.first_child + c];
+    if (!child.is_leaf()) return;
+    total += blocks_[child.block].count();
+  }
+  if (total > options_.leaf_capacity / 2) return;
+
+  std::size_t span_begin = static_cast<std::size_t>(-1), span_end = 0;
+  std::vector<BlockId> child_blocks;
+  for (std::uint32_t c = 0; c < p.num_children; ++c) {
+    const TreeNode& child = nodes_[p.first_child + c];
+    const Block& block = blocks_[child.block];
+    if (block.begin < span_begin) span_begin = block.begin;
+    if (block.end > span_end) span_end = block.end;
+    child_blocks.push_back(child.block);
+  }
+
+  // The parent becomes a leaf over the children's combined (contiguous)
+  // span, reusing the first child's block; the other blocks and every
+  // child slot die.
+  const BlockId keep = child_blocks.front();
+  dead_nodes_ += nodes_[parent].num_children;
+  nodes_[parent].num_children = 0;
+  nodes_[parent].block = keep;
+  blocks_[keep] =
+      Block{.box = nodes_[parent].box, .begin = span_begin, .end = span_end};
+  block_node_[keep] = parent;
+  std::sort(child_blocks.begin() + 1, child_blocks.end(),
+            std::greater<BlockId>());
+  for (std::size_t i = 1; i < child_blocks.size(); ++i) {
+    RemoveBlock(child_blocks[i]);
+  }
+}
+
+Status QuadtreeIndex::Erase(PointId id) {
+  BlockId block;
+  std::size_t pos;
+  if (!FindPoint(id, &block, &pos)) {
+    return Status::NotFound("no indexed point with id " +
+                            std::to_string(id));
+  }
+  std::uint32_t node = block_node_[block];
+  EraseFromBlock(block, pos);
+  if (points_.empty()) {
+    ResetTreeEmpty();
+    depth_ = 0;
+    return Status::Ok();
+  }
+  std::uint32_t parent = parent_[node];
+  if (blocks_[block].count() == 0 && parent != kNoNode) {
+    DetachChild(parent, node);
+    RemoveBlock(block);
+    // Pruning an only child can leave childless ancestors behind.
+    while (parent != root_ && nodes_[parent].num_children == 0) {
+      const std::uint32_t up = parent_[parent];
+      DetachChild(up, parent);
+      parent = up;
+    }
+  }
+  MaybeMerge(parent);
+  if (TooManyDeadNodes()) return Rebuild(std::move(points_));
+  return Status::Ok();
+}
+
+Status QuadtreeIndex::BulkLoad(PointSet points) {
+  return Rebuild(std::move(points));
 }
 
 std::unique_ptr<BlockScan> QuadtreeIndex::NewScan(const Point& query,

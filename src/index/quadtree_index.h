@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/index/dynamic_tree.h"
 #include "src/index/spatial_index.h"
 #include "src/index/tree_scan.h"
 
@@ -30,8 +31,14 @@ struct QuadtreeOptions {
   std::size_t max_depth = 24;
 };
 
-/// PR-quadtree spatial index. Immutable once built.
-class QuadtreeIndex final : public SpatialIndex {
+/// PR-quadtree spatial index. Mutable: Insert descends the region
+/// partition and splits leaves past leaf_capacity; Erase removes empty
+/// leaves and merges a parent's all-leaf children back into one leaf
+/// when their total occupancy falls to leaf_capacity / 2 (the
+/// hysteresis that keeps churn from ping-ponging split/merge). A point
+/// outside the built root region triggers a full rebuild — region
+/// geometry is fixed at build time.
+class QuadtreeIndex final : public DynamicTreeIndex {
  public:
   /// Builds the tree over `points`. Fails on zero leaf_capacity or depth.
   static Result<std::unique_ptr<QuadtreeIndex>> Build(
@@ -41,6 +48,10 @@ class QuadtreeIndex final : public SpatialIndex {
   std::unique_ptr<BlockScan> NewScan(const Point& query,
                                      ScanOrder order) const override;
   std::string Describe() const override;
+
+  Status Insert(const Point& p) override;
+  Status Erase(PointId id) override;
+  Status BulkLoad(PointSet points) override;
 
   std::size_t depth() const { return depth_; }
 
@@ -54,11 +65,28 @@ class QuadtreeIndex final : public SpatialIndex {
                          std::size_t end, const BoundingBox& region,
                          std::size_t depth, const QuadtreeOptions& options);
 
-  static constexpr std::uint32_t kNoNode = static_cast<std::uint32_t>(-1);
+  /// Rebuilds this object in place from `points`.
+  Status Rebuild(PointSet points);
 
-  std::vector<TreeNode> nodes_;
-  std::uint32_t root_ = kNoNode;
+  /// The midpoint quadrant of `region` that the build partition
+  /// assigns `p` to (exact same arithmetic as FillNode, so quadrant
+  /// boxes compare equal to built child regions).
+  static BoundingBox QuadrantBox(const BoundingBox& region, const Point& p);
+
+  /// The child of `node` whose region equals `box`, or kNoNode.
+  std::uint32_t FindChildWithBox(std::uint32_t node,
+                                 const BoundingBox& box) const;
+
+  /// Splits leaf `node` (at `depth`) into midpoint quadrants,
+  /// recursing while a quadrant still overflows and depth allows.
+  void SplitLeaf(std::uint32_t node, std::size_t depth);
+
+  /// Merges `parent`'s children into one leaf when they are all leaves
+  /// with total occupancy <= leaf_capacity / 2.
+  void MaybeMerge(std::uint32_t parent);
+
   std::size_t depth_ = 0;
+  QuadtreeOptions options_;
 };
 
 }  // namespace knnq

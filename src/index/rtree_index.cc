@@ -42,6 +42,7 @@ Result<std::unique_ptr<RTreeIndex>> RTreeIndex::Build(
   }
 
   auto tree = std::unique_ptr<RTreeIndex>(new RTreeIndex());
+  tree->options_ = options;
   tree->bounds_ = BoundingBox::Of(points);
   tree->points_ = std::move(points);
   const std::size_t n = tree->points_.size();
@@ -154,6 +155,7 @@ Result<std::unique_ptr<RTreeIndex>> RTreeIndex::Build(
     }
   }
   tree->root_ = 0;
+  tree->RefreshTreeLinks();
   return tree;
 }
 
@@ -178,6 +180,266 @@ BlockId RTreeIndex::Locate(const Point& p) const {
     }
   }
   return kInvalidBlockId;
+}
+
+Status RTreeIndex::Rebuild(PointSet points) {
+  auto built = Build(std::move(points), options_);
+  if (!built.ok()) return built.status();
+  RTreeIndex& other = **built;
+  AdoptTreeFrom(other);
+  height_ = other.height_;
+  return Status::Ok();
+}
+
+std::uint32_t RTreeIndex::ChooseLeaf(const Point& p) const {
+  std::uint32_t node = root_;
+  while (!nodes_[node].is_leaf()) {
+    const TreeNode& t = nodes_[node];
+    std::uint32_t best = kNoNode;
+    double best_enlargement = 0.0;
+    double best_area = 0.0;
+    for (std::uint32_t c = 0; c < t.num_children; ++c) {
+      const std::uint32_t child = t.first_child + c;
+      BoundingBox grown = nodes_[child].box;
+      grown.Extend(p);
+      const double area = nodes_[child].box.Area();
+      const double enlargement = grown.Area() - area;
+      if (best == kNoNode || enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = child;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+std::uint32_t RTreeIndex::GrowNewRoot(std::uint32_t old_root) {
+  TreeNode top;
+  top.box = nodes_[old_root].box;
+  const std::uint32_t new_root = NewNode(top, kNoNode);
+  const std::uint32_t slot = NewNode(TreeNode{}, new_root);
+  MoveNode(old_root, slot);
+  parent_[slot] = new_root;
+  nodes_[new_root].first_child = slot;
+  nodes_[new_root].num_children = 1;
+  root_ = new_root;
+  ++height_;
+  return new_root;
+}
+
+void RTreeIndex::PermuteChildren(std::uint32_t parent,
+                                 const std::vector<std::uint32_t>& order) {
+  const std::uint32_t first = nodes_[parent].first_child;
+  std::vector<TreeNode> scratch;
+  scratch.reserve(order.size());
+  for (const std::uint32_t member : order) {
+    scratch.push_back(nodes_[first + member]);
+  }
+  for (std::uint32_t j = 0; j < scratch.size(); ++j) {
+    const std::uint32_t slot = first + j;
+    nodes_[slot] = scratch[j];
+    if (scratch[j].is_leaf()) {
+      block_node_[scratch[j].block] = slot;
+    } else {
+      for (std::uint32_t c = 0; c < scratch[j].num_children; ++c) {
+        parent_[scratch[j].first_child + c] = slot;
+      }
+    }
+  }
+}
+
+void RTreeIndex::SplitInternal(std::uint32_t node) {
+  const std::uint32_t first = nodes_[node].first_child;
+  const std::uint32_t m = nodes_[node].num_children;
+
+  // Order members by center along the wider axis of the group's MBR
+  // (ties: other axis, then slot), then cut the ordered group in half.
+  BoundingBox group_box;
+  for (std::uint32_t c = 0; c < m; ++c) {
+    group_box.Extend(nodes_[first + c].box);
+  }
+  const bool by_x = group_box.width() >= group_box.height();
+  std::vector<std::uint32_t> order(m);
+  for (std::uint32_t c = 0; c < m; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Point ca = nodes_[first + a].box.Center();
+              const Point cb = nodes_[first + b].box.Center();
+              const double pa = by_x ? ca.x : ca.y;
+              const double pb = by_x ? cb.x : cb.y;
+              if (pa != pb) return pa < pb;
+              const double sa = by_x ? ca.y : ca.x;
+              const double sb = by_x ? cb.y : cb.x;
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+  PermuteChildren(node, order);
+
+  const std::uint32_t m1 = m / 2;
+  TreeNode sibling;
+  sibling.first_child = first + m1;
+  sibling.num_children = m - m1;
+  nodes_[node].num_children = m1;
+  BoundingBox left_box, right_box;
+  for (std::uint32_t c = 0; c < m1; ++c) {
+    left_box.Extend(nodes_[first + c].box);
+  }
+  for (std::uint32_t c = m1; c < m; ++c) {
+    right_box.Extend(nodes_[first + c].box);
+  }
+  nodes_[node].box = left_box;
+  sibling.box = right_box;
+
+  std::uint32_t parent = parent_[node];
+  if (parent == kNoNode) parent = GrowNewRoot(node);
+  const std::uint32_t sibling_slot = AttachNewChild(parent, sibling);
+  for (std::uint32_t c = 0; c < sibling.num_children; ++c) {
+    parent_[sibling.first_child + c] = sibling_slot;
+  }
+}
+
+void RTreeIndex::SplitLeaf(std::uint32_t leaf) {
+  const BlockId block = nodes_[leaf].block;
+  const std::size_t begin = blocks_[block].begin;
+  const std::size_t end = blocks_[block].end;
+
+  // Linear split: order the span along the wider axis and cut in half;
+  // both halves stay contiguous in points_.
+  const bool by_x =
+      blocks_[block].box.width() >= blocks_[block].box.height();
+  std::sort(points_.begin() + static_cast<std::ptrdiff_t>(begin),
+            points_.begin() + static_cast<std::ptrdiff_t>(end),
+            [&](const Point& a, const Point& b) {
+              const double pa = by_x ? a.x : a.y;
+              const double pb = by_x ? b.x : b.y;
+              if (pa != pb) return pa < pb;
+              const double sa = by_x ? a.y : a.x;
+              const double sb = by_x ? b.y : b.x;
+              if (sa != sb) return sa < sb;
+              return a.id < b.id;
+            });
+  const std::size_t mid = begin + (end - begin) / 2;
+
+  blocks_[block].end = mid;
+  RecomputeLeafBox(block);
+  nodes_[leaf].box = blocks_[block].box;
+
+  const auto right = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(Block{.box = BoundingBox(), .begin = mid, .end = end});
+  block_node_.push_back(kNoNode);
+  RecomputeLeafBox(right);
+  TreeNode sibling;
+  sibling.box = blocks_[right].box;
+  sibling.block = right;
+
+  std::uint32_t parent = parent_[leaf];
+  if (parent == kNoNode) parent = GrowNewRoot(leaf);
+  const std::uint32_t sibling_slot = AttachNewChild(parent, sibling);
+  block_node_[right] = sibling_slot;
+
+  // Overflow can cascade to the root; parent slots are stable across
+  // their own group's relocations, so walking parent_ upward is safe.
+  std::uint32_t node = parent;
+  while (node != kNoNode &&
+         nodes_[node].num_children > options_.fanout) {
+    const std::uint32_t up = parent_[node];
+    SplitInternal(node);
+    node = up != kNoNode ? up : parent_[node];
+  }
+}
+
+void RTreeIndex::RecomputeLeafBox(BlockId block) {
+  BoundingBox box;
+  for (std::size_t i = blocks_[block].begin; i < blocks_[block].end; ++i) {
+    box.Extend(points_[i]);
+  }
+  blocks_[block].box = box;
+}
+
+Status RTreeIndex::Insert(const Point& p) {
+  if (Status s = ValidateInsertable(p); !s.ok()) return s;
+  if (root_ == kNoNode || TooManyDeadNodes()) {
+    PointSet points = std::move(points_);
+    points.push_back(p);
+    return Rebuild(std::move(points));
+  }
+  const std::uint32_t leaf = ChooseLeaf(p);
+  const BlockId block = nodes_[leaf].block;
+  InsertIntoBlock(block, p);
+  for (std::uint32_t n = leaf; n != kNoNode; n = parent_[n]) {
+    nodes_[n].box.Extend(p);
+  }
+  if (blocks_[block].count() > options_.leaf_capacity) SplitLeaf(leaf);
+  return Status::Ok();
+}
+
+void RTreeIndex::CondenseLeaf(std::uint32_t leaf) {
+  const BlockId block = nodes_[leaf].block;
+  const PointSet orphans(
+      points_.begin() + static_cast<std::ptrdiff_t>(blocks_[block].begin),
+      points_.begin() + static_cast<std::ptrdiff_t>(blocks_[block].end));
+  std::uint32_t parent = parent_[leaf];
+  RemoveSpan(block);
+  DetachChild(parent, leaf);
+  RemoveBlock(block);
+  while (parent != root_ && nodes_[parent].num_children == 0) {
+    const std::uint32_t up = parent_[parent];
+    DetachChild(up, parent);
+    parent = up;
+  }
+  if (!nodes_[root_].is_leaf() && nodes_[root_].num_children == 0) {
+    // The condensed leaf was the tree's only leaf: every surviving
+    // point is an orphan. Reset and let re-insertion regrow the tree.
+    ResetTreeEmpty();
+    height_ = 0;
+  } else {
+    TightenUpward(parent);
+    while (!nodes_[root_].is_leaf() && nodes_[root_].num_children == 1) {
+      const std::uint32_t child = nodes_[root_].first_child;
+      nodes_[root_].num_children = 0;
+      parent_[root_] = kNoNode;
+      ++dead_nodes_;
+      parent_[child] = kNoNode;
+      root_ = child;
+      --height_;
+    }
+  }
+  for (const Point& p : orphans) {
+    const Status inserted = Insert(p);
+    KNNQ_CHECK_MSG(inserted.ok(), "re-inserting a condensed point failed");
+  }
+}
+
+Status RTreeIndex::Erase(PointId id) {
+  BlockId block;
+  std::size_t pos;
+  if (!FindPoint(id, &block, &pos)) {
+    return Status::NotFound("no indexed point with id " +
+                            std::to_string(id));
+  }
+  const std::uint32_t leaf = block_node_[block];
+  EraseFromBlock(block, pos);
+  if (points_.empty()) {
+    ResetTreeEmpty();
+    height_ = 0;
+    return Status::Ok();
+  }
+  RecomputeLeafBox(block);
+  TightenUpward(leaf);
+  const std::size_t min_fill =
+      std::max<std::size_t>(1, options_.leaf_capacity / 4);
+  if (blocks_[block].count() < min_fill && leaf != root_) {
+    CondenseLeaf(leaf);
+  }
+  if (TooManyDeadNodes()) return Rebuild(std::move(points_));
+  return Status::Ok();
+}
+
+Status RTreeIndex::BulkLoad(PointSet points) {
+  return Rebuild(std::move(points));
 }
 
 std::unique_ptr<BlockScan> RTreeIndex::NewScan(const Point& query,

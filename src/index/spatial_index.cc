@@ -1,0 +1,85 @@
+#include "src/index/spatial_index.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace knnq {
+
+Status ValidateInsertable(const Point& p) {
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    return Status::InvalidArgument("point coordinates must be finite: " +
+                                   p.ToString());
+  }
+  return Status::Ok();
+}
+
+std::size_t SpatialIndex::InsertIntoBlock(BlockId b, const Point& p) {
+  KNNQ_DCHECK(b < blocks_.size());
+  Block& block = blocks_[b];
+  const std::size_t pos = block.end;
+  points_.insert(points_.begin() + static_cast<std::ptrdiff_t>(pos), p);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (i == b) continue;
+    if (blocks_[i].begin >= pos) {
+      ++blocks_[i].begin;
+      ++blocks_[i].end;
+    }
+  }
+  ++block.end;
+  block.box.Extend(p);
+  bounds_.Extend(p);
+  return pos;
+}
+
+void SpatialIndex::EraseFromBlock(BlockId b, std::size_t pos) {
+  KNNQ_DCHECK(b < blocks_.size());
+  Block& block = blocks_[b];
+  KNNQ_DCHECK(pos >= block.begin && pos < block.end);
+  const std::size_t old_end = block.end;
+  points_[pos] = points_[old_end - 1];
+  points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(old_end - 1));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (i == b) continue;
+    if (blocks_[i].begin >= old_end) {
+      --blocks_[i].begin;
+      --blocks_[i].end;
+    }
+  }
+  --block.end;
+}
+
+void SpatialIndex::RemoveSpan(BlockId b) {
+  KNNQ_DCHECK(b < blocks_.size());
+  Block& block = blocks_[b];
+  const std::size_t count = block.end - block.begin;
+  if (count == 0) return;
+  points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(block.begin),
+                points_.begin() + static_cast<std::ptrdiff_t>(block.end));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (i == b) continue;
+    if (blocks_[i].begin >= block.end) {
+      blocks_[i].begin -= count;
+      blocks_[i].end -= count;
+    }
+  }
+  block.end = block.begin;
+}
+
+bool SpatialIndex::FindPoint(PointId id, BlockId* block,
+                             std::size_t* pos) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].id != id) continue;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (i >= blocks_[b].begin && i < blocks_[b].end) {
+        *block = static_cast<BlockId>(b);
+        *pos = i;
+        return true;
+      }
+    }
+    KNNQ_CHECK_MSG(false, "indexed point belongs to no block span");
+  }
+  return false;
+}
+
+}  // namespace knnq

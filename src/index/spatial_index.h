@@ -10,7 +10,11 @@
 //   * enumerable blocks with a bounding region and a point count,
 //   * the points inside a block,
 //   * MINDIST- and MAXDIST-ordered block scans from an arbitrary point,
-//   * Locate: the block that stores a given indexed point.
+//   * Locate: the block that stores a given indexed point,
+// plus a mutation API (Insert / Erase / BulkLoad) maintained
+// incrementally by every structure, so relations can change without a
+// rebuild. Reads stay lock-free: writers are serialized against all
+// readers by the owner (QueryEngine's reader/writer protocol).
 
 #ifndef KNNQ_SRC_INDEX_SPATIAL_INDEX_H_
 #define KNNQ_SRC_INDEX_SPATIAL_INDEX_H_
@@ -22,6 +26,7 @@
 
 #include "src/common/bbox.h"
 #include "src/common/point.h"
+#include "src/common/status.h"
 #include "src/index/block.h"
 
 namespace knnq {
@@ -50,12 +55,18 @@ class BlockScan {
   virtual BlockId Next(double* key_dist) = 0;
 };
 
-/// A read-only spatial index over one relation (point set).
+/// A spatial index over one relation (point set).
 ///
 /// Construction copies the relation and groups points by block into one
-/// contiguous array, so BlockPoints returns a span without indirection.
-/// Instances are immutable after construction and safe to share across
-/// threads for reads; BlockScan objects are single-threaded.
+/// contiguous array, so BlockPoints returns a span without indirection;
+/// incremental mutation preserves that layout (spans shift, they never
+/// fragment), so cold query performance is unchanged by churn.
+///
+/// Concurrency: reads are safe from any number of threads with zero
+/// synchronization as long as no mutation is in flight. Insert / Erase /
+/// BulkLoad are NOT thread-safe and must be serialized against all
+/// readers by the caller — QueryEngine::Mutate does exactly that with a
+/// writer lock. BlockScan objects are single-threaded.
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -99,14 +110,68 @@ class SpatialIndex {
   /// One-line structural description, e.g. "grid 64x48, 3072 blocks".
   virtual std::string Describe() const = 0;
 
+  // --- Mutation API (writer-exclusive; see class comment). ---
+
+  /// Adds `p` to the index, maintaining the structure incrementally
+  /// (cell counts and boxes for the grid, splits for the quadtree,
+  /// choose-leaf + node splits for the R-tree). Structures may fall
+  /// back to a full rebuild when incremental upkeep would degrade them
+  /// (point outside the built extent, occupancy drift, accumulated
+  /// garbage); the object's identity never changes. Fails on non-finite
+  /// coordinates.
+  virtual Status Insert(const Point& p) = 0;
+
+  /// Removes the indexed point with id `id` (the first match when ids
+  /// repeat), merging / condensing underfull regions per structure.
+  /// Returns NotFound when no such point is indexed.
+  virtual Status Erase(PointId id) = 0;
+
+  /// Replaces the whole relation in one shot — the fast path for mass
+  /// updates (KNNQL `LOAD`), equivalent to rebuilding from scratch but
+  /// keeping the index object's identity.
+  virtual Status BulkLoad(PointSet points) = 0;
+
  protected:
   SpatialIndex() = default;
+
+  /// Moves the shared storage out of `other` (BulkLoad implementations
+  /// rebuild into a scratch index, then adopt its state).
+  void AdoptBaseFrom(SpatialIndex& other) {
+    points_ = std::move(other.points_);
+    blocks_ = std::move(other.blocks_);
+    bounds_ = other.bounds_;
+  }
+
+  /// Appends `p` to block `b`'s span, shifting every later span right
+  /// by one, and widens the block box and index bounds to cover `p`.
+  /// Returns the point's position in points_. O(n) in the memmove and
+  /// O(num_blocks) in the span fixup — the price of keeping the
+  /// contiguous read layout hot.
+  std::size_t InsertIntoBlock(BlockId b, const Point& p);
+
+  /// Removes the point at absolute position `pos` of block `b`'s span
+  /// (order within the block is not preserved), shifting later spans
+  /// left. Block boxes are left as (still valid) supersets.
+  void EraseFromBlock(BlockId b, std::size_t pos);
+
+  /// Removes block `b`'s whole span from points_ in one splice; the
+  /// block becomes empty. Used when a structure evicts a region
+  /// wholesale (R-tree condense-and-reinsert).
+  void RemoveSpan(BlockId b);
+
+  /// Finds the first indexed point with id `id`. On success fills
+  /// `*block` / `*pos` (absolute position) and returns true.
+  bool FindPoint(PointId id, BlockId* block, std::size_t* pos) const;
 
   /// Populated by subclasses during construction.
   PointSet points_;
   std::vector<Block> blocks_;
   BoundingBox bounds_;
 };
+
+/// Shared argument validation for Insert implementations: rejects NaN
+/// and infinite coordinates (they would poison every box metric).
+Status ValidateInsertable(const Point& p);
 
 }  // namespace knnq
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/bbox.h"
+#include "src/common/point.h"
 #include "src/lang/token.h"
 
 namespace knnq::knnql {
@@ -78,10 +79,48 @@ using Query = std::variant<SelectQuery, JoinWhereKnnQuery,
                            JoinWhereRangeQuery, JoinThenQuery,
                            JoinIntersectQuery>;
 
-/// One parsed statement: a query, optionally prefixed with EXPLAIN.
+// --- DML statements (mutating relations) ---
+
+/// INSERT INTO relation VALUES (x, y) [, (x, y)]... — ids are assigned
+/// by the engine (the relation's next free id).
+struct InsertStatement {
+  struct Value {
+    double x = 0.0;
+    double y = 0.0;
+    SourcePos pos;
+  };
+  std::string relation;
+  SourcePos relation_pos;
+  std::vector<Value> values;
+};
+
+/// DELETE FROM relation WHERE ID = n. Deleting an absent id affects 0
+/// rows (SQL semantics), it is not an error.
+struct DeleteStatement {
+  std::string relation;
+  SourcePos relation_pos;
+  PointId id = 0;
+  SourcePos id_pos;
+};
+
+/// LOAD relation FROM 'file' — replaces the relation's contents with
+/// the dataset file (creating the relation when it does not exist).
+struct LoadStatement {
+  std::string relation;
+  SourcePos relation_pos;
+  std::string path;
+  SourcePos path_pos;
+};
+
+/// What one statement does: evaluate a query or mutate a relation.
+using StatementBody =
+    std::variant<Query, InsertStatement, DeleteStatement, LoadStatement>;
+
+/// One parsed statement. EXPLAIN applies to queries only (the parser
+/// rejects EXPLAIN on DML).
 struct Statement {
   bool explain = false;
-  Query query;
+  StatementBody body;
   /// Where the statement started, for script-level error reporting.
   SourcePos pos;
 };

@@ -2,6 +2,7 @@
 
 #include <string>
 #include <utility>
+#include <variant>
 
 namespace knnq::knnql {
 
@@ -165,15 +166,61 @@ Result<QuerySpec> Bind(const Query& query, const Catalog* catalog) {
       query);
 }
 
+Result<DmlSpec> BindDml(const StatementBody& body, const Catalog* catalog) {
+  if (const auto* insert = std::get_if<InsertStatement>(&body)) {
+    if (Status s = CheckRelation(catalog, insert->relation,
+                                 insert->relation_pos);
+        !s.ok()) {
+      return s;
+    }
+    DmlSpec spec;
+    spec.kind = DmlSpec::Kind::kInsert;
+    spec.relation = insert->relation;
+    spec.rows.reserve(insert->values.size());
+    for (const InsertStatement::Value& value : insert->values) {
+      spec.rows.push_back(Point{.id = -1, .x = value.x, .y = value.y});
+    }
+    return spec;
+  }
+  if (const auto* del = std::get_if<DeleteStatement>(&body)) {
+    if (Status s =
+            CheckRelation(catalog, del->relation, del->relation_pos);
+        !s.ok()) {
+      return s;
+    }
+    DmlSpec spec;
+    spec.kind = DmlSpec::Kind::kDelete;
+    spec.relation = del->relation;
+    spec.id = del->id;
+    return spec;
+  }
+  // LOAD may create the relation, so no existence check.
+  const auto& load = std::get<LoadStatement>(body);
+  DmlSpec spec;
+  spec.kind = DmlSpec::Kind::kLoad;
+  spec.relation = load.relation;
+  spec.path = load.path;
+  return spec;
+}
+
 Result<std::vector<BoundStatement>> BindScript(const Script& script,
                                                const Catalog* catalog) {
   std::vector<BoundStatement> bound;
   bound.reserve(script.size());
   for (const Statement& statement : script) {
-    auto spec = Bind(statement.query, catalog);
-    if (!spec.ok()) return spec.status();
-    bound.push_back(
-        BoundStatement{statement.explain, std::move(spec.value())});
+    BoundStatement entry;
+    entry.explain = statement.explain;
+    entry.pos = statement.pos;
+    if (const auto* query = std::get_if<Query>(&statement.body)) {
+      auto spec = Bind(*query, catalog);
+      if (!spec.ok()) return spec.status();
+      entry.op = std::move(spec.value());
+    } else {
+      auto spec = BindDml(statement.body, catalog);
+      if (!spec.ok()) return spec.status();
+      entry.op = std::move(spec.value());
+    }
+    bound.push_back(std::move(entry));
   }
   return bound;
 }

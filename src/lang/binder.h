@@ -1,9 +1,11 @@
-// KNNQL semantic binder: AST -> planner QuerySpec.
+// KNNQL semantic binder: AST -> planner QuerySpec (queries) or DmlSpec
+// (INSERT / DELETE / LOAD).
 //
 // Binding checks what the grammar cannot:
 //   * every relation name resolves in the Catalog (skipped when no
 //     catalog is given — the unparser round-trip tests bind shapes
-//     whose relations exist nowhere);
+//     whose relations exist nowhere; LOAD is exempt: it may create the
+//     relation);
 //   * SELECT ... INTERSECT ... names the same relation twice (the
 //     two-selects shape is defined over ONE relation);
 //   * WHERE INNER/OUTER IN KNN(r, ...) names the join input it
@@ -18,8 +20,11 @@
 #ifndef KNNQ_SRC_LANG_BINDER_H_
 #define KNNQ_SRC_LANG_BINDER_H_
 
+#include <string>
+#include <variant>
 #include <vector>
 
+#include "src/common/point.h"
 #include "src/common/status.h"
 #include "src/lang/ast.h"
 #include "src/planner/catalog.h"
@@ -27,15 +32,37 @@
 
 namespace knnq::knnql {
 
-/// A bound statement: the executable spec plus presentation flags.
+/// The bound form of a DML statement: relation checked, values
+/// collected, ready for QueryEngine::Mutate / LoadRelation.
+struct DmlSpec {
+  enum class Kind { kInsert, kDelete, kLoad };
+  Kind kind = Kind::kInsert;
+  std::string relation;
+  /// kInsert: the rows to add, ids all -1 (engine-assigned).
+  std::vector<Point> rows;
+  /// kDelete: the id to remove.
+  PointId id = 0;
+  /// kLoad: the dataset file path.
+  std::string path;
+
+  friend bool operator==(const DmlSpec&, const DmlSpec&) = default;
+};
+
+/// A bound statement: the executable operation plus presentation flags
+/// and the statement's source position.
 struct BoundStatement {
   bool explain = false;
-  QuerySpec spec;
+  std::variant<QuerySpec, DmlSpec> op;
+  SourcePos pos;
 };
 
 /// Binds one parsed query. `catalog` may be null to skip existence
 /// checks (syntax-only binding).
 Result<QuerySpec> Bind(const Query& query, const Catalog* catalog);
+
+/// Binds one parsed DML statement (`body` must hold one of the DML
+/// alternatives). `catalog` may be null to skip existence checks.
+Result<DmlSpec> BindDml(const StatementBody& body, const Catalog* catalog);
 
 /// Binds every statement of a parsed script, failing on the first
 /// semantic error.

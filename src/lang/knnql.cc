@@ -1,6 +1,7 @@
 #include "src/lang/knnql.h"
 
 #include <utility>
+#include <variant>
 
 #include "src/lang/parser.h"
 
@@ -10,7 +11,12 @@ Result<QuerySpec> ParseQuerySpec(std::string_view text,
                                  const Catalog* catalog) {
   auto statement = ParseStatement(text);
   if (!statement.ok()) return statement.status();
-  return Bind(statement->query, catalog);
+  const auto* query = std::get_if<Query>(&statement->body);
+  if (query == nullptr) {
+    return ErrorAt(statement->pos,
+                   "expected a query, got a DML statement");
+  }
+  return Bind(*query, catalog);
 }
 
 Result<std::vector<BoundStatement>> ParseBoundScript(

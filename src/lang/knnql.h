@@ -11,6 +11,12 @@
 //   JOIN KNN(depots, warehouses, 3) THEN KNN(warehouses, customers, 5);
 //   JOIN KNN(depots, warehouses, 3) INTERSECT KNN(sites, warehouses, 5);
 //
+// plus the DML statements that mutate relations in place:
+//
+//   INSERT INTO hotels VALUES (3.5, 4.25), (10, 12);
+//   DELETE FROM hotels WHERE ID = 42;
+//   LOAD hotels FROM 'hotels.csv';
+//
 // These helpers run the full lexer -> parser -> binder pipeline and
 // return planner specs ready for Optimize()/QueryEngine. Lower layers
 // (lexer.h, parser.h, binder.h, unparser.h) stay available for tools

@@ -35,6 +35,13 @@ TokenKind KeywordOrIdentifier(std::string_view text) {
   if (upper == "OUTER") return TokenKind::kOuter;
   if (upper == "IN") return TokenKind::kIn;
   if (upper == "EXPLAIN") return TokenKind::kExplain;
+  if (upper == "INSERT") return TokenKind::kInsert;
+  if (upper == "INTO") return TokenKind::kInto;
+  if (upper == "VALUES") return TokenKind::kValues;
+  if (upper == "DELETE") return TokenKind::kDelete;
+  if (upper == "FROM") return TokenKind::kFrom;
+  if (upper == "ID") return TokenKind::kId;
+  if (upper == "LOAD") return TokenKind::kLoad;
   return TokenKind::kIdentifier;
 }
 
@@ -92,13 +99,31 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
 
     const SourcePos pos = cursor.pos();
     // Punctuation.
-    if (c == '(' || c == ')' || c == ',' || c == ';') {
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '=') {
       TokenKind kind = TokenKind::kComma;
       if (c == '(') kind = TokenKind::kLeftParen;
       if (c == ')') kind = TokenKind::kRightParen;
       if (c == ';') kind = TokenKind::kSemicolon;
+      if (c == '=') kind = TokenKind::kEquals;
       tokens.push_back(Token{kind, std::string(1, c), pos});
       cursor.Advance();
+      continue;
+    }
+    // 'string' literal (LOAD paths). No escapes; a newline before the
+    // closing quote means the literal was never closed.
+    if (c == '\'') {
+      cursor.Advance();
+      const std::size_t start = cursor.offset();
+      while (!cursor.AtEnd() && cursor.Peek() != '\'' &&
+             cursor.Peek() != '\n') {
+        cursor.Advance();
+      }
+      if (cursor.Peek() != '\'') {
+        return ErrorAt(pos, "unterminated string literal");
+      }
+      tokens.push_back(Token{TokenKind::kString,
+                             std::string(cursor.Slice(start)), pos});
+      cursor.Advance();  // Closing quote.
       continue;
     }
     // Keyword or identifier.

@@ -5,6 +5,8 @@
 // case-sensitive; "--" starts a comment running to end of line (SQL
 // style). Numbers accept everything ParseDouble (src/common/text_parse.h)
 // accepts — the lexer and the CLI flag parser agree on what a number is.
+// Single-quoted strings ('file.csv', no escapes, single line) carry the
+// LOAD statement's path operand.
 
 #ifndef KNNQ_SRC_LANG_LEXER_H_
 #define KNNQ_SRC_LANG_LEXER_H_

@@ -1,6 +1,9 @@
 #include "src/lang/parser.h"
 
+#include <charconv>
 #include <string>
+#include <string_view>
+#include <system_error>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -61,18 +64,35 @@ class Parser {
     while (Peek().kind == TokenKind::kSemicolon) Take();
   }
 
+  static bool StartsDml(TokenKind kind) {
+    return kind == TokenKind::kInsert || kind == TokenKind::kDelete ||
+           kind == TokenKind::kLoad;
+  }
+
   Result<Statement> ParseOneStatement() {
     Statement statement;
     statement.pos = Peek().pos;
     if (Peek().kind == TokenKind::kExplain) {
       Take();
       statement.explain = true;
+      if (StartsDml(Peek().kind)) {
+        return ErrorAt(Peek().pos,
+                       "EXPLAIN applies to queries; " + Peek().text +
+                           " statements have no plan");
+      }
     }
-    auto query = ParseQuery();
-    if (!query.ok()) return query.status();
-    statement.query = std::move(query.value());
-    // ';' terminates; end of input is accepted after a complete query
-    // so that one-shot "-e" strings need no trailing semicolon.
+    if (StartsDml(Peek().kind)) {
+      auto dml = ParseDml();
+      if (!dml.ok()) return dml.status();
+      statement.body = std::move(dml.value());
+    } else {
+      auto query = ParseQuery();
+      if (!query.ok()) return query.status();
+      statement.body = std::move(query.value());
+    }
+    // ';' terminates; end of input is accepted after a complete
+    // statement so that one-shot "-e" strings need no trailing
+    // semicolon.
     if (Peek().kind != TokenKind::kSemicolon &&
         Peek().kind != TokenKind::kEof) {
       return Expected(Peek(), "';'");
@@ -83,7 +103,84 @@ class Parser {
   Result<Query> ParseQuery() {
     if (Peek().kind == TokenKind::kSelect) return ParseSelectQuery();
     if (Peek().kind == TokenKind::kJoin) return ParseJoinQuery();
-    return Expected(Peek(), "SELECT or JOIN");
+    return Expected(Peek(), "SELECT, JOIN, INSERT, DELETE or LOAD");
+  }
+
+  Result<StatementBody> ParseDml() {
+    switch (Peek().kind) {
+      case TokenKind::kInsert:
+        return ParseInsert();
+      case TokenKind::kDelete:
+        return ParseDelete();
+      default:
+        return ParseLoad();
+    }
+  }
+
+  /// INSERT INTO identifier VALUES ( x , y ) { , ( x , y ) }
+  Result<StatementBody> ParseInsert() {
+    Take();  // INSERT
+    if (auto t = Eat(TokenKind::kInto); !t.ok()) return t.status();
+    auto name = Eat(TokenKind::kIdentifier);
+    if (!name.ok()) return name.status();
+    InsertStatement insert;
+    insert.relation = name->text;
+    insert.relation_pos = name->pos;
+    if (auto t = Eat(TokenKind::kValues); !t.ok()) return t.status();
+    while (true) {
+      InsertStatement::Value value;
+      value.pos = Peek().pos;
+      if (auto t = Eat(TokenKind::kLeftParen); !t.ok()) return t.status();
+      auto x = ParseNumber();
+      if (!x.ok()) return x.status();
+      value.x = *x;
+      if (auto t = Eat(TokenKind::kComma); !t.ok()) return t.status();
+      auto y = ParseNumber();
+      if (!y.ok()) return y.status();
+      value.y = *y;
+      if (auto t = Eat(TokenKind::kRightParen); !t.ok()) return t.status();
+      insert.values.push_back(value);
+      if (Peek().kind != TokenKind::kComma) break;
+      Take();
+    }
+    return StatementBody(std::move(insert));
+  }
+
+  /// DELETE FROM identifier WHERE ID = integer
+  Result<StatementBody> ParseDelete() {
+    Take();  // DELETE
+    if (auto t = Eat(TokenKind::kFrom); !t.ok()) return t.status();
+    auto name = Eat(TokenKind::kIdentifier);
+    if (!name.ok()) return name.status();
+    DeleteStatement del;
+    del.relation = name->text;
+    del.relation_pos = name->pos;
+    if (auto t = Eat(TokenKind::kWhere); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kId); !t.ok()) return t.status();
+    if (auto t = Eat(TokenKind::kEquals); !t.ok()) return t.status();
+    auto id = ParsePointId();
+    if (!id.ok()) return id.status();
+    std::tie(del.id, del.id_pos) = *id;
+    return StatementBody(std::move(del));
+  }
+
+  /// LOAD identifier FROM string
+  Result<StatementBody> ParseLoad() {
+    Take();  // LOAD
+    auto name = Eat(TokenKind::kIdentifier);
+    if (!name.ok()) return name.status();
+    LoadStatement load;
+    load.relation = name->text;
+    load.relation_pos = name->pos;
+    if (auto t = Eat(TokenKind::kFrom); !t.ok()) return t.status();
+    auto path = Eat(TokenKind::kString);
+    if (!path.ok()) return path.status();
+    load.path = path->text;
+    load.path_pos = path->pos;
+    if (load.path.empty()) {
+      return ErrorAt(path->pos, "LOAD needs a non-empty file path");
+    }
+    return StatementBody(std::move(load));
   }
 
   Result<Query> ParseSelectQuery() {
@@ -227,6 +324,23 @@ class Parser {
       return ErrorAt(pos, "RANGE corners must be min,max order");
     }
     return BoundingBox(corner[0], corner[1], corner[2], corner[3]);
+  }
+
+  /// A point id operand: any integer literal (ids are signed).
+  Result<std::pair<PointId, SourcePos>> ParsePointId() {
+    auto token = Eat(TokenKind::kNumber);
+    if (!token.ok()) return token.status();
+    std::string_view text = token->text;
+    if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+    PointId value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return ErrorAt(token->pos,
+                     "a point id must be an integer, got " +
+                         token->Describe());
+    }
+    return std::make_pair(value, token->pos);
   }
 
   /// A k operand: a positive integer literal.

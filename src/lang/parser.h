@@ -3,7 +3,7 @@
 // Grammar (see README "KNNQL" for the full EBNF):
 //
 //   script     = { statement } ;
-//   statement  = [ "EXPLAIN" ] query ( ";" | end-of-input ) ;
+//   statement  = ( [ "EXPLAIN" ] query | dml ) ( ";" | end-of-input ) ;
 //   query      = "SELECT" knn-select "INTERSECT" knn-select
 //              | "JOIN" knn-join join-tail ;
 //   join-tail  = "WHERE" "INNER" "IN" ( knn-select | range )
@@ -14,10 +14,15 @@
 //                "AT" "(" number "," number ")" ")" ;
 //   knn-join   = "KNN" "(" identifier "," identifier "," integer ")" ;
 //   range      = "RANGE" "(" number "," number "," number "," number ")" ;
+//   dml        = "INSERT" "INTO" identifier "VALUES" value { "," value }
+//              | "DELETE" "FROM" identifier "WHERE" "ID" "=" integer
+//              | "LOAD" identifier "FROM" string ;
+//   value      = "(" number "," number ")" ;
 //
 // A bare "JOIN knn-join" (no tail) is rejected with a diagnostic: every
 // paper query has two predicates, and the single-join form is what the
-// base `knn` CLI command covers.
+// base `knn` CLI command covers. EXPLAIN on a DML statement is rejected
+// (there is no plan to show).
 //
 // All diagnostics are positioned ("line:col: expected ..."). Errors
 // caused by the input *ending* mid-statement carry StatusCode::

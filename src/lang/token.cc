@@ -36,10 +36,26 @@ const char* ToString(TokenKind kind) {
       return "IN";
     case TokenKind::kExplain:
       return "EXPLAIN";
+    case TokenKind::kInsert:
+      return "INSERT";
+    case TokenKind::kInto:
+      return "INTO";
+    case TokenKind::kValues:
+      return "VALUES";
+    case TokenKind::kDelete:
+      return "DELETE";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kId:
+      return "ID";
+    case TokenKind::kLoad:
+      return "LOAD";
     case TokenKind::kIdentifier:
       return "a relation name";
     case TokenKind::kNumber:
       return "a number";
+    case TokenKind::kString:
+      return "a 'quoted' string";
     case TokenKind::kLeftParen:
       return "'('";
     case TokenKind::kRightParen:
@@ -48,6 +64,8 @@ const char* ToString(TokenKind kind) {
       return "','";
     case TokenKind::kSemicolon:
       return "';'";
+    case TokenKind::kEquals:
+      return "'='";
     case TokenKind::kEof:
       return "end of input";
   }

@@ -37,14 +37,26 @@ enum class TokenKind {
   kOuter,
   kIn,
   kExplain,
+  // DML keywords.
+  kInsert,
+  kInto,
+  kValues,
+  kDelete,
+  kFrom,
+  kId,
+  kLoad,
   // Literals and names.
   kIdentifier,
   kNumber,
+  /// A single-quoted string ('path.csv'); text holds the content
+  /// without the quotes.
+  kString,
   // Punctuation.
   kLeftParen,
   kRightParen,
   kComma,
   kSemicolon,
+  kEquals,
   // End of input.
   kEof,
 };

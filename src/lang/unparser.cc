@@ -68,4 +68,24 @@ std::string Unparse(const QuerySpec& spec) {
       [](const auto& concrete) { return Unparse(concrete); }, spec);
 }
 
+std::string Unparse(const DmlSpec& spec) {
+  switch (spec.kind) {
+    case DmlSpec::Kind::kInsert: {
+      std::string out = "INSERT INTO " + spec.relation + " VALUES ";
+      for (std::size_t i = 0; i < spec.rows.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "(" + FormatNumber(spec.rows[i].x) + ", " +
+               FormatNumber(spec.rows[i].y) + ")";
+      }
+      return out + ";";
+    }
+    case DmlSpec::Kind::kDelete:
+      return "DELETE FROM " + spec.relation +
+             " WHERE ID = " + std::to_string(spec.id) + ";";
+    case DmlSpec::Kind::kLoad:
+      return "LOAD " + spec.relation + " FROM '" + spec.path + "';";
+  }
+  return ";";
+}
+
 }  // namespace knnq::knnql

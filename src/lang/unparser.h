@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "src/lang/binder.h"
 #include "src/planner/query_spec.h"
 
 namespace knnq::knnql {
@@ -33,6 +34,11 @@ std::string Unparse(const RangeInnerJoinSpec& spec);
 
 /// Canonical text of any spec, with the trailing ';'.
 std::string Unparse(const QuerySpec& spec);
+
+/// Canonical text of a DML statement ("INSERT INTO r VALUES (1, 2);",
+/// "DELETE FROM r WHERE ID = 7;", "LOAD r FROM 'file.csv';"); the same
+/// round-trip guarantee as queries: BindDml(Parse(Unparse(dml))) == dml.
+std::string Unparse(const DmlSpec& spec);
 
 }  // namespace knnq::knnql
 

@@ -147,7 +147,7 @@ TEST(KnnqlParseTest, ExplainPrefixSetsTheStatementFlag) {
   ASSERT_EQ(script->size(), 2u);
   EXPECT_TRUE((*script)[0].explain);
   EXPECT_FALSE((*script)[1].explain);
-  EXPECT_EQ((*script)[0].spec, (*script)[1].spec);
+  EXPECT_EQ((*script)[0].op, (*script)[1].op);
 }
 
 TEST(KnnqlParseTest, ScientificNotationAndSignedNumbers) {
@@ -159,6 +159,78 @@ TEST(KnnqlParseTest, ScientificNotationAndSignedNumbers) {
   EXPECT_DOUBLE_EQ(two.s1.focal.y, -0.0225);
   EXPECT_DOUBLE_EQ(two.s2.focal.x, 4.0);
   EXPECT_DOUBLE_EQ(two.s2.focal.y, 0.5);
+}
+
+// ------------------------------------------------------------- DML
+
+/// Parses one DML statement without a catalog (syntax + shape only).
+knnql::DmlSpec MustParseDml(const std::string& text) {
+  auto statement = knnql::ParseStatement(text);
+  EXPECT_TRUE(statement.ok())
+      << statement.status().ToString() << "\n  in: " << text;
+  if (!statement.ok()) return {};
+  auto spec = knnql::BindDml(statement->body, nullptr);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString() << "\n  in: " << text;
+  return spec.ok() ? *spec : knnql::DmlSpec{};
+}
+
+TEST(KnnqlDmlParseTest, InsertDeleteLoad) {
+  const knnql::DmlSpec insert =
+      MustParseDml("INSERT INTO city VALUES (1.5, -2), (3, 4);");
+  EXPECT_EQ(insert.kind, knnql::DmlSpec::Kind::kInsert);
+  EXPECT_EQ(insert.relation, "city");
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0], (Point{-1, 1.5, -2}));
+  EXPECT_EQ(insert.rows[1], (Point{-1, 3, 4}));
+
+  const knnql::DmlSpec del =
+      MustParseDml("delete from city where id = -42;");
+  EXPECT_EQ(del.kind, knnql::DmlSpec::Kind::kDelete);
+  EXPECT_EQ(del.relation, "city");
+  EXPECT_EQ(del.id, -42);
+
+  const knnql::DmlSpec load =
+      MustParseDml("LOAD city FROM 'data/points v2.csv';");
+  EXPECT_EQ(load.kind, knnql::DmlSpec::Kind::kLoad);
+  EXPECT_EQ(load.relation, "city");
+  EXPECT_EQ(load.path, "data/points v2.csv");
+}
+
+TEST(KnnqlDmlParseTest, DmlBindsAgainstCatalog) {
+  const Catalog catalog = MakeLangCatalog();
+  auto statement =
+      knnql::ParseStatement("INSERT INTO ghost VALUES (1, 2);");
+  ASSERT_TRUE(statement.ok());
+  auto bad = knnql::BindDml(statement->body, &catalog);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message().rfind("1:13: unknown relation", 0), 0u)
+      << bad.status().message();
+
+  // LOAD may create its relation: no existence check.
+  auto load = knnql::ParseStatement("LOAD ghost FROM 'x.csv';");
+  ASSERT_TRUE(load.ok());
+  EXPECT_TRUE(knnql::BindDml(load->body, &catalog).ok());
+}
+
+TEST(KnnqlDmlUnparseTest, CanonicalTextRoundTrips) {
+  knnql::DmlSpec insert;
+  insert.kind = knnql::DmlSpec::Kind::kInsert;
+  insert.relation = "city";
+  insert.rows = {Point{-1, 1.5, -2}, Point{-1, 3, 4}};
+  EXPECT_EQ(knnql::Unparse(insert),
+            "INSERT INTO city VALUES (1.5, -2), (3, 4);");
+
+  knnql::DmlSpec del;
+  del.kind = knnql::DmlSpec::Kind::kDelete;
+  del.relation = "city";
+  del.id = 7;
+  EXPECT_EQ(knnql::Unparse(del), "DELETE FROM city WHERE ID = 7;");
+
+  knnql::DmlSpec load;
+  load.kind = knnql::DmlSpec::Kind::kLoad;
+  load.relation = "city";
+  load.path = "p.bin";
+  EXPECT_EQ(knnql::Unparse(load), "LOAD city FROM 'p.bin';");
 }
 
 // ----------------------------------------------------- diagnostics
@@ -180,7 +252,8 @@ TEST(KnnqlDiagnosticsTest, BadToken) {
   ExpectErrorAt("SELECT KNN(h, 5, AT(1, 2)) ? KNN(h, 5, AT(1, 2));",
                 "1:28", "unexpected character '?'");
   ExpectErrorAt("SELEC KNN(h, 5, AT(1, 2));", "1:1",
-                "expected SELECT or JOIN, got 'SELEC'");
+                "expected SELECT, JOIN, INSERT, DELETE or LOAD, got "
+                "'SELEC'");
   ExpectErrorAt("SELECT KNN[h, 5, AT(1, 2));", "1:11",
                 "unexpected character '['");
   ExpectErrorAt("SELECT KNN(h 5, AT(1, 2));", "1:14", "expected ','");
@@ -254,10 +327,39 @@ TEST(KnnqlDiagnosticsTest, ShapeConstraintViolations) {
   ExpectErrorAt("JOIN KNN(a, b, 3);", "1:18", "second predicate");
 }
 
+TEST(KnnqlDiagnosticsTest, MalformedDmlReportsPositions) {
+  // INSERT
+  ExpectErrorAt("INSERT city VALUES (1, 2);", "1:8", "expected INTO");
+  ExpectErrorAt("INSERT INTO city (1, 2);", "1:18", "expected VALUES");
+  ExpectErrorAt("INSERT INTO city VALUES (1 2);", "1:28", "expected ','");
+  ExpectErrorAt("INSERT INTO city VALUES (1, 2x);", "1:29",
+                "malformed number '2x'");
+  ExpectErrorAt("INSERT INTO SELECT VALUES (1, 2);", "1:13",
+                "expected a relation name");
+  // DELETE
+  ExpectErrorAt("DELETE FROM city WHERE ID = 2.5;", "1:29",
+                "a point id must be an integer");
+  ExpectErrorAt("DELETE FROM city WHERE OUTER = 1;", "1:24",
+                "expected ID");
+  ExpectErrorAt("DELETE city WHERE ID = 1;", "1:8", "expected FROM");
+  // LOAD
+  ExpectErrorAt("LOAD city FROM points;", "1:16",
+                "expected a 'quoted' string");
+  ExpectErrorAt("LOAD city FROM 'points.csv;", "1:16",
+                "unterminated string literal");
+  ExpectErrorAt("LOAD city FROM '';", "1:16", "non-empty file path");
+  // EXPLAIN has no plan to show for DML.
+  ExpectErrorAt("EXPLAIN INSERT INTO city VALUES (1, 2);", "1:9",
+                "EXPLAIN applies to queries");
+  ExpectErrorAt("EXPLAIN DELETE FROM city WHERE ID = 1;", "1:9",
+                "EXPLAIN applies to queries");
+}
+
 TEST(KnnqlDiagnosticsTest, IncompleteInputIsDistinguishable) {
   for (const std::string text :
        {"SELECT KNN(h, 5,", "SELECT KNN(h, 5, AT(1, 2)) INTERSECT",
-        "JOIN KNN(a, b, 3) WHERE", "EXPLAIN"}) {
+        "JOIN KNN(a, b, 3) WHERE", "EXPLAIN", "INSERT INTO h VALUES",
+        "DELETE FROM h WHERE ID =", "LOAD h FROM"}) {
     auto spec = knnql::ParseQuerySpec(text);
     ASSERT_FALSE(spec.ok()) << text;
     EXPECT_TRUE(knnql::IsIncompleteInput(spec.status())) << text;
@@ -364,6 +466,32 @@ class SpecGenerator {
     }
   }
 
+  knnql::DmlSpec Dml(int shape) {
+    knnql::DmlSpec spec;
+    spec.relation = Name();
+    switch (shape) {
+      case 0: {
+        spec.kind = knnql::DmlSpec::Kind::kInsert;
+        const std::size_t rows = 1 + rng_.NextIndex(4);
+        for (std::size_t i = 0; i < rows; ++i) {
+          spec.rows.push_back(Point{.id = -1, .x = Coord(), .y = Coord()});
+        }
+        return spec;
+      }
+      case 1:
+        spec.kind = knnql::DmlSpec::Kind::kDelete;
+        spec.id = rng_.UniformInt(-1000000, 1000000);
+        return spec;
+      default: {
+        spec.kind = knnql::DmlSpec::Kind::kLoad;
+        static const char* kPaths[] = {"points.csv", "data/p.bin",
+                                       "a b/c-d_e.csv", "/tmp/x.bin"};
+        spec.path = kPaths[rng_.NextIndex(4)];
+        return spec;
+      }
+    }
+  }
+
  private:
   Rng rng_;
 };
@@ -384,13 +512,31 @@ TEST(KnnqlRoundTripTest, ParseOfUnparseIsIdentityOnRandomSpecs) {
   }
 }
 
+TEST(KnnqlRoundTripTest, ParseOfUnparseIsIdentityOnRandomDml) {
+  SpecGenerator gen(42);
+  for (int shape = 0; shape < 3; ++shape) {
+    for (int i = 0; i < 80; ++i) {
+      const knnql::DmlSpec spec = gen.Dml(shape);
+      const std::string text = knnql::Unparse(spec);
+      auto statement = knnql::ParseStatement(text);
+      ASSERT_TRUE(statement.ok())
+          << statement.status().ToString() << "\n  in: " << text;
+      auto reparsed = knnql::BindDml(statement->body, nullptr);
+      ASSERT_TRUE(reparsed.ok())
+          << reparsed.status().ToString() << "\n  in: " << text;
+      EXPECT_EQ(*reparsed, spec) << "round trip changed: " << text;
+      EXPECT_EQ(knnql::Unparse(*reparsed), text);
+    }
+  }
+}
+
 // --------------------------------------- engine-path equivalence
 
 /// The acceptance criterion: a query written in KNNQL and executed via
 /// the text path returns results identical to the equivalent
 /// programmatic QuerySpec, for every shape.
 TEST(KnnqlEngineTest, TextAndProgrammaticPathsAgreeOnAllShapes) {
-  const QueryEngine engine(MakeLangCatalog());
+  QueryEngine engine(MakeLangCatalog());
   const std::vector<QuerySpec> specs = {
       TwoSelectsSpec{
           .relation = "city",

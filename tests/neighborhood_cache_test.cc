@@ -185,6 +185,44 @@ TEST(NeighborhoodCacheTest, GenerationChangeInvalidates) {
   EXPECT_EQ(cache.size_bytes(), 0u);
 }
 
+TEST(NeighborhoodCacheTest, PerRelationInvalidationDropsOnlyThatRelation) {
+  const PointSet points_a = MakeUniform(200, 42);
+  const PointSet points_b = MakeUniform(200, 43);
+  const auto index_a = MakeIndex(points_a);
+  const auto index_b = MakeIndex(points_b);
+  NeighborhoodCache cache;
+  CachingKnnSearcher searcher_a(*index_a, &cache);
+  CachingKnnSearcher searcher_b(*index_b, &cache);
+  const Point q{.id = -1, .x = 500, .y = 400};
+  for (std::size_t k = 1; k <= 4; ++k) {
+    (void)searcher_a.GetKnn(q, k);
+    (void)searcher_b.GetKnn(q, k);
+  }
+  ASSERT_EQ(cache.GetStats().entries, 8u);
+
+  // Dropping a's entries leaves b's untouched and accounted.
+  cache.InvalidateRelation(index_a.get());
+  NeighborhoodCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.invalidated, 4u);
+  EXPECT_EQ(stats.bytes, cache.size_bytes());
+  (void)searcher_b.GetKnn(q, 1);
+  EXPECT_EQ(searcher_b.stats().cache_hits, 1u);
+  (void)searcher_a.GetKnn(q, 1);
+  EXPECT_EQ(searcher_a.stats().cache_hits, 0u);
+
+  // The generation-keyed hook: first observation drops (untracked
+  // entries may predate it), same generation is a no-op, a new
+  // generation drops again.
+  cache.InvalidateIfGenerationChanged(index_b.get(), 7);
+  EXPECT_EQ(cache.GetStats().entries, 1u);  // Only a's re-probe lives.
+  (void)searcher_b.GetKnn(q, 2);
+  cache.InvalidateIfGenerationChanged(index_b.get(), 7);
+  EXPECT_EQ(cache.GetStats().entries, 2u);  // No-op: entry survived.
+  cache.InvalidateIfGenerationChanged(index_b.get(), 8);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
 // --- Engine-level equivalence: the acceptance bar of this subsystem ---
 
 Catalog MakeCatalog(IndexType type) {

@@ -9,11 +9,14 @@ row ("serial/uniform/uncached"), which cancels the host's speed; the
 gate fails when a row's normalized throughput drops more than
 --threshold (default 25%) below the baseline's normalized value.
 
-Two absolute invariants from the cache's acceptance criteria are also
-enforced, because they are machine-independent ratios measured within
-one run:
-  * skewed_speedup_t1 >= 1.3  (cached skewed batch beats uncached)
-  * skewed_hit_rate   >= 0.5  (the skew actually hits the cache)
+Three absolute invariants from the cache's and the mutation path's
+acceptance criteria are also enforced, because they are
+machine-independent ratios measured within one run:
+  * skewed_speedup_t1   >= 1.3  (cached skewed batch beats uncached)
+  * skewed_hit_rate     >= 0.5  (the skew actually hits the cache)
+  * churn_read_ratio_t4 >= 0.5  (interleaving updates keeps at least
+    half the read-only throughput; enforced when the current run
+    includes the churn benchmarks)
 
 Exit code 0 = pass, 1 = regression or malformed input.
 """
@@ -25,6 +28,7 @@ import sys
 SERIAL_REF = "serial/uniform/uncached"
 MIN_SKEWED_SPEEDUP = 1.3
 MIN_SKEWED_HIT_RATE = 0.5
+MIN_CHURN_READ_RATIO = 0.5
 
 
 def load(path):
@@ -38,8 +42,13 @@ def normalized_qps(doc, path):
     if ref is None or ref.get("qps", 0) <= 0:
         sys.exit(f"{path}: missing or zero serial reference row "
                  f"'{SERIAL_REF}'")
+    # churn/* rows are excluded from the row-by-row comparison: their
+    # wall time mixes query and mutation work and is noisy run to run;
+    # the dedicated churn_read_ratio_t4 floor below gates them with a
+    # within-run (machine-independent) ratio instead.
     return {name: b["qps"] / ref["qps"] for name, b in rows.items()
-            if name != SERIAL_REF and b.get("qps", 0) > 0}
+            if name != SERIAL_REF and b.get("qps", 0) > 0
+            and not name.startswith("churn/")}
 
 
 def main():
@@ -87,6 +96,23 @@ def main():
     if hit_rate < MIN_SKEWED_HIT_RATE:
         failures.append(f"skewed_hit_rate {hit_rate:.2%} is below the "
                         f"{MIN_SKEWED_HIT_RATE:.0%} floor")
+
+    churn_ratio = summary.get("churn_read_ratio_t4", 0.0)
+    if churn_ratio > 0.0:
+        print(f"churn_read_ratio_t4={churn_ratio:.2f}x "
+              f"(floor {MIN_CHURN_READ_RATIO}x, update:query "
+              f"{summary.get('churn_updates_per_queries', '?')})")
+        if churn_ratio < MIN_CHURN_READ_RATIO:
+            failures.append(
+                f"churn_read_ratio_t4 {churn_ratio:.2f}x is below the "
+                f"{MIN_CHURN_READ_RATIO}x floor")
+    else:
+        # A filtered run skipped the churn benchmarks; only flag that
+        # when the baseline promises them.
+        if "churn_read_ratio_t4" in baseline.get("summary", {}) and \
+                baseline["summary"]["churn_read_ratio_t4"] > 0.0:
+            failures.append("current run is missing the churn "
+                            "benchmarks the baseline includes")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -23,7 +23,9 @@
 // README "KNNQL"), from -e, a script file, or an interactive REPL when
 // neither is given. An EXPLAIN prefix plans a statement without
 // executing it; --json emits one JSON object per statement for
-// scripted consumers.
+// scripted consumers. DML statements (INSERT INTO / DELETE FROM /
+// LOAD ... FROM 'file') mutate relations in place and may interleave
+// with queries in the same script or session.
 //
 // Every query command accepts --cache-mb M to give the engine an M-MiB
 // cross-query neighborhood cache (0, the default, disables it).
@@ -41,6 +43,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "src/common/stopwatch.h"
@@ -160,10 +163,6 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-Result<PointSet> LoadDataset(const std::string& path) {
-  return EndsWith(path, ".bin") ? LoadBinary(path) : LoadCsv(path);
-}
-
 Result<IndexType> ParseIndexType(const std::string& name) {
   if (name == "grid") return IndexType::kGrid;
   if (name == "quadtree") return IndexType::kQuadtree;
@@ -223,7 +222,7 @@ int CmdGenerate(const Args& args) {
 int CmdInfo(const Args& args) {
   auto path = args.Get("--data");
   if (!path.ok()) return Fail(path.status());
-  auto points = LoadDataset(*path);
+  auto points = LoadPoints(*path);
   if (!points.ok()) return Fail(points.status());
   auto type = ParseIndexType(args.GetOr("--index", "grid"));
   if (!type.ok()) return Fail(type.status());
@@ -256,7 +255,7 @@ int CmdKnn(const Args& args) {
   auto type = ParseIndexType(args.GetOr("--index", "grid"));
   if (!type.ok()) return Fail(type.status());
 
-  auto points = LoadDataset(*path);
+  auto points = LoadPoints(*path);
   if (!points.ok()) return Fail(points.status());
   IndexOptions options;
   options.type = *type;
@@ -388,14 +387,85 @@ void PrintHumanResult(const EngineResult& run) {
       run.output);
 }
 
-/// Executes one bound statement and prints it in the requested format.
-/// Returns 0 on success (including a successfully printed EXPLAIN).
-int ExecuteStatement(const QueryEngine& engine,
-                     const knnql::BoundStatement& statement, bool json) {
-  const std::string text = knnql::Unparse(statement.spec);
+/// A statement-level failure (bind, plan or execution): in JSON mode it
+/// must still land on stdout as a JSON record.
+int FailStatement(const Status& status, bool json) {
+  if (json) {
+    std::printf("{\"status\": \"error\", \"error\": \"%s\"}\n",
+                JsonEscape(status.ToString()).c_str());
+    return 1;
+  }
+  return Fail(status);
+}
+
+/// Executes one DML statement (INSERT / DELETE / LOAD) and prints the
+/// outcome in the requested format.
+int ExecuteDml(QueryEngine& engine, const knnql::DmlSpec& dml, bool json) {
+  const std::string text = knnql::Unparse(dml);
+  EngineResult run;
+  switch (dml.kind) {
+    case knnql::DmlSpec::Kind::kInsert: {
+      std::vector<MutationOp> ops;
+      ops.reserve(dml.rows.size());
+      for (const Point& row : dml.rows) {
+        ops.push_back(MutationOp::Insert(row.x, row.y));
+      }
+      run = engine.Mutate(dml.relation, ops);
+      break;
+    }
+    case knnql::DmlSpec::Kind::kDelete:
+      run = engine.Mutate(dml.relation, {MutationOp::Erase(dml.id)});
+      break;
+    case knnql::DmlSpec::Kind::kLoad: {
+      auto points = LoadPoints(dml.path);
+      if (!points.ok()) {
+        run.status = points.status();
+        break;
+      }
+      run = engine.LoadRelation(dml.relation, std::move(points.value()));
+      break;
+    }
+  }
+  if (!run.ok()) {
+    if (json) {
+      std::printf("{\"statement\": \"%s\", \"status\": \"error\", "
+                  "\"error\": \"%s\"}\n",
+                  JsonEscape(text).c_str(),
+                  JsonEscape(run.status.ToString()).c_str());
+      return 1;
+    }
+    return Fail(run.status);
+  }
+  if (json) {
+    std::printf("{\"statement\": \"%s\", \"status\": \"ok\", "
+                "\"rows_affected\": %zu}\n",
+                JsonEscape(text).c_str(), run.rows_affected);
+  } else {
+    std::printf("%s", run.explain.c_str());
+  }
+  return 0;
+}
+
+/// Executes one parsed statement — binding it against the engine's
+/// CURRENT catalog, so a LOAD can create relations that later
+/// statements of the same script use — and prints it in the requested
+/// format. Returns 0 on success (including a printed EXPLAIN).
+int ExecuteStatement(QueryEngine& engine,
+                     const knnql::Statement& statement, bool json) {
+  const auto* query = std::get_if<knnql::Query>(&statement.body);
+  if (query == nullptr) {
+    auto dml = knnql::BindDml(statement.body, &engine.catalog());
+    if (!dml.ok()) return FailStatement(dml.status(), json);
+    return ExecuteDml(engine, *dml, json);
+  }
+  auto bound = knnql::Bind(*query, &engine.catalog());
+  if (!bound.ok()) return FailStatement(bound.status(), json);
+  const QuerySpec& spec = *bound;
+
+  const std::string text = knnql::Unparse(spec);
   if (statement.explain) {
     const auto plan =
-        Optimize(engine.catalog(), statement.spec, engine.options().planner);
+        Optimize(engine.catalog(), spec, engine.options().planner);
     if (!plan.ok()) {
       if (json) {
         std::printf("{\"query\": \"%s\", \"status\": \"error\", "
@@ -417,7 +487,7 @@ int ExecuteStatement(const QueryEngine& engine,
     return 0;
   }
 
-  const EngineResult run = engine.Run(statement.spec);
+  const EngineResult run = engine.Run(spec);
   if (!run.ok()) {
     if (json) {
       std::printf("{\"query\": \"%s\", \"status\": \"error\", "
@@ -451,11 +521,10 @@ int FailScript(const Status& status, bool json) {
   return Fail(status);
 }
 
-int ExecuteStatements(
-    const QueryEngine& engine,
-    const std::vector<knnql::BoundStatement>& statements, bool json) {
+int ExecuteStatements(QueryEngine& engine, const knnql::Script& script,
+                      bool json) {
   int rc = 0;
-  for (const knnql::BoundStatement& statement : statements) {
+  for (const knnql::Statement& statement : script) {
     if (ExecuteStatement(engine, statement, json) != 0) rc = 1;
   }
   return rc;
@@ -463,12 +532,12 @@ int ExecuteStatements(
 
 /// Parses and executes `text` (possibly several statements). Returns
 /// nonzero when anything — parse, bind, plan, execution — failed.
-int RunKnnqlText(const QueryEngine& engine, const std::string& text,
-                 bool json) {
-  const auto statements =
-      knnql::ParseBoundScript(text, &engine.catalog());
-  if (!statements.ok()) return FailScript(statements.status(), json);
-  return ExecuteStatements(engine, *statements, json);
+/// Statements bind one at a time, so DML earlier in the text is
+/// visible to the queries after it.
+int RunKnnqlText(QueryEngine& engine, const std::string& text, bool json) {
+  const auto script = knnql::ParseScript(text);
+  if (!script.ok()) return FailScript(script.status(), json);
+  return ExecuteStatements(engine, *script, json);
 }
 
 /// Interactive loop: statements accumulate across lines until they are
@@ -476,11 +545,12 @@ int RunKnnqlText(const QueryEngine& engine, const std::string& text,
 /// without executing. Exits on end-of-input or "quit"/"exit". When
 /// stdin is not a terminal (a piped script), any failed statement
 /// makes the final exit code nonzero.
-int RunRepl(const QueryEngine& engine, bool json) {
+int RunRepl(QueryEngine& engine, bool json) {
   const bool interactive = isatty(fileno(stdin)) != 0;
   if (interactive) {
     std::printf("KNNQL. Statements end with ';'. EXPLAIN <query>; shows "
-                "the plan. quit to leave.\n");
+                "the plan; INSERT/DELETE/LOAD mutate relations. quit to "
+                "leave.\n");
     for (const std::string& name : engine.catalog().Names()) {
       std::printf("  relation %s (%zu points)\n", name.c_str(),
                   engine.catalog().Get(name).value()->index->num_points());
@@ -508,8 +578,10 @@ int RunRepl(const QueryEngine& engine, bool json) {
       continue;
     }
     // A statement may span lines: on "ended mid-statement" keep
-    // reading; on any other parse error report and reset.
-    const auto parsed = knnql::ParseBoundScript(buffer, &engine.catalog());
+    // reading; on any other parse error report and reset. Binding
+    // happens per statement during execution, against the live
+    // catalog.
+    const auto parsed = knnql::ParseScript(buffer);
     if (!parsed.ok()) {
       if (knnql::IsIncompleteInput(parsed.status())) continue;
       FailScript(parsed.status(), json);
@@ -562,7 +634,7 @@ int CmdQuery(const Args& args) {
           "' must be a KNNQL identifier ([A-Za-z_][A-Za-z0-9_]*, "
           "not a keyword)"));
     }
-    auto points = LoadDataset(spec.substr(eq + 1));
+    auto points = LoadPoints(spec.substr(eq + 1));
     if (!points.ok()) return Fail(points.status());
     const Status added = catalog.AddRelation(
         name, std::move(points.value()), index_options);
@@ -575,7 +647,8 @@ int CmdQuery(const Args& args) {
   options.num_threads = 1;  // Statements run one at a time.
   options.planner.force_naive = args.Has("--naive");
   options.planner.cache_mb = *cache_mb;
-  const QueryEngine engine(std::move(catalog), options);
+  options.index_options = index_options;  // LOAD-created relations.
+  QueryEngine engine(std::move(catalog), options);
   const bool json = args.Has("--json");
 
   if (args.Has("-e")) {
@@ -617,7 +690,7 @@ int AddRelationFromFlag(Catalog& catalog, const Args& args,
                         const std::string& flag, const std::string& name) {
   auto path = args.Get(flag);
   if (!path.ok()) return Fail(path.status());
-  auto points = LoadDataset(*path);
+  auto points = LoadPoints(*path);
   if (!points.ok()) return Fail(points.status());
   const Status added =
       catalog.AddRelation(name, std::move(points.value()));
@@ -750,7 +823,9 @@ void PrintUsage() {
       "                     --range X1,Y1,X2,Y2\n"
       "  chained            --a F --b F --c F --k-ab K --k-bc K\n"
       "  unchained          --a F --b F --c F --k-ab K --k-cb K\n"
-      "query reads KNNQL statements (-e, --file, or a REPL; see README);\n"
+      "query reads KNNQL statements (-e, --file, or a REPL; see README),\n"
+      "including DML: INSERT INTO r VALUES (x, y), ...; DELETE FROM r\n"
+      "WHERE ID = n; LOAD r FROM 'file';\n"
       "append --naive to run the conceptually correct baseline plan;\n"
       "append --cache-mb M to any query command to enable the engine's\n"
       "cross-query neighborhood cache with an M-MiB budget (0 = off)");
