@@ -1,7 +1,6 @@
 #include "src/common/status.h"
 
 namespace knnq {
-namespace {
 
 const char* CodeName(StatusCode code) {
   switch (code) {
@@ -19,11 +18,13 @@ const char* CodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
-
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -24,7 +24,19 @@ enum class StatusCode {
   kIoError,
   kUnsupported,
   kInternal,
+  /// KNNQL syntax errors (lexer/parser/binder diagnostics). Separate
+  /// from kInvalidArgument so wire protocols and --json consumers can
+  /// tell "your statement is malformed" from "your parameters are bad"
+  /// without string-matching the message.
+  kParseError,
+  /// Transient refusal: the serving layer is at capacity (admission
+  /// queue full, shutting down). Clients should back off and retry.
+  kUnavailable,
 };
+
+/// Machine-readable CamelCase name of `code`, e.g. "InvalidArgument",
+/// "ParseError". Stable: wire protocols and --json output emit it.
+const char* CodeName(StatusCode code);
 
 /// Success-or-error result of an operation, carrying a message on error.
 class Status {
@@ -50,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

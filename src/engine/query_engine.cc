@@ -43,9 +43,10 @@ std::string MutationSummary(const char* verb, const std::string& relation,
 QueryEngine::QueryEngine(Catalog catalog, EngineOptions options)
     : catalog_(std::move(catalog)),
       options_(options),
-      pool_(std::make_unique<ThreadPool>(
-          ResolveThreads(options.num_threads))),
-      cache_(MakeCache(options.planner)) {
+      cache_(MakeCache(options.planner)),
+      pool_(std::make_unique<ThreadPool>(ThreadPoolOptions{
+          .num_threads = ResolveThreads(options.num_threads),
+          .max_queue = options.pool_queue_limit})) {
   if (cache_ != nullptr) {
     // Adopt the catalog's generation as the cache's baseline; every
     // later change flows through Mutate/LoadRelation, which invalidate
@@ -59,8 +60,89 @@ QueryEngine::~QueryEngine() = default;
 std::size_t QueryEngine::num_threads() const { return pool_->size(); }
 
 EngineResult QueryEngine::Run(const QuerySpec& spec) const {
+  EngineResult result;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    result = RunLocked(spec);
+  }
+  RecordQuery(result);
+  return result;
+}
+
+void QueryEngine::RecordQuery(const EngineResult& result) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++cumulative_.queries;
+  if (!result.ok()) ++cumulative_.query_errors;
+  cumulative_.totals.Merge(result.stats);
+}
+
+void QueryEngine::RecordMutation(const EngineResult& result) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++cumulative_.mutations;
+  if (!result.ok()) ++cumulative_.mutation_errors;
+  cumulative_.totals.Merge(result.stats);
+}
+
+EngineStatsSnapshot QueryEngine::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return cumulative_;
+}
+
+void QueryEngine::SubmitQuery(QuerySpec spec,
+                              std::function<void(EngineResult)> done) const {
+  pool_->Submit(
+      [this, spec = std::move(spec), done = std::move(done)]() mutable {
+        done(Run(spec));
+      });
+}
+
+bool QueryEngine::TrySubmitQuery(
+    QuerySpec spec, std::function<void(EngineResult)> done) const {
+  return pool_->TrySubmit(
+      [this, spec = std::move(spec), done = std::move(done)]() mutable {
+        done(Run(spec));
+      });
+}
+
+Result<std::string> QueryEngine::Explain(const QuerySpec& spec) const {
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-  return RunLocked(spec);
+  const auto plan = Optimize(catalog_, spec, options_.planner);
+  if (!plan.ok()) return plan.status();
+  return plan->Explain();
+}
+
+Result<QuerySpec> QueryEngine::BindQuery(const knnql::Query& query) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return knnql::Bind(query, &catalog_);
+}
+
+EngineResult QueryEngine::ExecuteDml(const knnql::DmlSpec& dml) {
+  switch (dml.kind) {
+    case knnql::DmlSpec::Kind::kInsert: {
+      std::vector<MutationOp> ops;
+      ops.reserve(dml.rows.size());
+      for (const Point& row : dml.rows) {
+        ops.push_back(MutationOp::Insert(row.x, row.y));
+      }
+      return Mutate(dml.relation, ops);
+    }
+    case knnql::DmlSpec::Kind::kDelete:
+      return Mutate(dml.relation, {MutationOp::Erase(dml.id)});
+    case knnql::DmlSpec::Kind::kLoad: {
+      auto points = LoadPoints(dml.path);
+      if (!points.ok()) {
+        EngineResult result;
+        result.is_mutation = true;
+        result.status = points.status();
+        RecordMutation(result);
+        return result;
+      }
+      return LoadRelation(dml.relation, std::move(points.value()));
+    }
+  }
+  EngineResult result;
+  result.status = Status::Internal("unknown DML kind");
+  return result;
 }
 
 EngineResult QueryEngine::RunLocked(const QuerySpec& spec) const {
@@ -127,6 +209,7 @@ EngineResult QueryEngine::Mutate(const std::string& relation,
         }
       }
       result.status = outcome.status();
+      RecordMutation(result);
       return result;
     }
     if (cache_ != nullptr) {
@@ -137,6 +220,7 @@ EngineResult QueryEngine::Mutate(const std::string& relation,
     result.explain = MutationSummary("MUTATE", relation, *outcome);
   }
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  RecordMutation(result);
   return result;
 }
 
@@ -151,6 +235,7 @@ EngineResult QueryEngine::LoadRelation(const std::string& relation,
                                          options_.index_options);
     if (!outcome.ok()) {
       result.status = outcome.status();
+      RecordMutation(result);
       return result;
     }
     if (cache_ != nullptr) {
@@ -161,6 +246,7 @@ EngineResult QueryEngine::LoadRelation(const std::string& relation,
     result.explain = MutationSummary("LOAD", relation, *outcome);
   }
   result.stats.wall_seconds = timer.ElapsedSeconds();
+  RecordMutation(result);
   return result;
 }
 
@@ -222,27 +308,16 @@ Result<std::vector<EngineResult>> QueryEngine::RunScript(
       continue;
     }
     if (Status s = flush(); !s.ok()) return s;
-    if (const auto* insert =
-            std::get_if<knnql::InsertStatement>(&statement.body)) {
-      std::vector<MutationOp> ops;
-      ops.reserve(insert->values.size());
-      for (const auto& value : insert->values) {
-        ops.push_back(MutationOp::Insert(value.x, value.y));
-      }
-      results[i] = Mutate(insert->relation, ops);
-    } else if (const auto* del =
-                   std::get_if<knnql::DeleteStatement>(&statement.body)) {
-      results[i] = Mutate(del->relation, {MutationOp::Erase(del->id)});
-    } else {
-      const auto& load = std::get<knnql::LoadStatement>(statement.body);
-      auto points = LoadPoints(load.path);
-      if (!points.ok()) {
-        results[i].is_mutation = true;
-        results[i].status = points.status();
-      } else {
-        results[i] = LoadRelation(load.relation, std::move(points.value()));
-      }
+    // Existence is checked by Mutate/LoadRelation under the writer
+    // lock, so the bind is shape-only (null catalog) and cannot fail
+    // for a statement the parser accepted.
+    auto dml = knnql::BindDml(statement.body, /*catalog=*/nullptr);
+    if (!dml.ok()) {
+      results[i].is_mutation = true;
+      results[i].status = dml.status();
+      continue;
     }
+    results[i] = ExecuteDml(*dml);
   }
   if (Status s = flush(); !s.ok()) return s;
   return results;

@@ -30,7 +30,10 @@
 #ifndef KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 #define KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -40,6 +43,7 @@
 #include "src/core/exec_stats.h"
 #include "src/engine/thread_pool.h"
 #include "src/index/index_factory.h"
+#include "src/lang/binder.h"
 #include "src/planner/catalog.h"
 #include "src/planner/optimizer.h"
 #include "src/planner/physical_plan.h"
@@ -64,6 +68,12 @@ struct EngineOptions {
   /// Index construction parameters for relations the engine creates
   /// itself (LoadRelation / KNNQL LOAD on an unknown name).
   IndexOptions index_options;
+
+  /// Bound on the worker pool's queue of not-yet-running tasks; 0
+  /// means unbounded (the RunBatch default). Servers set it so
+  /// TrySubmitQuery refuses work under overload instead of queueing
+  /// without limit.
+  std::size_t pool_queue_limit = 0;
 };
 
 /// Outcome of one statement. A failed plan or execution sets `status`
@@ -85,6 +95,18 @@ struct EngineResult {
   std::size_t rows_affected = 0;
 
   bool ok() const { return status.ok(); }
+};
+
+/// Cumulative serving counters since engine construction, for STATS
+/// endpoints and monitoring. A point-in-time copy; totals merge the
+/// ExecStats of every statement the engine executed (failed ones too:
+/// their partial work happened).
+struct EngineStatsSnapshot {
+  std::uint64_t queries = 0;
+  std::uint64_t query_errors = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t mutation_errors = 0;
+  ExecStats totals;
 };
 
 /// Plans and executes queries — and applies writes — against an owned
@@ -121,6 +143,38 @@ class QueryEngine {
   std::vector<EngineResult> RunBatch(
       const std::vector<QuerySpec>& specs) const;
 
+  /// Asynchronous single-query execution, the server's dispatch
+  /// primitive: plans and executes `spec` on the worker pool and
+  /// invokes `done` with the outcome on the worker thread. `done` must
+  /// not throw and must outlive the engine's pool (servers drain
+  /// in-flight work before destroying the engine).
+  void SubmitQuery(QuerySpec spec,
+                   std::function<void(EngineResult)> done) const;
+
+  /// Like SubmitQuery, but refuses instead of waiting when the pool's
+  /// bounded queue (EngineOptions::pool_queue_limit) is full or the
+  /// pool is stopping: returns false and never invokes `done`. The
+  /// backpressure hook admission control maps to an `overloaded` wire
+  /// error.
+  bool TrySubmitQuery(QuerySpec spec,
+                      std::function<void(EngineResult)> done) const;
+
+  /// Plans `spec` without executing it (under the reader lock): the
+  /// EXPLAIN path. Returns the plan's rendering.
+  Result<std::string> Explain(const QuerySpec& spec) const;
+
+  /// Binds one parsed KNNQL query against the live catalog under the
+  /// reader lock, so servers can bind incrementally while writers run.
+  Result<QuerySpec> BindQuery(const knnql::Query& query) const;
+
+  /// Applies one bound DML statement: kInsert/kDelete through
+  /// Mutate(), kLoad through LoadPoints() + LoadRelation(). The shared
+  /// execution path of the CLI and the network server.
+  EngineResult ExecuteDml(const knnql::DmlSpec& dml);
+
+  /// Cumulative counters over every statement this engine executed.
+  EngineStatsSnapshot StatsSnapshot() const;
+
   /// Applies `ops` in order to `relation` under the writer lock: the
   /// batch waits for in-flight queries, applies between batches, bumps
   /// only that relation's generation and invalidates only its cache
@@ -156,13 +210,24 @@ class QueryEngine {
   /// Plan + execute without taking the reader lock (callers hold it).
   EngineResult RunLocked(const QuerySpec& spec) const;
 
+  /// Folds one finished statement into the cumulative counters.
+  void RecordQuery(const EngineResult& result) const;
+  void RecordMutation(const EngineResult& result) const;
+
   Catalog catalog_;
   EngineOptions options_;
-  std::unique_ptr<ThreadPool> pool_;
   /// Shared across all workers; internally synchronized.
   std::unique_ptr<NeighborhoodCache> cache_;
   /// The reader/writer protocol: queries shared, mutations exclusive.
   mutable std::shared_mutex catalog_mu_;
+  /// Cumulative serving counters (StatsSnapshot); separate lock so the
+  /// hot path never touches catalog_mu_ for bookkeeping.
+  mutable std::mutex stats_mu_;
+  mutable EngineStatsSnapshot cumulative_;
+  /// Declared LAST: destruction joins the workers first, so an async
+  /// SubmitQuery task still in flight can never touch an
+  /// already-destroyed mutex, cache or catalog.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace knnq

@@ -5,31 +5,61 @@
 
 namespace knnq {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  const std::size_t n = std::max<std::size_t>(1, num_threads);
+ThreadPool::ThreadPool(ThreadPoolOptions options)
+    : max_queue_(options.max_queue) {
+  const std::size_t n = std::max<std::size_t>(1, options.num_threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Stop(/*drain=*/false); }
+
+void ThreadPool::Shutdown() { Stop(/*drain=*/true); }
+
+void ThreadPool::Stop(bool drain) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
     stopping_ = true;
-    queue_.clear();
+    if (!drain) queue_.clear();
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_queue_ > 0) {
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < max_queue_;
+      });
+    }
     if (stopping_) return;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -38,11 +68,18 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
+      if (queue_.empty()) return;  // stopping_, nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
+    space_cv_.notify_one();
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
   }
 }
 

@@ -1,10 +1,16 @@
 // ThreadPool: a fixed-size worker pool for the query engine.
 //
-// Deliberately minimal: tasks are type-erased closures, the queue is
-// unbounded, and shutdown drains nothing - the destructor wakes the
-// workers, lets in-flight tasks finish, and joins. Query fan-out needs
-// nothing fancier, and a small pool is easy to reason about under the
-// engine's "immutable shared indexes, per-thread searchers" model.
+// Deliberately minimal: tasks are type-erased closures and run in FIFO
+// order per worker pickup (no ordering guarantee across workers). Two
+// knobs exist for serving workloads:
+//
+//   * a bounded queue (ThreadPoolOptions::max_queue): TrySubmit
+//     refuses work instead of queueing unboundedly, the primitive the
+//     server's admission control is built on;
+//   * drain-then-stop shutdown (Shutdown()): finishes every queued
+//     task before joining, so a graceful server shutdown never drops
+//     accepted work. The destructor keeps the historical fast path -
+//     discard whatever never started, finish in-flight tasks, join.
 
 #ifndef KNNQ_SRC_ENGINE_THREAD_POOL_H_
 #define KNNQ_SRC_ENGINE_THREAD_POOL_H_
@@ -18,23 +24,53 @@
 
 namespace knnq {
 
-/// Fixed-size worker pool. Submit is thread-safe; tasks run in FIFO
-/// order per worker pickup (no ordering guarantee across workers).
+/// Pool construction knobs.
+struct ThreadPoolOptions {
+  /// Worker threads (at least one).
+  std::size_t num_threads = 1;
+
+  /// Queued (not yet running) task limit; 0 means unbounded. When the
+  /// bound is reached TrySubmit fails and Submit blocks until a worker
+  /// makes room.
+  std::size_t max_queue = 0;
+};
+
+/// Fixed-size worker pool. Submission is thread-safe.
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least one).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Starts `num_threads` workers (at least one), unbounded queue.
+  explicit ThreadPool(std::size_t num_threads)
+      : ThreadPool(ThreadPoolOptions{.num_threads = num_threads}) {}
+
+  explicit ThreadPool(ThreadPoolOptions options);
 
   /// Stops accepting tasks, discards tasks never started, finishes the
-  /// in-flight ones and joins the workers.
+  /// in-flight ones and joins the workers. (Shutdown() first for the
+  /// draining variant.)
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker. Tasks must not
-  /// throw; submitting after destruction begins is a caller bug.
+  /// Enqueues `task` for execution on some worker; with a bounded
+  /// queue, blocks until there is room. Tasks must not throw;
+  /// submitting after shutdown begins silently drops the task.
   void Submit(std::function<void()> task);
+
+  /// Like Submit, but never blocks: returns false instead when the
+  /// bounded queue is full or the pool is stopping. The task was not
+  /// enqueued in that case.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running. New work
+  /// may still be submitted afterwards; callers wanting a quiescent
+  /// pool stop submitting first.
+  void Drain();
+
+  /// Graceful shutdown: stops accepting tasks, runs everything already
+  /// queued to completion and joins the workers. Idempotent; the
+  /// destructor after a Shutdown() is a no-op.
+  void Shutdown();
 
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
@@ -42,11 +78,23 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Shared stop path: `drain` keeps the queue, !`drain` clears it.
+  void Stop(bool drain);
+
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
+  /// Signals queue-space to blocked Submit calls (bounded queues only).
+  std::condition_variable space_cv_;
+  /// Signals "queue empty and nothing running" to Drain.
+  std::condition_variable idle_cv_;
+  std::size_t max_queue_ = 0;
+  /// Tasks currently executing on some worker.
+  std::size_t active_ = 0;
   bool stopping_ = false;
+  /// Workers already joined (Shutdown ran); guards double-join.
+  bool joined_ = false;
 };
 
 }  // namespace knnq

@@ -17,14 +17,15 @@ namespace {
 
 /// "line:col: expected X, got Y". When the offender is the end of the
 /// input the statement may simply be unfinished, so the status carries
-/// kOutOfRange for IsIncompleteInput().
+/// kOutOfRange for IsIncompleteInput(); real syntax errors carry
+/// kParseError, the machine-readable code structured consumers key on.
 Status Expected(const Token& got, const std::string& what) {
   const std::string message =
       got.pos.ToString() + ": expected " + what + ", got " + got.Describe();
   if (got.kind == TokenKind::kEof) {
     return Status::OutOfRange(message);
   }
-  return Status::InvalidArgument(message);
+  return Status::ParseError(message);
 }
 
 class Parser {

@@ -7,7 +7,7 @@ std::string SourcePos::ToString() const {
 }
 
 Status ErrorAt(SourcePos pos, const std::string& message) {
-  return Status::InvalidArgument(pos.ToString() + ": " + message);
+  return Status::ParseError(pos.ToString() + ": " + message);
 }
 
 const char* ToString(TokenKind kind) {

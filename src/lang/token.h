@@ -20,7 +20,8 @@ struct SourcePos {
   std::string ToString() const;
 };
 
-/// Builds the canonical positioned diagnostic: "line:col: message".
+/// Builds the canonical positioned diagnostic: "line:col: message",
+/// carrying StatusCode::kParseError for structured consumers.
 Status ErrorAt(SourcePos pos, const std::string& message);
 
 enum class TokenKind {

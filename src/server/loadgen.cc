@@ -1,0 +1,243 @@
+#include "src/server/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "src/common/stopwatch.h"
+#include "src/lang/parser.h"
+
+namespace knnq::server {
+
+namespace {
+
+/// Connects a TCP client socket, or -1 with errno set.
+int Connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over one socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads through the next '\n' (stripped). False on EOF, error or
+  /// timeout.
+  bool ReadLine(std::string* line, int timeout_ms) {
+    for (;;) {
+      const std::size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        line->assign(buffer_, 0, eol);
+        buffer_.erase(0, eol + 1);
+        return true;
+      }
+      pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return false;
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// True when `response` carries the expected id tag. Responses start
+/// `{"id": N, ...`; a prefix check avoids a JSON parser dependency.
+bool HasId(const std::string& response, std::uint64_t id) {
+  const std::string prefix = "{\"id\": " + std::to_string(id) + ",";
+  return response.rfind(prefix, 0) == 0;
+}
+
+bool IsOk(const std::string& response) {
+  return response.find("\"status\": \"ok\"") != std::string::npos;
+}
+
+struct ClientResult {
+  std::size_t requests = 0;
+  std::size_t ok_responses = 0;
+  std::size_t error_responses = 0;
+  std::size_t protocol_errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+void RunClient(int fd, const std::vector<std::string>& statements,
+               const LoadgenOptions& options, ClientResult* out) {
+  LineReader reader(fd);
+  std::string response;
+  std::uint64_t next_id = 1;
+  out->latencies_ms.reserve(statements.size() * options.repeat);
+  for (std::size_t r = 0; r < options.repeat; ++r) {
+    for (const std::string& statement : statements) {
+      ++out->requests;
+      Stopwatch timer;
+      if (!SendAll(fd, statement) || !SendAll(fd, "\n")) {
+        ++out->protocol_errors;
+        return;
+      }
+      if (!reader.ReadLine(&response, options.recv_timeout_ms)) {
+        ++out->protocol_errors;
+        return;
+      }
+      out->latencies_ms.push_back(timer.ElapsedMillis());
+      if (!HasId(response, next_id)) {
+        // An ordering error poisons every later id; stop the client.
+        ++out->protocol_errors;
+        return;
+      }
+      ++next_id;
+      if (IsOk(response)) {
+        ++out->ok_responses;
+      } else {
+        ++out->error_responses;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<LoadgenReport> RunLoadgen(
+    const LoadgenOptions& options,
+    const std::vector<std::string>& statements) {
+  if (options.clients == 0) {
+    return Status::InvalidArgument("loadgen needs at least one client");
+  }
+  // Statements that frame no response (comment-only, bare ';') would
+  // stall the closed loop; drop them here. Unparseable text stays: the
+  // server answers it with an error record, which is a response.
+  std::vector<std::string> replay;
+  replay.reserve(statements.size());
+  for (const std::string& statement : statements) {
+    const auto script = knnql::ParseScript(statement);
+    if (script.ok() && script->empty()) continue;
+    replay.push_back(statement);
+  }
+  if (replay.empty()) {
+    return Status::InvalidArgument(
+        "workload contains no response-producing statements");
+  }
+
+  std::vector<int> fds(options.clients, -1);
+  for (std::size_t i = 0; i < options.clients; ++i) {
+    fds[i] = Connect(options.host, options.port);
+    if (fds[i] < 0) {
+      for (const int fd : fds) {
+        if (fd >= 0) ::close(fd);
+      }
+      return Status::IoError("connect " + options.host + ":" +
+                             std::to_string(options.port) + ": " +
+                             std::strerror(errno));
+    }
+  }
+
+  std::vector<ClientResult> results(options.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  Stopwatch wall;
+  for (std::size_t i = 0; i < options.clients; ++i) {
+    threads.emplace_back(
+        [&, i] { RunClient(fds[i], replay, options, &results[i]); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadgenReport report;
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.clients = options.clients;
+  std::vector<double> latencies;
+  for (std::size_t i = 0; i < options.clients; ++i) {
+    ::close(fds[i]);
+    report.requests += results[i].requests;
+    report.ok_responses += results[i].ok_responses;
+    report.error_responses += results[i].error_responses;
+    report.protocol_errors += results[i].protocol_errors;
+    latencies.insert(latencies.end(), results[i].latencies_ms.begin(),
+                     results[i].latencies_ms.end());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    // Nearest-rank: the ceil(p*n)-th smallest sample, matching the
+    // histogram percentiles in src/server/metrics.cc.
+    const auto at = [&](double p) {
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(p * static_cast<double>(latencies.size())));
+      return latencies[std::min(latencies.size(), std::max<std::size_t>(
+                                                      rank, 1)) -
+                       1];
+    };
+    double sum = 0.0;
+    for (const double ms : latencies) sum += ms;
+    report.mean_ms = sum / static_cast<double>(latencies.size());
+    report.p50_ms = at(0.50);
+    report.p95_ms = at(0.95);
+    report.p99_ms = at(0.99);
+    report.max_ms = latencies.back();
+  }
+  return report;
+}
+
+Result<std::string> SendAdminVerb(const std::string& host,
+                                  std::uint16_t port,
+                                  const std::string& verb) {
+  const int fd = Connect(host, port);
+  if (fd < 0) {
+    return Status::IoError("connect " + host + ":" +
+                           std::to_string(port) + ": " +
+                           std::strerror(errno));
+  }
+  std::string line;
+  const bool ok =
+      SendAll(fd, verb + ";\n") &&
+      LineReader(fd).ReadLine(&line, /*timeout_ms=*/10000);
+  ::close(fd);
+  if (!ok) {
+    return Status::IoError("no response to admin verb " + verb);
+  }
+  return line;
+}
+
+}  // namespace knnq::server

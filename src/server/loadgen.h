@@ -1,0 +1,85 @@
+// Closed-loop load generator for the KNNQL wire protocol, shared by
+// the tools/knnq_loadgen binary and bench/bench_server.cc.
+//
+// Each client owns one connection and replays the statement list
+// `repeat` times, sending a statement only after the previous
+// response arrived (closed loop: offered load == concurrency). Every
+// response is checked - the id must match the request's position in
+// the connection's stream and the status must be "ok" - so a run
+// doubles as a protocol-conformance sweep, and the acceptance gate
+// "zero response/ordering errors" falls out of the report.
+
+#ifndef KNNQ_SRC_SERVER_LOADGEN_H_
+#define KNNQ_SRC_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace knnq::server {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Concurrent connections, each a closed loop.
+  std::size_t clients = 4;
+
+  /// Workload replays per client.
+  std::size_t repeat = 1;
+
+  /// Per-response receive timeout; expiring counts a protocol error
+  /// and ends that client's run.
+  int recv_timeout_ms = 30000;
+};
+
+struct LoadgenReport {
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  std::size_t ok_responses = 0;
+  /// Well-formed responses carrying "status": "error".
+  std::size_t error_responses = 0;
+  /// Broken framing: id mismatches, short reads, timeouts, connect
+  /// failures.
+  std::size_t protocol_errors = 0;
+  double wall_seconds = 0.0;
+
+  /// Exact percentiles over every request's latency (sorted samples,
+  /// not histogram buckets).
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  double qps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(ok_responses + error_responses) /
+                     wall_seconds
+               : 0.0;
+  }
+  bool clean() const {
+    return error_responses == 0 && protocol_errors == 0;
+  }
+};
+
+/// Replays `statements` (raw KNNQL, each ';'-terminated) against a
+/// live server. Statements that frame no response - comment-only or
+/// empty - are filtered out up front so the closed loop cannot stall.
+/// Fails only on setup errors (no statements, bad address); per-client
+/// trouble lands in the report's error counters.
+Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options,
+                                 const std::vector<std::string>& statements);
+
+/// Connects, sends one admin verb ("SHUTDOWN", "STATS", ...) and
+/// returns the response line. The CI smoke step's graceful-shutdown
+/// hook.
+Result<std::string> SendAdminVerb(const std::string& host,
+                                  std::uint16_t port,
+                                  const std::string& verb);
+
+}  // namespace knnq::server
+
+#endif  // KNNQ_SRC_SERVER_LOADGEN_H_

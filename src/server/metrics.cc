@@ -1,0 +1,94 @@
+#include "src/server/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/lang/unparser.h"
+
+namespace knnq::server {
+
+namespace {
+
+/// Bucket upper bound in milliseconds: 2^(i+1) microseconds.
+double BucketUpperMs(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) + 1) / 1000.0;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const auto us = static_cast<std::uint64_t>(seconds * 1e6);
+  const std::size_t bucket =
+      std::min<std::size_t>(kBuckets - 1, std::bit_width(us | 1) - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+LatencySummary LatencyHistogram::Summarize() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  LatencySummary summary;
+  summary.count = total;
+  if (total == 0) return summary;
+  summary.mean_ms =
+      static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
+      static_cast<double>(total) / 1000.0;
+  const auto percentile = [&](double p) {
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return BucketUpperMs(i);
+    }
+    return BucketUpperMs(kBuckets - 1);
+  };
+  summary.p50_ms = percentile(0.50);
+  summary.p95_ms = percentile(0.95);
+  summary.p99_ms = percentile(0.99);
+  return summary;
+}
+
+std::string LatencySummary::ToJson() const {
+  return "{\"count\": " + std::to_string(count) +
+         ", \"mean_ms\": " + knnql::FormatNumber(mean_ms) +
+         ", \"p50_ms\": " + knnql::FormatNumber(p50_ms) +
+         ", \"p95_ms\": " + knnql::FormatNumber(p95_ms) +
+         ", \"p99_ms\": " + knnql::FormatNumber(p99_ms) + "}";
+}
+
+std::string ServerMetrics::ToJson(std::size_t active_connections,
+                                  std::size_t in_flight) const {
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  return "{\"connections_opened\": " + get(connections_opened) +
+         ", \"connections_closed\": " + get(connections_closed) +
+         ", \"active_connections\": " +
+         std::to_string(active_connections) +
+         ", \"in_flight\": " + std::to_string(in_flight) +
+         ", \"requests\": " + get(requests) +
+         ", \"responses\": " + get(responses) +
+         ", \"queries_ok\": " + get(queries_ok) +
+         ", \"mutations_ok\": " + get(mutations_ok) +
+         ", \"explains_ok\": " + get(explains_ok) +
+         ", \"admin_requests\": " + get(admin_requests) +
+         ", \"errors\": " + get(errors) +
+         ", \"overload_rejections\": " + get(overload_rejections) +
+         ", \"parse_errors\": " + get(parse_errors) +
+         ", \"oversized_requests\": " + get(oversized_requests) +
+         ", \"idle_timeouts\": " + get(idle_timeouts) +
+         ", \"disconnects_mid_statement\": " +
+         get(disconnects_mid_statement) +
+         ", \"query_latency\": " + query_latency.Summarize().ToJson() +
+         ", \"mutation_latency\": " +
+         mutation_latency.Summarize().ToJson() + "}";
+}
+
+}  // namespace knnq::server

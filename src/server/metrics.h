@@ -1,0 +1,82 @@
+// Server observability: request/connection counters and latency
+// histograms, all updated lock-free from connection and worker threads
+// and snapshotted by the STATS admin verb.
+
+#ifndef KNNQ_SRC_SERVER_METRICS_H_
+#define KNNQ_SRC_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace knnq::server {
+
+/// Point-in-time percentile summary of a LatencyHistogram.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  /// `{"count": ..., "mean_ms": ..., "p50_ms": ..., ...}`.
+  std::string ToJson() const;
+};
+
+/// Log-bucketed latency histogram: bucket i holds samples in
+/// [2^i, 2^(i+1)) microseconds, so the whole range from 1 us to over
+/// an hour fits in 48 buckets with <= 2x quantization error - plenty
+/// for p50/p95/p99 serving dashboards. Record and Summarize are both
+/// thread-safe (relaxed atomics; percentiles are an instantaneous
+/// approximation, not a consistent snapshot).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void Record(double seconds);
+
+  /// Percentiles use each bucket's upper bound, biasing the estimate
+  /// conservatively (reported latency >= true latency).
+  LatencySummary Summarize() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+};
+
+/// One relaxed-atomic counter bundle per server. Everything is
+/// monotone except in-flight gauges, which the admission controller
+/// owns; snapshotting is field-by-field relaxed reads.
+struct ServerMetrics {
+  std::atomic<std::uint64_t> connections_opened{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> queries_ok{0};
+  std::atomic<std::uint64_t> mutations_ok{0};
+  std::atomic<std::uint64_t> explains_ok{0};
+  std::atomic<std::uint64_t> admin_requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  /// Structured `overloaded` rejections (admission or pool full).
+  std::atomic<std::uint64_t> overload_rejections{0};
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> oversized_requests{0};
+  std::atomic<std::uint64_t> idle_timeouts{0};
+  /// Connections that vanished mid-statement (framing diagnostics).
+  std::atomic<std::uint64_t> disconnects_mid_statement{0};
+
+  LatencyHistogram query_latency;
+  LatencyHistogram mutation_latency;
+
+  /// The `"server"` object of the STATS response. `active_connections`
+  /// and `in_flight` are passed in by the server (they are gauges the
+  /// registry and admission controller own).
+  std::string ToJson(std::size_t active_connections,
+                     std::size_t in_flight) const;
+};
+
+}  // namespace knnq::server
+
+#endif  // KNNQ_SRC_SERVER_METRICS_H_

@@ -1,0 +1,341 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/engine/neighborhood_cache.h"
+
+namespace knnq::server {
+
+namespace {
+
+/// The engine counters of the STATS response.
+std::string EngineStatsJson(const EngineStatsSnapshot& snapshot) {
+  return "{\"queries\": " + std::to_string(snapshot.queries) +
+         ", \"query_errors\": " + std::to_string(snapshot.query_errors) +
+         ", \"mutations\": " + std::to_string(snapshot.mutations) +
+         ", \"mutation_errors\": " +
+         std::to_string(snapshot.mutation_errors) +
+         ", \"blocks_scanned\": " +
+         std::to_string(snapshot.totals.blocks_scanned) +
+         ", \"points_compared\": " +
+         std::to_string(snapshot.totals.points_compared) +
+         ", \"neighborhoods_computed\": " +
+         std::to_string(snapshot.totals.neighborhoods_computed) +
+         ", \"candidates_pruned\": " +
+         std::to_string(snapshot.totals.candidates_pruned) + "}";
+}
+
+std::string CacheStatsJson(const NeighborhoodCache* cache) {
+  if (cache == nullptr) return "null";
+  const NeighborhoodCacheStats stats = cache->GetStats();
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.4f", stats.hit_rate());
+  return "{\"hits\": " + std::to_string(stats.hits) +
+         ", \"misses\": " + std::to_string(stats.misses) +
+         ", \"hit_rate\": " + rate +
+         ", \"insertions\": " + std::to_string(stats.insertions) +
+         ", \"evictions\": " + std::to_string(stats.evictions) +
+         ", \"invalidated\": " + std::to_string(stats.invalidated) +
+         ", \"entries\": " + std::to_string(stats.entries) +
+         ", \"bytes\": " + std::to_string(stats.bytes) +
+         ", \"capacity_bytes\": " +
+         std::to_string(cache->capacity_bytes()) + "}";
+}
+
+}  // namespace
+
+Server::Server(QueryEngine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      admission_(options_.max_inflight) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (started_) return Status::Internal("server already started");
+  }
+
+  if (::pipe(stop_pipe_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  // A failure below must release everything opened so far: a caller
+  // probing ports retries Start in a loop and must not leak fds.
+  const auto fail = [this](Status status) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(stop_pipe_[0]);
+    ::close(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    return status;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return fail(
+        Status::IoError(std::string("socket: ") + std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return fail(
+        Status::InvalidArgument("bad listen address: " + options_.host));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail(Status::IoError(
+        "bind " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    return fail(
+        Status::IoError(std::string("listen: ") + std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::RequestStop() {
+  // Async-signal-safe: one atomic store and one pipe write. The pipe
+  // wakes the accept loop; waiters poll the same pipe (level-
+  // triggered, the byte is never consumed).
+  if (stop_requested_.exchange(true)) return;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::WaitUntilStopRequested() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{.fd = stop_pipe_[0], .events = POLLIN, .revents = 0};
+    ::poll(&pfd, 1, 100);
+  }
+}
+
+void Server::Stop() {
+  RequestStop();
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Claim the connection list, then work without the registry lock: a
+  // connection thread answering STATS reads the registry for the
+  // active-connection gauge, and joining it while holding the lock
+  // would deadlock.
+  std::list<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  // Half-close every connection: readers see EOF, drain their
+  // in-flight queries, flush the responses and exit.
+  for (const auto& conn : connections) {
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (const auto& conn : connections) {
+    conn->thread.join();
+    ::close(conn->fd);
+  }
+  connections.clear();
+
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  std::size_t active = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->done.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+std::string Server::RenderStats() const {
+  return "{\"status\": \"ok\", \"server\": " +
+         metrics_.ToJson(active_connections(), admission_.in_flight()) +
+         ", \"engine\": " + EngineStatsJson(engine_->StatsSnapshot()) +
+         ", \"cache\": " + CacheStatsJson(engine_->neighborhood_cache()) +
+         "}";
+}
+
+void Server::ReapFinished() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  pollfd fds[2];
+  fds[0] = {.fd = listen_fd_, .events = POLLIN, .revents = 0};
+  fds[1] = {.fd = stop_pipe_[0], .events = POLLIN, .revents = 0};
+  for (;;) {
+    // A RequestStop issued before Start had a pipe to write leaves
+    // only the flag; check it so the loop cannot block forever.
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    // Bounded wait so finished connections are reaped within ~1s even
+    // when no new client ever connects; an idle server must not
+    // retain the last burst's unjoined threads indefinitely.
+    const int ready = ::poll(fds, 2, 1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ReapFinished();
+    if (ready == 0) continue;
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->fd = fd;
+    Session::Callbacks callbacks;
+    callbacks.write = [this, raw](const std::string& line) {
+      return WriteLine(raw, line);
+    };
+    callbacks.render_stats = [this] { return RenderStats(); };
+    if (options_.allow_remote_shutdown) {
+      callbacks.request_shutdown = [this] { RequestStop(); };
+    }
+    raw->session = std::make_unique<Session>(
+        engine_, options_.limits, &metrics_, &admission_,
+        std::move(callbacks));
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void Server::ConnectionLoop(Connection* conn) {
+  char buffer[64 * 1024];
+  bool idle_closed = false;
+  for (;;) {
+    pollfd pfd{.fd = conn->fd, .events = POLLIN, .revents = 0};
+    const int timeout =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // Idle expiry only when truly quiet: nothing in flight and no
+      // partial statement buffered.
+      if (conn->session->in_flight() == 0 &&
+          !conn->session->has_buffered_input()) {
+        metrics_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+        idle_closed = true;
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n == 0) break;  // EOF (client close or our SHUT_RD).
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!conn->session->Consume(
+            std::string_view(buffer, static_cast<std::size_t>(n)))) {
+      break;  // Oversized statement; error already sent.
+    }
+  }
+  // Drain: every admitted query completes and writes its response
+  // before the connection is torn down.
+  conn->session->WaitIdle();
+  if (!idle_closed) conn->session->FinishInput();
+  ::shutdown(conn->fd, SHUT_RDWR);
+  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool Server::WriteLine(Connection* conn, const std::string& line) {
+  if (conn->broken.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // Gathered write: record + '\n' in one syscall, no copy of what can
+  // be a multi-megabyte rows payload.
+  const char newline = '\n';
+  iovec iov[2] = {
+      {.iov_base = const_cast<char*>(line.data()), .iov_len = line.size()},
+      {.iov_base = const_cast<char*>(&newline), .iov_len = 1},
+  };
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  std::size_t sent = 0;
+  const std::size_t total = line.size() + 1;
+  while (sent < total) {
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      conn->broken.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+    // Advance the iovec past what went out (short writes happen when
+    // the socket buffer fills under pipelined responses).
+    std::size_t skip = static_cast<std::size_t>(n);
+    while (skip > 0 && msg.msg_iovlen > 0) {
+      if (skip >= msg.msg_iov[0].iov_len) {
+        skip -= msg.msg_iov[0].iov_len;
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<char*>(msg.msg_iov[0].iov_base) + skip;
+        msg.msg_iov[0].iov_len -= skip;
+        skip = 0;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace knnq::server

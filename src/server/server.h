@@ -1,0 +1,141 @@
+// Server: the TCP front end that puts the wire protocol of
+// src/server/wire.h on a socket.
+//
+// Architecture: one accept thread, one reader thread per connection
+// (serving-scale fan-in is bounded by admission control, not by the
+// connection count), query execution on the shared QueryEngine worker
+// pool. Responses are written by whichever thread finishes the work -
+// engine workers for queries, the connection thread for everything
+// else - under a per-connection write lock, one JSONL line per
+// response.
+//
+// Graceful shutdown (Stop): stop accepting, half-close every
+// connection's read side, let each connection drain its in-flight
+// queries and flush their responses, join everything, close. No
+// accepted statement is dropped.
+
+#ifndef KNNQ_SRC_SERVER_SERVER_H_
+#define KNNQ_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/engine/query_engine.h"
+#include "src/server/admission.h"
+#include "src/server/metrics.h"
+#include "src/server/session.h"
+
+namespace knnq::server {
+
+struct ServerOptions {
+  /// Listen address. The default binds loopback only; "0.0.0.0"
+  /// exposes the server.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+
+  /// Server-wide bound on concurrently executing queries; the
+  /// admission gate rejects beyond it with a structured `overloaded`
+  /// error. 0 means unlimited.
+  std::size_t max_inflight = 64;
+
+  /// Per-connection protocol limits.
+  SessionLimits limits;
+
+  /// Close connections idle (no bytes, nothing in flight) this long;
+  /// 0 disables the timeout.
+  int idle_timeout_ms = 0;
+
+  /// Whether the SHUTDOWN admin verb may stop the server (CI smoke
+  /// uses it; multi-tenant deployments disable it).
+  bool allow_remote_shutdown = true;
+};
+
+class Server {
+ public:
+  /// `engine` must outlive the server and should be constructed with
+  /// EngineOptions::pool_queue_limit > 0 so engine-side backpressure
+  /// engages.
+  Server(QueryEngine* engine, ServerOptions options);
+
+  /// Stops (gracefully) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept thread.
+  Status Start();
+
+  /// The bound port (after Start); useful with options.port = 0.
+  std::uint16_t port() const { return port_; }
+
+  /// Requests a stop from any thread (signal handlers included: an
+  /// atomic store plus a write to a pipe). Does not wait. Call Start
+  /// first.
+  void RequestStop();
+
+  /// Blocks until RequestStop (SHUTDOWN verb, signal, or any caller).
+  /// Must not race Stop() - the usual shape is Start / WaitUntil /
+  /// Stop on the owning thread.
+  void WaitUntilStopRequested();
+
+  /// Graceful shutdown as described above. Idempotent; implies
+  /// RequestStop.
+  void Stop();
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  std::size_t active_connections() const;
+  std::size_t in_flight() const { return admission_.in_flight(); }
+
+  /// The full STATS record body (server + engine + cache objects),
+  /// also the payload of the STATS/METRICS admin verbs.
+  std::string RenderStats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::unique_ptr<Session> session;
+    std::mutex write_mu;
+    std::atomic<bool> done{false};
+    /// Writes failed (peer gone): stop attempting responses.
+    std::atomic<bool> broken{false};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  bool WriteLine(Connection* conn, const std::string& line);
+  /// Joins and erases finished connections (accept-thread only).
+  void ReapFinished();
+
+  QueryEngine* engine_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  /// Self-pipe waking the accept loop on RequestStop.
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mu_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace knnq::server
+
+#endif  // KNNQ_SRC_SERVER_SERVER_H_

@@ -1,0 +1,286 @@
+#include "src/server/session.h"
+
+#include <cctype>
+#include <utility>
+#include <variant>
+
+#include "src/common/stopwatch.h"
+#include "src/common/text_parse.h"
+#include "src/lang/parser.h"
+#include "src/lang/unparser.h"
+
+namespace knnq::server {
+
+namespace {
+
+/// Canonicalizes a statement for admin-verb matching: comments
+/// dropped, whitespace and the terminating ';' trimmed, upper-cased.
+/// Returns empty when the statement cannot be a verb (multiple words).
+std::string AdminVerbOf(std::string_view text) {
+  std::string flat;
+  flat.reserve(text.size());
+  bool comment = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (comment) {
+      if (c == '\n') comment = false;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      comment = true;
+      ++i;
+      continue;
+    }
+    if (c == ';') break;
+    flat += c;
+  }
+  const std::string_view trimmed = TrimWhitespace(flat);
+  std::string verb;
+  verb.reserve(trimmed.size());
+  for (const char c : trimmed) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) return "";
+    verb += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return verb;
+}
+
+}  // namespace
+
+Session::Session(QueryEngine* engine, const SessionLimits& limits,
+                 ServerMetrics* metrics, AdmissionController* admission,
+                 Callbacks callbacks)
+    : engine_(engine),
+      limits_(limits),
+      metrics_(metrics),
+      admission_(admission),
+      callbacks_(std::move(callbacks)) {
+  if (limits_.max_conn_inflight == 0) limits_.max_conn_inflight = 1;
+}
+
+bool Session::Consume(std::string_view bytes) {
+  splitter_.Feed(bytes);
+  while (auto statement = splitter_.Next()) {
+    // The size limit applies to COMPLETE statements too: one that
+    // arrived whole in a single read must not slip past the bound the
+    // unterminated-statement check below enforces.
+    if (limits_.max_request_bytes > 0 &&
+        statement->size() > limits_.max_request_bytes) {
+      return RejectOversized();
+    }
+    Dispatch(*statement);
+  }
+  if (limits_.max_request_bytes > 0 &&
+      splitter_.pending_bytes() > limits_.max_request_bytes) {
+    return RejectOversized();
+  }
+  return true;
+}
+
+bool Session::RejectOversized() {
+  metrics_->oversized_requests.fetch_add(1, std::memory_order_relaxed);
+  metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+  Respond(JsonErrorRecord(
+      "", "",
+      Status::InvalidArgument(
+          "statement exceeds max_request_bytes=" +
+          std::to_string(limits_.max_request_bytes) +
+          "; closing connection")));
+  return false;
+}
+
+void Session::FinishInput() {
+  if (splitter_.PendingHasContent()) {
+    metrics_->disconnects_mid_statement.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+void Session::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t Session::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void Session::OnQueryDone() {
+  // Notify UNDER the lock: the drain path destroys this session as
+  // soon as WaitIdle returns, so the notify must complete before the
+  // waiter can possibly re-acquire the mutex and exit.
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  if (pending_ == 0) idle_cv_.notify_all();
+}
+
+void Session::Respond(const std::string& record) {
+  const std::uint64_t id = next_id_++;
+  callbacks_.write(WithId(id, record));
+  metrics_->responses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Session::Dispatch(const std::string& text) {
+  metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string verb = AdminVerbOf(text);
+  if (verb == "STATS" || verb == "METRICS" || verb == "PING" ||
+      verb == "SHUTDOWN") {
+    DispatchAdmin(verb);
+    return;
+  }
+
+  const auto script = knnql::ParseScript(text);
+  if (!script.ok()) {
+    metrics_->parse_errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonErrorRecord("", "", script.status()));
+    return;
+  }
+  if (script->empty()) {
+    // Comments / a bare ';' frame no statement: nothing to answer,
+    // and the request does not consume an id.
+    metrics_->requests.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  const knnql::Statement& statement = script->front();
+  if (std::holds_alternative<knnql::Query>(statement.body)) {
+    DispatchQuery(statement);
+  } else {
+    DispatchDml(statement);
+  }
+}
+
+void Session::DispatchAdmin(std::string_view verb) {
+  metrics_->admin_requests.fetch_add(1, std::memory_order_relaxed);
+  if (verb == "PING") {
+    Respond("{\"status\": \"ok\", \"pong\": true}");
+    return;
+  }
+  if (verb == "SHUTDOWN") {
+    if (callbacks_.request_shutdown == nullptr) {
+      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      Respond(JsonErrorRecord(
+          "", "",
+          Status::Unsupported("SHUTDOWN is disabled on this server")));
+      return;
+    }
+    Respond("{\"status\": \"ok\", \"shutting_down\": true}");
+    callbacks_.request_shutdown();
+    return;
+  }
+  Respond(callbacks_.render_stats());
+}
+
+void Session::DispatchQuery(const knnql::Statement& statement) {
+  const auto& query = std::get<knnql::Query>(statement.body);
+  auto spec = engine_->BindQuery(query);
+  if (!spec.ok()) {
+    metrics_->parse_errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonErrorRecord("", "", spec.status()));
+    return;
+  }
+  const std::string text = knnql::Unparse(*spec);
+
+  if (statement.explain) {
+    const auto explain = engine_->Explain(*spec);
+    if (!explain.ok()) {
+      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      Respond(JsonErrorRecord("query", text, explain.status()));
+      return;
+    }
+    metrics_->explains_ok.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonExplainRecord(text, *explain));
+    return;
+  }
+
+  // Backpressure, connection-local bound first: a pipelined flood on
+  // one connection must not starve the global gate.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ >= limits_.max_conn_inflight) {
+      metrics_->overload_rejections.fetch_add(1,
+                                              std::memory_order_relaxed);
+      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      Respond(JsonErrorRecord(
+          "query", text,
+          Status::Unavailable(
+              "overloaded: connection at max_conn_inflight=" +
+              std::to_string(limits_.max_conn_inflight))));
+      return;
+    }
+    ++pending_;
+  }
+  if (!admission_->TryAcquire()) {
+    OnQueryDone();
+    metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonErrorRecord(
+        "query", text,
+        Status::Unavailable(
+            "overloaded: server at max_inflight=" +
+            std::to_string(admission_->max_in_flight()))));
+    return;
+  }
+
+  const std::uint64_t id = next_id_++;
+  Stopwatch queued;
+  const bool submitted = engine_->TrySubmitQuery(
+      std::move(*spec), [this, id, text, queued](EngineResult run) {
+        std::string record =
+            run.ok() ? JsonQueryRecord(text, run)
+                     : JsonErrorRecord("query", text, run.status);
+        callbacks_.write(WithId(id, record));
+        metrics_->responses.fetch_add(1, std::memory_order_relaxed);
+        if (run.ok()) {
+          metrics_->queries_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        metrics_->query_latency.Record(queued.ElapsedSeconds());
+        admission_->Release();
+        OnQueryDone();
+      });
+  if (!submitted) {
+    // The pool's bounded queue refused; undo the reserved id so the
+    // error response reuses it (ids stay dense and ordered).
+    --next_id_;
+    admission_->Release();
+    OnQueryDone();
+    metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonErrorRecord(
+        "query", text,
+        Status::Unavailable("overloaded: engine queue is full")));
+  }
+}
+
+void Session::DispatchDml(const knnql::Statement& statement) {
+  auto dml = knnql::BindDml(statement.body, /*catalog=*/nullptr);
+  if (!dml.ok()) {
+    metrics_->parse_errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonErrorRecord("", "", dml.status()));
+    return;
+  }
+  const std::string text = knnql::Unparse(*dml);
+
+  // DML is a barrier within the connection: every query this session
+  // already admitted completes first, so a closed-loop client sees
+  // strictly sequential semantics on its own connection.
+  WaitIdle();
+
+  Stopwatch timer;
+  const EngineResult run = engine_->ExecuteDml(*dml);
+  metrics_->mutation_latency.Record(timer.ElapsedSeconds());
+  if (!run.ok()) {
+    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    Respond(JsonErrorRecord("statement", text, run.status));
+    return;
+  }
+  metrics_->mutations_ok.fetch_add(1, std::memory_order_relaxed);
+  Respond(JsonDmlRecord(text, run));
+}
+
+}  // namespace knnq::server

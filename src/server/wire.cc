@@ -1,0 +1,211 @@
+#include "src/server/wire.h"
+
+#include <cstdio>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/lang/unparser.h"
+#include "src/planner/physical_plan.h"
+
+namespace knnq::server {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonPoint(const Point& p) {
+  return "{\"id\": " + std::to_string(p.id) +
+         ", \"x\": " + knnql::FormatNumber(p.x) +
+         ", \"y\": " + knnql::FormatNumber(p.y) + "}";
+}
+
+std::string JsonRows(const QueryOutput& output) {
+  std::string out;
+  std::visit(
+      [&](const auto& result) {
+        using T = std::decay_t<decltype(result)>;
+        if constexpr (std::is_same_v<T, TwoSelectsResult>) {
+          out = "\"result_type\": \"points\", \"rows\": [";
+          for (std::size_t i = 0; i < result.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += JsonPoint(result[i]);
+          }
+        } else if constexpr (std::is_same_v<T, JoinResult>) {
+          out = "\"result_type\": \"pairs\", \"rows\": [";
+          for (std::size_t i = 0; i < result.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "{\"outer\": " + JsonPoint(result[i].outer) +
+                   ", \"inner\": " + JsonPoint(result[i].inner) + "}";
+          }
+        } else {
+          out = "\"result_type\": \"triplets\", \"rows\": [";
+          for (std::size_t i = 0; i < result.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "{\"a\": " + std::to_string(result[i].a) +
+                   ", \"b\": " + std::to_string(result[i].b) +
+                   ", \"c\": " + std::to_string(result[i].c) + "}";
+          }
+        }
+        out += "]";
+      },
+      output);
+  return out;
+}
+
+std::string JsonStats(const ExecStats& stats) {
+  return "{\"blocks_scanned\": " + std::to_string(stats.blocks_scanned) +
+         ", \"points_compared\": " + std::to_string(stats.points_compared) +
+         ", \"neighborhoods_computed\": " +
+         std::to_string(stats.neighborhoods_computed) +
+         ", \"candidates_pruned\": " +
+         std::to_string(stats.candidates_pruned) +
+         ", \"cache_hits\": " + std::to_string(stats.cache_hits) +
+         ", \"cache_misses\": " + std::to_string(stats.cache_misses) +
+         ", \"cache_bytes\": " + std::to_string(stats.cache_bytes) +
+         ", \"wall_ms\": " +
+         knnql::FormatNumber(stats.wall_seconds * 1e3) + "}";
+}
+
+std::string JsonQueryRecord(const std::string& text,
+                            const EngineResult& run) {
+  return "{\"query\": \"" + JsonEscape(text) +
+         "\", \"status\": \"ok\", \"algorithm\": \"" +
+         ToString(run.algorithm) + "\", " + JsonRows(run.output) +
+         ", \"stats\": " + JsonStats(run.stats) + "}";
+}
+
+std::string JsonExplainRecord(const std::string& text,
+                              const std::string& explain) {
+  return "{\"query\": \"" + JsonEscape(text) +
+         "\", \"status\": \"ok\", \"explain\": \"" + JsonEscape(explain) +
+         "\"}";
+}
+
+std::string JsonDmlRecord(const std::string& text,
+                          const EngineResult& run) {
+  return "{\"statement\": \"" + JsonEscape(text) +
+         "\", \"status\": \"ok\", \"rows_affected\": " +
+         std::to_string(run.rows_affected) + "}";
+}
+
+std::string JsonErrorRecord(std::string_view kind, std::string_view text,
+                            const Status& status) {
+  std::string out = "{";
+  if (!kind.empty()) {
+    out += "\"";
+    out += kind;
+    out += "\": \"" + JsonEscape(text) + "\", ";
+  }
+  out += "\"status\": \"error\", \"code\": \"";
+  out += CodeName(status.code());
+  out += "\", \"error\": \"" + JsonEscape(status.ToString()) + "\"}";
+  return out;
+}
+
+std::string WithId(std::uint64_t id, const std::string& record) {
+  return "{\"id\": " + std::to_string(id) + ", " + record.substr(1);
+}
+
+void StatementSplitter::Feed(std::string_view bytes) {
+  buffer_.append(bytes);
+}
+
+std::optional<std::string> StatementSplitter::Next() {
+  while (scan_pos_ < buffer_.size()) {
+    const char c = buffer_[scan_pos_];
+    if (in_comment_) {
+      if (c == '\n') in_comment_ = false;
+    } else if (in_string_) {
+      // The lexer never lets a string literal span lines (a newline
+      // before the closing quote is "unterminated"); mirroring that
+      // here keeps one unpaired quote from desyncing the framing for
+      // the rest of the connection.
+      if (c == '\'' || c == '\n') in_string_ = false;
+    } else if (c == '\'') {
+      in_string_ = true;
+    } else if (c == '-' && scan_pos_ + 1 < buffer_.size() &&
+               buffer_[scan_pos_ + 1] == '-') {
+      in_comment_ = true;
+      ++scan_pos_;
+    } else if (c == ';') {
+      std::string statement = buffer_.substr(0, scan_pos_ + 1);
+      buffer_.erase(0, scan_pos_ + 1);
+      // The terminator closed the statement at top level, so the next
+      // one starts with a clean scan state.
+      scan_pos_ = 0;
+      return statement;
+    }
+    ++scan_pos_;
+  }
+  // A lone '-' at the end of the buffer may yet become a comment
+  // opener; rewind one byte so the next Feed re-examines the pair.
+  if (!in_comment_ && !in_string_ && scan_pos_ > 0 &&
+      buffer_.back() == '-') {
+    --scan_pos_;
+  }
+  return std::nullopt;
+}
+
+bool StatementSplitter::PendingHasContent() const {
+  bool comment = false;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    const char c = buffer_[i];
+    if (comment) {
+      if (c == '\n') comment = false;
+      continue;
+    }
+    if (c == '-' && i + 1 < buffer_.size() && buffer_[i + 1] == '-') {
+      comment = true;
+      ++i;
+      continue;
+    }
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return true;
+  }
+  return false;
+}
+
+Result<std::vector<std::string>> SplitStatements(std::string_view script) {
+  StatementSplitter splitter;
+  splitter.Feed(script);
+  std::vector<std::string> statements;
+  while (auto statement = splitter.Next()) {
+    statements.push_back(std::move(*statement));
+  }
+  if (splitter.PendingHasContent()) {
+    return Status::ParseError(
+        "script ends mid-statement (missing the terminating ';')");
+  }
+  return statements;
+}
+
+}  // namespace knnq::server

@@ -1,0 +1,116 @@
+// Wire protocol building blocks of the KNNQL network server.
+//
+// The protocol is newline-delimited KNNQL in, JSONL out: clients send
+// statements terminated by ';' (a statement may span lines, and one
+// line may carry several pipelined statements); the server answers one
+// JSON object per statement, tagged with a per-connection `id` so
+// responses may complete out of order.
+//
+// Two pieces live here because the CLI shares them:
+//
+//   * the JSON record renderers. `knnq_cli query --json` and the
+//     server emit THE SAME bytes for the same statement outcome (the
+//     server merely splices in its `id` field), which is what makes
+//     the server's differential test - responses byte-identical to
+//     local execution - meaningful;
+//   * StatementSplitter, the incremental frame scanner that cuts a
+//     byte stream into statements at top-level ';' boundaries,
+//     respecting '...' string literals and -- comments.
+
+#ifndef KNNQ_SRC_SERVER_WIRE_H_
+#define KNNQ_SRC_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/exec_stats.h"
+#include "src/engine/query_engine.h"
+
+namespace knnq::server {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// `{"id": <id>, "x": <x>, "y": <y>}` with shortest-round-trip numbers.
+std::string JsonPoint(const Point& p);
+
+/// The result rows as a JSON field pair: `"result_type": ...,
+/// "rows": [...]`. Points carry coordinates; triplets are id-only,
+/// like their C++ counterparts.
+std::string JsonRows(const QueryOutput& output);
+
+/// The ExecStats object every successful query record embeds.
+std::string JsonStats(const ExecStats& stats);
+
+/// `{"query": "<text>", "status": "ok", "algorithm": ..., "result_type":
+/// ..., "rows": [...], "stats": {...}}` - `run` must be a successful
+/// query result.
+std::string JsonQueryRecord(const std::string& text,
+                            const EngineResult& run);
+
+/// `{"query": "<text>", "status": "ok", "explain": "<plan>"}`.
+std::string JsonExplainRecord(const std::string& text,
+                              const std::string& explain);
+
+/// `{"statement": "<text>", "status": "ok", "rows_affected": N}` -
+/// `run` must be a successful DML result.
+std::string JsonDmlRecord(const std::string& text, const EngineResult& run);
+
+/// Structured failure record. `kind` is the field naming the failed
+/// statement ("query" or "statement"); empty omits it (script-level
+/// parse errors have no canonical text to echo). Carries the
+/// machine-readable `"code"` (CodeName of the status) alongside the
+/// human message.
+std::string JsonErrorRecord(std::string_view kind, std::string_view text,
+                            const Status& status);
+
+/// Splices a response id into a rendered record:
+/// `{"id": 7, <rest of the record>}`. `record` must be a JSON object.
+std::string WithId(std::uint64_t id, const std::string& record);
+
+/// Incremental statement framing: feed raw bytes, pull complete
+/// statements. A statement is everything through the next ';' that is
+/// outside a '...' string literal and outside a -- comment; the
+/// terminator stays part of the statement text. Bytes after the last
+/// top-level ';' remain pending until more input arrives. Like the
+/// lexer, string literals end at the line break (an unpaired quote
+/// frames as a statement the parser then rejects - it cannot desync
+/// the stream).
+class StatementSplitter {
+ public:
+  /// Appends raw bytes to the pending buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete statement (including its ';'), or
+  /// nullopt when the buffer holds none. O(new bytes) amortized: the
+  /// scan never revisits consumed or already-scanned input.
+  std::optional<std::string> Next();
+
+  /// Bytes buffered but not yet terminated by a top-level ';'.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+  /// True when the pending tail contains statement text - anything
+  /// beyond whitespace and comments. Distinguishes a clean EOF from a
+  /// mid-statement disconnect.
+  bool PendingHasContent() const;
+
+ private:
+  std::string buffer_;
+  /// Scan state over buffer_[0, scan_pos_): resumes where Feed left
+  /// off instead of rescanning.
+  std::size_t scan_pos_ = 0;
+  bool in_string_ = false;
+  bool in_comment_ = false;
+};
+
+/// Splits a whole script into its statements (each including its
+/// terminating ';'). Trailing non-comment text with no terminator is
+/// an error - scripts sent over the wire must end every statement.
+Result<std::vector<std::string>> SplitStatements(std::string_view script);
+
+}  // namespace knnq::server
+
+#endif  // KNNQ_SRC_SERVER_WIRE_H_

@@ -1,0 +1,733 @@
+// The KNNQL network server: wire-protocol framing edge cases, overload
+// backpressure, graceful-shutdown drains, concurrent clients racing
+// DML against queries (the TSan target), and the differential gate -
+// server responses byte-identical to local engine execution for every
+// committed example script.
+
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/data/dataset_io.h"
+#include "src/engine/query_engine.h"
+#include "src/lang/parser.h"
+#include "src/lang/unparser.h"
+#include "src/server/admission.h"
+#include "src/server/loadgen.h"
+#include "src/server/wire.h"
+#include "tests/test_util.h"
+
+namespace knnq {
+namespace {
+
+using server::Server;
+using server::ServerOptions;
+
+// ----------------------------------------------------- socket helpers
+
+/// Minimal blocking test client speaking the JSONL protocol.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TestClient() { Close(); }
+
+  bool connected() const { return connected_; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool Send(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated line (stripped). False on EOF/timeout.
+  bool ReadLine(std::string* line, int timeout_ms = 10000) {
+    for (;;) {
+      const std::size_t eol = buffer_.find('\n');
+      if (eol != std::string::npos) {
+        line->assign(buffer_, 0, eol);
+        buffer_.erase(0, eol + 1);
+        return true;
+      }
+      pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the peer cleanly closed (EOF) with no stray bytes.
+  bool ReadEof(int timeout_ms = 10000) {
+    if (!buffer_.empty()) return false;
+    pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+    char chunk[256];
+    return ::recv(fd_, chunk, sizeof(chunk), 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+/// `{"id": N, ...` prefix check.
+bool HasId(const std::string& response, std::uint64_t id) {
+  const std::string prefix = "{\"id\": " + std::to_string(id) + ",";
+  return response.rfind(prefix, 0) == 0;
+}
+
+bool IsOk(const std::string& response) {
+  return response.find("\"status\": \"ok\"") != std::string::npos;
+}
+
+std::uint64_t IdOf(const std::string& response) {
+  std::uint64_t id = 0;
+  EXPECT_EQ(std::sscanf(response.c_str(), "{\"id\": %llu,",
+                        reinterpret_cast<unsigned long long*>(&id)),
+            1)
+      << response;
+  return id;
+}
+
+// ------------------------------------------------------ server fixture
+
+Catalog MakeServerCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(
+      catalog.AddRelation("e", testing::MakeUniform(2000, 11)).ok());
+  EXPECT_TRUE(catalog.AddRelation("hot", testing::MakeCity(3000, 12)).ok());
+  return catalog;
+}
+
+struct ServerFixture {
+  explicit ServerFixture(ServerOptions options = {},
+                         EngineOptions engine_options = DefaultEngine())
+      : engine(MakeServerCatalog(), engine_options),
+        server(&engine, options) {
+    const Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  static EngineOptions DefaultEngine() {
+    EngineOptions options;
+    options.num_threads = 4;
+    options.pool_queue_limit = 256;
+    return options;
+  }
+
+  QueryEngine engine;
+  Server server;
+};
+
+constexpr const char* kQuery =
+    "SELECT KNN(e, 3, AT(100, 100)) INTERSECT KNN(e, 4, AT(120, 90));";
+
+// ------------------------------------------------------- framing tests
+
+TEST(ServerFramingTest, StatementAssembledFromPartialReads) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  // One statement, dribbled in byte-sized writes across packets.
+  const std::string statement = kQuery;
+  for (const char c : statement) {
+    ASSERT_TRUE(client.Send(std::string_view(&c, 1)));
+  }
+  ASSERT_TRUE(client.Send("\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 1)) << response;
+  EXPECT_TRUE(IsOk(response)) << response;
+}
+
+TEST(ServerFramingTest, MultiLineStatementAndPipelining) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  // Three statements in one write: the first spans lines, the second
+  // shares a line with the third. Responses may complete out of
+  // order; ids restore the mapping.
+  ASSERT_TRUE(client.Send(
+      "SELECT KNN(e, 3, AT(50, 60))\n"
+      "INTERSECT\n"
+      "KNN(e, 3, AT(51, 61));\n"
+      "SELECT KNN(e, 2, AT(5, 5)) INTERSECT KNN(e, 2, AT(6, 6)); PING;\n"));
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response)) << "response " << i;
+    EXPECT_TRUE(IsOk(response)) << response;
+    ids.insert(IdOf(response));
+  }
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ServerFramingTest, SemicolonsInsideStringsAndComments) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  // The ';' inside the quoted path and inside the comment must not
+  // split the statement. (The LOAD fails - no such file - but as ONE
+  // statement, answered by ONE error record.)
+  ASSERT_TRUE(client.Send("-- comment; with a semicolon\n"
+                          "LOAD e FROM '/no;such;file.csv';\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 1)) << response;
+  EXPECT_TRUE(response.find("\"status\": \"error\"") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("/no;such;file.csv") != std::string::npos)
+      << response;
+  // The session survives and the id counter advanced exactly once.
+  ASSERT_TRUE(client.Send("PING;\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 2)) << response;
+}
+
+TEST(ServerFramingTest, UnpairedQuoteCannotDesyncFraming) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  // The unpaired quote swallows the rest of ITS line only (string
+  // literals end at the newline, like the lexer): the malformed text
+  // frames at the next top-level ';', draws one parse-error response,
+  // and the stream stays in sync.
+  ASSERT_TRUE(client.Send("LOAD e FROM '/tmp/x.csv;\nPING;\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 1)) << response;
+  EXPECT_TRUE(response.find("\"code\": \"ParseError\"") !=
+              std::string::npos)
+      << response;
+  ASSERT_TRUE(client.Send("PING;\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 2)) << response;
+  EXPECT_TRUE(response.find("\"pong\": true") != std::string::npos)
+      << response;
+}
+
+TEST(ServerFramingTest, ParseErrorIsStructuredAndSessionSurvives) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("SELECT BOGUS;\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 1)) << response;
+  EXPECT_TRUE(response.find("\"code\": \"ParseError\"") !=
+              std::string::npos)
+      << response;
+  // Binding errors are structured too.
+  ASSERT_TRUE(client.Send(
+      "SELECT KNN(nope, 3, AT(1, 2)) INTERSECT KNN(nope, 3, AT(2, 1));\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 2)) << response;
+  EXPECT_TRUE(response.find("\"code\": \"ParseError\"") !=
+              std::string::npos)
+      << response;
+  // And a good statement still executes on the same session.
+  ASSERT_TRUE(client.Send(std::string(kQuery) + "\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(HasId(response, 3)) << response;
+  EXPECT_TRUE(IsOk(response)) << response;
+}
+
+TEST(ServerFramingTest, OversizedStatementClosesConnection) {
+  ServerOptions options;
+  options.limits.max_request_bytes = 256;
+  ServerFixture fixture(options);
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(std::string(512, 'x')));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(response.find("\"code\": \"InvalidArgument\"") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("max_request_bytes") != std::string::npos)
+      << response;
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(fixture.server.metrics().oversized_requests.load(), 1u);
+}
+
+TEST(ServerFramingTest, OversizedCompleteStatementIsRejected) {
+  ServerOptions options;
+  options.limits.max_request_bytes = 128;
+  ServerFixture fixture(options);
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  // Complete and ';'-terminated in one write - the limit must hold
+  // even though the splitter can frame it.
+  const std::string statement =
+      "-- " + std::string(200, 'p') + "\nPING;\n";
+  ASSERT_TRUE(client.Send(statement));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(response.find("\"code\": \"InvalidArgument\"") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("max_request_bytes") != std::string::npos)
+      << response;
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(fixture.server.metrics().oversized_requests.load(), 1u);
+}
+
+TEST(ServerFramingTest, MidStatementDisconnectLeavesServerServing) {
+  ServerFixture fixture;
+  {
+    TestClient client(fixture.server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Send("SELECT KNN(e, 3, AT(1"));
+    client.Close();
+  }
+  // The counter updates after the reader notices EOF; poll for it.
+  for (int i = 0;
+       i < 200 &&
+       fixture.server.metrics().disconnects_mid_statement.load() == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fixture.server.metrics().disconnects_mid_statement.load(), 1u);
+  // A new client is served as if nothing happened.
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(std::string(kQuery) + "\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+}
+
+TEST(ServerFramingTest, IdleTimeoutClosesQuietConnection) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  ServerFixture fixture(options);
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(client.ReadEof(/*timeout_ms=*/5000));
+  EXPECT_EQ(fixture.server.metrics().idle_timeouts.load(), 1u);
+}
+
+// ------------------------------------------------- admin + backpressure
+
+TEST(ServerAdminTest, StatsPingAndMetricsVerbs) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING;\nSTATS;\nmetrics;\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(response.find("\"pong\": true") != std::string::npos)
+      << response;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_TRUE(IsOk(response)) << response;
+    EXPECT_TRUE(response.find("\"server\": {") != std::string::npos)
+        << response;
+    EXPECT_TRUE(response.find("\"engine\": {") != std::string::npos)
+        << response;
+    EXPECT_TRUE(response.find("\"query_latency\": {") !=
+                std::string::npos)
+        << response;
+  }
+}
+
+TEST(ServerBackpressureTest, OverloadIsStructuredAndBounded) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.limits.max_conn_inflight = 64;
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  engine_options.pool_queue_limit = 64;
+  ServerFixture fixture(options, engine_options);
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+
+  // 32 pipelined heavy-ish queries against a 1-slot admission gate:
+  // the gate must answer every statement - ok or a structured
+  // `overloaded` rejection - and never drop or reorder ids.
+  constexpr int kStatements = 32;
+  std::string burst;
+  for (int i = 0; i < kStatements; ++i) {
+    burst += "SELECT KNN(hot, 64, AT(" + std::to_string(100 + i) +
+             ", 200)) INTERSECT KNN(hot, 64, AT(300, " +
+             std::to_string(100 + i) + "));\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+
+  std::set<std::uint64_t> ids;
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  for (int i = 0; i < kStatements; ++i) {
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response)) << "response " << i;
+    ids.insert(IdOf(response));
+    if (IsOk(response)) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(response.find("\"code\": \"Unavailable\"") !=
+                  std::string::npos)
+          << response;
+      EXPECT_TRUE(response.find("overloaded") != std::string::npos)
+          << response;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kStatements));
+  EXPECT_EQ(ok + overloaded, static_cast<std::size_t>(kStatements));
+  EXPECT_GE(ok, 1u);  // The gate admits work; it does not deadlock.
+  EXPECT_EQ(fixture.server.metrics().overload_rejections.load(),
+            overloaded);
+}
+
+TEST(AdmissionControllerTest, GateSemantics) {
+  server::AdmissionController gate(2);
+  EXPECT_TRUE(gate.TryAcquire());
+  EXPECT_TRUE(gate.TryAcquire());
+  EXPECT_FALSE(gate.TryAcquire());
+  gate.Release();
+  EXPECT_TRUE(gate.TryAcquire());
+  EXPECT_EQ(gate.in_flight(), 2u);
+  std::thread releaser([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.Release();
+    gate.Release();
+  });
+  gate.WaitUntilIdle();
+  EXPECT_EQ(gate.in_flight(), 0u);
+  releaser.join();
+}
+
+// ------------------------------------------------------------ shutdown
+
+TEST(ServerShutdownTest, GracefulStopDrainsInFlightQueries) {
+  ServerOptions options;
+  // The whole burst must be admittable: this test is about the drain,
+  // not about backpressure.
+  options.max_inflight = 64;
+  options.limits.max_conn_inflight = 64;
+  ServerFixture fixture(options);
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  constexpr int kStatements = 24;
+  std::string burst;
+  for (int i = 0; i < kStatements; ++i) {
+    burst += "SELECT KNN(hot, 32, AT(" + std::to_string(10 * i) +
+             ", 50)) INTERSECT KNN(hot, 32, AT(60, " +
+             std::to_string(10 * i) + "));\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+  // Stop concurrently with the burst: every statement the server had
+  // accepted must still be answered (a dense id prefix 1..k - queries
+  // complete out of order but none admitted is dropped), then a clean
+  // EOF with no truncated line.
+  fixture.server.Stop();
+  std::set<std::uint64_t> ids;
+  std::string response;
+  while (client.ReadLine(&response, /*timeout_ms=*/2000)) {
+    EXPECT_TRUE(IsOk(response)) << response;
+    ids.insert(IdOf(response));
+  }
+  std::set<std::uint64_t> expected;
+  for (std::uint64_t id = 1; id <= ids.size(); ++id) expected.insert(id);
+  EXPECT_EQ(ids, expected);
+  // Stop is idempotent.
+  fixture.server.Stop();
+}
+
+TEST(ServerShutdownTest, ShutdownVerbStopsTheServer) {
+  ServerFixture fixture;
+  const auto response = server::SendAdminVerb(
+      "127.0.0.1", fixture.server.port(), "SHUTDOWN");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->find("\"shutting_down\": true") !=
+              std::string::npos)
+      << *response;
+  fixture.server.WaitUntilStopRequested();
+  fixture.server.Stop();
+  // The listener is gone.
+  TestClient late(fixture.server.port());
+  std::string line;
+  EXPECT_FALSE(late.ReadLine(&line, /*timeout_ms=*/200));
+}
+
+TEST(ServerShutdownTest, ShutdownVerbCanBeDisabled) {
+  ServerOptions options;
+  options.allow_remote_shutdown = false;
+  ServerFixture fixture(options);
+  const auto response = server::SendAdminVerb(
+      "127.0.0.1", fixture.server.port(), "SHUTDOWN");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->find("\"code\": \"Unsupported\"") !=
+              std::string::npos)
+      << *response;
+  // Still serving.
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING;\n"));
+  std::string line;
+  EXPECT_TRUE(client.ReadLine(&line));
+}
+
+// ------------------------------------------- concurrency (TSan target)
+
+TEST(ServerConcurrencyTest, ClientsRaceDmlAgainstQueries) {
+  ServerOptions options;
+  options.max_inflight = 32;
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.pool_queue_limit = 256;
+  engine_options.planner.cache_mb = 8;  // Exercise invalidation too.
+  ServerFixture fixture(options, engine_options);
+
+  constexpr int kQueryClients = 3;
+  constexpr int kDmlClients = 2;
+  constexpr int kIterations = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+
+  for (int c = 0; c < kQueryClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(fixture.server.port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string response;
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string x = std::to_string(50 + (c * 37 + i * 11) % 800);
+        if (!client.Send("SELECT KNN(hot, 8, AT(" + x +
+                         ", 300)) INTERSECT KNN(hot, 8, AT(400, " + x +
+                         "));\n") ||
+            !client.ReadLine(&response) ||
+            !HasId(response, static_cast<std::uint64_t>(i + 1)) ||
+            !IsOk(response)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kDmlClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(fixture.server.port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string response;
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string statement =
+            i % 2 == 0
+                ? "INSERT INTO hot VALUES (" + std::to_string(100 + i) +
+                      ", " + std::to_string(200 + c) + ");"
+                : "DELETE FROM hot WHERE ID = " +
+                      std::to_string(1000000 + c * 1000 + i) + ";";
+        if (!client.Send(statement + "\n") ||
+            !client.ReadLine(&response) ||
+            !HasId(response, static_cast<std::uint64_t>(i + 1)) ||
+            !IsOk(response)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fixture.server.metrics().errors.load(), 0u);
+  fixture.server.Stop();
+}
+
+// ------------------------------------------------- differential gate
+
+/// Strips the volatile `"stats": {...}` suffix (wall times differ run
+/// to run); everything before it - rows, algorithm, text - must match
+/// byte for byte.
+std::string StripStats(const std::string& record) {
+  const std::size_t at = record.find(", \"stats\": {");
+  return at == std::string::npos ? record : record.substr(0, at);
+}
+
+/// The "-- relations: a b c" header of a committed example script.
+std::vector<std::string> RelationsOf(const std::string& script) {
+  std::vector<std::string> names;
+  std::istringstream lines(script);
+  std::string line;
+  while (std::getline(lines, line)) {
+    constexpr std::string_view kHeader = "-- relations: ";
+    if (line.rfind(kHeader, 0) == 0) {
+      std::istringstream words(line.substr(kHeader.size()));
+      std::string word;
+      while (words >> word) names.push_back(word);
+      break;
+    }
+  }
+  return names;
+}
+
+/// What the server must answer for one statement, computed against a
+/// twin engine. Mirrors the session's dispatch exactly (the shared
+/// renderers in src/server/wire.h make this byte-accurate).
+std::string ExpectedRecord(QueryEngine& engine,
+                           const knnql::Statement& statement) {
+  if (const auto* query = std::get_if<knnql::Query>(&statement.body)) {
+    auto spec = engine.BindQuery(*query);
+    if (!spec.ok()) return server::JsonErrorRecord("", "", spec.status());
+    const std::string text = knnql::Unparse(*spec);
+    if (statement.explain) {
+      const auto explain = engine.Explain(*spec);
+      if (!explain.ok()) {
+        return server::JsonErrorRecord("query", text, explain.status());
+      }
+      return server::JsonExplainRecord(text, *explain);
+    }
+    const EngineResult run = engine.Run(*spec);
+    if (!run.ok()) {
+      return server::JsonErrorRecord("query", text, run.status);
+    }
+    return server::JsonQueryRecord(text, run);
+  }
+  auto dml = knnql::BindDml(statement.body, nullptr);
+  if (!dml.ok()) return server::JsonErrorRecord("", "", dml.status());
+  const std::string text = knnql::Unparse(*dml);
+  const EngineResult run = engine.ExecuteDml(*dml);
+  if (!run.ok()) {
+    return server::JsonErrorRecord("statement", text, run.status);
+  }
+  return server::JsonDmlRecord(text, run);
+}
+
+TEST(ServerDifferentialTest, ResponsesMatchLocalExecutionOnExamples) {
+  const std::filesystem::path dir =
+      std::filesystem::path(KNNQ_SOURCE_DIR) / "examples" / "queries";
+  // live_updates.knnql reloads from this committed path.
+  ASSERT_TRUE(
+      SaveCsv(testing::MakeCity(5000, 77), "/tmp/smoke.csv").ok());
+
+  std::vector<std::filesystem::path> scripts;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".knnql") {
+      scripts.push_back(entry.path());
+    }
+  }
+  std::sort(scripts.begin(), scripts.end());
+  ASSERT_FALSE(scripts.empty());
+
+  for (const auto& path : scripts) {
+    SCOPED_TRACE(path.filename().string());
+    auto script_text = ReadTextFile(path.string());
+    ASSERT_TRUE(script_text.ok()) << script_text.status().ToString();
+    const std::vector<std::string> relations = RelationsOf(*script_text);
+    ASSERT_FALSE(relations.empty());
+
+    // Twin catalogs from identical data; twin engines, cache on for
+    // the server (responses must not depend on it).
+    const auto make_catalog = [&relations] {
+      Catalog catalog;
+      std::uint64_t seed = 101;
+      for (const std::string& name : relations) {
+        EXPECT_TRUE(
+            catalog.AddRelation(name, testing::MakeCity(4000, seed++))
+                .ok());
+      }
+      return catalog;
+    };
+    EngineOptions server_engine_options;
+    server_engine_options.num_threads = 2;
+    server_engine_options.planner.cache_mb = 8;
+    QueryEngine served(make_catalog(), server_engine_options);
+    EngineOptions local_options;
+    local_options.num_threads = 1;
+    QueryEngine local(make_catalog(), local_options);
+
+    Server server(&served, {});
+    ASSERT_TRUE(server.Start().ok());
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+
+    auto statements = server::SplitStatements(*script_text);
+    ASSERT_TRUE(statements.ok()) << statements.status().ToString();
+    std::uint64_t id = 0;
+    for (const std::string& statement : *statements) {
+      const auto parsed = knnql::ParseScript(statement);
+      ASSERT_TRUE(parsed.ok())
+          << parsed.status().ToString() << "\n in: " << statement;
+      if (parsed->empty()) continue;  // Comment-only: no response.
+      // Closed loop keeps the two engines in lockstep across DML.
+      ASSERT_TRUE(client.Send(statement + "\n"));
+      std::string response;
+      ASSERT_TRUE(client.ReadLine(&response)) << statement;
+      const std::string expected = server::WithId(
+          ++id, ExpectedRecord(local, parsed->front()));
+      EXPECT_EQ(StripStats(response), StripStats(expected))
+          << "statement: " << statement;
+    }
+    server.Stop();
+  }
+}
+
+/// End-to-end loadgen sweep over one example workload: every response
+/// ok, ids in order, on several concurrent connections.
+TEST(ServerLoadgenTest, ConcurrentReplayIsClean) {
+  ServerFixture fixture;
+  const std::vector<std::string> statements = {
+      "SELECT KNN(e, 5, AT(100, 100)) INTERSECT KNN(e, 5, AT(120, 90));",
+      "EXPLAIN SELECT KNN(hot, 3, AT(10, 10)) INTERSECT "
+      "KNN(hot, 4, AT(20, 20));",
+      "JOIN KNN(e, hot, 2) WHERE INNER IN RANGE(0, 0, 400, 300);",
+  };
+  server::LoadgenOptions options;
+  options.port = fixture.server.port();
+  options.clients = 6;
+  options.repeat = 10;
+  const auto report = server::RunLoadgen(options, statements);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->requests, 6u * 10u * 3u);
+  EXPECT_EQ(report->ok_responses, report->requests);
+  EXPECT_TRUE(report->clean());
+  EXPECT_GT(report->p50_ms, 0.0);
+  EXPECT_GE(report->p99_ms, report->p50_ms);
+}
+
+}  // namespace
+}  // namespace knnq

@@ -1,0 +1,127 @@
+// ThreadPool: bounded-queue backpressure and drain-then-stop shutdown,
+// the primitives the server's admission control and graceful shutdown
+// are built on.
+
+#include "src/engine/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace knnq {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 1, .max_queue = 1});
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> ran{0};
+  // Occupy the single worker...
+  ASSERT_TRUE(pool.TrySubmit([opened, &ran] {
+    opened.wait();
+    ran.fetch_add(1);
+  }));
+  // ...wait until it is RUNNING (not queued), then fill the queue.
+  while (!pool.TrySubmit([opened, &ran] {
+    opened.wait();
+    ran.fetch_add(1);
+  })) {
+    std::this_thread::yield();
+  }
+  // Worker busy + queue full: the bound must hold from now on.
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  gate.set_value();
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 2);
+  // Room again after the drain.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, TrySubmitRunsEverythingItAccepted) {
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 2, .max_queue = 4});
+  std::atomic<int> ran{0};
+  int accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (pool.TrySubmit([&ran] { ran.fetch_add(1); })) ++accepted;
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), accepted);
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(ThreadPoolTest, SubmitBlocksUntilSpaceWithBoundedQueue) {
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 1, .max_queue = 1});
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.TrySubmit([opened] { opened.wait(); }));
+  while (!pool.TrySubmit([&ran] { ran.fetch_add(1); })) {
+    std::this_thread::yield();
+  }
+  // Queue full: this Submit must block until the gate opens, then
+  // still run its task.
+  std::atomic<bool> submitted{false};
+  std::thread blocked([&] {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(submitted.load());
+  gate.set_value();
+  blocked.join();
+  EXPECT_TRUE(submitted.load());
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 1});
+  pool.Submit([opened] { opened.wait(); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  // Shutdown must finish all ten queued tasks (the destructor would
+  // have discarded them), even when it starts while the worker is
+  // still blocked on the first.
+  std::thread stopper([&pool] { pool.Shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();
+  stopper.join();
+  EXPECT_EQ(ran.load(), 10);
+  // Idempotent, and post-shutdown submissions are dropped, not run.
+  pool.Shutdown();
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, DrainOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Drain();
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace knnq

@@ -1,22 +1,30 @@
 #!/usr/bin/env python3
-"""Gate BENCH_engine_batch.json against a committed baseline.
+"""Gate a knnq bench JSON artifact against a committed baseline.
 
 Usage: check_bench.py CURRENT_JSON BASELINE_JSON [--threshold 0.25]
 
 Machines differ, so absolute throughput is never compared. Every
-benchmark row's qps is normalized by the same file's serial reference
-row ("serial/uniform/uncached"), which cancels the host's speed; the
-gate fails when a row's normalized throughput drops more than
---threshold (default 25%) below the baseline's normalized value.
+benchmark row's qps is normalized by the same file's reference row
+(the document's "reference" field; "serial/uniform/uncached" when
+absent), which cancels the host's speed; the gate fails when a row's
+normalized throughput drops more than --threshold (default 25%) below
+the baseline's normalized value.
 
-Three absolute invariants from the cache's and the mutation path's
-acceptance criteria are also enforced, because they are
-machine-independent ratios measured within one run:
+Absolute invariants - machine-independent ratios measured within one
+run - are also enforced per bench kind:
+
+engine_batch (bench_engine_batch):
   * skewed_speedup_t1   >= 1.3  (cached skewed batch beats uncached)
   * skewed_hit_rate     >= 0.5  (the skew actually hits the cache)
   * churn_read_ratio_t4 >= 0.5  (interleaving updates keeps at least
     half the read-only throughput; enforced when the current run
     includes the churn benchmarks)
+
+server (bench_server):
+  * server_vs_inprocess_t4c8 >= 0.7  (8 loadgen clients over loopback
+    TCP sustain at least 70% of in-process RunBatch throughput at the
+    same engine config - the serving-layer acceptance floor)
+  * total_errors == 0                (zero response/ordering errors)
 
 Exit code 0 = pass, 1 = regression or malformed input.
 """
@@ -25,10 +33,11 @@ import argparse
 import json
 import sys
 
-SERIAL_REF = "serial/uniform/uncached"
+DEFAULT_REF = "serial/uniform/uncached"
 MIN_SKEWED_SPEEDUP = 1.3
 MIN_SKEWED_HIT_RATE = 0.5
 MIN_CHURN_READ_RATIO = 0.5
+MIN_SERVER_RATIO = 0.7
 
 
 def load(path):
@@ -37,18 +46,68 @@ def load(path):
 
 
 def normalized_qps(doc, path):
+    ref_name = doc.get("reference", DEFAULT_REF)
     rows = {b["name"]: b for b in doc.get("benchmarks", [])}
-    ref = rows.get(SERIAL_REF)
+    ref = rows.get(ref_name)
     if ref is None or ref.get("qps", 0) <= 0:
-        sys.exit(f"{path}: missing or zero serial reference row "
-                 f"'{SERIAL_REF}'")
+        sys.exit(f"{path}: missing or zero reference row '{ref_name}'")
     # churn/* rows are excluded from the row-by-row comparison: their
     # wall time mixes query and mutation work and is noisy run to run;
     # the dedicated churn_read_ratio_t4 floor below gates them with a
     # within-run (machine-independent) ratio instead.
     return {name: b["qps"] / ref["qps"] for name, b in rows.items()
-            if name != SERIAL_REF and b.get("qps", 0) > 0
+            if name != ref_name and b.get("qps", 0) > 0
             and not name.startswith("churn/")}
+
+
+def check_engine_batch(current, baseline, failures):
+    summary = current.get("summary", {})
+    speedup = summary.get("skewed_speedup_t1", 0.0)
+    hit_rate = summary.get("skewed_hit_rate", 0.0)
+    print(f"\nskewed_speedup_t1={speedup:.2f}x "
+          f"(floor {MIN_SKEWED_SPEEDUP}x), "
+          f"skewed_hit_rate={hit_rate:.2%} "
+          f"(floor {MIN_SKEWED_HIT_RATE:.0%})")
+    if speedup < MIN_SKEWED_SPEEDUP:
+        failures.append(f"skewed_speedup_t1 {speedup:.2f}x is below the "
+                        f"{MIN_SKEWED_SPEEDUP}x floor")
+    if hit_rate < MIN_SKEWED_HIT_RATE:
+        failures.append(f"skewed_hit_rate {hit_rate:.2%} is below the "
+                        f"{MIN_SKEWED_HIT_RATE:.0%} floor")
+
+    churn_ratio = summary.get("churn_read_ratio_t4", 0.0)
+    if churn_ratio > 0.0:
+        print(f"churn_read_ratio_t4={churn_ratio:.2f}x "
+              f"(floor {MIN_CHURN_READ_RATIO}x, update:query "
+              f"{summary.get('churn_updates_per_queries', '?')})")
+        if churn_ratio < MIN_CHURN_READ_RATIO:
+            failures.append(
+                f"churn_read_ratio_t4 {churn_ratio:.2f}x is below the "
+                f"{MIN_CHURN_READ_RATIO}x floor")
+    else:
+        # A filtered run skipped the churn benchmarks; only flag that
+        # when the baseline promises them.
+        if "churn_read_ratio_t4" in baseline.get("summary", {}) and \
+                baseline["summary"]["churn_read_ratio_t4"] > 0.0:
+            failures.append("current run is missing the churn "
+                            "benchmarks the baseline includes")
+
+
+def check_server(current, failures):
+    summary = current.get("summary", {})
+    ratio = summary.get("server_vs_inprocess_t4c8", 0.0)
+    skewed = summary.get("server_vs_inprocess_t4c8_skewed", 0.0)
+    errors = summary.get("total_errors", None)
+    print(f"\nserver_vs_inprocess_t4c8={ratio:.2f}x "
+          f"(floor {MIN_SERVER_RATIO}x), skewed={skewed:.2f}x, "
+          f"total_errors={errors}")
+    if ratio < MIN_SERVER_RATIO:
+        failures.append(
+            f"server_vs_inprocess_t4c8 {ratio:.2f}x is below the "
+            f"{MIN_SERVER_RATIO}x floor")
+    if errors is None or errors != 0:
+        failures.append(f"server bench reported {errors} "
+                        f"response/ordering errors (want 0)")
 
 
 def main():
@@ -83,36 +142,11 @@ def main():
         print(f"{name:<32} {base_rel[name]:>8.3f} {cur_rel[name]:>8.3f} "
               f"{ratio:>7.3f}{flag}")
 
-    summary = current.get("summary", {})
-    speedup = summary.get("skewed_speedup_t1", 0.0)
-    hit_rate = summary.get("skewed_hit_rate", 0.0)
-    print(f"\nskewed_speedup_t1={speedup:.2f}x "
-          f"(floor {MIN_SKEWED_SPEEDUP}x), "
-          f"skewed_hit_rate={hit_rate:.2%} "
-          f"(floor {MIN_SKEWED_HIT_RATE:.0%})")
-    if speedup < MIN_SKEWED_SPEEDUP:
-        failures.append(f"skewed_speedup_t1 {speedup:.2f}x is below the "
-                        f"{MIN_SKEWED_SPEEDUP}x floor")
-    if hit_rate < MIN_SKEWED_HIT_RATE:
-        failures.append(f"skewed_hit_rate {hit_rate:.2%} is below the "
-                        f"{MIN_SKEWED_HIT_RATE:.0%} floor")
-
-    churn_ratio = summary.get("churn_read_ratio_t4", 0.0)
-    if churn_ratio > 0.0:
-        print(f"churn_read_ratio_t4={churn_ratio:.2f}x "
-              f"(floor {MIN_CHURN_READ_RATIO}x, update:query "
-              f"{summary.get('churn_updates_per_queries', '?')})")
-        if churn_ratio < MIN_CHURN_READ_RATIO:
-            failures.append(
-                f"churn_read_ratio_t4 {churn_ratio:.2f}x is below the "
-                f"{MIN_CHURN_READ_RATIO}x floor")
+    kind = current.get("bench", "engine_batch")
+    if kind == "server":
+        check_server(current, failures)
     else:
-        # A filtered run skipped the churn benchmarks; only flag that
-        # when the baseline promises them.
-        if "churn_read_ratio_t4" in baseline.get("summary", {}) and \
-                baseline["summary"]["churn_read_ratio_t4"] > 0.0:
-            failures.append("current run is missing the churn "
-                            "benchmarks the baseline includes")
+        check_engine_batch(current, baseline, failures)
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

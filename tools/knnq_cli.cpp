@@ -9,6 +9,10 @@
 //   knnq_cli query --data NAME=FILE [--data NAME=FILE ...]
 //            [-e "KNNQL"] [--file SCRIPT.knnql] [--json] [--naive]
 //            [--index TYPE] [--cache-mb M]
+//   knnq_cli serve --data NAME=FILE [--data NAME=FILE ...]
+//            [--host H] [--port P] [--threads T] [--max-inflight M]
+//            [--max-conn-inflight M] [--max-request-bytes B]
+//            [--idle-timeout-ms T] [--cache-mb M] [--index TYPE]
 //   knnq_cli two-selects --data FILE --f1 X,Y --k1 K --f2 X,Y --k2 K
 //            [--naive]
 //   knnq_cli select-inner-join --outer FILE --inner FILE --join-k K
@@ -33,8 +37,10 @@
 // Dataset files are produced by `generate` (CSV: id,x,y with a header;
 // .bin: the knnq binary format).
 
+#include <csignal>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +65,8 @@
 #include "src/lang/parser.h"
 #include "src/planner/catalog.h"
 #include "src/planner/optimizer.h"
+#include "src/server/server.h"
+#include "src/server/wire.h"
 
 namespace {
 
@@ -277,96 +285,9 @@ int CmdKnn(const Args& args) {
 }
 
 // --------------------------------------------------------------- query
-
-/// JSON string escaping (quotes, backslash, control characters).
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 8);
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string JsonPoint(const Point& p) {
-  return "{\"id\": " + std::to_string(p.id) +
-         ", \"x\": " + knnql::FormatNumber(p.x) +
-         ", \"y\": " + knnql::FormatNumber(p.y) + "}";
-}
-
-/// The result rows as a JSON field pair: `"result_type": ..., "rows":
-/// [...]`. Points carry coordinates; triplets are id-only, like their
-/// C++ counterparts.
-std::string JsonRows(const QueryOutput& output) {
-  std::string out;
-  std::visit(
-      [&](const auto& result) {
-        using T = std::decay_t<decltype(result)>;
-        if constexpr (std::is_same_v<T, TwoSelectsResult>) {
-          out = "\"result_type\": \"points\", \"rows\": [";
-          for (std::size_t i = 0; i < result.size(); ++i) {
-            if (i > 0) out += ", ";
-            out += JsonPoint(result[i]);
-          }
-        } else if constexpr (std::is_same_v<T, JoinResult>) {
-          out = "\"result_type\": \"pairs\", \"rows\": [";
-          for (std::size_t i = 0; i < result.size(); ++i) {
-            if (i > 0) out += ", ";
-            out += "{\"outer\": " + JsonPoint(result[i].outer) +
-                   ", \"inner\": " + JsonPoint(result[i].inner) + "}";
-          }
-        } else {
-          out = "\"result_type\": \"triplets\", \"rows\": [";
-          for (std::size_t i = 0; i < result.size(); ++i) {
-            if (i > 0) out += ", ";
-            out += "{\"a\": " + std::to_string(result[i].a) +
-                   ", \"b\": " + std::to_string(result[i].b) +
-                   ", \"c\": " + std::to_string(result[i].c) + "}";
-          }
-        }
-        out += "]";
-      },
-      output);
-  return out;
-}
-
-std::string JsonStats(const ExecStats& stats) {
-  return "{\"blocks_scanned\": " + std::to_string(stats.blocks_scanned) +
-         ", \"points_compared\": " + std::to_string(stats.points_compared) +
-         ", \"neighborhoods_computed\": " +
-         std::to_string(stats.neighborhoods_computed) +
-         ", \"candidates_pruned\": " +
-         std::to_string(stats.candidates_pruned) +
-         ", \"cache_hits\": " + std::to_string(stats.cache_hits) +
-         ", \"cache_misses\": " + std::to_string(stats.cache_misses) +
-         ", \"cache_bytes\": " + std::to_string(stats.cache_bytes) +
-         ", \"wall_ms\": " +
-         knnql::FormatNumber(stats.wall_seconds * 1e3) + "}";
-}
+//
+// JSON output goes through src/server/wire.h: the network server and
+// `--json` emit byte-identical records for the same outcome.
 
 void PrintHumanResult(const EngineResult& run) {
   std::printf("%s", run.explain.c_str());
@@ -391,8 +312,8 @@ void PrintHumanResult(const EngineResult& run) {
 /// must still land on stdout as a JSON record.
 int FailStatement(const Status& status, bool json) {
   if (json) {
-    std::printf("{\"status\": \"error\", \"error\": \"%s\"}\n",
-                JsonEscape(status.ToString()).c_str());
+    std::printf("%s\n",
+                server::JsonErrorRecord("", "", status).c_str());
     return 1;
   }
   return Fail(status);
@@ -402,44 +323,18 @@ int FailStatement(const Status& status, bool json) {
 /// outcome in the requested format.
 int ExecuteDml(QueryEngine& engine, const knnql::DmlSpec& dml, bool json) {
   const std::string text = knnql::Unparse(dml);
-  EngineResult run;
-  switch (dml.kind) {
-    case knnql::DmlSpec::Kind::kInsert: {
-      std::vector<MutationOp> ops;
-      ops.reserve(dml.rows.size());
-      for (const Point& row : dml.rows) {
-        ops.push_back(MutationOp::Insert(row.x, row.y));
-      }
-      run = engine.Mutate(dml.relation, ops);
-      break;
-    }
-    case knnql::DmlSpec::Kind::kDelete:
-      run = engine.Mutate(dml.relation, {MutationOp::Erase(dml.id)});
-      break;
-    case knnql::DmlSpec::Kind::kLoad: {
-      auto points = LoadPoints(dml.path);
-      if (!points.ok()) {
-        run.status = points.status();
-        break;
-      }
-      run = engine.LoadRelation(dml.relation, std::move(points.value()));
-      break;
-    }
-  }
+  const EngineResult run = engine.ExecuteDml(dml);
   if (!run.ok()) {
     if (json) {
-      std::printf("{\"statement\": \"%s\", \"status\": \"error\", "
-                  "\"error\": \"%s\"}\n",
-                  JsonEscape(text).c_str(),
-                  JsonEscape(run.status.ToString()).c_str());
+      std::printf(
+          "%s\n",
+          server::JsonErrorRecord("statement", text, run.status).c_str());
       return 1;
     }
     return Fail(run.status);
   }
   if (json) {
-    std::printf("{\"statement\": \"%s\", \"status\": \"ok\", "
-                "\"rows_affected\": %zu}\n",
-                JsonEscape(text).c_str(), run.rows_affected);
+    std::printf("%s\n", server::JsonDmlRecord(text, run).c_str());
   } else {
     std::printf("%s", run.explain.c_str());
   }
@@ -464,25 +359,22 @@ int ExecuteStatement(QueryEngine& engine,
 
   const std::string text = knnql::Unparse(spec);
   if (statement.explain) {
-    const auto plan =
-        Optimize(engine.catalog(), spec, engine.options().planner);
-    if (!plan.ok()) {
+    const auto explain = engine.Explain(spec);
+    if (!explain.ok()) {
       if (json) {
-        std::printf("{\"query\": \"%s\", \"status\": \"error\", "
-                    "\"error\": \"%s\"}\n",
-                    JsonEscape(text).c_str(),
-                    JsonEscape(plan.status().ToString()).c_str());
+        std::printf("%s\n",
+                    server::JsonErrorRecord("query", text,
+                                            explain.status())
+                        .c_str());
         return 1;
       }
-      return Fail(plan.status());
+      return Fail(explain.status());
     }
     if (json) {
-      std::printf("{\"query\": \"%s\", \"status\": \"ok\", "
-                  "\"explain\": \"%s\"}\n",
-                  JsonEscape(text).c_str(),
-                  JsonEscape(plan->Explain()).c_str());
+      std::printf("%s\n",
+                  server::JsonExplainRecord(text, *explain).c_str());
     } else {
-      std::printf("%s", plan->Explain().c_str());
+      std::printf("%s", explain->c_str());
     }
     return 0;
   }
@@ -490,20 +382,15 @@ int ExecuteStatement(QueryEngine& engine,
   const EngineResult run = engine.Run(spec);
   if (!run.ok()) {
     if (json) {
-      std::printf("{\"query\": \"%s\", \"status\": \"error\", "
-                  "\"error\": \"%s\"}\n",
-                  JsonEscape(text).c_str(),
-                  JsonEscape(run.status.ToString()).c_str());
+      std::printf(
+          "%s\n",
+          server::JsonErrorRecord("query", text, run.status).c_str());
       return 1;
     }
     return Fail(run.status);
   }
   if (json) {
-    std::printf("{\"query\": \"%s\", \"status\": \"ok\", "
-                "\"algorithm\": \"%s\", %s, \"stats\": %s}\n",
-                JsonEscape(text).c_str(), ToString(run.algorithm),
-                JsonRows(run.output).c_str(),
-                JsonStats(run.stats).c_str());
+    std::printf("%s\n", server::JsonQueryRecord(text, run).c_str());
   } else {
     PrintHumanResult(run);
   }
@@ -514,8 +401,8 @@ int ExecuteStatement(QueryEngine& engine,
 /// land on stdout as a JSON record, not as a bare stderr line.
 int FailScript(const Status& status, bool json) {
   if (json) {
-    std::printf("{\"status\": \"error\", \"error\": \"%s\"}\n",
-                JsonEscape(status.ToString()).c_str());
+    std::printf("%s\n",
+                server::JsonErrorRecord("", "", status).c_str());
     return 1;
   }
   return Fail(status);
@@ -600,12 +487,42 @@ int RunRepl(QueryEngine& engine, bool json) {
   return interactive ? 0 : rc;
 }
 
-int CmdQuery(const Args& args) {
+/// Loads every --data NAME=FILE relation into `catalog` (shared by
+/// `query` and `serve`).
+Status BuildCatalog(const Args& args, const IndexOptions& index_options,
+                    Catalog* catalog) {
   const std::vector<std::string> data = args.GetAll("--data");
   if (data.empty()) {
-    return Fail(Status::InvalidArgument(
-        "query needs at least one --data NAME=FILE"));
+    return Status::InvalidArgument("need at least one --data NAME=FILE");
   }
+  for (const std::string& spec : data) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Status::InvalidArgument(
+          "--data must look like NAME=FILE, got: " + spec);
+    }
+    const std::string name = spec.substr(0, eq);
+    // A relation no KNNQL statement could reference (keyword, bad
+    // character) is a mistake better caught at load time.
+    const auto tokens = knnql::Tokenize(name);
+    if (!tokens.ok() || tokens->size() != 2 ||
+        (*tokens)[0].kind != knnql::TokenKind::kIdentifier ||
+        (*tokens)[0].text != name) {
+      return Status::InvalidArgument(
+          "--data relation name '" + name +
+          "' must be a KNNQL identifier ([A-Za-z_][A-Za-z0-9_]*, "
+          "not a keyword)");
+    }
+    auto points = LoadPoints(spec.substr(eq + 1));
+    if (!points.ok()) return points.status();
+    const Status added = catalog->AddRelation(
+        name, std::move(points.value()), index_options);
+    if (!added.ok()) return added;
+  }
+  return Status::Ok();
+}
+
+int CmdQuery(const Args& args) {
   if (args.Has("-e") && args.Has("--file")) {
     return Fail(Status::InvalidArgument(
         "pass statements with -e or --file, not both"));
@@ -616,29 +533,9 @@ int CmdQuery(const Args& args) {
   index_options.type = *type;
 
   Catalog catalog;
-  for (const std::string& spec : data) {
-    const std::size_t eq = spec.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
-      return Fail(Status::InvalidArgument(
-          "--data must look like NAME=FILE, got: " + spec));
-    }
-    const std::string name = spec.substr(0, eq);
-    // A relation no KNNQL statement could reference (keyword, bad
-    // character) is a mistake better caught at load time.
-    const auto tokens = knnql::Tokenize(name);
-    if (!tokens.ok() || tokens->size() != 2 ||
-        (*tokens)[0].kind != knnql::TokenKind::kIdentifier ||
-        (*tokens)[0].text != name) {
-      return Fail(Status::InvalidArgument(
-          "--data relation name '" + name +
-          "' must be a KNNQL identifier ([A-Za-z_][A-Za-z0-9_]*, "
-          "not a keyword)"));
-    }
-    auto points = LoadPoints(spec.substr(eq + 1));
-    if (!points.ok()) return Fail(points.status());
-    const Status added = catalog.AddRelation(
-        name, std::move(points.value()), index_options);
-    if (!added.ok()) return Fail(added);
+  if (const Status s = BuildCatalog(args, index_options, &catalog);
+      !s.ok()) {
+    return Fail(s);
   }
 
   auto cache_mb = args.GetSizeOr("--cache-mb", 0);
@@ -664,6 +561,106 @@ int CmdQuery(const Args& args) {
     return RunKnnqlText(engine, *script, json);
   }
   return RunRepl(engine, json);
+}
+
+// ---------------------------------------------------------------- serve
+
+/// The live server a termination signal should stop. Lock-free atomic:
+/// a plain pointer read from a signal handler racing the main thread's
+/// store is undefined behavior.
+std::atomic<server::Server*> g_serving{nullptr};
+
+/// SIGINT/SIGTERM begin the same graceful drain the SHUTDOWN verb
+/// does. RequestStop is async-signal-safe (atomic store + pipe write).
+void HandleTermSignal(int) {
+  server::Server* serving = g_serving.load();
+  if (serving != nullptr) serving->RequestStop();
+}
+
+int CmdServe(const Args& args) {
+  auto type = ParseIndexType(args.GetOr("--index", "grid"));
+  if (!type.ok()) return Fail(type.status());
+  IndexOptions index_options;
+  index_options.type = *type;
+
+  Catalog catalog;
+  if (const Status s = BuildCatalog(args, index_options, &catalog);
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  auto cache_mb = args.GetSizeOr("--cache-mb", 0);
+  auto threads = args.GetSizeOr("--threads", 0);
+  auto port = args.GetSizeOr("--port", 4410);
+  auto max_inflight = args.GetSizeOr("--max-inflight", 64);
+  auto max_conn_inflight = args.GetSizeOr("--max-conn-inflight", 16);
+  auto max_request_bytes =
+      args.GetSizeOr("--max-request-bytes", std::size_t{1} << 20);
+  auto idle_timeout_ms = args.GetSizeOr("--idle-timeout-ms", 0);
+  for (const auto* flag :
+       {&cache_mb, &threads, &port, &max_inflight, &max_conn_inflight,
+        &max_request_bytes, &idle_timeout_ms}) {
+    if (!flag->ok()) return Fail(flag->status());
+  }
+  if (*port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be <= 65535"));
+  }
+
+  EngineOptions options;
+  options.num_threads = *threads;
+  options.planner.force_naive = args.Has("--naive");
+  options.planner.cache_mb = *cache_mb;
+  options.index_options = index_options;
+  // Engine-side backpressure: the pool queue bounds what admission
+  // control has already granted, with headroom for DML and drains.
+  options.pool_queue_limit =
+      *max_inflight > 0 ? *max_inflight * 2 : std::size_t{0};
+  QueryEngine engine(std::move(catalog), options);
+
+  server::ServerOptions server_options;
+  server_options.host = args.GetOr("--host", "127.0.0.1");
+  server_options.port = static_cast<std::uint16_t>(*port);
+  server_options.max_inflight = *max_inflight;
+  server_options.limits.max_conn_inflight = *max_conn_inflight;
+  server_options.limits.max_request_bytes = *max_request_bytes;
+  server_options.idle_timeout_ms = static_cast<int>(*idle_timeout_ms);
+  server::Server server(&engine, server_options);
+
+  // Listed before Start(): once the server accepts, clients may be
+  // mutating the catalog already.
+  for (const std::string& name : engine.catalog().Names()) {
+    std::printf("  relation %s (%zu points)\n", name.c_str(),
+                engine.catalog().Get(name).value()->index->num_points());
+  }
+  if (const Status started = server.Start(); !started.ok()) {
+    return Fail(started);
+  }
+  g_serving = &server;
+  std::signal(SIGINT, HandleTermSignal);
+  std::signal(SIGTERM, HandleTermSignal);
+
+  std::printf("serving KNNQL on %s:%u (%zu worker threads, "
+              "max in-flight %zu, cache %zu MiB)\n",
+              server_options.host.c_str(), server.port(),
+              engine.num_threads(), *max_inflight, *cache_mb);
+  std::fflush(stdout);
+
+  server.WaitUntilStopRequested();
+  std::printf("shutdown requested; draining in-flight queries...\n");
+  std::fflush(stdout);
+  server.Stop();
+  g_serving = nullptr;
+
+  const auto& metrics = server.metrics();
+  std::printf(
+      "served %llu requests (%llu responses, %llu errors, %llu "
+      "overload rejections) on %llu connections; clean shutdown\n",
+      static_cast<unsigned long long>(metrics.requests.load()),
+      static_cast<unsigned long long>(metrics.responses.load()),
+      static_cast<unsigned long long>(metrics.errors.load()),
+      static_cast<unsigned long long>(metrics.overload_rejections.load()),
+      static_cast<unsigned long long>(metrics.connections_opened.load()));
+  return 0;
 }
 
 // ------------------------------------------------- per-shape commands
@@ -816,6 +813,11 @@ void PrintUsage() {
       "  knn                --data F --at X,Y --k K\n"
       "  query              --data NAME=F [--data NAME=F ...]\n"
       "                     [-e \"KNNQL\"] [--file SCRIPT.knnql] [--json]\n"
+      "  serve              --data NAME=F [--data NAME=F ...]\n"
+      "                     [--host H] [--port P] [--threads T]\n"
+      "                     [--max-inflight M] [--max-conn-inflight M]\n"
+      "                     [--max-request-bytes B] [--idle-timeout-ms T]\n"
+      "                     [--cache-mb M] [--index TYPE]\n"
       "  two-selects        --data F --f1 X,Y --k1 K --f2 X,Y --k2 K\n"
       "  select-inner-join  --outer F --inner F --join-k K --focal X,Y\n"
       "                     --select-k K\n"
@@ -823,6 +825,9 @@ void PrintUsage() {
       "                     --range X1,Y1,X2,Y2\n"
       "  chained            --a F --b F --c F --k-ab K --k-bc K\n"
       "  unchained          --a F --b F --c F --k-ab K --k-cb K\n"
+      "serve runs the KNNQL network server (newline-delimited KNNQL in,\n"
+      "JSONL out; see README \"Serving KNNQL\"); drive it with\n"
+      "knnq_loadgen or any line-oriented TCP client.\n"
       "query reads KNNQL statements (-e, --file, or a REPL; see README),\n"
       "including DML: INSERT INTO r VALUES (x, y), ...; DELETE FROM r\n"
       "WHERE ID = n; LOAD r FROM 'file';\n"
@@ -846,6 +851,7 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(*args);
   if (command == "knn") return CmdKnn(*args);
   if (command == "query") return CmdQuery(*args);
+  if (command == "serve") return CmdServe(*args);
   if (command == "two-selects") return CmdTwoSelects(*args);
   if (command == "select-inner-join") return CmdSelectInnerJoin(*args);
   if (command == "range-inner-join") return CmdRangeInnerJoin(*args);

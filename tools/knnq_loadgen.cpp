@@ -1,0 +1,158 @@
+// knnq_loadgen: multi-threaded closed-loop client for `knnq_cli
+// serve`. Replays .knnql workloads over N concurrent connections and
+// reports throughput plus latency percentiles; every response is
+// checked (id ordering, status), so a clean run is also a protocol
+// conformance pass.
+//
+// Usage:
+//   knnq_loadgen --port P [--host H] [--clients N] [--repeat R]
+//                --file WORKLOAD.knnql [--file ...] [--json]
+//   knnq_loadgen --port P --shutdown      # graceful server stop
+//   knnq_loadgen --port P --stats         # print the STATS record
+//
+// Exit code 0 only when every response arrived, in order, with
+// status ok - the CI smoke step's zero-error assertion.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset_io.h"
+#include "src/server/loadgen.h"
+#include "src/server/wire.h"
+
+namespace {
+
+using namespace knnq;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  std::size_t port = 0;
+  std::size_t clients = 4;
+  std::size_t repeat = 1;
+  std::vector<std::string> files;
+  bool json = false;
+  bool shutdown = false;
+  bool stats = false;
+};
+
+Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      flags.json = true;
+      continue;
+    }
+    if (flag == "--shutdown") {
+      flags.shutdown = true;
+      continue;
+    }
+    if (flag == "--stats") {
+      flags.stats = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for " + flag);
+    }
+    const std::string value = argv[++i];
+    if (flag == "--host") {
+      flags.host = value;
+    } else if (flag == "--port") {
+      flags.port = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (flag == "--clients") {
+      flags.clients = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (flag == "--repeat") {
+      flags.repeat = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (flag == "--file") {
+      flags.files.push_back(value);
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  if (flags.port == 0 || flags.port > 65535) {
+    return Status::InvalidArgument("--port (1-65535) is required");
+  }
+  return flags;
+}
+
+void PrintReport(const server::LoadgenReport& report, bool json) {
+  if (json) {
+    std::printf(
+        "{\"clients\": %zu, \"requests\": %zu, \"ok_responses\": %zu, "
+        "\"error_responses\": %zu, \"protocol_errors\": %zu, "
+        "\"wall_seconds\": %.6f, \"qps\": %.2f, \"mean_ms\": %.3f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"max_ms\": %.3f}\n",
+        report.clients, report.requests, report.ok_responses,
+        report.error_responses, report.protocol_errors,
+        report.wall_seconds, report.qps(), report.mean_ms, report.p50_ms,
+        report.p95_ms, report.p99_ms, report.max_ms);
+    return;
+  }
+  std::printf("%zu clients, %zu requests in %.2fs: %.1f req/s\n",
+              report.clients, report.requests, report.wall_seconds,
+              report.qps());
+  std::printf("latency ms: mean %.3f, p50 %.3f, p95 %.3f, p99 %.3f, "
+              "max %.3f\n",
+              report.mean_ms, report.p50_ms, report.p95_ms, report.p99_ms,
+              report.max_ms);
+  if (!report.clean()) {
+    std::printf("FAILURES: %zu error responses, %zu protocol errors\n",
+                report.error_responses, report.protocol_errors);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr,
+                 "usage: knnq_loadgen --port P [--host H] [--clients N] "
+                 "[--repeat R] --file W.knnql [--file ...] [--json] | "
+                 "--shutdown | --stats\n");
+    return Fail(flags.status());
+  }
+  const auto port = static_cast<std::uint16_t>(flags->port);
+
+  if (flags->shutdown || flags->stats) {
+    const auto response = server::SendAdminVerb(
+        flags->host, port, flags->shutdown ? "SHUTDOWN" : "STATS");
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", response->c_str());
+    return 0;
+  }
+
+  if (flags->files.empty()) {
+    return Fail(Status::InvalidArgument(
+        "pass at least one --file WORKLOAD.knnql"));
+  }
+  std::vector<std::string> statements;
+  for (const std::string& path : flags->files) {
+    auto text = ReadTextFile(path);
+    if (!text.ok()) return Fail(text.status());
+    auto split = server::SplitStatements(*text);
+    if (!split.ok()) return Fail(split.status());
+    statements.insert(statements.end(), split->begin(), split->end());
+  }
+
+  server::LoadgenOptions options;
+  options.host = flags->host;
+  options.port = port;
+  options.clients = flags->clients;
+  options.repeat = flags->repeat;
+  const auto report = server::RunLoadgen(options, statements);
+  if (!report.ok()) return Fail(report.status());
+  PrintReport(*report, flags->json);
+  return report->clean() ? 0 : 1;
+}
