@@ -88,9 +88,9 @@ EngineStatsSnapshot QueryEngine::StatsSnapshot() const {
   return cumulative_;
 }
 
-void QueryEngine::SubmitQuery(QuerySpec spec,
+bool QueryEngine::SubmitQuery(QuerySpec spec,
                               std::function<void(EngineResult)> done) const {
-  pool_->Submit(
+  return pool_->Submit(
       [this, spec = std::move(spec), done = std::move(done)]() mutable {
         done(Run(spec));
       });
@@ -182,10 +182,18 @@ std::vector<EngineResult> QueryEngine::RunBatch(
   // themselves stay lock-free among each other.
   std::latch done(static_cast<std::ptrdiff_t>(specs.size()));
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    pool_->Submit([this, &specs, &results, &done, i] {
+    const bool submitted = pool_->Submit([this, &specs, &results, &done, i] {
       results[i] = Run(specs[i]);
       done.count_down();
     });
+    if (!submitted) {
+      // The pool is stopping; the task will never run, so its slot
+      // fails and its latch count settles here instead of deadlocking
+      // the batch.
+      results[i].status =
+          Status::Unavailable("engine pool is shutting down");
+      done.count_down();
+    }
   }
   done.wait();
   return results;

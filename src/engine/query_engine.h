@@ -147,8 +147,10 @@ class QueryEngine {
   /// primitive: plans and executes `spec` on the worker pool and
   /// invokes `done` with the outcome on the worker thread. `done` must
   /// not throw and must outlive the engine's pool (servers drain
-  /// in-flight work before destroying the engine).
-  void SubmitQuery(QuerySpec spec,
+  /// in-flight work before destroying the engine). Returns false when
+  /// the pool is shutting down: the query was dropped and `done` will
+  /// never run.
+  bool SubmitQuery(QuerySpec spec,
                    std::function<void(EngineResult)> done) const;
 
   /// Like SubmitQuery, but refuses instead of waiting when the pool's

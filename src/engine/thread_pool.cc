@@ -32,7 +32,7 @@ void ThreadPool::Stop(bool drain) {
   joined_ = true;
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (max_queue_ > 0) {
@@ -40,10 +40,11 @@ void ThreadPool::Submit(std::function<void()> task) {
         return stopping_ || queue_.size() < max_queue_;
       });
     }
-    if (stopping_) return;
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {

@@ -53,9 +53,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution on some worker; with a bounded
-  /// queue, blocks until there is room. Tasks must not throw;
-  /// submitting after shutdown begins silently drops the task.
-  void Submit(std::function<void()> task);
+  /// queue, blocks until there is room. Tasks must not throw. Returns
+  /// false when shutdown has begun: the task was dropped, and callers
+  /// synchronizing on its completion (a latch, a counter) must settle
+  /// it themselves instead of waiting forever.
+  bool Submit(std::function<void()> task);
 
   /// Like Submit, but never blocks: returns false instead when the
   /// bounded queue is full or the pool is stopping. The task was not

@@ -21,17 +21,25 @@ namespace knnq::server {
 
 namespace {
 
-/// Connects a TCP client socket, or -1 with errno set.
+/// Connects a TCP client socket, or -1 with errno set (inet_pton sets
+/// none, so a bad address is surfaced as EINVAL; close() must not
+/// clobber the errno the caller is about to format).
 int Connect(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0) {
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
     return -1;
   }
   const int one = 1;

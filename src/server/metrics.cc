@@ -22,7 +22,6 @@ void LatencyHistogram::Record(double seconds) {
   const std::size_t bucket =
       std::min<std::size_t>(kBuckets - 1, std::bit_width(us | 1) - 1);
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   total_us_.fetch_add(us, std::memory_order_relaxed);
 }
 
@@ -81,6 +80,8 @@ std::string ServerMetrics::ToJson(std::size_t active_connections,
          ", \"admin_requests\": " + get(admin_requests) +
          ", \"errors\": " + get(errors) +
          ", \"overload_rejections\": " + get(overload_rejections) +
+         ", \"connection_rejections\": " + get(connection_rejections) +
+         ", \"write_timeouts\": " + get(write_timeouts) +
          ", \"parse_errors\": " + get(parse_errors) +
          ", \"oversized_requests\": " + get(oversized_requests) +
          ", \"idle_timeouts\": " + get(idle_timeouts) +

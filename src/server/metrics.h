@@ -42,7 +42,6 @@ class LatencyHistogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> total_us_{0};
 };
 
@@ -61,6 +60,11 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> errors{0};
   /// Structured `overloaded` rejections (admission or pool full).
   std::atomic<std::uint64_t> overload_rejections{0};
+  /// Accepts refused at ServerOptions::max_connections.
+  std::atomic<std::uint64_t> connection_rejections{0};
+  /// Response writes that hit the SO_SNDTIMEO deadline (peer stopped
+  /// reading); each marks its connection broken.
+  std::atomic<std::uint64_t> write_timeouts{0};
   std::atomic<std::uint64_t> parse_errors{0};
   std::atomic<std::uint64_t> oversized_requests{0};
   std::atomic<std::uint64_t> idle_timeouts{0};

@@ -5,13 +5,17 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "src/engine/neighborhood_cache.h"
 
@@ -163,6 +167,62 @@ void Server::Stop() {
   for (const auto& conn : connections) {
     ::shutdown(conn->fd, SHUT_RD);
   }
+  // Bounded drain. SHUT_RD never unblocks a writer, so a peer that
+  // stopped reading could park response writes (and with them the
+  // engine workers delivering them) past any point this join would
+  // reach. Escalation is per connection and progress-aware: one that
+  // goes shutdown_grace_ms without a single response byte reaching
+  // its socket is cut with a full shutdown (the blocked send fails
+  // with EPIPE and its session drains without responses), while a
+  // healthy peer that keeps reading keeps draining - its progress
+  // resets the clock, so no accepted statement of a live reader is
+  // dropped. Every connection ends done or escalated, so the joins
+  // below always return.
+  if (options_.shutdown_grace_ms > 0) {
+    struct DrainWatch {
+      std::uint64_t bytes = 0;
+      std::chrono::steady_clock::time_point last_progress;
+      bool escalated = false;
+    };
+    std::vector<DrainWatch> watch(connections.size());
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::size_t i = 0;
+      for (const auto& conn : connections) {
+        watch[i].bytes =
+            conn->bytes_written.load(std::memory_order_acquire);
+        watch[i].last_progress = now;
+        ++i;
+      }
+    }
+    const auto grace =
+        std::chrono::milliseconds(options_.shutdown_grace_ms);
+    for (;;) {
+      bool waiting = false;
+      const auto now = std::chrono::steady_clock::now();
+      std::size_t i = 0;
+      for (const auto& conn : connections) {
+        DrainWatch& w = watch[i++];
+        if (w.escalated || conn->done.load(std::memory_order_acquire)) {
+          continue;
+        }
+        const std::uint64_t bytes =
+            conn->bytes_written.load(std::memory_order_acquire);
+        if (bytes != w.bytes) {
+          w.bytes = bytes;
+          w.last_progress = now;
+        }
+        if (now - w.last_progress >= grace) {
+          ::shutdown(conn->fd, SHUT_RDWR);
+          w.escalated = true;
+          continue;
+        }
+        waiting = true;
+      }
+      if (!waiting) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
   for (const auto& conn : connections) {
     conn->thread.join();
     ::close(conn->fd);
@@ -204,6 +264,22 @@ void Server::ReapFinished() {
   }
 }
 
+void Server::RefuseConnection(int fd) {
+  metrics_.connection_rejections.fetch_add(1, std::memory_order_relaxed);
+  const std::string line =
+      WithId(1, JsonErrorRecord(
+                    "", "",
+                    Status::Unavailable(
+                        "overloaded: server at max_connections=" +
+                        std::to_string(options_.max_connections)))) +
+      "\n";
+  // Best effort and never blocking: the accept thread must not stall
+  // on a peer that is part of the overload it is shedding.
+  [[maybe_unused]] const ssize_t n = ::send(
+      fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  ::close(fd);
+}
+
 void Server::AcceptLoop() {
   pollfd fds[2];
   fds[0] = {.fd = listen_fd_, .events = POLLIN, .revents = 0};
@@ -227,8 +303,24 @@ void Server::AcceptLoop() {
 
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.max_connections > 0 &&
+        active_connections() >= options_.max_connections) {
+      RefuseConnection(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.write_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.write_timeout_ms / 1000;
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.write_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
 
     metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_unique<Connection>();
@@ -255,27 +347,48 @@ void Server::AcceptLoop() {
 
 void Server::ConnectionLoop(Connection* conn) {
   char buffer[64 * 1024];
-  bool idle_closed = false;
+  // Why the connection ended; only a peer-initiated end (EOF or a
+  // read error) counts toward the mid-statement-disconnect metric.
+  enum class Close { kPeer, kIdle, kRejected, kBroken };
+  Close close = Close::kPeer;
+  int idle_ms = 0;
   for (;;) {
+    // A write timeout marks the connection broken from a worker
+    // thread: its responses are undeliverable, so parking the reader
+    // here would pin the connection slot (and its thread) until the
+    // peer deigns to close. The bounded poll tick below exists so
+    // this check runs even when no input ever arrives.
+    if (conn->broken.load(std::memory_order_relaxed)) {
+      close = Close::kBroken;
+      break;
+    }
+    int tick = 1000;
+    if (options_.idle_timeout_ms > 0) {
+      tick = std::min(tick, options_.idle_timeout_ms - idle_ms);
+    }
     pollfd pfd{.fd = conn->fd, .events = POLLIN, .revents = 0};
-    const int timeout =
-        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
-    const int ready = ::poll(&pfd, 1, timeout);
+    const int ready = ::poll(&pfd, 1, tick);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (ready == 0) {
-      // Idle expiry only when truly quiet: nothing in flight and no
-      // partial statement buffered.
-      if (conn->session->in_flight() == 0 &&
-          !conn->session->has_buffered_input()) {
-        metrics_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
-        idle_closed = true;
-        break;
+      idle_ms += tick;
+      if (options_.idle_timeout_ms > 0 &&
+          idle_ms >= options_.idle_timeout_ms) {
+        // Idle expiry only when truly quiet: nothing in flight and no
+        // partial statement buffered; otherwise the clock restarts.
+        if (conn->session->in_flight() == 0 &&
+            !conn->session->has_buffered_input()) {
+          metrics_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+          close = Close::kIdle;
+          break;
+        }
+        idle_ms = 0;
       }
       continue;
     }
+    idle_ms = 0;
     const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
     if (n == 0) break;  // EOF (client close or our SHUT_RD).
     if (n < 0) {
@@ -284,13 +397,14 @@ void Server::ConnectionLoop(Connection* conn) {
     }
     if (!conn->session->Consume(
             std::string_view(buffer, static_cast<std::size_t>(n)))) {
-      break;  // Oversized statement; error already sent.
+      close = Close::kRejected;  // Oversized; error already sent.
+      break;
     }
   }
   // Drain: every admitted query completes and writes its response
   // before the connection is torn down.
   conn->session->WaitIdle();
-  if (!idle_closed) conn->session->FinishInput();
+  if (close == Close::kPeer) conn->session->FinishInput();
   ::shutdown(conn->fd, SHUT_RDWR);
   metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
   conn->done.store(true, std::memory_order_release);
@@ -299,6 +413,10 @@ void Server::ConnectionLoop(Connection* conn) {
 bool Server::WriteLine(Connection* conn, const std::string& line) {
   if (conn->broken.load(std::memory_order_relaxed)) return false;
   std::lock_guard<std::mutex> lock(conn->write_mu);
+  // Re-check under the lock: writers queued behind the one that timed
+  // out must fail immediately, not each burn a full deadline of their
+  // own against the same dead socket.
+  if (conn->broken.load(std::memory_order_relaxed)) return false;
   // Gathered write: record + '\n' in one syscall, no copy of what can
   // be a multi-megabyte rows payload.
   const char newline = '\n';
@@ -311,14 +429,36 @@ bool Server::WriteLine(Connection* conn, const std::string& line) {
   msg.msg_iovlen = 2;
   std::size_t sent = 0;
   const std::size_t total = line.size() + 1;
+  // The write deadline is wall-clock for the WHOLE response, not per
+  // send() call: SO_SNDTIMEO alone resets on any progress, so a peer
+  // trickle-reading a byte every few seconds would still park this
+  // worker indefinitely. SO_SNDTIMEO's role is merely to bound each
+  // blocking send so the clock below actually gets checked.
+  const bool bounded = options_.write_timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.write_timeout_ms);
   while (sent < total) {
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      metrics_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+      conn->broken.store(true, std::memory_order_relaxed);
+      return false;
+    }
     const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // EAGAIN here is SO_SNDTIMEO expiring with zero progress: the
+      // peer stopped reading. The connection is broken either way;
+      // distinguishing the cause is only for the metrics.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        metrics_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
       conn->broken.store(true, std::memory_order_relaxed);
       return false;
     }
     sent += static_cast<std::size_t>(n);
+    conn->bytes_written.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_release);
     // Advance the iovec past what went out (short writes happen when
     // the socket buffer fills under pipelined responses).
     std::size_t skip = static_cast<std::size_t>(n);

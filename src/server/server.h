@@ -12,7 +12,9 @@
 // Graceful shutdown (Stop): stop accepting, half-close every
 // connection's read side, let each connection drain its in-flight
 // queries and flush their responses, join everything, close. No
-// accepted statement is dropped.
+// accepted statement is dropped for a peer that keeps reading; a peer
+// that does not is cut off after ServerOptions::shutdown_grace_ms so
+// the drain always terminates.
 
 #ifndef KNNQ_SRC_SERVER_SERVER_H_
 #define KNNQ_SRC_SERVER_SERVER_H_
@@ -46,6 +48,12 @@ struct ServerOptions {
   /// error. 0 means unlimited.
   std::size_t max_inflight = 64;
 
+  /// Upper bound on concurrently open connections (each costs a
+  /// thread and a read buffer); an accept beyond it is answered with
+  /// one structured `overloaded` error line and closed. 0 means
+  /// unlimited.
+  std::size_t max_connections = 256;
+
   /// Per-connection protocol limits.
   SessionLimits limits;
 
@@ -53,9 +61,32 @@ struct ServerOptions {
   /// 0 disables the timeout.
   int idle_timeout_ms = 0;
 
-  /// Whether the SHUTDOWN admin verb may stop the server (CI smoke
-  /// uses it; multi-tenant deployments disable it).
-  bool allow_remote_shutdown = true;
+  /// Wall-clock deadline for writing one response (SO_SNDTIMEO bounds
+  /// each send() so the clock is actually checked). A peer that
+  /// pipelines queries and then stops - or merely trickle-reads -
+  /// would otherwise park the engine workers delivering its responses
+  /// in send() forever, wedging the pool. On expiry the connection is
+  /// marked broken and drains without responses. 0 disables the
+  /// deadline (Stop's grace escalation still bounds shutdown).
+  int write_timeout_ms = 10000;
+
+  /// Graceful-shutdown escalation: after Stop() half-closes read
+  /// sides, a connection that goes this long with NO write progress
+  /// is cut with a full socket shutdown, so writers blocked on a dead
+  /// peer fail with EPIPE instead of hanging the drain. A healthy
+  /// peer that keeps reading keeps draining - progress resets its
+  /// clock. 0 never escalates (the drain may then hang on a dead
+  /// peer if write_timeout_ms is also 0).
+  int shutdown_grace_ms = 5000;
+
+  /// SO_SNDBUF for accepted sockets; 0 keeps the OS default. Mostly a
+  /// test hook: tiny buffers make write-timeout paths reproducible.
+  int sndbuf_bytes = 0;
+
+  /// Whether the SHUTDOWN admin verb may stop the server. Off by
+  /// default: any peer that can connect could otherwise stop a server
+  /// exposed beyond loopback. CI smoke opts in explicitly.
+  bool allow_remote_shutdown = false;
 };
 
 class Server {
@@ -108,6 +139,10 @@ class Server {
     std::atomic<bool> done{false};
     /// Writes failed (peer gone): stop attempting responses.
     std::atomic<bool> broken{false};
+    /// Total response bytes that reached the socket; Stop()'s
+    /// escalation distinguishes a draining peer (advancing) from a
+    /// stuck one (stalled) by watching it.
+    std::atomic<std::uint64_t> bytes_written{0};
   };
 
   void AcceptLoop();
@@ -115,6 +150,9 @@ class Server {
   bool WriteLine(Connection* conn, const std::string& line);
   /// Joins and erases finished connections (accept-thread only).
   void ReapFinished();
+  /// Answers `fd` with one `overloaded` error line (best effort,
+  /// non-blocking) and closes it: the max_connections refusal.
+  void RefuseConnection(int fd);
 
   QueryEngine* engine_;
   ServerOptions options_;

@@ -1,6 +1,9 @@
 #include "src/server/session.h"
 
+#include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 #include <variant>
 
@@ -42,6 +45,41 @@ std::string AdminVerbOf(std::string_view text) {
     verb += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   }
   return verb;
+}
+
+/// The LOAD confinement check. Network peers name server-side files,
+/// so the path must canonicalize (symlinks and ".." resolved; the
+/// file itself may not exist yet, hence weakly_) into `load_dir`.
+/// Relative paths resolve under `load_dir`, not the server's CWD; on
+/// success `*path` holds the resolved form the engine should open.
+Status ConfineLoadPath(std::string* path, const std::string& load_dir) {
+  if (load_dir.empty()) {
+    return Status::Unsupported("LOAD is disabled on this server: '" +
+                               *path + "' refused (no load directory "
+                               "configured)");
+  }
+  std::error_code ec;
+  const std::filesystem::path root =
+      std::filesystem::weakly_canonical(load_dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("bad load directory '" + load_dir +
+                                   "': " + ec.message());
+  }
+  const std::filesystem::path resolved = std::filesystem::weakly_canonical(
+      root / std::filesystem::path(*path), ec);
+  if (ec) {
+    return Status::InvalidArgument("bad LOAD path '" + *path +
+                                   "': " + ec.message());
+  }
+  const auto diff = std::mismatch(root.begin(), root.end(),
+                                  resolved.begin(), resolved.end());
+  if (diff.first != root.end()) {
+    return Status::InvalidArgument("LOAD path '" + *path +
+                                   "' escapes the load directory '" +
+                                   load_dir + "'");
+  }
+  *path = resolved.string();
+  return Status::Ok();
 }
 
 }  // namespace
@@ -265,6 +303,15 @@ void Session::DispatchDml(const knnql::Statement& statement) {
     return;
   }
   const std::string text = knnql::Unparse(*dml);
+
+  if (dml->kind == knnql::DmlSpec::Kind::kLoad) {
+    if (Status confined = ConfineLoadPath(&dml->path, limits_.load_dir);
+        !confined.ok()) {
+      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      Respond(JsonErrorRecord("statement", text, confined));
+      return;
+    }
+  }
 
   // DML is a barrier within the connection: every query this session
   // already admitted completes first, so a closed-loop client sees

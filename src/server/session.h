@@ -47,6 +47,12 @@ struct SessionLimits {
   /// Longest unterminated statement the session buffers before it
   /// answers an error and asks the server to drop the connection.
   std::size_t max_request_bytes = 1 << 20;
+
+  /// Directory LOAD statements may read from. Paths are canonicalized
+  /// (symlinks and ".." resolved) and must land inside it; empty
+  /// refuses LOAD entirely. Network peers must not be able to make
+  /// the server read arbitrary server-side files.
+  std::string load_dir;
 };
 
 class Session {

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,8 +46,14 @@ using server::ServerOptions;
 /// Minimal blocking test client speaking the JSONL protocol.
 class TestClient {
  public:
-  explicit TestClient(std::uint16_t port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connecting, so a client
+  /// that stops reading backs the server's writes up quickly (the
+  /// stuck-peer tests).
+  explicit TestClient(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -207,8 +214,8 @@ TEST(ServerFramingTest, SemicolonsInsideStringsAndComments) {
   TestClient client(fixture.server.port());
   ASSERT_TRUE(client.connected());
   // The ';' inside the quoted path and inside the comment must not
-  // split the statement. (The LOAD fails - no such file - but as ONE
-  // statement, answered by ONE error record.)
+  // split the statement. (The LOAD fails - refused, no load_dir on
+  // this server - but as ONE statement, answered by ONE error record.)
   ASSERT_TRUE(client.Send("-- comment; with a semicolon\n"
                           "LOAD e FROM '/no;such;file.csv';\n"));
   std::string response;
@@ -288,6 +295,9 @@ TEST(ServerFramingTest, OversizedStatementClosesConnection) {
       << response;
   EXPECT_TRUE(client.ReadEof());
   EXPECT_EQ(fixture.server.metrics().oversized_requests.load(), 1u);
+  // A rejection is not a disconnect: the metric must not double-count.
+  EXPECT_EQ(fixture.server.metrics().disconnects_mid_statement.load(),
+            0u);
 }
 
 TEST(ServerFramingTest, OversizedCompleteStatementIsRejected) {
@@ -475,7 +485,9 @@ TEST(ServerShutdownTest, GracefulStopDrainsInFlightQueries) {
 }
 
 TEST(ServerShutdownTest, ShutdownVerbStopsTheServer) {
-  ServerFixture fixture;
+  ServerOptions options;
+  options.allow_remote_shutdown = true;
+  ServerFixture fixture(options);
   const auto response = server::SendAdminVerb(
       "127.0.0.1", fixture.server.port(), "SHUTDOWN");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
@@ -490,10 +502,10 @@ TEST(ServerShutdownTest, ShutdownVerbStopsTheServer) {
   EXPECT_FALSE(late.ReadLine(&line, /*timeout_ms=*/200));
 }
 
-TEST(ServerShutdownTest, ShutdownVerbCanBeDisabled) {
-  ServerOptions options;
-  options.allow_remote_shutdown = false;
-  ServerFixture fixture(options);
+TEST(ServerShutdownTest, ShutdownVerbIsDisabledByDefault) {
+  // allow_remote_shutdown defaults to false: an unauthenticated peer
+  // must not be able to stop a server it can merely connect to.
+  ServerFixture fixture;
   const auto response = server::SendAdminVerb(
       "127.0.0.1", fixture.server.port(), "SHUTDOWN");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
@@ -506,6 +518,167 @@ TEST(ServerShutdownTest, ShutdownVerbCanBeDisabled) {
   ASSERT_TRUE(client.Send("PING;\n"));
   std::string line;
   EXPECT_TRUE(client.ReadLine(&line));
+}
+
+// --------------------------------------------------- stuck/slow peers
+
+/// A query whose two 400-NN sets around nearby centers overlap almost
+/// entirely: the response carries hundreds of rows, enough to fill a
+/// small socket send buffer within a few responses.
+std::string BigQuery(int i) {
+  return "SELECT KNN(hot, 400, AT(" + std::to_string(400 + i % 7) +
+         ", 400)) INTERSECT KNN(hot, 400, AT(401, 399));";
+}
+
+TEST(ServerStuckPeerTest, WriteTimeoutFreesEngineWorkers) {
+  ServerOptions options;
+  options.sndbuf_bytes = 4096;
+  options.write_timeout_ms = 200;
+  options.max_inflight = 64;
+  options.limits.max_conn_inflight = 64;
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.pool_queue_limit = 256;
+  ServerFixture fixture(options, engine_options);
+
+  // A client that pipelines big-payload queries and never reads: its
+  // responses wedge in send() until the write deadline fires. Slots
+  // and workers must come back; a fresh client must still be served.
+  TestClient stuck(fixture.server.port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(stuck.connected());
+  std::string burst;
+  for (int i = 0; i < 48; ++i) burst += BigQuery(i) + "\n";
+  ASSERT_TRUE(stuck.Send(burst));
+  for (int i = 0;
+       i < 500 && fixture.server.metrics().write_timeouts.load() == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(fixture.server.metrics().write_timeouts.load(), 1u);
+  // The broken connection must tear itself down (reader notices the
+  // flag and exits) rather than pinning its slot until the peer
+  // closes: otherwise stuck peers accumulate against max_connections.
+  for (int i = 0;
+       i < 500 && fixture.server.metrics().connections_closed.load() == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(fixture.server.metrics().connections_closed.load(), 1u);
+
+  TestClient healthy(fixture.server.port());
+  ASSERT_TRUE(healthy.connected());
+  ASSERT_TRUE(healthy.Send(std::string(kQuery) + "\n"));
+  std::string response;
+  ASSERT_TRUE(healthy.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  fixture.server.Stop();
+}
+
+TEST(ServerStuckPeerTest, StopEscalatesWhenPeerStopsReading) {
+  ServerOptions options;
+  options.sndbuf_bytes = 4096;
+  // The per-write deadline is off: the shutdown grace escalation must
+  // bound the drain by itself.
+  options.write_timeout_ms = 0;
+  options.shutdown_grace_ms = 300;
+  options.max_inflight = 64;
+  options.limits.max_conn_inflight = 64;
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.pool_queue_limit = 256;
+  ServerFixture fixture(options, engine_options);
+
+  TestClient stuck(fixture.server.port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(stuck.connected());
+  std::string burst;
+  for (int i = 0; i < 16; ++i) burst += BigQuery(i) + "\n";
+  ASSERT_TRUE(stuck.Send(burst));
+  // Let a writer actually block on the full socket first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto start = std::chrono::steady_clock::now();
+  fixture.server.Stop();  // Must return: grace, then SHUT_RDWR.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(ServerStuckPeerTest, ConnectionCapRefusesExtraClients) {
+  ServerOptions options;
+  options.max_connections = 2;
+  ServerFixture fixture(options);
+  TestClient a(fixture.server.port());
+  TestClient b(fixture.server.port());
+  std::string response;
+  // Both inside the cap and registered (their PINGs answered).
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(a.Send("PING;\n"));
+  ASSERT_TRUE(a.ReadLine(&response));
+  ASSERT_TRUE(b.connected());
+  ASSERT_TRUE(b.Send("PING;\n"));
+  ASSERT_TRUE(b.ReadLine(&response));
+  // The third gets one structured refusal line and EOF.
+  TestClient c(fixture.server.port());
+  ASSERT_TRUE(c.ReadLine(&response));
+  EXPECT_TRUE(response.find("\"code\": \"Unavailable\"") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("max_connections") != std::string::npos)
+      << response;
+  EXPECT_TRUE(c.ReadEof());
+  EXPECT_EQ(fixture.server.metrics().connection_rejections.load(), 1u);
+  // The registered clients are unaffected.
+  ASSERT_TRUE(a.Send("PING;\n"));
+  EXPECT_TRUE(a.ReadLine(&response));
+}
+
+// ------------------------------------------------- LOAD confinement
+
+TEST(ServerLoadDirTest, LoadDisabledWithoutLoadDir) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("LOAD e FROM '/tmp/anything.csv';\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(response.find("\"code\": \"Unsupported\"") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("LOAD is disabled") != std::string::npos)
+      << response;
+}
+
+TEST(ServerLoadDirTest, LoadConfinedToLoadDir) {
+  ASSERT_TRUE(
+      SaveCsv(testing::MakeUniform(500, 3), "/tmp/knnq_load_test.csv")
+          .ok());
+  ServerOptions options;
+  options.limits.load_dir = "/tmp";
+  ServerFixture fixture(options);
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  std::string response;
+  // An absolute path inside the directory loads.
+  ASSERT_TRUE(client.Send("LOAD e FROM '/tmp/knnq_load_test.csv';\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  // A relative path resolves under load_dir (not the server's CWD).
+  ASSERT_TRUE(client.Send("LOAD e FROM 'knnq_load_test.csv';\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  // Escapes - absolute or via '..' - are refused before any
+  // filesystem access.
+  for (const char* statement :
+       {"LOAD e FROM '/etc/hostname';\n",
+        "LOAD e FROM '../etc/hostname';\n"}) {
+    ASSERT_TRUE(client.Send(statement));
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_TRUE(response.find("\"code\": \"InvalidArgument\"") !=
+                std::string::npos)
+        << response;
+    EXPECT_TRUE(response.find("escapes the load directory") !=
+                std::string::npos)
+        << response;
+  }
 }
 
 // ------------------------------------------- concurrency (TSan target)
@@ -680,7 +853,9 @@ TEST(ServerDifferentialTest, ResponsesMatchLocalExecutionOnExamples) {
     local_options.num_threads = 1;
     QueryEngine local(make_catalog(), local_options);
 
-    Server server(&served, {});
+    ServerOptions server_options;
+    server_options.limits.load_dir = "/tmp";  // live_updates LOADs here.
+    Server server(&served, server_options);
     ASSERT_TRUE(server.Start().ok());
     TestClient client(server.port());
     ASSERT_TRUE(client.connected());

@@ -107,10 +107,11 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   gate.set_value();
   stopper.join();
   EXPECT_EQ(ran.load(), 10);
-  // Idempotent, and post-shutdown submissions are dropped, not run.
+  // Idempotent, and post-shutdown submissions report the drop (false)
+  // instead of running or silently vanishing.
   pool.Shutdown();
   EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
-  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(1); }));
   EXPECT_EQ(ran.load(), 10);
 }
 

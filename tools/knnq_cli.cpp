@@ -84,7 +84,8 @@ class Args {
       if (flag.rfind("--", 0) != 0 && flag != "-e") {
         return Status::InvalidArgument("expected --flag, got: " + flag);
       }
-      if (flag == "--naive" || flag == "--json") {
+      if (flag == "--naive" || flag == "--json" ||
+          flag == "--allow-remote-shutdown") {
         args.values_[flag].push_back("1");
         continue;
       }
@@ -597,9 +598,13 @@ int CmdServe(const Args& args) {
   auto max_request_bytes =
       args.GetSizeOr("--max-request-bytes", std::size_t{1} << 20);
   auto idle_timeout_ms = args.GetSizeOr("--idle-timeout-ms", 0);
+  auto max_connections = args.GetSizeOr("--max-connections", 256);
+  auto write_timeout_ms = args.GetSizeOr("--write-timeout-ms", 10000);
+  auto shutdown_grace_ms = args.GetSizeOr("--shutdown-grace-ms", 5000);
   for (const auto* flag :
        {&cache_mb, &threads, &port, &max_inflight, &max_conn_inflight,
-        &max_request_bytes, &idle_timeout_ms}) {
+        &max_request_bytes, &idle_timeout_ms, &max_connections,
+        &write_timeout_ms, &shutdown_grace_ms}) {
     if (!flag->ok()) return Fail(flag->status());
   }
   if (*port > 65535) {
@@ -623,7 +628,19 @@ int CmdServe(const Args& args) {
   server_options.max_inflight = *max_inflight;
   server_options.limits.max_conn_inflight = *max_conn_inflight;
   server_options.limits.max_request_bytes = *max_request_bytes;
+  // LOAD over the wire is opt-in: without --load-dir a network peer
+  // cannot make the server read any server-side file; with it, paths
+  // are confined to that directory.
+  server_options.limits.load_dir = args.GetOr("--load-dir", "");
   server_options.idle_timeout_ms = static_cast<int>(*idle_timeout_ms);
+  server_options.max_connections = *max_connections;
+  server_options.write_timeout_ms = static_cast<int>(*write_timeout_ms);
+  server_options.shutdown_grace_ms =
+      static_cast<int>(*shutdown_grace_ms);
+  // The SHUTDOWN verb is opt-in too: any peer that can connect could
+  // otherwise stop a server bound beyond loopback.
+  server_options.allow_remote_shutdown =
+      args.Has("--allow-remote-shutdown");
   server::Server server(&engine, server_options);
 
   // Listed before Start(): once the server accepts, clients may be
@@ -817,6 +834,9 @@ void PrintUsage() {
       "                     [--host H] [--port P] [--threads T]\n"
       "                     [--max-inflight M] [--max-conn-inflight M]\n"
       "                     [--max-request-bytes B] [--idle-timeout-ms T]\n"
+      "                     [--max-connections C] [--write-timeout-ms T]\n"
+      "                     [--shutdown-grace-ms T] [--load-dir DIR]\n"
+      "                     [--allow-remote-shutdown]\n"
       "                     [--cache-mb M] [--index TYPE]\n"
       "  two-selects        --data F --f1 X,Y --k1 K --f2 X,Y --k2 K\n"
       "  select-inner-join  --outer F --inner F --join-k K --focal X,Y\n"
@@ -827,7 +847,9 @@ void PrintUsage() {
       "  unchained          --a F --b F --c F --k-ab K --k-cb K\n"
       "serve runs the KNNQL network server (newline-delimited KNNQL in,\n"
       "JSONL out; see README \"Serving KNNQL\"); drive it with\n"
-      "knnq_loadgen or any line-oriented TCP client.\n"
+      "knnq_loadgen or any line-oriented TCP client. The SHUTDOWN verb\n"
+      "and LOAD-over-the-wire are off unless --allow-remote-shutdown /\n"
+      "--load-dir DIR (paths confined to DIR) are given.\n"
       "query reads KNNQL statements (-e, --file, or a REPL; see README),\n"
       "including DML: INSERT INTO r VALUES (x, y), ...; DELETE FROM r\n"
       "WHERE ID = n; LOAD r FROM 'file';\n"

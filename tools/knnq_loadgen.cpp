@@ -130,7 +130,12 @@ int main(int argc, char** argv) {
         flags->host, port, flags->shutdown ? "SHUTDOWN" : "STATS");
     if (!response.ok()) return Fail(response.status());
     std::printf("%s\n", response->c_str());
-    return 0;
+    // An error record (e.g. SHUTDOWN refused because the server runs
+    // without --allow-remote-shutdown) must fail the exit code, or a
+    // script's `--shutdown && wait $PID` hangs with no visible cause.
+    return response->find("\"status\": \"error\"") == std::string::npos
+               ? 0
+               : 1;
   }
 
   if (flags->files.empty()) {
