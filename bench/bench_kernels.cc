@@ -1,0 +1,357 @@
+// Per-kernel microbenchmarks for the point-scan hot path.
+//
+// Three layers of rows, coarse to fine:
+//
+//   kernel/*          raw 64k-point span: the scalar AoS scan the
+//                     searcher used before the columnar refactor vs the
+//                     batched SoA kernel (scalar and SIMD). This is the
+//                     row pair check_bench.py gates: SoA+SIMD must beat
+//                     the scalar AoS scan by >= 1.5x.
+//   scan/<index>/*    the same distance work driven through a real
+//                     index's blocks (BlockPoints AoS loop vs BlockSoA
+//                     + kernel), per structure — measures the layout
+//                     win with real span sizes and boundaries.
+//   getknn/<index>    the full searcher (locality + bound-based block
+//                     skipping + SIMD batches + arena top-k); rows
+//                     carry the skip rate so the bound's effect is
+//                     visible next to the raw scan rows.
+//
+// Writes BENCH_kernels.json (override with KNNQ_BENCH_JSON); gate with
+//   tools/check_bench.py BENCH_kernels.json bench/baselines/BENCH_kernels.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+#include "src/index/distance_kernel.h"
+#include "src/index/knn_searcher.h"
+
+namespace knnq::bench {
+namespace {
+
+/// The gated span size: large enough that the scan is memory/ALU bound,
+/// small enough to stay cache-resident like a hot block span.
+constexpr std::size_t kSpanPoints = 64 * 1024;
+/// Points behind the per-structure rows.
+constexpr std::size_t kIndexPoints = 64 * 1024;
+/// Query points per timed pass of the scan/getknn rows.
+constexpr std::size_t kQueries = 64;
+
+struct Record {
+  double wall_seconds = 0.0;
+  std::size_t ops = 0;  // Timed passes over the span / query batch.
+  /// getknn rows only: skip-rate bookkeeping from SearchStats.
+  std::size_t blocks_scanned = 0;
+  std::size_t blocks_skipped = 0;
+
+  double qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(ops) / wall_seconds
+                              : 0.0;
+  }
+};
+
+std::map<std::string, Record>& Records() {
+  static auto* records = new std::map<std::string, Record>();
+  return *records;
+}
+
+/// The raw span as parallel columns (and the same points as AoS).
+struct RawSpan {
+  std::vector<double> x, y;
+  const PointSet* aos;
+};
+
+const RawSpan& Span() {
+  static const RawSpan* span = [] {
+    auto* s = new RawSpan();
+    const PointSet& pts = Uniform(kSpanPoints);
+    s->aos = &pts;
+    s->x.reserve(pts.size());
+    s->y.reserve(pts.size());
+    for (const Point& p : pts) {
+      s->x.push_back(p.x);
+      s->y.push_back(p.y);
+    }
+    return s;
+  }();
+  return *span;
+}
+
+/// Query points spread over the frame, deterministic.
+std::vector<Point> QueryPoints() {
+  const PointSet& pts = Uniform(kQueries, /*seed=*/4004);
+  return {pts.begin(), pts.end()};
+}
+
+// --- kernel/*: raw span rows. ----------------------------------------
+
+/// The pre-refactor shape: iterate AoS records, one SquaredDistance per
+/// point, running min. What NeighborhoodFromLocality did before the
+/// columnar rewrite.
+double AosScanMin(const PointSet& pts, const Point& q) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& p : pts) {
+    const double sq = SquaredDistance(p, q);
+    best = sq < best ? sq : best;
+  }
+  return best;
+}
+
+void BM_KernelAos(benchmark::State& state) {
+  const RawSpan& span = Span();
+  const std::vector<Point> queries = QueryPoints();
+  Record& r = Records()["kernel/aos/64k"];
+  double sink = 0.0;
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const Point& q = queries[qi++ % queries.size()];
+    Stopwatch timer;
+    sink += AosScanMin(*span.aos, q);
+    r.wall_seconds += timer.ElapsedSeconds();
+    ++r.ops;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_KernelAos);
+
+/// The kernel itself (MinSquaredDistance over the columns), SIMD on or
+/// off — the gated comparison against the AoS scan above.
+void KernelSoa(benchmark::State& state, const std::string& row,
+               bool simd) {
+  const RawSpan& span = Span();
+  const std::vector<Point> queries = QueryPoints();
+  SetSimdEnabled(simd);
+  Record& r = Records()[row];
+  double sink = 0.0;
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const Point& q = queries[qi++ % queries.size()];
+    Stopwatch timer;
+    sink += MinSquaredDistance(span.x.data(), span.y.data(),
+                               span.x.size(), q.x, q.y);
+    r.wall_seconds += timer.ElapsedSeconds();
+    ++r.ops;
+  }
+  SetSimdEnabled(true);
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_KernelSoaScalar(benchmark::State& state) {
+  KernelSoa(state, "kernel/soa_scalar/64k", /*simd=*/false);
+}
+BENCHMARK(BM_KernelSoaScalar);
+
+void BM_KernelSoaSimd(benchmark::State& state) {
+  KernelSoa(state, "kernel/soa_simd/64k", /*simd=*/true);
+}
+BENCHMARK(BM_KernelSoaSimd);
+
+/// Info row (not gated): the searcher's batch-into-buffer shape —
+/// SquaredDistanceBatch plus a serial consume of the outputs, which is
+/// bounded by the consuming loop rather than the kernel.
+void BM_KernelSoaBatch(benchmark::State& state) {
+  const RawSpan& span = Span();
+  const std::vector<Point> queries = QueryPoints();
+  std::vector<double> buffer(span.x.size());
+  Record& r = Records()["kernel/soa_batch_simd/64k"];
+  double sink = 0.0;
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const Point& q = queries[qi++ % queries.size()];
+    Stopwatch timer;
+    SquaredDistanceBatch(span.x.data(), span.y.data(), span.x.size(), q.x,
+                         q.y, buffer.data());
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      best = buffer[i] < best ? buffer[i] : best;
+    }
+    sink += best;
+    r.wall_seconds += timer.ElapsedSeconds();
+    ++r.ops;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_KernelSoaBatch);
+
+// --- scan/<index>/*: whole-index block scans. -------------------------
+
+const SpatialIndex& IndexFor(IndexType type) {
+  return IndexOf(Uniform(kIndexPoints), type);
+}
+
+void ScanAos(benchmark::State& state, IndexType type,
+             const std::string& row) {
+  const SpatialIndex& index = IndexFor(type);
+  const std::vector<Point> queries = QueryPoints();
+  Record& r = Records()[row];
+  double sink = 0.0;
+  for (auto _ : state) {
+    Stopwatch timer;
+    for (const Point& q : queries) {
+      double best = std::numeric_limits<double>::infinity();
+      for (BlockId b = 0; b < index.num_blocks(); ++b) {
+        for (const Point& p : index.BlockPoints(b)) {
+          const double sq = SquaredDistance(p, q);
+          best = sq < best ? sq : best;
+        }
+      }
+      sink += best;
+    }
+    r.wall_seconds += timer.ElapsedSeconds();
+    ++r.ops;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+void ScanSoa(benchmark::State& state, IndexType type,
+             const std::string& row) {
+  const SpatialIndex& index = IndexFor(type);
+  const std::vector<Point> queries = QueryPoints();
+  Record& r = Records()[row];
+  double sink = 0.0;
+  for (auto _ : state) {
+    Stopwatch timer;
+    for (const Point& q : queries) {
+      double best = std::numeric_limits<double>::infinity();
+      for (BlockId b = 0; b < index.num_blocks(); ++b) {
+        const BlockColumns cols = index.BlockSoA(b);
+        const double sq =
+            MinSquaredDistance(cols.x, cols.y, cols.size, q.x, q.y);
+        best = sq < best ? sq : best;
+      }
+      sink += best;
+    }
+    r.wall_seconds += timer.ElapsedSeconds();
+    ++r.ops;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+// --- getknn/<index>: the full searcher with block skipping. -----------
+
+void GetKnnRow(benchmark::State& state, IndexType type,
+               const std::string& row) {
+  const SpatialIndex& index = IndexFor(type);
+  const std::vector<Point> queries = QueryPoints();
+  Record& r = Records()[row];
+  KnnSearcher searcher(index);
+  double sink = 0.0;
+  for (auto _ : state) {
+    Stopwatch timer;
+    for (const Point& q : queries) {
+      const Neighborhood nbr = searcher.GetKnn(q, 16);
+      sink += nbr.empty() ? 0.0 : nbr.back().dist;
+    }
+    r.wall_seconds += timer.ElapsedSeconds();
+    ++r.ops;
+  }
+  r.blocks_scanned = searcher.stats().blocks_scanned;
+  r.blocks_skipped = searcher.stats().blocks_skipped;
+  benchmark::DoNotOptimize(sink);
+}
+
+#define KNNQ_BENCH_STRUCTURE(name, type)                             \
+  void BM_ScanAos_##name(benchmark::State& state) {                  \
+    ScanAos(state, type, "scan/" #name "/aos");                      \
+  }                                                                  \
+  BENCHMARK(BM_ScanAos_##name);                                      \
+  void BM_ScanSoa_##name(benchmark::State& state) {                  \
+    ScanSoa(state, type, "scan/" #name "/soa_simd");                 \
+  }                                                                  \
+  BENCHMARK(BM_ScanSoa_##name);                                      \
+  void BM_GetKnn_##name(benchmark::State& state) {                   \
+    GetKnnRow(state, type, "getknn/" #name);                         \
+  }                                                                  \
+  BENCHMARK(BM_GetKnn_##name)
+
+KNNQ_BENCH_STRUCTURE(grid, IndexType::kGrid);
+KNNQ_BENCH_STRUCTURE(quadtree, IndexType::kQuadtree);
+KNNQ_BENCH_STRUCTURE(rtree, IndexType::kRTree);
+
+#undef KNNQ_BENCH_STRUCTURE
+
+/// Writes rows plus the simd_speedup summary check_bench.py gates.
+void WriteBenchJson() {
+  const char* env = std::getenv("KNNQ_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_kernels.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+
+  std::fprintf(out, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(out, "  \"scale\": %zu,\n", Scale());
+  std::fprintf(out, "  \"simd_available\": %s,\n",
+               SimdAvailable() ? "true" : "false");
+  std::fprintf(out, "  \"reference\": \"kernel/aos/64k\",\n");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  bool first = true;
+  for (const auto& [name, r] : Records()) {
+    std::fprintf(out,
+                 "%s    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"ops\": %zu, \"qps\": %.2f, \"blocks_scanned\": %zu, "
+                 "\"blocks_skipped\": %zu}",
+                 first ? "" : ",\n", name.c_str(), r.wall_seconds, r.ops,
+                 r.qps(), r.blocks_scanned, r.blocks_skipped);
+    first = false;
+  }
+  std::fprintf(out, "\n  ],\n");
+
+  const auto qps_ratio = [](const char* num, const char* den) {
+    const auto& records = Records();
+    const auto n = records.find(num);
+    const auto d = records.find(den);
+    if (n == records.end() || d == records.end()) return 0.0;
+    if (d->second.qps() <= 0.0) return 0.0;
+    return n->second.qps() / d->second.qps();
+  };
+  const double simd_speedup =
+      qps_ratio("kernel/soa_simd/64k", "kernel/aos/64k");
+  const double scalar_speedup =
+      qps_ratio("kernel/soa_scalar/64k", "kernel/aos/64k");
+  const auto skip_rate = [](const char* row) {
+    const auto it = Records().find(row);
+    if (it == Records().end()) return 0.0;
+    const double total = static_cast<double>(it->second.blocks_scanned +
+                                             it->second.blocks_skipped);
+    return total > 0.0
+               ? static_cast<double>(it->second.blocks_skipped) / total
+               : 0.0;
+  };
+  std::fprintf(out,
+               "  \"summary\": {\"simd_speedup\": %.3f, "
+               "\"soa_scalar_speedup\": %.3f, "
+               "\"scan_speedup_grid\": %.3f, "
+               "\"scan_speedup_quadtree\": %.3f, "
+               "\"scan_speedup_rtree\": %.3f, "
+               "\"skip_rate_grid\": %.4f, "
+               "\"skip_rate_quadtree\": %.4f, "
+               "\"skip_rate_rtree\": %.4f}\n}\n",
+               simd_speedup, scalar_speedup,
+               qps_ratio("scan/grid/soa_simd", "scan/grid/aos"),
+               qps_ratio("scan/quadtree/soa_simd", "scan/quadtree/aos"),
+               qps_ratio("scan/rtree/soa_simd", "scan/rtree/aos"),
+               skip_rate("getknn/grid"), skip_rate("getknn/quadtree"),
+               skip_rate("getknn/rtree"));
+  std::fclose(out);
+  std::printf("wrote %s (simd_speedup=%.2fx, soa_scalar=%.2fx)\n",
+              path.c_str(), simd_speedup, scalar_speedup);
+}
+
+}  // namespace
+}  // namespace knnq::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  knnq::bench::WriteBenchJson();
+  return 0;
+}

@@ -22,6 +22,9 @@ struct ExecStats {
   /// Index blocks popped from block scans: locality construction plus
   /// the direct pruning scans of Counting and Block-Marking.
   std::size_t blocks_scanned = 0;
+  /// Locality blocks skipped wholesale because their MINDIST exceeded
+  /// the running k-th distance (bound-based block skipping).
+  std::size_t blocks_skipped = 0;
   /// Candidate points compared against a query point during
   /// neighborhood extraction.
   std::size_t points_compared = 0;
@@ -42,20 +45,27 @@ struct ExecStats {
   /// Footprint snapshot of the shared cache after this query (bytes).
   /// Filled by QueryEngine::Run; a snapshot, not a per-query cost.
   std::size_t cache_bytes = 0;
+  /// Scratch-arena footprint of the searcher(s) that ran this query
+  /// (bytes). A gauge like cache_bytes: merging keeps the maximum.
+  std::size_t arena_bytes = 0;
 
   /// Folds a KnnSearcher's SearchStats into the scan counters.
   void AddSearch(const SearchStats& search) {
     blocks_scanned += search.blocks_scanned;
+    blocks_skipped += search.blocks_skipped;
     points_compared += search.points_scanned;
     neighborhoods_computed += search.localities_computed;
     cache_hits += search.cache_hits;
     cache_misses += search.cache_misses;
+    if (search.arena_bytes > arena_bytes) arena_bytes = search.arena_bytes;
   }
 
-  /// Sums counters and wall time (batch aggregation). cache_bytes is a
-  /// footprint snapshot, so merging keeps the maximum, not the sum.
+  /// Sums counters and wall time (batch aggregation). cache_bytes and
+  /// arena_bytes are footprint snapshots, so merging keeps the maximum,
+  /// not the sum.
   void Merge(const ExecStats& other) {
     blocks_scanned += other.blocks_scanned;
+    blocks_skipped += other.blocks_skipped;
     points_compared += other.points_compared;
     neighborhoods_computed += other.neighborhoods_computed;
     candidates_pruned += other.candidates_pruned;
@@ -63,6 +73,7 @@ struct ExecStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     if (other.cache_bytes > cache_bytes) cache_bytes = other.cache_bytes;
+    if (other.arena_bytes > arena_bytes) arena_bytes = other.arena_bytes;
   }
 
   /// True when every counter (wall time and cache footprint aside) is
@@ -74,9 +85,9 @@ struct ExecStats {
   }
 
   /// One-line rendering, e.g.
-  /// "blocks=12 points=480 neighborhoods=3 pruned=0 wall=0.52ms"; when
-  /// a cache was in play, " cache_hits=5 cache_misses=2 cache_bytes=.."
-  /// is appended.
+  /// "blocks=12 skipped=4 points=480 neighborhoods=3 pruned=0
+  /// arena_bytes=2048 wall=0.52ms"; when a cache was in play,
+  /// " cache_hits=5 cache_misses=2 cache_bytes=.." is appended.
   std::string ToString() const;
 };
 

@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/engine/neighborhood_cache.h"
+#include "src/index/distance_kernel.h"
 #include "src/index/knn_searcher.h"
 
 namespace knnq {
@@ -26,14 +27,29 @@ Status ValidateQuery(const SelectInnerJoinQuery& query) {
   return Status::Ok();
 }
 
-/// Distance from `p` to the nearest member of `nbr` (the Counting
-/// algorithm's per-tuple search threshold).
-double NearestMemberDistance(const Point& p, const Neighborhood& nbr) {
-  double best = std::numeric_limits<double>::infinity();
-  for (const Neighbor& n : nbr) {
-    best = std::min(best, SquaredDistance(p, n.point));
+/// The focal neighborhood's coordinates as columns, so the per-outer-
+/// tuple threshold below runs through the batched distance kernel
+/// (the neighborhood is fixed across the whole outer scan).
+struct NeighborhoodColumns {
+  std::vector<double> x, y;
+
+  explicit NeighborhoodColumns(const Neighborhood& nbr) {
+    x.reserve(nbr.size());
+    y.reserve(nbr.size());
+    for (const Neighbor& n : nbr) {
+      x.push_back(n.point.x);
+      y.push_back(n.point.y);
+    }
   }
-  return std::sqrt(best);
+};
+
+/// Distance from `p` to the nearest member of the columns (the Counting
+/// algorithm's per-tuple search threshold).
+double NearestMemberDistance(const Point& p,
+                             const NeighborhoodColumns& cols) {
+  return std::sqrt(
+      MinSquaredDistance(cols.x.data(), cols.y.data(), cols.x.size(), p.x,
+                         p.y));
 }
 
 /// Emits (e1, i) for every i in the intersection of e1's neighborhood
@@ -90,11 +106,12 @@ Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
   if (nbr_f.empty()) return pairs;  // E2 empty: both predicates empty.
 
   std::size_t counting_blocks = 0;  // Blocks popped by the pruning scan.
+  const NeighborhoodColumns nbr_f_cols(nbr_f);
   for (const Point& e1 : query.outer->points()) {
     // Procedure 1: points in inner blocks certainly closer to e1 than
     // the nearest focal neighbor displace every focal neighbor from
     // e1's k-neighborhood once there are more than join_k of them.
-    const double threshold = NearestMemberDistance(e1, nbr_f);
+    const double threshold = NearestMemberDistance(e1, nbr_f_cols);
     std::size_t count = 0;
     auto scan = query.inner->NewScan(e1, ScanOrder::kMaxDist);
     double max_dist = 0.0;

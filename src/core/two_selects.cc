@@ -1,10 +1,13 @@
 #include "src/core/two_selects.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+#include <vector>
 
 #include "src/core/result_types.h"
 #include "src/engine/neighborhood_cache.h"
+#include "src/index/distance_kernel.h"
 
 namespace knnq {
 
@@ -61,11 +64,19 @@ Result<TwoSelectsResult> TwoSelectsOptimized(
 
   // Line 6: the search threshold is the distance between f2 and the
   // farthest member of nbr1 *from f2* - every candidate for the final
-  // intersection lies within it.
-  double threshold = 0.0;
+  // intersection lies within it. Batched through the distance kernel;
+  // sqrt(max sq) == max(sqrt) exactly (sqrt is monotone and correctly
+  // rounded), so the threshold matches the per-neighbor computation
+  // bit-for-bit.
+  std::vector<double> nx, ny;
+  nx.reserve(nbr1.size());
+  ny.reserve(nbr1.size());
   for (const Neighbor& n : nbr1) {
-    threshold = std::max(threshold, Distance(f2, n.point));
+    nx.push_back(n.point.x);
+    ny.push_back(n.point.y);
   }
+  const double threshold = std::sqrt(
+      MaxSquaredDistance(nx.data(), ny.data(), nx.size(), f2.x, f2.y));
 
   // Lines 7-32: neighborhood of f2 from the clipped locality.
   const Neighborhood nbr2 = searcher.GetKnnRestricted(f2, k2, threshold);

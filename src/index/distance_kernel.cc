@@ -1,0 +1,201 @@
+#include "src/index/distance_kernel.h"
+
+#include <atomic>
+#include <limits>
+
+// The AVX2 paths are compiled per-function via the target attribute, so
+// no global -mavx2 is needed (and the rest of the binary stays baseline
+// x86-64). KNNQ_ENABLE_SIMD is the CMake-level opt-out for toolchains
+// or targets where the intrinsics are unwanted.
+#if defined(KNNQ_ENABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define KNNQ_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace knnq {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::atomic<bool> g_simd_enabled{true};
+
+// --- Scalar kernels. --------------------------------------------------
+// restrict + branch-free bodies: gcc/clang auto-vectorize these with
+// baseline SSE2 at -O2/-O3. mul and add stay separate operations (no
+// -mfma in the build), so results match the AVX2 paths bit-for-bit.
+
+void BatchScalar(const double* __restrict__ x, const double* __restrict__ y,
+                 std::size_t n, double qx, double qy,
+                 double* __restrict__ out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - qx;
+    const double dy = y[i] - qy;
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+double MinScalar(const double* __restrict__ x, const double* __restrict__ y,
+                 std::size_t n, double qx, double qy) {
+  double best = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - qx;
+    const double dy = y[i] - qy;
+    const double sq = dx * dx + dy * dy;
+    best = sq < best ? sq : best;
+  }
+  return best;
+}
+
+double MaxScalar(const double* __restrict__ x, const double* __restrict__ y,
+                 std::size_t n, double qx, double qy) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - qx;
+    const double dy = y[i] - qy;
+    const double sq = dx * dx + dy * dy;
+    best = sq > best ? sq : best;
+  }
+  return best;
+}
+
+#if KNNQ_SIMD_AVX2
+
+// --- AVX2 kernels. ----------------------------------------------------
+// Four doubles per iteration; sub/mul/add only (no FMA — contraction
+// would change rounding and break the byte-identical contract with the
+// scalar path). Unaligned loads: column spans start at arbitrary
+// offsets inside the index's arrays.
+
+__attribute__((target("avx2"))) void BatchAvx2(
+    const double* __restrict__ x, const double* __restrict__ y,
+    std::size_t n, double qx, double qy, double* __restrict__ out) {
+  const __m256d qxv = _mm256_set1_pd(qx);
+  const __m256d qyv = _mm256_set1_pd(qy);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(x + i), qxv);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(y + i), qyv);
+    const __m256d sq =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(out + i, sq);
+  }
+  for (; i < n; ++i) {
+    const double dx = x[i] - qx;
+    const double dy = y[i] - qy;
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+__attribute__((target("avx2"))) double MinAvx2(const double* __restrict__ x,
+                                               const double* __restrict__ y,
+                                               std::size_t n, double qx,
+                                               double qy) {
+  const __m256d qxv = _mm256_set1_pd(qx);
+  const __m256d qyv = _mm256_set1_pd(qy);
+  __m256d acc = _mm256_set1_pd(kInf);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(x + i), qxv);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(y + i), qyv);
+    const __m256d sq =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    acc = _mm256_min_pd(acc, sq);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double best = lanes[0];
+  best = lanes[1] < best ? lanes[1] : best;
+  best = lanes[2] < best ? lanes[2] : best;
+  best = lanes[3] < best ? lanes[3] : best;
+  for (; i < n; ++i) {
+    const double dx = x[i] - qx;
+    const double dy = y[i] - qy;
+    const double sq = dx * dx + dy * dy;
+    best = sq < best ? sq : best;
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) double MaxAvx2(const double* __restrict__ x,
+                                               const double* __restrict__ y,
+                                               std::size_t n, double qx,
+                                               double qy) {
+  const __m256d qxv = _mm256_set1_pd(qx);
+  const __m256d qyv = _mm256_set1_pd(qy);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(x + i), qxv);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(y + i), qyv);
+    const __m256d sq =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    acc = _mm256_max_pd(acc, sq);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double best = lanes[0];
+  best = lanes[1] > best ? lanes[1] : best;
+  best = lanes[2] > best ? lanes[2] : best;
+  best = lanes[3] > best ? lanes[3] : best;
+  for (; i < n; ++i) {
+    const double dx = x[i] - qx;
+    const double dy = y[i] - qy;
+    const double sq = dx * dx + dy * dy;
+    best = sq > best ? sq : best;
+  }
+  return best;
+}
+
+bool DetectAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // KNNQ_SIMD_AVX2
+
+}  // namespace
+
+bool SimdAvailable() {
+#if KNNQ_SIMD_AVX2
+  static const bool available = DetectAvx2();
+  return available;
+#else
+  return false;
+#endif
+}
+
+void SetSimdEnabled(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SimdEnabled() {
+  return SimdAvailable() && g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+void SquaredDistanceBatch(const double* x, const double* y, std::size_t n,
+                          double qx, double qy, double* out) {
+#if KNNQ_SIMD_AVX2
+  if (SimdEnabled()) {
+    BatchAvx2(x, y, n, qx, qy, out);
+    return;
+  }
+#endif
+  BatchScalar(x, y, n, qx, qy, out);
+}
+
+double MinSquaredDistance(const double* x, const double* y, std::size_t n,
+                          double qx, double qy) {
+#if KNNQ_SIMD_AVX2
+  if (SimdEnabled()) return MinAvx2(x, y, n, qx, qy);
+#endif
+  return MinScalar(x, y, n, qx, qy);
+}
+
+double MaxSquaredDistance(const double* x, const double* y, std::size_t n,
+                          double qx, double qy) {
+#if KNNQ_SIMD_AVX2
+  if (SimdEnabled()) return MaxAvx2(x, y, n, qx, qy);
+#endif
+  return MaxScalar(x, y, n, qx, qy);
+}
+
+}  // namespace knnq

@@ -1,0 +1,55 @@
+// Batched Euclidean distance kernel: the innermost loop of every query
+// shape. A block scan hands the kernel one block's SoA columns
+// (SpatialIndex::BlockSoA) and gets squared distances for the whole
+// span in one call — branch-free, restrict-qualified loops the compiler
+// auto-vectorizes, plus hand-written AVX2 paths behind a runtime
+// toggle.
+//
+// Exactness contract: every path — scalar or SIMD — produces
+// bit-identical results. Squared distance is (x-qx)^2 + (y-qy)^2 with
+// each operation correctly rounded and NO fused multiply-add (the AVX2
+// path deliberately uses mul+add, and the scalar translation unit is
+// compiled without FMA contraction), so lane order and instruction set
+// cannot change a single output bit. Min/max reductions select an
+// element of the same set regardless of association. This is what lets
+// the engine flip SIMD on and off (KNNQ_ENABLE_SIMD, --no-simd) as a
+// pure speed A/B with byte-identical query results.
+
+#ifndef KNNQ_SRC_INDEX_DISTANCE_KERNEL_H_
+#define KNNQ_SRC_INDEX_DISTANCE_KERNEL_H_
+
+#include <cstddef>
+
+namespace knnq {
+
+/// out[i] = (x[i] - qx)^2 + (y[i] - qy)^2 for i in [0, n).
+/// `out` must hold n doubles and not alias x or y.
+void SquaredDistanceBatch(const double* x, const double* y, std::size_t n,
+                          double qx, double qy, double* out);
+
+/// Smallest squared distance from (qx, qy) to the n column points.
+/// Returns +infinity when n == 0.
+double MinSquaredDistance(const double* x, const double* y, std::size_t n,
+                          double qx, double qy);
+
+/// Largest squared distance from (qx, qy) to the n column points.
+/// Returns 0 when n == 0.
+double MaxSquaredDistance(const double* x, const double* y, std::size_t n,
+                          double qx, double qy);
+
+/// True when this build carries the AVX2 paths and the CPU supports
+/// them (checked once at startup).
+bool SimdAvailable();
+
+/// Process-wide SIMD switch, on by default. Disabling falls back to the
+/// scalar loops — results are identical either way (see exactness
+/// contract above); the switch exists for A/B benchmarking
+/// (`--no-simd`) and for ruling SIMD out when debugging.
+void SetSimdEnabled(bool enabled);
+
+/// Current effective state: available and not disabled.
+bool SimdEnabled();
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_DISTANCE_KERNEL_H_

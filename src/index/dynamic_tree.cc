@@ -149,6 +149,9 @@ void DynamicTreeIndex::ResetTreeEmpty() {
   block_node_.clear();
   blocks_.clear();
   points_.clear();
+  xs_.clear();
+  ys_.clear();
+  ids_.clear();
   root_ = kNoNode;
   dead_nodes_ = 0;
   bounds_ = BoundingBox();

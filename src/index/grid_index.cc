@@ -154,6 +154,7 @@ Result<std::unique_ptr<GridIndex>> GridIndex::Build(
   grid->built_points_ = n;
   if (n == 0) {
     grid->cols_ = grid->rows_ = 0;
+    grid->SyncColumns();
     return grid;
   }
 
@@ -222,6 +223,7 @@ Result<std::unique_ptr<GridIndex>> GridIndex::Build(
       grid->blocks_.push_back(block);
     }
   }
+  grid->SyncColumns();
   return grid;
 }
 

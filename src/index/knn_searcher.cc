@@ -2,36 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "src/common/check.h"
+#include "src/index/distance_kernel.h"
+#include "src/index/topk.h"
 
 namespace knnq {
 
 namespace {
 
-/// Candidate during neighborhood extraction, compared by (squared
-/// distance, id). The heap keeps the *worst* candidate on top.
-struct Candidate {
-  double sq_dist;
-  PointId id;
-  double x;
-  double y;
-
-  friend bool operator<(const Candidate& a, const Candidate& b) {
-    if (a.sq_dist != b.sq_dist) return a.sq_dist < b.sq_dist;
-    return a.id < b.id;
-  }
-};
-
-Neighborhood FinalizeHeap(
-    std::priority_queue<Candidate, std::vector<Candidate>>& heap) {
-  Neighborhood result(heap.size());
-  for (std::size_t i = heap.size(); i-- > 0;) {
-    const Candidate& c = heap.top();
-    result[i] = Neighbor{Point{.id = c.id, .x = c.x, .y = c.y},
-                         std::sqrt(c.sq_dist)};
-    heap.pop();
+/// Materializes sorted top-k entries as a Neighborhood (true distances,
+/// ascending by (distance, id)).
+Neighborhood ToNeighborhood(const std::vector<TopKEntry>& sorted) {
+  Neighborhood result(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const TopKEntry& e = sorted[i];
+    result[i] = Neighbor{Point{.id = e.id, .x = e.x, .y = e.y},
+                         std::sqrt(e.sq_dist)};
   }
   return result;
 }
@@ -47,20 +34,21 @@ bool Contains(const Neighborhood& nbr, PointId id) {
 
 Neighborhood KnnSearcher::GetKnn(const Point& query, std::size_t k) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  const Locality locality = ComputeLocality(index_, query, k, kInf, &stats_);
-  return NeighborhoodFromLocality(query, k, locality, kInf);
+  ComputeLocalityInto(index_, query, k, kInf, &stats_, arena_.phase1(),
+                      locality_);
+  return NeighborhoodFromLocality(query, k, locality_, kInf);
 }
 
 Neighborhood KnnSearcher::GetKnnRestricted(const Point& query, std::size_t k,
                                            double threshold) {
-  const Locality locality =
-      ComputeLocality(index_, query, k, threshold, &stats_);
+  ComputeLocalityInto(index_, query, k, threshold, &stats_, arena_.phase1(),
+                      locality_);
   // Individual points beyond the threshold are skipped as well: no such
   // point can displace a within-threshold point from the top k (any
   // point preceding a within-threshold point is itself within the
   // threshold), and the caller's final intersection discards them
   // regardless. This keeps the candidate heap small when k is large.
-  return NeighborhoodFromLocality(query, k, locality, threshold);
+  return NeighborhoodFromLocality(query, k, locality_, threshold);
 }
 
 Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
@@ -73,50 +61,50 @@ Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
   // Visit locality blocks nearest-first so the heap bound can cut off
   // the scan early; [15] guarantees correctness for any visit order, so
   // ordering is purely an optimization.
-  std::vector<std::pair<double, BlockId>> ordered;
+  auto& ordered = arena_.ordered_blocks();
   ordered.reserve(locality.blocks.size());
   for (const BlockId id : locality.blocks) {
     ordered.emplace_back(index_.block(id).box.SquaredMinDist(query), id);
   }
   std::sort(ordered.begin(), ordered.end());
 
-  std::priority_queue<Candidate, std::vector<Candidate>> heap;
-  for (const auto& [sq_min_dist, id] : ordered) {
-    // Strict >: a block at exactly the k-th distance can still hold a
-    // point that wins the (distance, id) tie-break.
-    if (heap.size() == k && sq_min_dist > heap.top().sq_dist) break;
+  TopKQueue topk(k, arena_.heap());
+  for (std::size_t bi = 0; bi < ordered.size(); ++bi) {
+    const auto& [sq_min_dist, id] = ordered[bi];
+    // Bound-based block skip. Strict >: a block at exactly the k-th
+    // distance can still hold a point that wins the (distance, id)
+    // tie-break. The list is MINDIST-sorted, so the first block past
+    // the bound proves every remaining block is skippable too.
+    if (sq_min_dist > topk.threshold()) {
+      stats_.blocks_skipped += ordered.size() - bi;
+      break;
+    }
     ++stats_.blocks_scanned;
-    for (const Point& p : index_.BlockPoints(id)) {
-      ++stats_.points_scanned;
-      const Candidate c{SquaredDistance(p, query), p.id, p.x, p.y};
+    const BlockColumns cols = index_.BlockSoA(id);
+    stats_.points_scanned += cols.size;
+    double* sq = arena_.distances(cols.size);
+    SquaredDistanceBatch(cols.x, cols.y, cols.size, query.x, query.y, sq);
+    for (std::size_t i = 0; i < cols.size; ++i) {
       // Compare in sqrt space: the caller derived the threshold with the
       // same sqrt, so the boundary point is kept exactly (sq_dist
       // against a squared threshold can lose it to rounding).
-      if (restricted && std::sqrt(c.sq_dist) > threshold) continue;
-      if (heap.size() < k) {
-        heap.push(c);
-      } else if (c < heap.top()) {
-        heap.pop();
-        heap.push(c);
-      }
+      if (restricted && std::sqrt(sq[i]) > threshold) continue;
+      topk.Push(TopKEntry{sq[i], cols.id[i], cols.x[i], cols.y[i]});
     }
   }
-  return FinalizeHeap(heap);
+  stats_.arena_bytes =
+      arena_.bytes() + locality_.blocks.capacity() * sizeof(BlockId);
+  return ToNeighborhood(topk.SortAscending());
 }
 
 Neighborhood BruteForceKnn(const PointSet& points, const Point& query,
                            std::size_t k) {
-  std::priority_queue<Candidate, std::vector<Candidate>> heap;
+  std::vector<TopKEntry> storage;
+  TopKQueue topk(k, storage);
   for (const Point& p : points) {
-    const Candidate c{SquaredDistance(p, query), p.id, p.x, p.y};
-    if (heap.size() < k) {
-      heap.push(c);
-    } else if (k > 0 && c < heap.top()) {
-      heap.pop();
-      heap.push(c);
-    }
+    topk.Push(TopKEntry{SquaredDistance(p, query), p.id, p.x, p.y});
   }
-  return FinalizeHeap(heap);
+  return ToNeighborhood(topk.SortAscending());
 }
 
 }  // namespace knnq

@@ -18,6 +18,7 @@
 
 #include "src/common/point.h"
 #include "src/index/locality.h"
+#include "src/index/query_arena.h"
 #include "src/index/spatial_index.h"
 
 namespace knnq {
@@ -64,6 +65,10 @@ class KnnSearcher {
   SearchStats& stats() { return stats_; }
   const SearchStats& stats() const { return stats_; }
 
+  /// The searcher's scratch arena — exposed so tests can assert that
+  /// steady-state queries stop growing it.
+  const QueryArena& arena() const { return arena_; }
+
  private:
   Neighborhood NeighborhoodFromLocality(const Point& query, std::size_t k,
                                         const Locality& locality,
@@ -71,6 +76,10 @@ class KnnSearcher {
 
   const SpatialIndex& index_;
   SearchStats stats_;
+  /// Recycled buffers (block ordering, top-k heap, distance batches,
+  /// locality scratch): after warm-up, queries allocate nothing here.
+  QueryArena arena_;
+  Locality locality_;
 };
 
 /// Ground-truth kNN by exhaustive scan; the reference the property tests

@@ -10,14 +10,29 @@ Locality ComputeLocality(const SpatialIndex& index, const Point& query,
                          std::size_t k, double restrict_to_threshold,
                          SearchStats* stats) {
   Locality locality;
+  std::vector<BlockId> phase1_scratch;
+  ComputeLocalityInto(index, query, k, restrict_to_threshold, stats,
+                      phase1_scratch, locality);
+  return locality;
+}
+
+void ComputeLocalityInto(const SpatialIndex& index, const Point& query,
+                         std::size_t k, double restrict_to_threshold,
+                         SearchStats* stats,
+                         std::vector<BlockId>& phase1_scratch,
+                         Locality& out) {
+  Locality& locality = out;
+  locality.blocks.clear();
+  locality.max_dist_bound = std::numeric_limits<double>::infinity();
   if (stats != nullptr) ++stats->localities_computed;
   if (index.num_blocks() == 0 || k == 0) {
     locality.max_dist_bound = 0.0;
-    return locality;
+    return;
   }
 
   // Phase 1: MAXDIST order until the counted points reach k.
-  std::vector<BlockId> phase1;  // Everything popped, kept or not.
+  std::vector<BlockId>& phase1 = phase1_scratch;  // Popped, kept or not.
+  phase1.clear();
   std::size_t count = 0;
   double m = std::numeric_limits<double>::infinity();
   {
@@ -40,7 +55,7 @@ Locality ComputeLocality(const SpatialIndex& index, const Point& query,
     // and phase 2 has nothing left to do.
   }
   locality.max_dist_bound = m;
-  if (count < k) return locality;
+  if (count < k) return;
 
   // Phase 2: MINDIST order; every point within M lives in a block with
   // MINDIST <= M. Skip blocks already taken in phase 1.
@@ -56,7 +71,6 @@ Locality ComputeLocality(const SpatialIndex& index, const Point& query,
     }
     locality.blocks.push_back(id);
   }
-  return locality;
 }
 
 }  // namespace knnq

@@ -45,11 +45,18 @@ struct SearchStats {
   std::size_t localities_computed = 0;
   std::size_t blocks_scanned = 0;
   std::size_t points_scanned = 0;
+  /// Locality blocks whose MINDIST exceeded the running k-th distance,
+  /// so their whole point span was skipped without being touched —
+  /// the payoff of bound-based block skipping.
+  std::size_t blocks_skipped = 0;
   /// GetKnn calls served from / missing a shared NeighborhoodCache
   /// (src/engine/neighborhood_cache.h). Both stay zero when no cache is
   /// attached, so uncached callers see unchanged stats.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// High-water capacity (bytes) of the searcher's scratch arena; a
+  /// gauge (latest value), not a counter.
+  std::size_t arena_bytes = 0;
 
   void Reset() { *this = SearchStats{}; }
 };
@@ -63,6 +70,16 @@ Locality ComputeLocality(
     const SpatialIndex& index, const Point& query, std::size_t k,
     double restrict_to_threshold = std::numeric_limits<double>::infinity(),
     SearchStats* stats = nullptr);
+
+/// Allocation-recycling variant: builds the locality into `out`
+/// (clearing its block list but keeping its capacity) and uses
+/// `phase1_scratch` for the phase-1 bookkeeping instead of a local
+/// vector. The hot path (KnnSearcher) calls this with arena-owned
+/// buffers so steady-state locality construction allocates nothing.
+void ComputeLocalityInto(const SpatialIndex& index, const Point& query,
+                         std::size_t k, double restrict_to_threshold,
+                         SearchStats* stats,
+                         std::vector<BlockId>& phase1_scratch, Locality& out);
 
 }  // namespace knnq
 

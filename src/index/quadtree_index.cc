@@ -23,13 +23,17 @@ Result<std::unique_ptr<QuadtreeIndex>> QuadtreeIndex::Build(
   tree->options_ = options;
   tree->bounds_ = BoundingBox::Of(points);
   tree->points_ = std::move(points);
-  if (tree->points_.empty()) return tree;
+  if (tree->points_.empty()) {
+    tree->SyncColumns();
+    return tree;
+  }
 
   tree->nodes_.emplace_back();
   tree->root_ = 0;
   tree->FillNode(tree->root_, 0, tree->points_.size(), tree->bounds_, 0,
                  options);
   tree->RefreshTreeLinks();
+  tree->SyncColumns();
   return tree;
 }
 
@@ -175,6 +179,9 @@ void QuadtreeIndex::SplitLeaf(std::uint32_t node, std::size_t depth) {
   const auto x_split_high =
       std::partition(y_split, first + static_cast<std::ptrdiff_t>(end),
                      [&](const Point& p) { return p.x < mid.x; });
+  // The partitions permuted points_[begin, end) behind the columns'
+  // back; mirror the new order.
+  SyncColumnsRange(begin, end);
   const auto off = [&](auto it) {
     return static_cast<std::size_t>(it - first);
   };

@@ -1,0 +1,12 @@
+#include "src/index/query_arena.h"
+
+namespace knnq {
+
+std::size_t QueryArena::bytes() const {
+  return ordered_blocks_.capacity() * sizeof(ordered_blocks_[0]) +
+         heap_.capacity() * sizeof(heap_[0]) +
+         distances_.capacity() * sizeof(distances_[0]) +
+         phase1_.capacity() * sizeof(phase1_[0]);
+}
+
+}  // namespace knnq

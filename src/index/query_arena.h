@@ -1,0 +1,63 @@
+// QueryArena: per-searcher (== per-thread, by KnnSearcher's contract)
+// scratch buffers for the query hot path.
+//
+// Every buffer a kNN search needs — the MINDIST-ordered block list, the
+// top-k heap, the batched-distance output, the locality phase-1 list
+// and the locality block set — lives here and is recycled between
+// queries: accessors clear contents but never shrink capacity. The
+// buffers grow to a high-water mark over the first few queries, after
+// which the search path performs zero heap allocations per query (the
+// one remaining allocation is the index's BlockScan object, which is
+// structure-specific and outside the arena's reach).
+//
+// `bytes()` reports the arena's capacity footprint so serving stats can
+// surface how much scratch each worker retains.
+
+#ifndef KNNQ_SRC_INDEX_QUERY_ARENA_H_
+#define KNNQ_SRC_INDEX_QUERY_ARENA_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/index/block.h"
+#include "src/index/topk.h"
+
+namespace knnq {
+
+class QueryArena {
+ public:
+  /// (MINDIST^2, block) pairs for nearest-first block ordering.
+  std::vector<std::pair<double, BlockId>>& ordered_blocks() {
+    ordered_blocks_.clear();
+    return ordered_blocks_;
+  }
+
+  /// Backing storage for a TopKQueue (the queue clears it on bind).
+  std::vector<TopKEntry>& heap() { return heap_; }
+
+  /// Squared-distance output buffer, resized to at least `n` elements.
+  double* distances(std::size_t n) {
+    if (distances_.size() < n) distances_.resize(n);
+    return distances_.data();
+  }
+
+  /// Locality construction scratch: blocks popped in phase 1.
+  std::vector<BlockId>& phase1() {
+    phase1_.clear();
+    return phase1_;
+  }
+
+  /// Total bytes of scratch capacity currently retained.
+  std::size_t bytes() const;
+
+ private:
+  std::vector<std::pair<double, BlockId>> ordered_blocks_;
+  std::vector<TopKEntry> heap_;
+  std::vector<double> distances_;
+  std::vector<BlockId> phase1_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_QUERY_ARENA_H_

@@ -46,7 +46,10 @@ Result<std::unique_ptr<RTreeIndex>> RTreeIndex::Build(
   tree->bounds_ = BoundingBox::Of(points);
   tree->points_ = std::move(points);
   const std::size_t n = tree->points_.size();
-  if (n == 0) return tree;
+  if (n == 0) {
+    tree->SyncColumns();
+    return tree;
+  }
 
   // --- Leaf level: STR tiling of the points. ---
   auto& pts = tree->points_;
@@ -156,6 +159,7 @@ Result<std::unique_ptr<RTreeIndex>> RTreeIndex::Build(
   }
   tree->root_ = 0;
   tree->RefreshTreeLinks();
+  tree->SyncColumns();
   return tree;
 }
 
@@ -321,6 +325,9 @@ void RTreeIndex::SplitLeaf(std::uint32_t leaf) {
               if (sa != sb) return sa < sb;
               return a.id < b.id;
             });
+  // The sort permuted points_[begin, end) behind the columns' back;
+  // mirror the new order.
+  SyncColumnsRange(begin, end);
   const std::size_t mid = begin + (end - begin) / 2;
 
   blocks_[block].end = mid;

@@ -55,12 +55,33 @@ class BlockScan {
   virtual BlockId Next(double* key_dist) = 0;
 };
 
+/// Columnar view of one block's point span: parallel x / y / id arrays
+/// of `size` elements. The pointers alias the index's SoA storage and
+/// stay valid until the next mutation — exactly as long as a
+/// BlockPoints span. The distance kernel (src/index/distance_kernel.h)
+/// consumes this layout directly.
+struct BlockColumns {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const PointId* id = nullptr;
+  std::size_t size = 0;
+};
+
 /// A spatial index over one relation (point set).
 ///
 /// Construction copies the relation and groups points by block into one
 /// contiguous array, so BlockPoints returns a span without indirection;
 /// incremental mutation preserves that layout (spans shift, they never
 /// fragment), so cold query performance is unchanged by churn.
+///
+/// Storage is dual-layout: the AoS point array (BlockPoints / points(),
+/// the historical accessors) and parallel SoA columns x[] / y[] / id[]
+/// (BlockSoA / xs() / ys() / ids()) kept byte-equal by every mutation
+/// path. Hot kernels read the columns — a block scan streams 16
+/// bytes/point of coordinates instead of 24-byte AoS records and
+/// vectorizes cleanly; structure maintenance code keeps manipulating
+/// the AoS array and resyncs the columns through the base-class
+/// helpers.
 ///
 /// Concurrency: reads are safe from any number of threads with zero
 /// synchronization as long as no mutation is in flight. Insert / Erase /
@@ -89,8 +110,27 @@ class SpatialIndex {
     return std::span<const Point>(points_).subspan(b.begin, b.end - b.begin);
   }
 
+  /// Columnar view of the points stored in block `id` — same points,
+  /// same order as BlockPoints, as parallel x/y/id arrays.
+  BlockColumns BlockSoA(BlockId id) const {
+    const Block& b = blocks_[id];
+    return {xs_.data() + b.begin, ys_.data() + b.begin,
+            ids_.data() + b.begin, b.end - b.begin};
+  }
+
   /// All indexed points, grouped by block.
   const PointSet& points() const { return points_; }
+
+  /// The full coordinate / id columns, parallel to points().
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+  const std::vector<PointId>& ids() const { return ids_; }
+
+  /// True when the SoA columns mirror points_ element-for-element.
+  /// Every public mutation leaves this invariant holding; tests call it
+  /// after each DML statement to catch a maintenance path that forgot
+  /// to resync.
+  bool ColumnsConsistent() const;
 
   /// Total number of indexed points.
   std::size_t num_points() const { return points_.size(); }
@@ -140,6 +180,9 @@ class SpatialIndex {
     points_ = std::move(other.points_);
     blocks_ = std::move(other.blocks_);
     bounds_ = other.bounds_;
+    xs_ = std::move(other.xs_);
+    ys_ = std::move(other.ys_);
+    ids_ = std::move(other.ids_);
   }
 
   /// Appends `p` to block `b`'s span, shifting every later span right
@@ -163,10 +206,25 @@ class SpatialIndex {
   /// `*block` / `*pos` (absolute position) and returns true.
   bool FindPoint(PointId id, BlockId* block, std::size_t* pos) const;
 
+  /// Rebuilds the SoA columns from points_ wholesale. Build paths call
+  /// this once at the end instead of maintaining columns through their
+  /// partition / sort shuffles.
+  void SyncColumns();
+
+  /// Re-copies positions [begin, end) of points_ into the columns.
+  /// For maintenance code that permutes points in place within a span
+  /// (quadtree leaf split partitions, R-tree split sort).
+  void SyncColumnsRange(std::size_t begin, std::size_t end);
+
   /// Populated by subclasses during construction.
   PointSet points_;
   std::vector<Block> blocks_;
   BoundingBox bounds_;
+
+  /// SoA mirror of points_: xs_[i] == points_[i].x etc. Maintained by
+  /// the base-class span helpers and the Sync* methods above.
+  std::vector<double> xs_, ys_;
+  std::vector<PointId> ids_;
 };
 
 /// Shared argument validation for Insert implementations: rejects NaN

@@ -1,0 +1,95 @@
+// Bounded top-k queue for neighborhood extraction.
+//
+// A fixed-capacity binary max-heap of the k best (smallest) candidates
+// seen so far, ordered by (squared distance, id) — the same total order
+// the whole repository ranks neighbors by. The root is the current
+// k-th best, so `threshold()` exposes the running cut the way pisa's
+// topk_queue does: a candidate (or a whole block, via MINDIST) whose
+// squared distance strictly exceeds the threshold cannot change the
+// result, while one that ties can still win on id.
+//
+// Storage is borrowed from the caller (the query arena), so
+// constructing a queue performs no allocation; the borrowed vector's
+// capacity persists across queries.
+//
+// The heap operations are the textbook push_heap / pop_heap sequences
+// std::priority_queue performs, with the identical comparator — the
+// heap array, and therefore the extracted order, is bit-for-bit what
+// the previous priority_queue-based code produced.
+
+#ifndef KNNQ_SRC_INDEX_TOPK_H_
+#define KNNQ_SRC_INDEX_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/common/point.h"
+
+namespace knnq {
+
+/// One top-k candidate: squared distance plus the point it came from.
+struct TopKEntry {
+  double sq_dist;
+  PointId id;
+  double x;
+  double y;
+};
+
+class TopKQueue {
+ public:
+  /// Binds the queue to `storage` (cleared, capacity kept) with
+  /// capacity `k`. `storage` must outlive the queue.
+  TopKQueue(std::size_t k, std::vector<TopKEntry>& storage)
+      : k_(k), heap_(storage) {
+    heap_.clear();
+  }
+
+  TopKQueue(const TopKQueue&) = delete;
+  TopKQueue& operator=(const TopKQueue&) = delete;
+
+  bool full() const { return heap_.size() >= k_; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// The running cut: squared distance of the current k-th best entry,
+  /// +infinity while the queue is not full. Callers prune on strict >
+  /// (a tie can still displace the root on id).
+  double threshold() const {
+    return full() ? heap_.front().sq_dist
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  /// Offers a candidate; keeps the k best under (sq_dist, id).
+  void Push(const TopKEntry& e) {
+    if (heap_.size() < k_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+    } else if (k_ > 0 && Less(e, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Less);
+      heap_.back() = e;
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+    }
+  }
+
+  /// Sorts the entries ascending by (sq_dist, id) in the borrowed
+  /// storage and returns them. The queue is spent afterwards — rebind
+  /// a new TopKQueue to reuse the storage.
+  const std::vector<TopKEntry>& SortAscending() {
+    std::sort_heap(heap_.begin(), heap_.end(), Less);
+    return heap_;
+  }
+
+ private:
+  static bool Less(const TopKEntry& a, const TopKEntry& b) {
+    if (a.sq_dist != b.sq_dist) return a.sq_dist < b.sq_dist;
+    return a.id < b.id;
+  }
+
+  std::size_t k_;
+  std::vector<TopKEntry>& heap_;
+};
+
+}  // namespace knnq
+
+#endif  // KNNQ_SRC_INDEX_TOPK_H_

@@ -32,12 +32,16 @@ std::string EngineStatsJson(const EngineStatsSnapshot& snapshot) {
          std::to_string(snapshot.mutation_errors) +
          ", \"blocks_scanned\": " +
          std::to_string(snapshot.totals.blocks_scanned) +
+         ", \"blocks_skipped\": " +
+         std::to_string(snapshot.totals.blocks_skipped) +
          ", \"points_compared\": " +
          std::to_string(snapshot.totals.points_compared) +
          ", \"neighborhoods_computed\": " +
          std::to_string(snapshot.totals.neighborhoods_computed) +
          ", \"candidates_pruned\": " +
-         std::to_string(snapshot.totals.candidates_pruned) + "}";
+         std::to_string(snapshot.totals.candidates_pruned) +
+         ", \"arena_bytes\": " +
+         std::to_string(snapshot.totals.arena_bytes) + "}";
 }
 
 std::string CacheStatsJson(const NeighborhoodCache* cache) {

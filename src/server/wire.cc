@@ -84,6 +84,7 @@ std::string JsonRows(const QueryOutput& output) {
 
 std::string JsonStats(const ExecStats& stats) {
   return "{\"blocks_scanned\": " + std::to_string(stats.blocks_scanned) +
+         ", \"blocks_skipped\": " + std::to_string(stats.blocks_skipped) +
          ", \"points_compared\": " + std::to_string(stats.points_compared) +
          ", \"neighborhoods_computed\": " +
          std::to_string(stats.neighborhoods_computed) +
@@ -92,6 +93,7 @@ std::string JsonStats(const ExecStats& stats) {
          ", \"cache_hits\": " + std::to_string(stats.cache_hits) +
          ", \"cache_misses\": " + std::to_string(stats.cache_misses) +
          ", \"cache_bytes\": " + std::to_string(stats.cache_bytes) +
+         ", \"arena_bytes\": " + std::to_string(stats.arena_bytes) +
          ", \"wall_ms\": " +
          knnql::FormatNumber(stats.wall_seconds * 1e3) + "}";
 }

@@ -183,6 +183,14 @@ TEST_P(DifferentialMutationTest, IncrementalEqualsRebuiltEqualsNaive) {
     ASSERT_TRUE(applied.ok()) << applied.status.ToString();
     ASSERT_EQ(applied.rows_affected, ops.size());
 
+    // The SoA columns must mirror the AoS points bit-for-bit after
+    // every batch: the distance kernels read only the columns, so any
+    // divergence silently corrupts results.
+    ASSERT_TRUE(
+        (*engine.catalog().Get(shadow.name))->index->ColumnsConsistent())
+        << shadow.name << " columns diverged after " << mutations
+        << " mutations (batch " << batch << ")";
+
     if ((batch + 1) % 5 != 0 && batch + 1 != kBatches) continue;
 
     // Checkpoint: incremental vs rebuilt vs naive, all six shapes.
@@ -281,6 +289,7 @@ TEST_P(IndexMutationTest, InsertEraseBulkLoadBasics) {
   EXPECT_TRUE(index.Erase(1000).ok());
   EXPECT_EQ(index.Erase(1000).code(), StatusCode::kNotFound);
   EXPECT_EQ(index.num_points(), base.size());
+  EXPECT_TRUE(index.ColumnsConsistent());
 
   // BulkLoad replaces the whole relation, keeping object identity.
   const SpatialIndex* before = &index;
@@ -288,6 +297,7 @@ TEST_P(IndexMutationTest, InsertEraseBulkLoadBasics) {
   EXPECT_TRUE(index.BulkLoad(fresh).ok());
   EXPECT_EQ(&index, before);
   EXPECT_EQ(index.num_points(), fresh.size());
+  EXPECT_TRUE(index.ColumnsConsistent());
   KnnSearcher searcher(index);
   const Point probe{-1, 500, 400};
   EXPECT_EQ(searcher.GetKnn(probe, 7), BruteForceKnn(fresh, probe, 7));
@@ -314,6 +324,7 @@ TEST_P(IndexMutationTest, DrainToEmptyAndRegrow) {
   KnnSearcher searcher(index);
   const Point probe{-1, 120, 90};
   EXPECT_EQ(searcher.GetKnn(probe, 9), BruteForceKnn(regrown, probe, 9));
+  EXPECT_TRUE(index.ColumnsConsistent());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexMutationTest,

@@ -26,6 +26,16 @@ server (bench_server):
     same engine config - the serving-layer acceptance floor)
   * total_errors == 0                (zero response/ordering errors)
 
+kernels (bench_kernels):
+  * simd_speedup       >= 1.5  (SoA+SIMD MinSquaredDistance beats the
+    scalar AoS scan on a 64k-point span; enforced only when the host
+    reports simd_available, since the kernel falls back to scalar
+    elsewhere)
+  * scan_speedup_*     >= 1.5  (per-structure full-index block scan,
+    BlockSoA + kernel vs BlockPoints AoS - the layout win itself,
+    gated even without SIMD)
+  * skip_rate_*        >  0.0  (bound-based block skipping engages)
+
 Exit code 0 = pass, 1 = regression or malformed input.
 """
 
@@ -38,6 +48,8 @@ MIN_SKEWED_SPEEDUP = 1.3
 MIN_SKEWED_HIT_RATE = 0.5
 MIN_CHURN_READ_RATIO = 0.5
 MIN_SERVER_RATIO = 0.7
+MIN_SIMD_SPEEDUP = 1.5
+MIN_SCAN_SPEEDUP = 1.5
 
 
 def load(path):
@@ -110,6 +122,30 @@ def check_server(current, failures):
                         f"response/ordering errors (want 0)")
 
 
+def check_kernels(current, failures):
+    summary = current.get("summary", {})
+    simd = summary.get("simd_speedup", 0.0)
+    available = current.get("simd_available", False)
+    print(f"\nsimd_speedup={simd:.2f}x (floor {MIN_SIMD_SPEEDUP}x, "
+          f"simd_available={available})")
+    if available and simd < MIN_SIMD_SPEEDUP:
+        failures.append(f"simd_speedup {simd:.2f}x is below the "
+                        f"{MIN_SIMD_SPEEDUP}x floor")
+    for structure in ("grid", "quadtree", "rtree"):
+        scan = summary.get(f"scan_speedup_{structure}", 0.0)
+        skip = summary.get(f"skip_rate_{structure}", 0.0)
+        print(f"scan_speedup_{structure}={scan:.2f}x "
+              f"(floor {MIN_SCAN_SPEEDUP}x), "
+              f"skip_rate_{structure}={skip:.2%}")
+        if scan < MIN_SCAN_SPEEDUP:
+            failures.append(
+                f"scan_speedup_{structure} {scan:.2f}x is below the "
+                f"{MIN_SCAN_SPEEDUP}x floor")
+        if skip <= 0.0:
+            failures.append(f"skip_rate_{structure} is zero - block "
+                            f"skipping never engaged")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
@@ -145,6 +181,8 @@ def main():
     kind = current.get("bench", "engine_batch")
     if kind == "server":
         check_server(current, failures)
+    elif kind == "kernels":
+        check_kernels(current, failures)
     else:
         check_engine_batch(current, baseline, failures)
 

@@ -32,7 +32,9 @@
 // with queries in the same script or session.
 //
 // Every query command accepts --cache-mb M to give the engine an M-MiB
-// cross-query neighborhood cache (0, the default, disables it).
+// cross-query neighborhood cache (0, the default, disables it), and
+// --no-simd to disable the AVX2 distance kernel (results are
+// byte-identical either way; the flag exists for speed A/B runs).
 //
 // Dataset files are produced by `generate` (CSV: id,x,y with a header;
 // .bin: the knnq binary format).
@@ -59,6 +61,7 @@
 #include "src/data/dataset_io.h"
 #include "src/data/uniform.h"
 #include "src/engine/query_engine.h"
+#include "src/index/distance_kernel.h"
 #include "src/index/knn_searcher.h"
 #include "src/lang/knnql.h"
 #include "src/lang/lexer.h"
@@ -85,7 +88,7 @@ class Args {
         return Status::InvalidArgument("expected --flag, got: " + flag);
       }
       if (flag == "--naive" || flag == "--json" ||
-          flag == "--allow-remote-shutdown") {
+          flag == "--allow-remote-shutdown" || flag == "--no-simd") {
         args.values_[flag].push_back("1");
         continue;
       }
@@ -855,7 +858,9 @@ void PrintUsage() {
       "WHERE ID = n; LOAD r FROM 'file';\n"
       "append --naive to run the conceptually correct baseline plan;\n"
       "append --cache-mb M to any query command to enable the engine's\n"
-      "cross-query neighborhood cache with an M-MiB budget (0 = off)");
+      "cross-query neighborhood cache with an M-MiB budget (0 = off);\n"
+      "append --no-simd to any command to disable the AVX2 distance\n"
+      "kernel (pure speed A/B: results are byte-identical either way)");
 }
 
 }  // namespace
@@ -868,6 +873,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   auto args = Args::Parse(argc, argv, 2);
   if (!args.ok()) return Fail(args.status());
+
+  // SIMD A/B switch for every command: results are byte-identical with
+  // or without the vectorized distance paths, so this only moves speed.
+  if (args->Has("--no-simd")) SetSimdEnabled(false);
 
   if (command == "generate") return CmdGenerate(*args);
   if (command == "info") return CmdInfo(*args);
