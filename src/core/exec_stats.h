@@ -48,6 +48,10 @@ struct ExecStats {
   /// Scratch-arena footprint of the searcher(s) that ran this query
   /// (bytes). A gauge like cache_bytes: merging keeps the maximum.
   std::size_t arena_bytes = 0;
+  /// Engine shards skipped wholesale because their partition bounds lay
+  /// beyond the running k-th distance (distance-bound shard pruning).
+  /// Zero for unsharded relations.
+  std::size_t shards_pruned = 0;
 
   /// Folds a KnnSearcher's SearchStats into the scan counters.
   void AddSearch(const SearchStats& search) {
@@ -57,6 +61,7 @@ struct ExecStats {
     neighborhoods_computed += search.localities_computed;
     cache_hits += search.cache_hits;
     cache_misses += search.cache_misses;
+    shards_pruned += search.shards_pruned;
     if (search.arena_bytes > arena_bytes) arena_bytes = search.arena_bytes;
   }
 
@@ -72,6 +77,7 @@ struct ExecStats {
     wall_seconds += other.wall_seconds;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    shards_pruned += other.shards_pruned;
     if (other.cache_bytes > cache_bytes) cache_bytes = other.cache_bytes;
     if (other.arena_bytes > arena_bytes) arena_bytes = other.arena_bytes;
   }
@@ -86,7 +92,8 @@ struct ExecStats {
 
   /// One-line rendering, e.g.
   /// "blocks=12 skipped=4 points=480 neighborhoods=3 pruned=0
-  /// arena_bytes=2048 wall=0.52ms"; when a cache was in play,
+  /// shards_pruned=0 arena_bytes=2048 wall=0.52ms"; when a cache was in
+  /// play,
   /// " cache_hits=5 cache_misses=2 cache_bytes=.." is appended.
   std::string ToString() const;
 };

@@ -25,12 +25,12 @@ std::size_t RoundUpPow2(std::size_t n) {
 
 NeighborhoodCache::Key NeighborhoodCache::MakeKey(
     const SpatialIndex* relation, const Point& query, std::size_t k) {
-  return Key{relation, std::bit_cast<std::uint64_t>(query.x),
+  return Key{relation->instance_id(), std::bit_cast<std::uint64_t>(query.x),
              std::bit_cast<std::uint64_t>(query.y), k};
 }
 
 std::size_t NeighborhoodCache::KeyHash::operator()(const Key& key) const {
-  std::uint64_t h = Mix(reinterpret_cast<std::uintptr_t>(key.relation));
+  std::uint64_t h = Mix(key.relation_id);
   h = Mix(h ^ key.x_bits);
   h = Mix(h ^ key.y_bits);
   h = Mix(h ^ static_cast<std::uint64_t>(key.k));
@@ -129,11 +129,23 @@ void NeighborhoodCache::Clear() {
 }
 
 void NeighborhoodCache::InvalidateRelation(const SpatialIndex* relation) {
+  DropEntries(relation->instance_id());
+}
+
+void NeighborhoodCache::RetireRelation(std::uint64_t relation_id) {
+  {
+    std::lock_guard<std::mutex> lock(relation_generations_mu_);
+    relation_generations_.erase(relation_id);
+  }
+  DropEntries(relation_id);
+}
+
+void NeighborhoodCache::DropEntries(std::uint64_t relation_id) {
   std::uint64_t dropped = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
-      if (it->key.relation != relation) {
+      if (it->key.relation_id != relation_id) {
         ++it;
         continue;
       }
@@ -156,7 +168,8 @@ void NeighborhoodCache::InvalidateIfGenerationChanged(
     // A first observation still invalidates: entries cached before the
     // relation was ever reported here date from an older generation.
     auto [it, inserted] =
-        relation_generations_.try_emplace(relation, generation);
+        relation_generations_.try_emplace(relation->instance_id(),
+                                          generation);
     if (!inserted) {
       if (it->second == generation) return;
       it->second = generation;
@@ -192,8 +205,38 @@ NeighborhoodCacheStats NeighborhoodCache::GetStats() const {
   return stats;
 }
 
+namespace {
+
+/// ShardMemo over the shared cache: per-shard-child entries, keyed by
+/// the child's instance id like any other relation.
+class CacheShardMemo final : public ShardMemo {
+ public:
+  explicit CacheShardMemo(NeighborhoodCache* cache) : cache_(cache) {}
+
+  bool Lookup(const SpatialIndex& shard, const Point& query, std::size_t k,
+              Neighborhood* out) override {
+    return cache_->Lookup(&shard, query, k, out);
+  }
+
+  void Store(const SpatialIndex& shard, const Point& query, std::size_t k,
+             const Neighborhood& neighborhood) override {
+    cache_->Insert(&shard, query, k, neighborhood);
+  }
+
+ private:
+  NeighborhoodCache* cache_;
+};
+
+}  // namespace
+
 Neighborhood CachingKnnSearcher::GetKnn(const Point& query, std::size_t k) {
   if (cache_ == nullptr) return searcher_.GetKnn(query, k);
+  if (searcher_.sharded()) {
+    // Per-shard caching: the scatter-gather search does its own
+    // lookups/stores (and hit/miss accounting) through the memo.
+    CacheShardMemo memo(cache_);
+    return searcher_.GetKnn(query, k, &memo);
+  }
   Neighborhood neighborhood;
   if (cache_->Lookup(&searcher_.index(), query, k, &neighborhood)) {
     ++searcher_.stats().cache_hits;

@@ -77,9 +77,12 @@ class NeighborhoodCache {
 
   /// On a hit, copies the cached neighborhood into `*out`, refreshes
   /// the entry's LRU position and returns true. Identity of `relation`
-  /// is the index object itself: two structures over the same points
-  /// cache separately (and, GetKnn being deterministic, hold
-  /// byte-identical values).
+  /// is the index OBJECT via its process-unique instance_id(): two
+  /// structures over the same points cache separately (and, GetKnn
+  /// being deterministic, hold byte-identical values), and an index
+  /// replaced by copy-on-write can never serve the entries of the
+  /// object it replaced (a reused heap address would; instance ids are
+  /// never reused).
   bool Lookup(const SpatialIndex* relation, const Point& query,
               std::size_t k, Neighborhood* out);
 
@@ -97,6 +100,14 @@ class NeighborhoodCache {
   /// relation's neighborhoods hot — the point of keying invalidation
   /// per relation instead of nuking the cache on any catalog change.
   void InvalidateRelation(const SpatialIndex* relation);
+
+  /// Drops the entries cached under index instance `relation_id` and
+  /// forgets its generation record. For copy-on-write replacement,
+  /// where the retired index object may already be destroyed: its
+  /// entries are unreachable (the replacement has a fresh instance id)
+  /// but would otherwise hold cache bytes until LRU pressure drains
+  /// them.
+  void RetireRelation(std::uint64_t relation_id);
 
   /// Per-relation generation hook: when `generation` differs from the
   /// last value observed for `relation`, that relation's entries (and
@@ -128,7 +139,8 @@ class NeighborhoodCache {
   /// break the map's hash/equality contract for -0.0 vs +0.0 and make
   /// NaN keys (NaN != NaN) unfindable - and thus unevictable.
   struct Key {
-    const SpatialIndex* relation;
+    /// SpatialIndex::instance_id() of the relation (or shard child).
+    std::uint64_t relation_id;
     std::uint64_t x_bits;
     std::uint64_t y_bits;
     std::size_t k;
@@ -157,6 +169,10 @@ class NeighborhoodCache {
   static Key MakeKey(const SpatialIndex* relation, const Point& query,
                      std::size_t k);
 
+  /// Drops every entry keyed under `relation_id` (generation records
+  /// are left alone — only RetireRelation forgets those).
+  void DropEntries(std::uint64_t relation_id);
+
   /// Approximate heap charge of one entry (list node + map node + the
   /// neighborhood's own allocation).
   static std::size_t EntryCost(const Neighborhood& neighborhood);
@@ -173,10 +189,10 @@ class NeighborhoodCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> invalidated_{0};
   std::atomic<std::uint64_t> generation_{0};
-  /// Last generation observed per relation (per-relation invalidation).
+  /// Last generation observed per relation instance id (per-relation
+  /// invalidation).
   mutable std::mutex relation_generations_mu_;
-  std::unordered_map<const SpatialIndex*, std::uint64_t>
-      relation_generations_;
+  std::unordered_map<std::uint64_t, std::uint64_t> relation_generations_;
 };
 
 /// Drop-in KnnSearcher with an optional shared cache behind GetKnn.
@@ -186,6 +202,11 @@ class NeighborhoodCache {
 /// GetKnnRestricted always passes through (see the cache's header
 /// comment). Like KnnSearcher, not thread-safe: one per thread; the
 /// cache itself is safely shared.
+///
+/// Over a ShardedIndex, caching happens PER SHARD: the scatter-gather
+/// search is handed a ShardMemo keyed by child instance ids, so a
+/// mutation that copy-on-write-replaces one shard leaves every other
+/// shard's cached neighborhoods serving.
 class CachingKnnSearcher {
  public:
   explicit CachingKnnSearcher(const SpatialIndex& index,

@@ -1,15 +1,19 @@
 #include "src/engine/query_engine.h"
 
+#include <algorithm>
 #include <latch>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <variant>
 
+#include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/data/dataset_io.h"
 #include "src/engine/executor.h"
 #include "src/engine/neighborhood_cache.h"
+#include "src/index/sharded_index.h"
 #include "src/lang/knnql.h"
 #include "src/lang/parser.h"
 
@@ -23,11 +27,24 @@ std::size_t ResolveThreads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
-std::unique_ptr<NeighborhoodCache> MakeCache(const PlannerOptions& planner) {
-  if (planner.cache_mb == 0) return nullptr;
-  NeighborhoodCacheOptions options;
-  options.capacity_bytes = planner.cache_mb << 20;
-  return std::make_unique<NeighborhoodCache>(options);
+/// Folds the deprecated knob homes into the canonical EngineOptions
+/// fields, so the rest of the engine reads exactly one place:
+/// cache_mb absorbs PlannerOptions::cache_mb, shards is reconciled
+/// with IndexOptions::shards (both written back, max wins).
+EngineOptions NormalizeOptions(EngineOptions options) {
+  options.cache_mb = std::max(options.cache_mb, options.planner.cache_mb);
+  options.planner.cache_mb = options.cache_mb;
+  options.shards = std::max(
+      {options.shards, options.index_options.shards, std::size_t{1}});
+  options.index_options.shards = options.shards;
+  return options;
+}
+
+std::unique_ptr<NeighborhoodCache> MakeCache(const EngineOptions& options) {
+  if (options.cache_mb == 0) return nullptr;
+  NeighborhoodCacheOptions cache_options;
+  cache_options.capacity_bytes = options.cache_mb << 20;
+  return std::make_unique<NeighborhoodCache>(cache_options);
 }
 
 /// The one-line EngineResult::explain of a DML statement.
@@ -38,19 +55,46 @@ std::string MutationSummary(const char* verb, const std::string& relation,
          std::to_string(outcome.generation) + ")\n";
 }
 
+PointId NextIdAfter(const PointSet& points) {
+  PointId next = 0;
+  for (const Point& p : points) next = std::max(next, p.id + 1);
+  return next;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Catalog catalog, EngineOptions options)
     : catalog_(std::move(catalog)),
-      options_(options),
-      cache_(MakeCache(options.planner)),
+      options_(NormalizeOptions(options)),
+      cow_(options_.shards > 1),
+      cache_(MakeCache(options_)),
       pool_(std::make_unique<ThreadPool>(ThreadPoolOptions{
-          .num_threads = ResolveThreads(options.num_threads),
-          .max_queue = options.pool_queue_limit})) {
+          .num_threads = ResolveThreads(options_.num_threads),
+          .max_queue = options_.pool_queue_limit})) {
+  if (cow_) {
+    // Reshard every adopted relation that is not already sharded,
+    // preserving its structure type. No readers or writers exist yet,
+    // so this can rebuild in place.
+    for (const std::string& name : catalog_.Names()) {
+      const Relation& rel = **catalog_.Get(name);
+      if (dynamic_cast<const ShardedIndex*>(rel.index.get()) != nullptr) {
+        continue;
+      }
+      IndexOptions shard_options = options_.index_options;
+      shard_options.type = rel.index->type();
+      auto built = ShardedIndex::Build(rel.index->points(), shard_options);
+      // The points already passed index construction once; resharding
+      // the same data cannot fail.
+      KNNQ_CHECK_MSG(built.ok(), "resharding an adopted relation failed");
+      auto replaced = catalog_.ReplaceIndex(name, std::move(built.value()),
+                                            rel.next_id, 0);
+      KNNQ_CHECK_MSG(replaced.ok(), "republishing a resharded relation");
+    }
+  }
   if (cache_ != nullptr) {
     // Adopt the catalog's generation as the cache's baseline; every
-    // later change flows through Mutate/LoadRelation, which invalidate
-    // per relation.
+    // later change flows through ExecuteDml, which invalidates per
+    // relation (or per shard child in sharded mode).
     cache_->InvalidateIfGenerationChanged(catalog_.generation());
   }
 }
@@ -61,7 +105,9 @@ std::size_t QueryEngine::num_threads() const { return pool_->size(); }
 
 EngineResult QueryEngine::Run(const QuerySpec& spec) const {
   EngineResult result;
-  {
+  if (cow_) {
+    result = RunPinned(spec);
+  } else {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     result = RunLocked(spec);
   }
@@ -116,33 +162,24 @@ Result<QuerySpec> QueryEngine::BindQuery(const knnql::Query& query) const {
   return knnql::Bind(query, &catalog_);
 }
 
-EngineResult QueryEngine::ExecuteDml(const knnql::DmlSpec& dml) {
-  switch (dml.kind) {
-    case knnql::DmlSpec::Kind::kInsert: {
-      std::vector<MutationOp> ops;
-      ops.reserve(dml.rows.size());
-      for (const Point& row : dml.rows) {
-        ops.push_back(MutationOp::Insert(row.x, row.y));
-      }
-      return Mutate(dml.relation, ops);
-    }
-    case knnql::DmlSpec::Kind::kDelete:
-      return Mutate(dml.relation, {MutationOp::Erase(dml.id)});
-    case knnql::DmlSpec::Kind::kLoad: {
-      auto points = LoadPoints(dml.path);
-      if (!points.ok()) {
-        EngineResult result;
-        result.is_mutation = true;
-        result.status = points.status();
-        RecordMutation(result);
-        return result;
-      }
-      return LoadRelation(dml.relation, std::move(points.value()));
-    }
+void QueryEngine::ExecutePlan(const PhysicalPlan& plan,
+                              EngineResult* result) const {
+  result->algorithm = plan.algorithm();
+  const ExecutorRegistry& registry = options_.registry != nullptr
+                                         ? *options_.registry
+                                         : ExecutorRegistry::Default();
+  auto output = plan.Execute(registry, &result->stats, cache_.get());
+  if (cache_ != nullptr) {
+    result->stats.cache_bytes = cache_->size_bytes();
   }
-  EngineResult result;
-  result.status = Status::Internal("unknown DML kind");
-  return result;
+  // The plan was built either way; keep its EXPLAIN for debugging
+  // failed executions too.
+  result->explain = plan.Explain(&result->stats);
+  if (!output.ok()) {
+    result->status = output.status();
+    return;
+  }
+  result->output = std::move(output.value());
 }
 
 EngineResult QueryEngine::RunLocked(const QuerySpec& spec) const {
@@ -152,22 +189,31 @@ EngineResult QueryEngine::RunLocked(const QuerySpec& spec) const {
     result.status = plan.status();
     return result;
   }
-  result.algorithm = plan->algorithm();
-  const ExecutorRegistry& registry = options_.registry != nullptr
-                                         ? *options_.registry
-                                         : ExecutorRegistry::Default();
-  auto output = plan->Execute(registry, &result.stats, cache_.get());
-  if (cache_ != nullptr) {
-    result.stats.cache_bytes = cache_->size_bytes();
+  ExecutePlan(*plan, &result);
+  return result;
+}
+
+EngineResult QueryEngine::RunPinned(const QuerySpec& spec) const {
+  EngineResult result;
+  // Plans hold raw SpatialIndex pointers into the catalog; pin every
+  // relation's current index so a concurrent copy-on-write commit
+  // cannot destroy one while this query executes without the lock.
+  std::vector<std::shared_ptr<SpatialIndex>> pinned;
+  std::optional<Result<PhysicalPlan>> plan;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (const std::string& name : catalog_.Names()) {
+      if (auto rel = catalog_.Get(name); rel.ok()) {
+        pinned.push_back((*rel)->index);
+      }
+    }
+    plan.emplace(Optimize(catalog_, spec, options_.planner));
   }
-  // The plan was built either way; keep its EXPLAIN for debugging
-  // failed executions too.
-  result.explain = plan->Explain(&result.stats);
-  if (!output.ok()) {
-    result.status = output.status();
+  if (!plan->ok()) {
+    result.status = plan->status();
     return result;
   }
-  result.output = std::move(output.value());
+  ExecutePlan(**plan, &result);
   return result;
 }
 
@@ -177,9 +223,9 @@ std::vector<EngineResult> QueryEngine::RunBatch(
   if (specs.empty()) return results;
 
   // One task per query; slots keep submission order and isolate
-  // failures. Each task takes its own reader lock, so a batch
-  // interleaves with writers at query granularity while the queries
-  // themselves stay lock-free among each other.
+  // failures. Each task pins its own snapshot (or takes its own reader
+  // lock), so a batch interleaves with writers at query granularity
+  // while the queries themselves stay lock-free among each other.
   std::latch done(static_cast<std::ptrdiff_t>(specs.size()));
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const bool submitted = pool_->Submit([this, &specs, &results, &done, i] {
@@ -199,19 +245,68 @@ std::vector<EngineResult> QueryEngine::RunBatch(
   return results;
 }
 
+EngineResult QueryEngine::ExecuteDml(DmlRequest request) {
+  return cow_ ? ExecuteDmlCow(request) : ExecuteDmlLegacy(request);
+}
+
+EngineResult QueryEngine::ExecuteDml(const knnql::DmlSpec& dml) {
+  switch (dml.kind) {
+    case knnql::DmlSpec::Kind::kInsert: {
+      std::vector<MutationOp> ops;
+      ops.reserve(dml.rows.size());
+      for (const Point& row : dml.rows) {
+        ops.push_back(MutationOp::Insert(row.x, row.y));
+      }
+      return ExecuteDml(DmlRequest::MutateOps(dml.relation, std::move(ops)));
+    }
+    case knnql::DmlSpec::Kind::kDelete:
+      return ExecuteDml(
+          DmlRequest::MutateOps(dml.relation, {MutationOp::Erase(dml.id)}));
+    case knnql::DmlSpec::Kind::kLoad: {
+      auto points = LoadPoints(dml.path);
+      if (!points.ok()) {
+        EngineResult result;
+        result.is_mutation = true;
+        result.status = points.status();
+        RecordMutation(result);
+        return result;
+      }
+      return ExecuteDml(
+          DmlRequest::Load(dml.relation, std::move(points.value())));
+    }
+  }
+  EngineResult result;
+  result.status = Status::Internal("unknown DML kind");
+  return result;
+}
+
 EngineResult QueryEngine::Mutate(const std::string& relation,
                                  const std::vector<MutationOp>& ops) {
+  return ExecuteDml(DmlRequest::MutateOps(relation, ops));
+}
+
+EngineResult QueryEngine::LoadRelation(const std::string& relation,
+                                       PointSet points) {
+  return ExecuteDml(DmlRequest::Load(relation, std::move(points)));
+}
+
+EngineResult QueryEngine::ExecuteDmlLegacy(DmlRequest& request) {
   EngineResult result;
   result.is_mutation = true;
   Stopwatch timer;
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-    auto outcome = catalog_.Mutate(relation, ops);
+    auto outcome =
+        request.kind == DmlRequest::Kind::kMutate
+            ? catalog_.Mutate(request.relation, request.ops)
+            : catalog_.LoadRelation(request.relation,
+                                    std::move(request.points),
+                                    options_.index_options);
     if (!outcome.ok()) {
-      // A failed batch may still have applied a prefix; re-sync the
-      // cache with whatever generation the relation is at now.
-      if (cache_ != nullptr) {
-        if (auto rel = catalog_.Get(relation); rel.ok()) {
+      // A failed mutate batch may still have applied a prefix; re-sync
+      // the cache with whatever generation the relation is at now.
+      if (cache_ != nullptr && request.kind == DmlRequest::Kind::kMutate) {
+        if (auto rel = catalog_.Get(request.relation); rel.ok()) {
           cache_->InvalidateIfGenerationChanged((*rel)->index.get(),
                                                 (*rel)->generation);
         }
@@ -225,34 +320,238 @@ EngineResult QueryEngine::Mutate(const std::string& relation,
                                             outcome->generation);
     }
     result.rows_affected = outcome->rows_affected;
-    result.explain = MutationSummary("MUTATE", relation, *outcome);
+    result.explain = MutationSummary(
+        request.kind == DmlRequest::Kind::kMutate ? "MUTATE" : "LOAD",
+        request.relation, *outcome);
   }
   result.stats.wall_seconds = timer.ElapsedSeconds();
   RecordMutation(result);
   return result;
 }
 
-EngineResult QueryEngine::LoadRelation(const std::string& relation,
-                                       PointSet points) {
+EngineResult QueryEngine::ExecuteDmlCow(DmlRequest& request) {
+  if (request.kind == DmlRequest::Kind::kMutate) {
+    return MutateCow(request.relation, request.ops);
+  }
+  return LoadCow(request.relation, std::move(request.points));
+}
+
+QueryEngine::RelationWriteState& QueryEngine::WriteStateFor(
+    const std::string& relation) {
+  std::lock_guard<std::mutex> lock(write_states_mu_);
+  auto& slot = write_states_[relation];
+  if (slot == nullptr) slot = std::make_unique<RelationWriteState>();
+  return *slot;
+}
+
+EngineResult QueryEngine::MutateCow(const std::string& relation,
+                                    const std::vector<MutationOp>& ops) {
   EngineResult result;
   result.is_mutation = true;
   Stopwatch timer;
+
+  RelationWriteState& ws = WriteStateFor(relation);
+  // One writer lane per relation: writers to DIFFERENT relations run
+  // concurrently, and none of them blocks readers (which execute on
+  // pinned snapshots).
+  std::lock_guard<std::mutex> writer(ws.mu);
+
+  // Pin the current wrapper. ws.mu guarantees no other writer can
+  // republish this relation until we commit, so the pin stays the
+  // newest version throughout.
+  std::shared_ptr<SpatialIndex> base;
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-    auto outcome = catalog_.LoadRelation(relation, std::move(points),
-                                         options_.index_options);
-    if (!outcome.ok()) {
-      result.status = outcome.status();
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    auto rel = catalog_.Get(relation);
+    if (!rel.ok()) {
+      result.status = rel.status();
       RecordMutation(result);
       return result;
     }
-    if (cache_ != nullptr) {
-      cache_->InvalidateIfGenerationChanged(outcome->index,
-                                            outcome->generation);
+    base = (*rel)->index;
+    if (!ws.initialized) {
+      ws.next_id = (*rel)->next_id;
+      ws.initialized = true;
     }
-    result.rows_affected = outcome->rows_affected;
-    result.explain = MutationSummary("LOAD", relation, *outcome);
   }
+  const auto* sharded = dynamic_cast<const ShardedIndex*>(base.get());
+  if (sharded == nullptr) {
+    result.status = Status::Internal("sharded engine: relation '" + relation +
+                                     "' is not sharded");
+    RecordMutation(result);
+    return result;
+  }
+
+  // Copy-on-write: share every child, clone a child the first time an
+  // op routes to it. Untouched shards keep their objects — and their
+  // cache entries.
+  const std::size_t num_shards = sharded->num_shards();
+  std::vector<std::shared_ptr<SpatialIndex>> children;
+  children.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    children.push_back(sharded->shard_ptr(s));
+  }
+  std::vector<bool> cloned(num_shards, false);
+  std::vector<std::uint64_t> retired;
+  const auto writable = [&](std::size_t s) -> SpatialIndex* {
+    if (!cloned[s]) {
+      retired.push_back(children[s]->instance_id());
+      children[s] = std::shared_ptr<SpatialIndex>(children[s]->Clone());
+      cloned[s] = true;
+    }
+    return children[s].get();
+  };
+
+  std::size_t rows = 0;
+  Status failure = Status::Ok();
+  for (const MutationOp& op : ops) {
+    if (op.kind == MutationOp::Kind::kInsert) {
+      Point p = op.point;
+      if (p.id < 0) p.id = ws.next_id;
+      const std::size_t s = sharded->partition()->Route(p.x, p.y);
+      if (Status st = writable(s)->Insert(p); !st.ok()) {
+        failure = st;
+        break;
+      }
+      ws.next_id = std::max(ws.next_id, p.id + 1);
+      ++rows;
+    } else {
+      // Ownership lookup runs over the working set: the clone when
+      // this batch already touched the shard (so an id inserted
+      // earlier in the batch is erasable), the shared original
+      // otherwise.
+      int owner = -1;
+      for (std::size_t s = 0; s < num_shards && owner < 0; ++s) {
+        if (children[s]->HasPoint(op.erase_id)) {
+          owner = static_cast<int>(s);
+        }
+      }
+      if (owner < 0) continue;  // Absent id: 0 rows, not an error.
+      const Status erased =
+          writable(static_cast<std::size_t>(owner))->Erase(op.erase_id);
+      if (erased.ok()) {
+        ++rows;
+      } else if (erased.code() != StatusCode::kNotFound) {
+        failure = erased;
+        break;
+      }
+    }
+  }
+
+  // Commit matches Catalog::Mutate semantics: ops before a failing one
+  // stay applied (the prefix publishes), a no-op batch does not bump
+  // the generation.
+  MutationOutcome outcome{.rows_affected = rows, .generation = 0,
+                          .index = nullptr};
+  if (rows > 0) {
+    auto rebuilt =
+        ShardedIndex::FromShards(sharded->partition(), std::move(children));
+    KNNQ_CHECK_MSG(rebuilt.ok(), "rewrapping mutated shards failed");
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto committed = catalog_.ReplaceIndex(
+        relation, std::move(rebuilt.value()), ws.next_id, rows);
+    KNNQ_CHECK_MSG(committed.ok(), "republishing a mutated relation");
+    outcome = *committed;
+  } else {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    if (auto rel = catalog_.Get(relation); rel.ok()) {
+      outcome.generation = (*rel)->generation;
+    }
+  }
+  // Replaced child objects can no longer serve anyone; drop their
+  // cache entries (every other shard's stay hot). Only after a
+  // publish: an unpublished clone leaves the originals live.
+  if (rows > 0 && cache_ != nullptr) {
+    for (const std::uint64_t id : retired) cache_->RetireRelation(id);
+  }
+
+  if (!failure.ok()) {
+    result.status = failure;
+    result.stats.wall_seconds = timer.ElapsedSeconds();
+    RecordMutation(result);
+    return result;
+  }
+  result.rows_affected = outcome.rows_affected;
+  result.explain = MutationSummary("MUTATE", relation, outcome);
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  RecordMutation(result);
+  return result;
+}
+
+EngineResult QueryEngine::LoadCow(const std::string& relation,
+                                  PointSet points) {
+  EngineResult result;
+  result.is_mutation = true;
+  Stopwatch timer;
+
+  RelationWriteState& ws = WriteStateFor(relation);
+  std::lock_guard<std::mutex> writer(ws.mu);
+
+  // Preserve an existing relation's structure type (like BulkLoad
+  // does); unknown names build with the engine's index options.
+  IndexOptions build_options = options_.index_options;
+  bool exists = false;
+  std::shared_ptr<SpatialIndex> old_index;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    if (auto rel = catalog_.Get(relation); rel.ok()) {
+      exists = true;
+      old_index = (*rel)->index;
+      build_options.type = old_index->type();
+    }
+  }
+
+  const std::size_t rows = points.size();
+  const PointId next_id = NextIdAfter(points);
+  // The expensive part — partitioning and indexing the new contents —
+  // happens with no lock held and no reader or writer disturbed.
+  auto built = ShardedIndex::Build(std::move(points), build_options);
+  if (!built.ok()) {
+    result.status = built.status();
+    RecordMutation(result);
+    return result;
+  }
+  std::shared_ptr<SpatialIndex> fresh = std::move(built.value());
+
+  MutationOutcome outcome;
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (exists) {
+      auto committed =
+          catalog_.ReplaceIndex(relation, std::move(fresh), next_id, rows);
+      KNNQ_CHECK_MSG(committed.ok(), "republishing a loaded relation");
+      outcome = *committed;
+    } else {
+      if (Status s = catalog_.AdoptRelation(relation, std::move(fresh),
+                                            next_id);
+          !s.ok()) {
+        result.status = s;
+        RecordMutation(result);
+        return result;
+      }
+      outcome = MutationOutcome{
+          .rows_affected = rows,
+          .generation = (*catalog_.Get(relation))->generation,
+          .index = nullptr};
+    }
+  }
+  ws.next_id = next_id;
+  ws.initialized = true;
+
+  // The whole old wrapper was replaced: retire every old shard's cache
+  // entries (and the wrapper's own, in case anything keyed on it).
+  if (cache_ != nullptr && old_index != nullptr) {
+    if (const auto* old_sharded =
+            dynamic_cast<const ShardedIndex*>(old_index.get())) {
+      for (std::size_t s = 0; s < old_sharded->num_shards(); ++s) {
+        cache_->RetireRelation(old_sharded->shard(s).instance_id());
+      }
+    }
+    cache_->RetireRelation(old_index->instance_id());
+  }
+
+  result.rows_affected = outcome.rows_affected;
+  result.explain = MutationSummary("LOAD", relation, outcome);
   result.stats.wall_seconds = timer.ElapsedSeconds();
   RecordMutation(result);
   return result;
@@ -316,9 +615,9 @@ Result<std::vector<EngineResult>> QueryEngine::RunScript(
       continue;
     }
     if (Status s = flush(); !s.ok()) return s;
-    // Existence is checked by Mutate/LoadRelation under the writer
-    // lock, so the bind is shape-only (null catalog) and cannot fail
-    // for a statement the parser accepted.
+    // Existence is checked by ExecuteDml under the write protocol, so
+    // the bind is shape-only (null catalog) and cannot fail for a
+    // statement the parser accepted.
     auto dml = knnql::BindDml(statement.body, /*catalog=*/nullptr);
     if (!dml.ok()) {
       results[i].is_mutation = true;

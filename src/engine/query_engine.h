@@ -4,34 +4,48 @@
 // fixed-size worker thread pool. Run() plans and executes one query;
 // RunBatch() fans a batch out over the workers and returns results in
 // submission order, with per-query errors isolated to their slot.
-// Mutate() and LoadRelation() change relations in place; RunScript()
-// executes a KNNQL script that may interleave DML with queries.
+// ExecuteDml() is the single write path (inserts/deletes/loads);
+// RunScript() executes a KNNQL script that may interleave DML with
+// queries.
 //
-// Concurrency model: SpatialIndex instances are read-thread-safe with
-// no synchronization as long as no write is in flight; every evaluator
-// creates its own KnnSearcher scratch state and planning reads only
-// catalog statistics. The engine serializes writers against readers
-// with one std::shared_mutex: every Run()/RunBatch() slot holds a
-// reader lock for its whole plan+execute, Mutate()/LoadRelation() hold
-// the writer lock. Reads therefore still scale across cores (shared
-// locks don't contend with each other), each query sees a consistent
-// snapshot of every relation, and writes apply between queries, never
-// under one.
+// Concurrency model — two modes, selected by EngineOptions::shards:
+//
+//   shards == 1 (default, the historical engine): SpatialIndex
+//   instances are read-thread-safe with no synchronization as long as
+//   no write is in flight, so the engine serializes writers against
+//   readers with one std::shared_mutex. Every Run()/RunBatch() slot
+//   holds a reader lock for its whole plan+execute, DML holds the
+//   writer lock and mutates indexes in place. Reads scale across cores
+//   (shared locks don't contend), writes apply between queries.
+//
+//   shards > 1 (sharded scale-out): every relation is a ShardedIndex
+//   (src/index/sharded_index.h) and DML switches to copy-on-write
+//   publication. A writer pins the current wrapper, clones only the
+//   shards its ops route to, applies the batch to the clones, rebuilds
+//   a wrapper via ShardedIndex::FromShards and commits it with one
+//   pointer swap (Catalog::ReplaceIndex) under a brief exclusive lock.
+//   Readers pin shared_ptr snapshots of every relation under a brief
+//   shared lock, then plan+execute entirely lock-free — a bulk write
+//   to one relation no longer stalls reads, and writers to different
+//   relations proceed concurrently (one writer mutex per relation).
+//   Queries against a sharded relation run scatter-gather getkNN with
+//   distance-bound shard pruning (ExecStats::shards_pruned).
 //
 // The one shared mutable structure is optional: with
-// PlannerOptions::cache_mb > 0 the engine owns a NeighborhoodCache, a
+// EngineOptions::cache_mb > 0 the engine owns a NeighborhoodCache, a
 // sharded cross-query memo of getkNN results, consulted by every
 // evaluator. A mutation invalidates only the mutated relation's cache
-// entries (keyed by the relation's Catalog generation); every other
-// relation's neighborhoods stay hot. Cached execution returns
-// byte-identical results (GetKnn is deterministic; restricted searches
-// bypass the cache).
+// entries (keyed per shard child in sharded mode, so replacing one
+// shard keeps every other shard's neighborhoods hot). Cached execution
+// returns byte-identical results (GetKnn is deterministic; restricted
+// searches bypass the cache).
 
 #ifndef KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 #define KNNQ_SRC_ENGINE_QUERY_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -53,27 +67,77 @@ namespace knnq {
 class ExecutorRegistry;   // src/engine/executor.h
 class NeighborhoodCache;  // src/engine/neighborhood_cache.h
 
-/// Engine construction knobs.
+/// Engine construction knobs — the one place engine-level tuning
+/// lives. Defaults are the zero-configuration single-process engine:
+/// hardware threads, no cache, unbounded pool queue, one shard per
+/// relation (in-place DML under the reader/writer lock).
 struct EngineOptions {
   /// Worker threads for RunBatch. 0 means hardware concurrency.
   std::size_t num_threads = 0;
 
-  /// Planning heuristics applied to every query.
-  PlannerOptions planner;
+  /// Byte budget (in MiB) of the engine-owned cross-query neighborhood
+  /// cache; 0 disables it. Canonical home of the knob; the historical
+  /// PlannerOptions::cache_mb still works as a fallback (the effective
+  /// budget is the max of the two).
+  std::size_t cache_mb = 0;
 
-  /// Executor registry to dispatch through; null means
-  /// ExecutorRegistry::Default(). Must outlive the engine.
-  const ExecutorRegistry* registry = nullptr;
-
-  /// Index construction parameters for relations the engine creates
-  /// itself (LoadRelation / KNNQL LOAD on an unknown name).
-  IndexOptions index_options;
+  /// Spatial shards per relation. 1 (default) keeps the historical
+  /// single-index engine; > 1 builds every relation as a ShardedIndex
+  /// and switches the engine to pinned-snapshot reads and
+  /// copy-on-write DML (see the header comment). Normalized with
+  /// index_options.shards: the effective count is the max of the two,
+  /// written back to both.
+  std::size_t shards = 1;
 
   /// Bound on the worker pool's queue of not-yet-running tasks; 0
   /// means unbounded (the RunBatch default). Servers set it so
   /// TrySubmitQuery refuses work under overload instead of queueing
   /// without limit.
   std::size_t pool_queue_limit = 0;
+
+  /// Planning heuristics applied to every query.
+  PlannerOptions planner;
+
+  /// Index construction parameters for relations the engine creates
+  /// itself (DML LOAD on an unknown name) and for resharding the
+  /// adopted catalog's relations when shards > 1.
+  IndexOptions index_options;
+
+  /// Executor registry to dispatch through; null means
+  /// ExecutorRegistry::Default(). Must outlive the engine.
+  const ExecutorRegistry* registry = nullptr;
+};
+
+/// One engine-level DML request — the single write path every public
+/// mutation entry point (Mutate, LoadRelation, KNNQL INSERT / DELETE /
+/// LOAD) lowers into.
+struct DmlRequest {
+  enum class Kind {
+    /// Apply `ops` in order to relation `relation`.
+    kMutate,
+    /// Replace (or create) relation `relation` with `points`.
+    kLoad,
+  };
+  Kind kind = Kind::kMutate;
+  std::string relation;
+  /// kMutate: the ordered write batch.
+  std::vector<MutationOp> ops;
+  /// kLoad: the new contents.
+  PointSet points;
+
+  static DmlRequest MutateOps(std::string relation,
+                              std::vector<MutationOp> ops) {
+    return DmlRequest{.kind = Kind::kMutate,
+                      .relation = std::move(relation),
+                      .ops = std::move(ops),
+                      .points = {}};
+  }
+  static DmlRequest Load(std::string relation, PointSet points) {
+    return DmlRequest{.kind = Kind::kLoad,
+                      .relation = std::move(relation),
+                      .ops = {},
+                      .points = std::move(points)};
+  }
 };
 
 /// Outcome of one statement. A failed plan or execution sets `status`
@@ -110,12 +174,14 @@ struct EngineStatsSnapshot {
 };
 
 /// Plans and executes queries — and applies writes — against an owned
-/// catalog, under the reader/writer protocol described above.
+/// catalog, under the concurrency protocol described above.
 class QueryEngine {
  public:
-  /// Takes ownership of `catalog`. Relations stay mutable through
-  /// Mutate / LoadRelation / RunScript only; all other entry points
-  /// are reads.
+  /// Takes ownership of `catalog`. With effective shards > 1, every
+  /// adopted relation is rebuilt as a ShardedIndex (preserving its
+  /// structure type) before serving starts. Relations stay mutable
+  /// through ExecuteDml (and its forwarders) only; all other entry
+  /// points are reads.
   explicit QueryEngine(Catalog catalog, EngineOptions options = {});
   ~QueryEngine();
 
@@ -123,18 +189,22 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Callers inspecting the catalog while writers may be active must
-  /// not hold the returned reference across a Mutate.
+  /// not hold the returned reference across a mutation.
   const Catalog& catalog() const { return catalog_; }
   const EngineOptions& options() const { return options_; }
   std::size_t num_threads() const;
 
-  /// The engine's cross-query neighborhood cache; null when
-  /// options.planner.cache_mb == 0. Exposed for stats inspection
-  /// (hit rate, footprint) and explicit Clear().
+  /// The effective shards-per-relation count (1 = unsharded engine).
+  std::size_t shards() const { return options_.shards; }
+
+  /// The engine's cross-query neighborhood cache; null when the
+  /// effective cache_mb is 0. Exposed for stats inspection (hit rate,
+  /// footprint) and explicit Clear().
   NeighborhoodCache* neighborhood_cache() const { return cache_.get(); }
 
-  /// Plans and executes one query on the calling thread (under a
-  /// reader lock: safe to call concurrently with Mutate).
+  /// Plans and executes one query on the calling thread. Safe to call
+  /// concurrently with DML in either mode (reader lock, or pinned
+  /// snapshot in sharded mode).
   EngineResult Run(const QuerySpec& spec) const;
 
   /// Executes `specs` concurrently on the worker pool. results[i] is
@@ -161,33 +231,38 @@ class QueryEngine {
   bool TrySubmitQuery(QuerySpec spec,
                       std::function<void(EngineResult)> done) const;
 
-  /// Plans `spec` without executing it (under the reader lock): the
-  /// EXPLAIN path. Returns the plan's rendering.
+  /// Plans `spec` without executing it: the EXPLAIN path. Returns the
+  /// plan's rendering.
   Result<std::string> Explain(const QuerySpec& spec) const;
 
   /// Binds one parsed KNNQL query against the live catalog under the
   /// reader lock, so servers can bind incrementally while writers run.
   Result<QuerySpec> BindQuery(const knnql::Query& query) const;
 
-  /// Applies one bound DML statement: kInsert/kDelete through
-  /// Mutate(), kLoad through LoadPoints() + LoadRelation(). The shared
-  /// execution path of the CLI and the network server.
+  /// THE write path: applies one DML request. kMutate applies the ops
+  /// in order (ops before a failing one stay applied); kLoad replaces
+  /// or creates the relation. In the default engine this runs in place
+  /// under the writer lock; in sharded mode it clones only the
+  /// affected shards and publishes copy-on-write without blocking
+  /// readers. The result's status carries any failure; rows_affected
+  /// and explain summarize the applied writes.
+  EngineResult ExecuteDml(DmlRequest request);
+
+  /// Applies one bound KNNQL DML statement by lowering it to a
+  /// DmlRequest (kInsert/kDelete -> kMutate ops, kLoad -> LoadPoints +
+  /// kLoad). The shared execution path of the CLI and the network
+  /// server.
   EngineResult ExecuteDml(const knnql::DmlSpec& dml);
 
-  /// Cumulative counters over every statement this engine executed.
-  EngineStatsSnapshot StatsSnapshot() const;
-
-  /// Applies `ops` in order to `relation` under the writer lock: the
-  /// batch waits for in-flight queries, applies between batches, bumps
-  /// only that relation's generation and invalidates only its cache
-  /// entries. The result's status carries any failure; rows_affected
-  /// and explain summarize the applied writes.
+  /// DEPRECATED forwarder: ExecuteDml(DmlRequest::MutateOps(...)).
   EngineResult Mutate(const std::string& relation,
                       const std::vector<MutationOp>& ops);
 
-  /// Replaces (or creates, with options().index_options) `relation`
-  /// with `points`, under the writer lock. The KNNQL `LOAD` fast path.
+  /// DEPRECATED forwarder: ExecuteDml(DmlRequest::Load(...)).
   EngineResult LoadRelation(const std::string& relation, PointSet points);
+
+  /// Cumulative counters over every statement this engine executed.
+  EngineStatsSnapshot StatsSnapshot() const;
 
   /// Parses a KNNQL script (src/lang/knnql.h) against this engine's
   /// catalog into a batch of query specs, one per statement in script
@@ -201,16 +276,44 @@ class QueryEngine {
   /// Executes a .knnql script that may interleave DML with queries.
   /// Statements run in script order; maximal runs of consecutive
   /// queries execute concurrently on the worker pool (a batch), DML
-  /// applies between batches under the writer lock. results[i] is
-  /// statement i's outcome; per-statement failures stay isolated to
-  /// their slot. The whole call fails only when the script does not
-  /// parse or a query does not bind against the catalog state at its
-  /// batch's start (mutations applied by earlier statements persist).
+  /// applies between batches. results[i] is statement i's outcome;
+  /// per-statement failures stay isolated to their slot. The whole
+  /// call fails only when the script does not parse or a query does
+  /// not bind against the catalog state at its batch's start
+  /// (mutations applied by earlier statements persist).
   Result<std::vector<EngineResult>> RunScript(std::string_view text);
 
  private:
+  /// Serializes writers of ONE relation in sharded mode and owns its
+  /// auto-id sequence (next_id mirrors the catalog's; reading it under
+  /// `mu` avoids re-locking the catalog per op).
+  struct RelationWriteState {
+    std::mutex mu;
+    /// Guarded by `mu`. Valid only after `initialized`.
+    PointId next_id = 0;
+    bool initialized = false;
+  };
+
   /// Plan + execute without taking the reader lock (callers hold it).
   EngineResult RunLocked(const QuerySpec& spec) const;
+
+  /// Executes an optimized plan into `result` — the shared tail of
+  /// RunLocked and RunPinned.
+  void ExecutePlan(const PhysicalPlan& plan, EngineResult* result) const;
+
+  /// Sharded-mode read: pin every relation's index under a brief
+  /// shared lock, then plan + execute lock-free against the pins.
+  EngineResult RunPinned(const QuerySpec& spec) const;
+
+  /// The two DML engines behind ExecuteDml.
+  EngineResult ExecuteDmlLegacy(DmlRequest& request);
+  EngineResult ExecuteDmlCow(DmlRequest& request);
+  EngineResult MutateCow(const std::string& relation,
+                         const std::vector<MutationOp>& ops);
+  EngineResult LoadCow(const std::string& relation, PointSet points);
+
+  /// The per-relation writer state, created on first write.
+  RelationWriteState& WriteStateFor(const std::string& relation);
 
   /// Folds one finished statement into the cumulative counters.
   void RecordQuery(const EngineResult& result) const;
@@ -218,10 +321,18 @@ class QueryEngine {
 
   Catalog catalog_;
   EngineOptions options_;
+  /// True when the engine runs the sharded copy-on-write protocol
+  /// (effective shards > 1).
+  bool cow_ = false;
   /// Shared across all workers; internally synchronized.
   std::unique_ptr<NeighborhoodCache> cache_;
-  /// The reader/writer protocol: queries shared, mutations exclusive.
+  /// Default mode: queries shared, mutations exclusive. Sharded mode:
+  /// shared while pinning snapshots, exclusive only around the
+  /// pointer-swap commit.
   mutable std::shared_mutex catalog_mu_;
+  /// Sharded mode: one writer lane per relation.
+  std::mutex write_states_mu_;
+  std::map<std::string, std::unique_ptr<RelationWriteState>> write_states_;
   /// Cumulative serving counters (StatsSnapshot); separate lock so the
   /// hot path never touches catalog_mu_ for bookkeeping.
   mutable std::mutex stats_mu_;

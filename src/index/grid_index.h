@@ -51,6 +51,10 @@ class GridIndex final : public SpatialIndex {
   std::unique_ptr<BlockScan> NewScan(const Point& query,
                                      ScanOrder order) const override;
   std::string Describe() const override;
+  IndexType type() const override { return IndexType::kGrid; }
+  std::unique_ptr<SpatialIndex> Clone() const override {
+    return std::unique_ptr<SpatialIndex>(new GridIndex(*this));
+  }
 
   Status Insert(const Point& p) override;
   Status Erase(PointId id) override;
@@ -63,6 +67,9 @@ class GridIndex final : public SpatialIndex {
   friend class GridBlockScan;
 
   GridIndex() = default;
+  /// Clone() only: all state is value members, so the memberwise copy
+  /// (fresh instance_id via the base) is a full deep copy.
+  GridIndex(const GridIndex&) = default;
 
   /// Cell coordinates of an arbitrary location, clamped into the grid.
   void CellOf(double x, double y, std::size_t* ci, std::size_t* cj) const;

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/index/distance_kernel.h"
+#include "src/index/sharded_index.h"
 #include "src/index/topk.h"
 
 namespace knnq {
@@ -32,11 +33,96 @@ bool Contains(const Neighborhood& nbr, PointId id) {
   return false;
 }
 
+KnnSearcher::KnnSearcher(const SpatialIndex& index)
+    : index_(index), sharded_(dynamic_cast<const ShardedIndex*>(&index)) {}
+
 Neighborhood KnnSearcher::GetKnn(const Point& query, std::size_t k) {
+  return GetKnn(query, k, nullptr);
+}
+
+Neighborhood KnnSearcher::GetKnn(const Point& query, std::size_t k,
+                                 ShardMemo* memo) {
+  if (sharded_ != nullptr) return GetKnnSharded(query, k, memo);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   ComputeLocalityInto(index_, query, k, kInf, &stats_, arena_.phase1(),
                       locality_);
   return NeighborhoodFromLocality(query, k, locality_, kInf);
+}
+
+Neighborhood KnnSearcher::GetKnnSharded(const Point& query, std::size_t k,
+                                        ShardMemo* memo) {
+  if (k == 0) return {};
+  ++stats_.localities_computed;
+  const ShardedIndex& sharded = *sharded_;
+
+  // Scatter order: shards by squared MINDIST from the query to their
+  // data bounds, ties by shard number — deterministic and, like block
+  // ordering in NeighborhoodFromLocality, purely an optimization.
+  shard_order_.clear();
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    const SpatialIndex& child = sharded.shard(s);
+    if (child.num_points() == 0) continue;
+    shard_order_.emplace_back(child.bounds().SquaredMinDist(query), s);
+  }
+  std::sort(shard_order_.begin(), shard_order_.end());
+
+  TopKQueue topk(k, arena_.heap());
+  for (std::size_t i = 0; i < shard_order_.size(); ++i) {
+    const auto& [sq_min, s] = shard_order_[i];
+    // Distance-bound shard pruning: a shard whose bounds lie strictly
+    // beyond the running k-th distance cannot hold a winner (a tie can
+    // still win on id, hence strict >). The list is MINDIST-sorted, so
+    // the first pruned shard proves the rest are prunable too.
+    if (sq_min > topk.threshold()) {
+      stats_.shards_pruned += shard_order_.size() - i;
+      break;
+    }
+    const SpatialIndex& child = sharded.shard(s);
+    if (memo != nullptr) {
+      // Cached path: full per-shard neighborhoods are the cacheable
+      // unit (they stay valid whatever bound other shards establish).
+      Neighborhood child_nbr;
+      if (memo->Lookup(child, query, k, &child_nbr)) {
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.cache_misses;
+        child_nbr = SearchOne(child, query, k);
+        memo->Store(child, query, k, child_nbr);
+      }
+      for (const Neighbor& n : child_nbr) {
+        // Recompute the squared distance rather than squaring n.dist:
+        // bit-identical to the batch kernel, so cached and uncached
+        // merges produce byte-identical neighborhoods.
+        topk.Push(TopKEntry{SquaredDistance(n.point, query), n.point.id,
+                            n.point.x, n.point.y});
+      }
+    } else {
+      // Uncached path: clip the shard's locality to the running bound
+      // (Procedure 5's restricted search — exact for every point that
+      // could still enter the top k).
+      const double clip = std::sqrt(topk.threshold());
+      ComputeLocalityInto(child, query, k, clip, &stats_, arena_.phase1(),
+                          locality_);
+      --stats_.localities_computed;  // Counted once per gather, not per shard.
+      AccumulateFromLocality(child, query, locality_, clip, topk);
+    }
+  }
+  stats_.arena_bytes = arena_.bytes() +
+                       locality_.blocks.capacity() * sizeof(BlockId) +
+                       shard_order_.capacity() * sizeof(shard_order_[0]) +
+                       shard_heap_.capacity() * sizeof(TopKEntry);
+  return ToNeighborhood(topk.SortAscending());
+}
+
+Neighborhood KnnSearcher::SearchOne(const SpatialIndex& index,
+                                    const Point& query, std::size_t k) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ComputeLocalityInto(index, query, k, kInf, &stats_, arena_.phase1(),
+                      locality_);
+  --stats_.localities_computed;  // Counted once per gather, not per shard.
+  TopKQueue topk(k, shard_heap_);
+  AccumulateFromLocality(index, query, locality_, kInf, topk);
+  return ToNeighborhood(topk.SortAscending());
 }
 
 Neighborhood KnnSearcher::GetKnnRestricted(const Point& query, std::size_t k,
@@ -56,6 +142,17 @@ Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
                                                    const Locality& locality,
                                                    double threshold) {
   if (k == 0 || locality.blocks.empty()) return {};
+  TopKQueue topk(k, arena_.heap());
+  AccumulateFromLocality(index_, query, locality, threshold, topk);
+  stats_.arena_bytes =
+      arena_.bytes() + locality_.blocks.capacity() * sizeof(BlockId);
+  return ToNeighborhood(topk.SortAscending());
+}
+
+void KnnSearcher::AccumulateFromLocality(const SpatialIndex& index,
+                                         const Point& query,
+                                         const Locality& locality,
+                                         double threshold, TopKQueue& topk) {
   const bool restricted = !std::isinf(threshold);
 
   // Visit locality blocks nearest-first so the heap bound can cut off
@@ -64,11 +161,10 @@ Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
   auto& ordered = arena_.ordered_blocks();
   ordered.reserve(locality.blocks.size());
   for (const BlockId id : locality.blocks) {
-    ordered.emplace_back(index_.block(id).box.SquaredMinDist(query), id);
+    ordered.emplace_back(index.block(id).box.SquaredMinDist(query), id);
   }
   std::sort(ordered.begin(), ordered.end());
 
-  TopKQueue topk(k, arena_.heap());
   for (std::size_t bi = 0; bi < ordered.size(); ++bi) {
     const auto& [sq_min_dist, id] = ordered[bi];
     // Bound-based block skip. Strict >: a block at exactly the k-th
@@ -80,7 +176,7 @@ Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
       break;
     }
     ++stats_.blocks_scanned;
-    const BlockColumns cols = index_.BlockSoA(id);
+    const BlockColumns cols = index.BlockSoA(id);
     stats_.points_scanned += cols.size;
     double* sq = arena_.distances(cols.size);
     SquaredDistanceBatch(cols.x, cols.y, cols.size, query.x, query.y, sq);
@@ -92,9 +188,6 @@ Neighborhood KnnSearcher::NeighborhoodFromLocality(const Point& query,
       topk.Push(TopKEntry{sq[i], cols.id[i], cols.x[i], cols.y[i]});
     }
   }
-  stats_.arena_bytes =
-      arena_.bytes() + locality_.blocks.capacity() * sizeof(BlockId);
-  return ToNeighborhood(topk.SortAscending());
 }
 
 Neighborhood BruteForceKnn(const PointSet& points, const Point& query,

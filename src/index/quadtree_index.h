@@ -48,6 +48,10 @@ class QuadtreeIndex final : public DynamicTreeIndex {
   std::unique_ptr<BlockScan> NewScan(const Point& query,
                                      ScanOrder order) const override;
   std::string Describe() const override;
+  IndexType type() const override { return IndexType::kQuadtree; }
+  std::unique_ptr<SpatialIndex> Clone() const override {
+    return std::unique_ptr<SpatialIndex>(new QuadtreeIndex(*this));
+  }
 
   Status Insert(const Point& p) override;
   Status Erase(PointId id) override;
@@ -57,6 +61,7 @@ class QuadtreeIndex final : public DynamicTreeIndex {
 
  private:
   QuadtreeIndex() = default;
+  QuadtreeIndex(const QuadtreeIndex&) = default;
 
   /// Recursively fills pre-allocated node slot `idx` with the subtree
   /// over points_[begin, end) covering `region`. Child slots are claimed

@@ -1,5 +1,6 @@
 #include "src/index/spatial_index.h"
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -7,6 +8,17 @@
 #include "src/common/check.h"
 
 namespace knnq {
+
+std::uint64_t SpatialIndex::NextInstanceId() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SpatialIndex::HasPoint(PointId id) const {
+  BlockId block = kInvalidBlockId;
+  std::size_t pos = 0;
+  return FindPoint(id, &block, &pos);
+}
 
 Status ValidateInsertable(const Point& p) {
   if (!std::isfinite(p.x) || !std::isfinite(p.y)) {

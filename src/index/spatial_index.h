@@ -19,6 +19,7 @@
 #ifndef KNNQ_SRC_INDEX_SPATIAL_INDEX_H_
 #define KNNQ_SRC_INDEX_SPATIAL_INDEX_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -30,6 +31,15 @@
 #include "src/index/block.h"
 
 namespace knnq {
+
+/// Available index structures. Declared here (not in index_factory.h)
+/// so SpatialIndex::type() can report the structure without a header
+/// cycle; the factory re-exports it.
+enum class IndexType {
+  kGrid,
+  kQuadtree,
+  kRTree,
+};
 
 /// Which distance metric orders a block scan.
 enum class ScanOrder {
@@ -53,6 +63,14 @@ class BlockScan {
   /// block's MINDIST or MAXDIST (true distance, not squared) from the
   /// scan's query point. Requires HasNext().
   virtual BlockId Next(double* key_dist) = 0;
+
+  /// Shards whose blocks this scan never had to open because the scan
+  /// was abandoned before their distance lower bound came up. Only
+  /// ShardedIndex's merged scan reports a nonzero value; plain
+  /// structures have no shards to prune. Callers read this after
+  /// breaking out of a scan loop (locality construction does) and fold
+  /// it into SearchStats::shards_pruned.
+  virtual std::size_t shards_pruned() const { return 0; }
 };
 
 /// Columnar view of one block's point span: parallel x / y / id arrays
@@ -92,8 +110,15 @@ class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
 
-  SpatialIndex(const SpatialIndex&) = delete;
   SpatialIndex& operator=(const SpatialIndex&) = delete;
+
+  /// Process-unique identity of this index OBJECT (not its contents):
+  /// fresh at construction and after Clone, never reused for the
+  /// lifetime of the process. Caches key entries by this id instead of
+  /// the object's address, which copy-on-write mutation would otherwise
+  /// recycle (a freed index's address can be handed to a new index,
+  /// silently resurrecting its stale cache entries).
+  std::uint64_t instance_id() const { return instance_id_; }
 
   /// Number of (non-empty) blocks.
   std::size_t num_blocks() const { return blocks_.size(); }
@@ -138,10 +163,24 @@ class SpatialIndex {
   /// Bounding box of the indexed data.
   const BoundingBox& bounds() const { return bounds_; }
 
+  /// True when a point with id `id` is indexed. The public face of
+  /// FindPoint, used by shard routing to decide which shard owns an
+  /// erase target.
+  bool HasPoint(PointId id) const;
+
   /// Returns the block that stores indexed point `p` (matched by
   /// location, and by id where regions can overlap), or kInvalidBlockId
   /// if `p` is not in the index.
   virtual BlockId Locate(const Point& p) const = 0;
+
+  /// The structure this index implements (grid / quadtree / rtree). A
+  /// ShardedIndex reports its children's structure.
+  virtual IndexType type() const = 0;
+
+  /// Deep copy with a fresh instance_id(). The clone is fully
+  /// independent: mutating it never touches the original — the
+  /// primitive copy-on-write shard replacement builds on.
+  virtual std::unique_ptr<SpatialIndex> Clone() const = 0;
 
   /// Starts a lazy block scan ordered by `order` from `query`.
   virtual std::unique_ptr<BlockScan> NewScan(const Point& query,
@@ -173,6 +212,18 @@ class SpatialIndex {
 
  protected:
   SpatialIndex() = default;
+
+  /// Copies the shared storage but assigns a FRESH instance_id — a
+  /// clone is a different cache identity by design. Protected so only
+  /// Clone() implementations (via the derived classes' defaulted copy
+  /// constructors) can reach it.
+  SpatialIndex(const SpatialIndex& other)
+      : points_(other.points_),
+        blocks_(other.blocks_),
+        bounds_(other.bounds_),
+        xs_(other.xs_),
+        ys_(other.ys_),
+        ids_(other.ids_) {}
 
   /// Moves the shared storage out of `other` (BulkLoad implementations
   /// rebuild into a scratch index, then adopt its state).
@@ -225,6 +276,11 @@ class SpatialIndex {
   /// the base-class span helpers and the Sync* methods above.
   std::vector<double> xs_, ys_;
   std::vector<PointId> ids_;
+
+ private:
+  static std::uint64_t NextInstanceId();
+
+  const std::uint64_t instance_id_ = NextInstanceId();
 };
 
 /// Shared argument validation for Insert implementations: rejects NaN

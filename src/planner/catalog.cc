@@ -109,6 +109,44 @@ Result<MutationOutcome> Catalog::LoadRelation(const std::string& name,
                          .index = rel.index.get()};
 }
 
+Result<MutationOutcome> Catalog::ReplaceIndex(
+    const std::string& name, std::shared_ptr<SpatialIndex> index,
+    PointId next_id, std::size_t rows_affected) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("ReplaceIndex: null index");
+  }
+  auto relation = GetMutable(name);
+  if (!relation.ok()) return relation.status();
+  Relation& rel = **relation;
+  rel.index = std::move(index);
+  rel.next_id = next_id;
+  ++rel.generation;
+  ++generation_;
+  return MutationOutcome{.rows_affected = rows_affected,
+                         .generation = rel.generation,
+                         .index = rel.index.get()};
+}
+
+Status Catalog::AdoptRelation(const std::string& name,
+                              std::shared_ptr<SpatialIndex> index,
+                              PointId next_id) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (relations_.contains(name)) {
+    return Status::InvalidArgument("relation already registered: " + name);
+  }
+  if (index == nullptr) {
+    return Status::InvalidArgument("AdoptRelation: null index");
+  }
+  relations_.emplace(name, Relation{.name = name,
+                                    .index = std::move(index),
+                                    .generation = 1,
+                                    .next_id = next_id});
+  ++generation_;
+  return Status::Ok();
+}
+
 Result<const Relation*> Catalog::Get(const std::string& name) const {
   const auto it = relations_.find(name);
   if (it == relations_.end()) {

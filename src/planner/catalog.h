@@ -33,7 +33,13 @@ namespace knnq {
 /// A registered relation.
 struct Relation {
   std::string name;
-  std::unique_ptr<SpatialIndex> index;
+  /// Shared so readers can PIN a snapshot (copy the pointer under the
+  /// engine's read lock, then execute against it lock-free) while a
+  /// copy-on-write commit republishes the relation with ReplaceIndex.
+  /// The legacy in-place mutation paths (Mutate / LoadRelation) keep
+  /// mutating the SAME object — safe only under the historical
+  /// writer-excludes-all-readers locking.
+  std::shared_ptr<SpatialIndex> index;
   /// Bumped by every mutation of THIS relation (and by its creation).
   /// Caches keyed by relation identity compare this to invalidate only
   /// what actually changed.
@@ -94,6 +100,23 @@ class Catalog {
   Result<MutationOutcome> LoadRelation(const std::string& name,
                                        PointSet points,
                                        const IndexOptions& options = {});
+
+  /// The copy-on-write commit: publishes `index` as relation `name`'s
+  /// index in one pointer swap — the old index object stays alive for
+  /// as long as any reader pins it. Sets next_id (callers own the id
+  /// sequence: mutation commits pass a monotone value, LOAD resets)
+  /// and bumps both generations. `rows_affected` is echoed into the
+  /// outcome.
+  Result<MutationOutcome> ReplaceIndex(const std::string& name,
+                                       std::shared_ptr<SpatialIndex> index,
+                                       PointId next_id,
+                                       std::size_t rows_affected);
+
+  /// Registers a new relation that adopts a pre-built `index` wholesale
+  /// (the copy-on-write analog of AddRelation). Fails on a duplicate or
+  /// empty name or a null index.
+  Status AdoptRelation(const std::string& name,
+                       std::shared_ptr<SpatialIndex> index, PointId next_id);
 
   /// Looks a relation up by name.
   Result<const Relation*> Get(const std::string& name) const;

@@ -40,6 +40,8 @@ std::string EngineStatsJson(const EngineStatsSnapshot& snapshot) {
          std::to_string(snapshot.totals.neighborhoods_computed) +
          ", \"candidates_pruned\": " +
          std::to_string(snapshot.totals.candidates_pruned) +
+         ", \"shards_pruned\": " +
+         std::to_string(snapshot.totals.shards_pruned) +
          ", \"arena_bytes\": " +
          std::to_string(snapshot.totals.arena_bytes) + "}";
 }

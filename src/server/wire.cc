@@ -90,6 +90,7 @@ std::string JsonStats(const ExecStats& stats) {
          std::to_string(stats.neighborhoods_computed) +
          ", \"candidates_pruned\": " +
          std::to_string(stats.candidates_pruned) +
+         ", \"shards_pruned\": " + std::to_string(stats.shards_pruned) +
          ", \"cache_hits\": " + std::to_string(stats.cache_hits) +
          ", \"cache_misses\": " + std::to_string(stats.cache_misses) +
          ", \"cache_bytes\": " + std::to_string(stats.cache_bytes) +

@@ -8,11 +8,13 @@
 //   knnq_cli knn --data FILE --at X,Y --k K [--index TYPE]
 //   knnq_cli query --data NAME=FILE [--data NAME=FILE ...]
 //            [-e "KNNQL"] [--file SCRIPT.knnql] [--json] [--naive]
-//            [--index TYPE] [--cache-mb M]
+//            [--index TYPE] [--cache-mb M] [--shards N]
+//            [--shard-policy bisection|grid]
 //   knnq_cli serve --data NAME=FILE [--data NAME=FILE ...]
 //            [--host H] [--port P] [--threads T] [--max-inflight M]
 //            [--max-conn-inflight M] [--max-request-bytes B]
 //            [--idle-timeout-ms T] [--cache-mb M] [--index TYPE]
+//            [--shards N] [--shard-policy bisection|grid]
 //   knnq_cli two-selects --data FILE --f1 X,Y --k1 K --f2 X,Y --k2 K
 //            [--naive]
 //   knnq_cli select-inner-join --outer FILE --inner FILE --join-k K
@@ -35,6 +37,11 @@
 // cross-query neighborhood cache (0, the default, disables it), and
 // --no-simd to disable the AVX2 distance kernel (results are
 // byte-identical either way; the flag exists for speed A/B runs).
+// `query` and `serve` accept --shards N (default 1) to partition every
+// relation into N spatial shards: kNN runs scatter-gather with
+// distance-bound shard pruning (`shards_pruned` in stats output) and
+// DML commits copy-on-write without blocking readers. Results are
+// byte-identical to --shards 1.
 //
 // Dataset files are produced by `generate` (CSV: id,x,y with a header;
 // .bin: the knnq binary format).
@@ -42,6 +49,7 @@
 #include <csignal>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
@@ -180,6 +188,28 @@ Result<IndexType> ParseIndexType(const std::string& name) {
   if (name == "quadtree") return IndexType::kQuadtree;
   if (name == "rtree") return IndexType::kRTree;
   return Status::InvalidArgument("unknown index type: " + name);
+}
+
+Result<ShardPolicy> ParseShardPolicy(const std::string& name) {
+  if (name == "bisection") return ShardPolicy::kBisection;
+  if (name == "grid") return ShardPolicy::kGrid;
+  return Status::InvalidArgument("unknown shard policy: " + name);
+}
+
+/// Shared --index / --shards / --shard-policy parsing of `query` and
+/// `serve`.
+Result<IndexOptions> ParseIndexFlags(const Args& args) {
+  auto type = ParseIndexType(args.GetOr("--index", "grid"));
+  if (!type.ok()) return type.status();
+  auto shards = args.GetSizeOr("--shards", 1);
+  if (!shards.ok()) return shards.status();
+  auto policy = ParseShardPolicy(args.GetOr("--shard-policy", "bisection"));
+  if (!policy.ok()) return policy.status();
+  IndexOptions options;
+  options.type = *type;
+  options.shards = std::max<std::size_t>(*shards, 1);
+  options.shard_policy = *policy;
+  return options;
 }
 
 int Fail(const Status& status) {
@@ -531,13 +561,15 @@ int CmdQuery(const Args& args) {
     return Fail(Status::InvalidArgument(
         "pass statements with -e or --file, not both"));
   }
-  auto type = ParseIndexType(args.GetOr("--index", "grid"));
-  if (!type.ok()) return Fail(type.status());
-  IndexOptions index_options;
-  index_options.type = *type;
+  auto index_options = ParseIndexFlags(args);
+  if (!index_options.ok()) return Fail(index_options.status());
 
   Catalog catalog;
-  if (const Status s = BuildCatalog(args, index_options, &catalog);
+  // Relations load unsharded; the engine reshards them itself when
+  // --shards > 1 (the partition belongs to the engine, not the file).
+  IndexOptions load_options = *index_options;
+  load_options.shards = 1;
+  if (const Status s = BuildCatalog(args, load_options, &catalog);
       !s.ok()) {
     return Fail(s);
   }
@@ -546,9 +578,10 @@ int CmdQuery(const Args& args) {
   if (!cache_mb.ok()) return Fail(cache_mb.status());
   EngineOptions options;
   options.num_threads = 1;  // Statements run one at a time.
+  options.cache_mb = *cache_mb;
+  options.shards = index_options->shards;
   options.planner.force_naive = args.Has("--naive");
-  options.planner.cache_mb = *cache_mb;
-  options.index_options = index_options;  // LOAD-created relations.
+  options.index_options = *index_options;  // LOAD-created relations.
   QueryEngine engine(std::move(catalog), options);
   const bool json = args.Has("--json");
 
@@ -582,13 +615,13 @@ void HandleTermSignal(int) {
 }
 
 int CmdServe(const Args& args) {
-  auto type = ParseIndexType(args.GetOr("--index", "grid"));
-  if (!type.ok()) return Fail(type.status());
-  IndexOptions index_options;
-  index_options.type = *type;
+  auto index_options = ParseIndexFlags(args);
+  if (!index_options.ok()) return Fail(index_options.status());
 
   Catalog catalog;
-  if (const Status s = BuildCatalog(args, index_options, &catalog);
+  IndexOptions load_options = *index_options;
+  load_options.shards = 1;  // The engine reshards at construction.
+  if (const Status s = BuildCatalog(args, load_options, &catalog);
       !s.ok()) {
     return Fail(s);
   }
@@ -616,9 +649,10 @@ int CmdServe(const Args& args) {
 
   EngineOptions options;
   options.num_threads = *threads;
+  options.cache_mb = *cache_mb;
+  options.shards = index_options->shards;
   options.planner.force_naive = args.Has("--naive");
-  options.planner.cache_mb = *cache_mb;
-  options.index_options = index_options;
+  options.index_options = *index_options;
   // Engine-side backpressure: the pool queue bounds what admission
   // control has already granted, with headroom for DML and drains.
   options.pool_queue_limit =
@@ -660,9 +694,10 @@ int CmdServe(const Args& args) {
   std::signal(SIGTERM, HandleTermSignal);
 
   std::printf("serving KNNQL on %s:%u (%zu worker threads, "
-              "max in-flight %zu, cache %zu MiB)\n",
+              "max in-flight %zu, cache %zu MiB, %zu shard%s)\n",
               server_options.host.c_str(), server.port(),
-              engine.num_threads(), *max_inflight, *cache_mb);
+              engine.num_threads(), *max_inflight, *cache_mb,
+              engine.shards(), engine.shards() == 1 ? "" : "s");
   std::fflush(stdout);
 
   server.WaitUntilStopRequested();
@@ -693,8 +728,8 @@ int PlanAndRun(Catalog catalog, const QuerySpec& spec, bool naive,
                std::size_t cache_mb) {
   EngineOptions options;
   options.num_threads = 1;  // One ad-hoc query; no fan-out needed.
+  options.cache_mb = cache_mb;
   options.planner.force_naive = naive;
-  options.planner.cache_mb = cache_mb;
   const QueryEngine engine(std::move(catalog), options);
 
   const EngineResult run = engine.Run(spec);
