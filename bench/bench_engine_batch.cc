@@ -54,6 +54,7 @@
 #include "src/engine/neighborhood_cache.h"
 #include "src/engine/query_engine.h"
 #include "src/lang/unparser.h"
+#include "src/obs/trace.h"
 
 namespace knnq::bench {
 namespace {
@@ -566,6 +567,66 @@ int HandleWorkloadArgs(int& argc, char** argv) {
   return -1;
 }
 
+/// Tracing cost, measured two ways. The hooks are always compiled in,
+/// so the number that matters for serving is the DISABLED cost:
+/// trace_hook_overhead = spans_per_query x per-span disabled cost x
+/// serial qps, the fraction of query wall time spent in no-op
+/// instrumentation. tools/check_bench.py gates it at <= 2%. The
+/// enabled ratio (traced wall over untraced wall per query) is
+/// reported for information only - EXPLAIN ANALYZE and sampled traces
+/// are allowed to cost what they cost.
+struct TraceOverhead {
+  double span_ns = 0.0;
+  double spans_per_query = 0.0;
+  double hook_overhead = 0.0;
+  double enabled_ratio = 0.0;
+};
+
+TraceOverhead MeasureTraceOverhead() {
+  TraceOverhead result;
+  const auto serial = Records().find("serial/uniform/uncached");
+  if (serial == Records().end() || serial->second.wall_seconds <= 0.0 ||
+      serial->second.queries == 0) {
+    return result;  // Filtered run: nothing to relate the cost to.
+  }
+
+  // Disabled-span unit cost: construct/destruct with no trace
+  // installed, the state every serving query runs in.
+  constexpr std::size_t kSpans = 4'000'000;
+  Stopwatch hook_timer;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    obs::ScopedSpan span("bench_hook");
+    benchmark::DoNotOptimize(span);
+  }
+  result.span_ns =
+      hook_timer.ElapsedSeconds() * 1e9 / static_cast<double>(kSpans);
+
+  // Spans per query and the enabled-tracing wall: one traced pass over
+  // the uniform workload.
+  const QueryEngine& engine = EngineWith(1, /*cache_mb=*/0);
+  const std::vector<QuerySpec> specs = UniformSpecs();
+  std::size_t spans = 0;
+  Stopwatch traced_timer;
+  for (const QuerySpec& spec : specs) {
+    const EngineResult run = engine.RunAnalyzed(spec);
+    KNNQ_CHECK_MSG(run.ok() && run.trace != nullptr,
+                   "traced bench query failed");
+    spans += obs::CountSpans(run.trace->root());
+  }
+  const double traced_wall = traced_timer.ElapsedSeconds();
+
+  result.spans_per_query =
+      static_cast<double>(spans) / static_cast<double>(specs.size());
+  result.hook_overhead = result.spans_per_query * result.span_ns * 1e-9 *
+                         serial->second.qps();
+  const double untraced_per_query =
+      serial->second.wall_seconds /
+      static_cast<double>(serial->second.queries);
+  result.enabled_ratio =
+      traced_wall / static_cast<double>(specs.size()) / untraced_per_query;
+  return result;
+}
+
 /// Writes every recorded run plus derived summary ratios. Called from
 /// main after the benchmarks finish; a partial run (filtered
 /// benchmarks) writes whatever rows exist and null summary fields.
@@ -635,6 +696,7 @@ void WriteBenchJson() {
       qps_ratio("churn/skewed/cached/t4", "batch/skewed/cached/t4");
   const double churn_uncached =
       qps_ratio("churn/skewed/uncached/t4", "batch/skewed/uncached/t4");
+  const TraceOverhead trace = MeasureTraceOverhead();
   std::fprintf(out,
                "  \"summary\": {\"skewed_speedup_t1\": %.3f, "
                "\"skewed_speedup_t4\": %.3f, "
@@ -642,15 +704,20 @@ void WriteBenchJson() {
                "\"skewed_hit_rate\": %.4f, "
                "\"churn_updates_per_queries\": \"%zu:%zu\", "
                "\"churn_read_ratio_t4\": %.3f, "
-               "\"churn_read_ratio_uncached_t4\": %.3f}\n}\n",
+               "\"churn_read_ratio_uncached_t4\": %.3f, "
+               "\"trace_span_ns\": %.2f, "
+               "\"trace_spans_per_query\": %.2f, "
+               "\"trace_hook_overhead\": %.6f, "
+               "\"trace_enabled_ratio\": %.3f}\n}\n",
                skewed_1, skewed_4, uniform_4, skewed_hit_rate,
                ChurnUpdates(), ChurnQueries(), churn_cached,
-               churn_uncached);
+               churn_uncached, trace.span_ns, trace.spans_per_query,
+               trace.hook_overhead, trace.enabled_ratio);
   std::fclose(out);
   std::printf("wrote %s (skewed speedup t1=%.2fx t4=%.2fx, hit rate "
-              "%.1f%%, churn ratio %.2fx)\n",
+              "%.1f%%, churn ratio %.2fx, trace hook overhead %.4f%%)\n",
               path.c_str(), skewed_1, skewed_4, 100.0 * skewed_hit_rate,
-              churn_cached);
+              churn_cached, 100.0 * trace.hook_overhead);
 }
 
 }  // namespace knnq::bench

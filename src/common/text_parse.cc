@@ -2,13 +2,25 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <system_error>
 #include <vector>
 
+#include "src/common/check.h"
+
 namespace knnq {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  KNNQ_CHECK(ec == std::errc());
+  return std::string(buffer, end);
+}
 
 std::string_view TrimWhitespace(std::string_view text) {
   while (!text.empty() && std::isspace(static_cast<unsigned char>(

@@ -8,6 +8,7 @@
 #ifndef KNNQ_SRC_COMMON_TEXT_PARSE_H_
 #define KNNQ_SRC_COMMON_TEXT_PARSE_H_
 
+#include <string>
 #include <string_view>
 
 #include "src/common/bbox.h"
@@ -18,6 +19,12 @@ namespace knnq {
 
 /// `text` without leading/trailing whitespace.
 std::string_view TrimWhitespace(std::string_view text);
+
+/// Shortest decimal rendering of `value` that strtod parses back to
+/// exactly `value` (std::to_chars). The inverse of ParseDouble; shared
+/// by the KNNQL unparser and every JSON/metrics renderer so the same
+/// number always prints the same bytes.
+std::string FormatDouble(double value);
 
 /// Parses `text` as one finite double, consuming all of it. Accepts the
 /// forms strtod round-trips ("3", "-0.5", "1.25e-3"); rejects empty

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/knn_join.h"
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
@@ -36,19 +37,25 @@ Result<TripletResult> ChainedJoinsRightDeep(const ChainedJoinsQuery& query,
   CachingKnnSearcher c_searcher(*query.c, shared_cache);
   std::unordered_map<PointId, Neighborhood> bc;
   bc.reserve(query.b->num_points());
-  for (const Point& b_point : query.b->points()) {
-    bc.emplace(b_point.id, c_searcher.GetKnn(b_point, query.k_bc));
-    ++stats->b_neighborhoods_computed;
+  {
+    PhaseSpan phase("join_bc_materialize", &c_searcher.stats());
+    for (const Point& b_point : query.b->points()) {
+      bc.emplace(b_point.id, c_searcher.GetKnn(b_point, query.k_bc));
+      ++stats->b_neighborhoods_computed;
+    }
   }
 
   CachingKnnSearcher b_searcher(*query.b, shared_cache);
   TripletResult triplets;
-  for (const Point& a_point : query.a->points()) {
-    const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
-    for (const Neighbor& bn : nbr_ab) {
-      for (const Neighbor& cn : bc.at(bn.point.id)) {
-        triplets.push_back(Triplet{
-            .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
+  {
+    PhaseSpan phase("join_ab_probe", &b_searcher.stats());
+    for (const Point& a_point : query.a->points()) {
+      const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
+      for (const Neighbor& bn : nbr_ab) {
+        for (const Neighbor& cn : bc.at(bn.point.id)) {
+          triplets.push_back(Triplet{
+              .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
+        }
       }
     }
   }
@@ -109,33 +116,40 @@ Result<TripletResult> ChainedJoinsNested(const ChainedJoinsQuery& query,
   std::unordered_map<PointId, Neighborhood> cache;
 
   TripletResult triplets;
-  for (const Point& a_point : query.a->points()) {
-    const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
-    for (const Neighbor& bn : nbr_ab) {
-      const Neighborhood* nbr_bc = nullptr;
-      Neighborhood uncached;
-      if (cache_bc) {
-        const auto it = cache.find(bn.point.id);
-        if (it != cache.end()) {
-          ++stats->cache_hits;
-          nbr_bc = &it->second;
+  {
+    // Both searchers drive one interleaved loop, so the phase observes
+    // the pair of them.
+    PhaseSpan phase("join_nested_probe", &b_searcher.stats(),
+                    &c_searcher.stats());
+    for (const Point& a_point : query.a->points()) {
+      const Neighborhood nbr_ab = b_searcher.GetKnn(a_point, query.k_ab);
+      for (const Neighbor& bn : nbr_ab) {
+        const Neighborhood* nbr_bc = nullptr;
+        Neighborhood uncached;
+        if (cache_bc) {
+          const auto it = cache.find(bn.point.id);
+          if (it != cache.end()) {
+            ++stats->cache_hits;
+            nbr_bc = &it->second;
+          } else {
+            ++stats->b_neighborhoods_computed;
+            nbr_bc = &cache
+                          .emplace(bn.point.id,
+                                   c_searcher.GetKnn(bn.point, query.k_bc))
+                          .first->second;
+          }
         } else {
           ++stats->b_neighborhoods_computed;
-          nbr_bc = &cache
-                        .emplace(bn.point.id,
-                                 c_searcher.GetKnn(bn.point, query.k_bc))
-                        .first->second;
+          uncached = c_searcher.GetKnn(bn.point, query.k_bc);
+          nbr_bc = &uncached;
         }
-      } else {
-        ++stats->b_neighborhoods_computed;
-        uncached = c_searcher.GetKnn(bn.point, query.k_bc);
-        nbr_bc = &uncached;
-      }
-      for (const Neighbor& cn : *nbr_bc) {
-        triplets.push_back(Triplet{
-            .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
+        for (const Neighbor& cn : *nbr_bc) {
+          triplets.push_back(Triplet{
+              .a = a_point.id, .b = bn.point.id, .c = cn.point.id});
+        }
       }
     }
+    phase.Count("candidates_pruned", stats->cache_hits);
   }
   if (exec != nullptr) {
     exec->AddSearch(b_searcher.stats());

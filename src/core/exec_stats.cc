@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/common/text_parse.h"
+
 namespace knnq {
 
 std::string ExecStats::ToString() const {
@@ -20,6 +22,21 @@ std::string ExecStats::ToString() const {
                   cache_hits, cache_misses, cache_bytes);
   }
   return buffer;
+}
+
+std::string ExecStats::ToJson() const {
+  return "{\"blocks_scanned\": " + std::to_string(blocks_scanned) +
+         ", \"blocks_skipped\": " + std::to_string(blocks_skipped) +
+         ", \"points_compared\": " + std::to_string(points_compared) +
+         ", \"neighborhoods_computed\": " +
+         std::to_string(neighborhoods_computed) +
+         ", \"candidates_pruned\": " + std::to_string(candidates_pruned) +
+         ", \"shards_pruned\": " + std::to_string(shards_pruned) +
+         ", \"cache_hits\": " + std::to_string(cache_hits) +
+         ", \"cache_misses\": " + std::to_string(cache_misses) +
+         ", \"cache_bytes\": " + std::to_string(cache_bytes) +
+         ", \"arena_bytes\": " + std::to_string(arena_bytes) +
+         ", \"wall_ms\": " + FormatDouble(wall_seconds * 1e3) + "}";
 }
 
 }  // namespace knnq

@@ -83,11 +83,14 @@ struct ExecStats {
   }
 
   /// True when every counter (wall time and cache footprint aside) is
-  /// zero. A fully cache-served query is not empty: its hits count.
+  /// zero. A fully cache-served query is not empty (its hits count),
+  /// and neither is one answered purely by skipping: blocks_skipped
+  /// and shards_pruned are work evidence too.
   bool empty() const {
-    return blocks_scanned == 0 && points_compared == 0 &&
-           neighborhoods_computed == 0 && candidates_pruned == 0 &&
-           cache_hits == 0 && cache_misses == 0;
+    return blocks_scanned == 0 && blocks_skipped == 0 &&
+           points_compared == 0 && neighborhoods_computed == 0 &&
+           candidates_pruned == 0 && cache_hits == 0 &&
+           cache_misses == 0 && shards_pruned == 0;
   }
 
   /// One-line rendering, e.g.
@@ -96,6 +99,12 @@ struct ExecStats {
   /// play,
   /// " cache_hits=5 cache_misses=2 cache_bytes=.." is appended.
   std::string ToString() const;
+
+  /// JSON object, field for field: `{"blocks_scanned": ...,
+  /// "wall_ms": ...}`. The single renderer behind the wire protocol's
+  /// "stats" field and the slow-query log, so both emit identical
+  /// bytes.
+  std::string ToJson() const;
 };
 
 }  // namespace knnq

@@ -1,5 +1,6 @@
 #include "src/core/knn_join.h"
 
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 
 namespace knnq {
@@ -26,10 +27,13 @@ Status KnnJoinStreaming(const PointSet& outer, const SpatialIndex& inner,
     return Status::InvalidArgument("kNN-join requires k > 0");
   }
   CachingKnnSearcher searcher(inner, shared_cache);
-  for (const Point& e1 : outer) {
-    const Neighborhood nbr = searcher.GetKnn(e1, k);
-    for (const Neighbor& n : nbr) {
-      sink(e1, n.point);
+  {
+    PhaseSpan phase("join_probe", &searcher.stats());
+    for (const Point& e1 : outer) {
+      const Neighborhood nbr = searcher.GetKnn(e1, k);
+      for (const Neighbor& n : nbr) {
+        sink(e1, n.point);
+      }
     }
   }
   if (exec != nullptr) exec->AddSearch(searcher.stats());

@@ -1,5 +1,6 @@
 #include "src/core/knn_select.h"
 
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 
 namespace knnq {
@@ -12,7 +13,11 @@ Result<Neighborhood> KnnSelect(const SpatialIndex& relation,
     return Status::InvalidArgument("kNN-select requires k > 0");
   }
   CachingKnnSearcher searcher(relation, shared_cache);
-  Neighborhood nbr = searcher.GetKnn(focal, k);
+  Neighborhood nbr;
+  {
+    PhaseSpan phase("select", &searcher.stats());
+    nbr = searcher.GetKnn(focal, k);
+  }
   if (exec != nullptr) exec->AddSearch(searcher.stats());
   return nbr;
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
@@ -89,9 +90,17 @@ Result<ChainResult> ChainedPathJoin(const ChainQuery& query, bool cache,
         }
       };
 
-  for (const Point& p0 : query.relations[0]->points()) {
-    row[0] = p0.id;
-    extend(0, p0);
+  {
+    // One interleaved depth-first pass drives every hop searcher.
+    PhaseSpan phase("chain_probe");
+    for (const auto& searcher : searchers) {
+      phase.AddSource(&searcher->stats());
+    }
+    for (const Point& p0 : query.relations[0]->points()) {
+      row[0] = p0.id;
+      extend(0, p0);
+    }
+    phase.Count("candidates_pruned", stats->cache_hits);
   }
   if (exec != nullptr) {
     for (const auto& searcher : searchers) {

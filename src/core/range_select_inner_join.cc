@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
@@ -42,10 +43,13 @@ Result<JoinResult> RangeSelectInnerJoinNaive(
 
   CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   JoinResult pairs;
-  for (const Point& e1 : query.outer->points()) {
-    const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
-    ++stats->neighborhoods_computed;
-    EmitInRange(e1, nbr_e1, query.range, pairs);
+  {
+    PhaseSpan phase("join_probe", &inner_searcher.stats());
+    for (const Point& e1 : query.outer->points()) {
+      const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
+      ++stats->neighborhoods_computed;
+      EmitInRange(e1, nbr_e1, query.range, pairs);
+    }
   }
   if (exec != nullptr) exec->AddSearch(inner_searcher.stats());
   Canonicalize(pairs);
@@ -62,29 +66,34 @@ Result<JoinResult> RangeSelectInnerJoinCounting(
   CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
   JoinResult pairs;
   std::size_t counting_blocks = 0;  // Blocks popped by the pruning scan.
-  for (const Point& e1 : query.outer->points()) {
-    // Every rectangle point is at distance >= MINDIST(e1, rect); points
-    // in blocks strictly closer displace all of them from e1's
-    // neighborhood once more than join_k accumulate.
-    const double threshold = query.range.MinDist(e1);
-    std::size_t count = 0;
-    if (threshold > 0.0) {  // e1 inside the rectangle never prunes.
-      auto scan = query.inner->NewScan(e1, ScanOrder::kMaxDist);
-      double max_dist = 0.0;
-      while (count <= query.join_k && scan->HasNext()) {
-        const BlockId id = scan->Next(&max_dist);
-        ++counting_blocks;
-        if (max_dist >= threshold) break;
-        count += query.inner->block(id).count();
+  {
+    PhaseSpan phase("join_probe", &inner_searcher.stats());
+    for (const Point& e1 : query.outer->points()) {
+      // Every rectangle point is at distance >= MINDIST(e1, rect);
+      // points in blocks strictly closer displace all of them from e1's
+      // neighborhood once more than join_k accumulate.
+      const double threshold = query.range.MinDist(e1);
+      std::size_t count = 0;
+      if (threshold > 0.0) {  // e1 inside the rectangle never prunes.
+        auto scan = query.inner->NewScan(e1, ScanOrder::kMaxDist);
+        double max_dist = 0.0;
+        while (count <= query.join_k && scan->HasNext()) {
+          const BlockId id = scan->Next(&max_dist);
+          ++counting_blocks;
+          if (max_dist >= threshold) break;
+          count += query.inner->block(id).count();
+        }
       }
+      if (count > query.join_k) {
+        ++stats->pruned_points;
+        continue;
+      }
+      const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
+      ++stats->neighborhoods_computed;
+      EmitInRange(e1, nbr_e1, query.range, pairs);
     }
-    if (count > query.join_k) {
-      ++stats->pruned_points;
-      continue;
-    }
-    const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
-    ++stats->neighborhoods_computed;
-    EmitInRange(e1, nbr_e1, query.range, pairs);
+    phase.Count("blocks_scanned", counting_blocks);
+    phase.Count("candidates_pruned", stats->pruned_points);
   }
   if (exec != nullptr) {
     exec->AddSearch(inner_searcher.stats());
@@ -136,39 +145,49 @@ Result<JoinResult> RangeSelectInnerJoinBlockMarking(
   };
 
   std::vector<BlockId> contributing;
-  if (mode == PreprocessMode::kContour) {
-    // Same cycle rule as Procedure 3, ordered from the rectangle center.
-    const Point anchor = query.range.Center();
-    std::optional<double> cycle_m;
-    auto scan = query.outer->NewScan(anchor, ScanOrder::kMinDist);
-    double min_dist = 0.0;
-    while (scan->HasNext()) {
-      const BlockId id = scan->Next(&min_dist);
-      if (cycle_m.has_value() && min_dist >= *cycle_m) break;
-      const Block& block = query.outer->block(id);
-      if (IsNonContributing(block, ctx)) {
-        if (!cycle_m.has_value()) cycle_m = block.box.MaxDist(anchor);
-      } else {
-        contributing.push_back(id);
-        cycle_m.reset();
+  {
+    PhaseSpan phase("preprocess", &inner_searcher.stats());
+    if (mode == PreprocessMode::kContour) {
+      // Same cycle rule as Procedure 3, ordered from the rectangle
+      // center.
+      const Point anchor = query.range.Center();
+      std::optional<double> cycle_m;
+      auto scan = query.outer->NewScan(anchor, ScanOrder::kMinDist);
+      double min_dist = 0.0;
+      while (scan->HasNext()) {
+        const BlockId id = scan->Next(&min_dist);
+        if (cycle_m.has_value() && min_dist >= *cycle_m) break;
+        const Block& block = query.outer->block(id);
+        if (IsNonContributing(block, ctx)) {
+          if (!cycle_m.has_value()) cycle_m = block.box.MaxDist(anchor);
+        } else {
+          contributing.push_back(id);
+          cycle_m.reset();
+        }
+      }
+    } else {
+      const std::size_t n = query.outer->num_blocks();
+      for (BlockId id = 0; id < n; ++id) {
+        if (!IsNonContributing(query.outer->block(id), ctx)) {
+          contributing.push_back(id);
+        }
       }
     }
-  } else {
-    const std::size_t n = query.outer->num_blocks();
-    for (BlockId id = 0; id < n; ++id) {
-      if (!IsNonContributing(query.outer->block(id), ctx)) {
-        contributing.push_back(id);
-      }
-    }
+    phase.Count("blocks_scanned", stats->blocks_preprocessed);
+    phase.Count("candidates_pruned",
+                query.outer->num_blocks() - contributing.size());
   }
   stats->contributing_blocks = contributing.size();
 
   JoinResult pairs;
-  for (const BlockId id : contributing) {
-    for (const Point& e1 : query.outer->BlockPoints(id)) {
-      const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
-      ++stats->neighborhoods_computed;
-      EmitInRange(e1, nbr_e1, query.range, pairs);
+  {
+    PhaseSpan phase("join_probe", &inner_searcher.stats());
+    for (const BlockId id : contributing) {
+      for (const Point& e1 : query.outer->BlockPoints(id)) {
+        const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
+        ++stats->neighborhoods_computed;
+        EmitInRange(e1, nbr_e1, query.range, pairs);
+      }
     }
   }
   if (exec != nullptr) {

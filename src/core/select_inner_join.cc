@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/common/check.h"
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/distance_kernel.h"
 #include "src/index/knn_searcher.h"
@@ -74,17 +75,23 @@ Result<JoinResult> SelectInnerJoinNaive(const SelectInnerJoinQuery& query,
   if (stats == nullptr) stats = &local;
 
   CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
-  const Neighborhood nbr_f =
-      inner_searcher.GetKnn(query.focal, query.select_k);
+  Neighborhood nbr_f;
+  {
+    PhaseSpan phase("select", &inner_searcher.stats());
+    nbr_f = inner_searcher.GetKnn(query.focal, query.select_k);
+  }
 
   // The conceptually correct QEP: the full join runs first; the select
   // filter applies to its output. The filter is pipelined per pair, but
   // every outer neighborhood is computed - no pruning.
   JoinResult pairs;
-  for (const Point& e1 : query.outer->points()) {
-    const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
-    ++stats->neighborhoods_computed;
-    EmitIntersection(e1, nbr_e1, nbr_f, pairs);
+  {
+    PhaseSpan phase("join_probe", &inner_searcher.stats());
+    for (const Point& e1 : query.outer->points()) {
+      const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
+      ++stats->neighborhoods_computed;
+      EmitIntersection(e1, nbr_e1, nbr_f, pairs);
+    }
   }
   if (exec != nullptr) exec->AddSearch(inner_searcher.stats());
   Canonicalize(pairs);
@@ -100,36 +107,48 @@ Result<JoinResult> SelectInnerJoinCounting(const SelectInnerJoinQuery& query,
   if (stats == nullptr) stats = &local;
 
   CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
-  const Neighborhood nbr_f =
-      inner_searcher.GetKnn(query.focal, query.select_k);
+  Neighborhood nbr_f;
+  {
+    PhaseSpan phase("select", &inner_searcher.stats());
+    nbr_f = inner_searcher.GetKnn(query.focal, query.select_k);
+  }
   JoinResult pairs;
-  if (nbr_f.empty()) return pairs;  // E2 empty: both predicates empty.
+  if (nbr_f.empty()) {
+    // E2 empty: both predicates empty. Flush the select's scan work.
+    if (exec != nullptr) exec->AddSearch(inner_searcher.stats());
+    return pairs;
+  }
 
   std::size_t counting_blocks = 0;  // Blocks popped by the pruning scan.
   const NeighborhoodColumns nbr_f_cols(nbr_f);
-  for (const Point& e1 : query.outer->points()) {
-    // Procedure 1: points in inner blocks certainly closer to e1 than
-    // the nearest focal neighbor displace every focal neighbor from
-    // e1's k-neighborhood once there are more than join_k of them.
-    const double threshold = NearestMemberDistance(e1, nbr_f_cols);
-    std::size_t count = 0;
-    auto scan = query.inner->NewScan(e1, ScanOrder::kMaxDist);
-    double max_dist = 0.0;
-    while (count <= query.join_k && scan->HasNext()) {
-      const BlockId id = scan->Next(&max_dist);
-      ++counting_blocks;
-      // Strict comparison: only blocks whose every point is strictly
-      // within the threshold may count (DESIGN.md note 1).
-      if (max_dist >= threshold) break;
-      count += query.inner->block(id).count();
+  {
+    PhaseSpan phase("join_probe", &inner_searcher.stats());
+    for (const Point& e1 : query.outer->points()) {
+      // Procedure 1: points in inner blocks certainly closer to e1 than
+      // the nearest focal neighbor displace every focal neighbor from
+      // e1's k-neighborhood once there are more than join_k of them.
+      const double threshold = NearestMemberDistance(e1, nbr_f_cols);
+      std::size_t count = 0;
+      auto scan = query.inner->NewScan(e1, ScanOrder::kMaxDist);
+      double max_dist = 0.0;
+      while (count <= query.join_k && scan->HasNext()) {
+        const BlockId id = scan->Next(&max_dist);
+        ++counting_blocks;
+        // Strict comparison: only blocks whose every point is strictly
+        // within the threshold may count (DESIGN.md note 1).
+        if (max_dist >= threshold) break;
+        count += query.inner->block(id).count();
+      }
+      if (count > query.join_k) {
+        ++stats->pruned_points;
+        continue;
+      }
+      const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
+      ++stats->neighborhoods_computed;
+      EmitIntersection(e1, nbr_e1, nbr_f, pairs);
     }
-    if (count > query.join_k) {
-      ++stats->pruned_points;
-      continue;
-    }
-    const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
-    ++stats->neighborhoods_computed;
-    EmitIntersection(e1, nbr_e1, nbr_f, pairs);
+    phase.Count("blocks_scanned", counting_blocks);
+    phase.Count("candidates_pruned", stats->pruned_points);
   }
   if (exec != nullptr) {
     exec->AddSearch(inner_searcher.stats());
@@ -233,10 +252,17 @@ Result<JoinResult> SelectInnerJoinBlockMarking(
   if (stats == nullptr) stats = &local;
 
   CachingKnnSearcher inner_searcher(*query.inner, shared_cache);
-  const Neighborhood nbr_f =
-      inner_searcher.GetKnn(query.focal, query.select_k);
+  Neighborhood nbr_f;
+  {
+    PhaseSpan phase("select", &inner_searcher.stats());
+    nbr_f = inner_searcher.GetKnn(query.focal, query.select_k);
+  }
   JoinResult pairs;
-  if (nbr_f.empty()) return pairs;
+  if (nbr_f.empty()) {
+    // Empty inner relation: flush the select's scan work.
+    if (exec != nullptr) exec->AddSearch(inner_searcher.stats());
+    return pairs;
+  }
 
   const BlockMarkingContext ctx{
       .query = &query,
@@ -245,16 +271,26 @@ Result<JoinResult> SelectInnerJoinBlockMarking(
       .stats = stats,
       .probe = probe,
   };
-  const std::vector<BlockId> contributing =
-      (mode == PreprocessMode::kContour) ? PreprocessContour(ctx)
-                                         : PreprocessExhaustive(ctx);
+  std::vector<BlockId> contributing;
+  {
+    PhaseSpan phase("preprocess", &inner_searcher.stats());
+    contributing = (mode == PreprocessMode::kContour)
+                       ? PreprocessContour(ctx)
+                       : PreprocessExhaustive(ctx);
+    phase.Count("blocks_scanned", stats->blocks_preprocessed);
+    phase.Count("candidates_pruned",
+                query.outer->num_blocks() - contributing.size());
+  }
   stats->contributing_blocks = contributing.size();
 
-  for (const BlockId id : contributing) {
-    for (const Point& e1 : query.outer->BlockPoints(id)) {
-      const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
-      ++stats->neighborhoods_computed;
-      EmitIntersection(e1, nbr_e1, nbr_f, pairs);
+  {
+    PhaseSpan phase("join_probe", &inner_searcher.stats());
+    for (const BlockId id : contributing) {
+      for (const Point& e1 : query.outer->BlockPoints(id)) {
+        const Neighborhood nbr_e1 = inner_searcher.GetKnn(e1, query.join_k);
+        ++stats->neighborhoods_computed;
+        EmitIntersection(e1, nbr_e1, nbr_f, pairs);
+      }
     }
   }
   if (exec != nullptr) {

@@ -1,6 +1,7 @@
 #include "src/core/select_outer_join.h"
 
 #include "src/core/knn_join.h"
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
@@ -28,8 +29,13 @@ Result<JoinResult> SelectOuterJoinPushed(const SelectOuterJoinQuery& query,
                                          NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   CachingKnnSearcher outer_searcher(*query.outer, shared_cache);
-  const Neighborhood selected =
-      outer_searcher.GetKnn(query.focal, query.select_k);
+  Neighborhood selected;
+  {
+    PhaseSpan phase("select", &outer_searcher.stats());
+    selected = outer_searcher.GetKnn(query.focal, query.select_k);
+    phase.Count("candidates_pruned",
+                query.outer->num_points() - selected.size());
+  }
   if (exec != nullptr) {
     exec->AddSearch(outer_searcher.stats());
     // The pushdown excludes every non-selected outer point from the
@@ -48,8 +54,11 @@ Result<JoinResult> SelectOuterJoinLate(const SelectOuterJoinQuery& query,
                                        NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   CachingKnnSearcher outer_searcher(*query.outer, shared_cache);
-  const Neighborhood selected =
-      outer_searcher.GetKnn(query.focal, query.select_k);
+  Neighborhood selected;
+  {
+    PhaseSpan phase("select", &outer_searcher.stats());
+    selected = outer_searcher.GetKnn(query.focal, query.select_k);
+  }
   if (exec != nullptr) exec->AddSearch(outer_searcher.stats());
 
   auto all_pairs = KnnJoin(query.outer->points(), *query.inner,

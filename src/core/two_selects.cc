@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/phase_trace.h"
 #include "src/core/result_types.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/distance_kernel.h"
@@ -31,10 +32,18 @@ Result<TwoSelectsResult> TwoSelectsNaive(const TwoSelectsQuery& query,
                                          NeighborhoodCache* shared_cache) {
   if (Status s = ValidateQuery(query); !s.ok()) return s;
   CachingKnnSearcher searcher(*query.relation, shared_cache);
-  const Neighborhood nbr1 = searcher.GetKnn(query.f1, query.k1);
-  const Neighborhood nbr2 = searcher.GetKnn(query.f2, query.k2);
+  Neighborhood nbr1, nbr2;
+  {
+    PhaseSpan phase("select_s1", &searcher.stats());
+    nbr1 = searcher.GetKnn(query.f1, query.k1);
+  }
+  {
+    PhaseSpan phase("select_s2", &searcher.stats());
+    nbr2 = searcher.GetKnn(query.f2, query.k2);
+  }
   if (stats != nullptr) *stats = searcher.stats();
   if (exec != nullptr) exec->AddSearch(searcher.stats());
+  PhaseSpan phase("intersect");
   return IntersectNeighborhoods(nbr1, nbr2);
 }
 
@@ -55,7 +64,11 @@ Result<TwoSelectsResult> TwoSelectsOptimized(
   }
 
   CachingKnnSearcher searcher(*query.relation, shared_cache);
-  const Neighborhood nbr1 = searcher.GetKnn(f1, k1);
+  Neighborhood nbr1;
+  {
+    PhaseSpan phase("select_s1", &searcher.stats());
+    nbr1 = searcher.GetKnn(f1, k1);
+  }
   if (nbr1.empty()) {
     if (stats != nullptr) *stats = searcher.stats();
     if (exec != nullptr) exec->AddSearch(searcher.stats());
@@ -79,9 +92,14 @@ Result<TwoSelectsResult> TwoSelectsOptimized(
       MaxSquaredDistance(nx.data(), ny.data(), nx.size(), f2.x, f2.y));
 
   // Lines 7-32: neighborhood of f2 from the clipped locality.
-  const Neighborhood nbr2 = searcher.GetKnnRestricted(f2, k2, threshold);
+  Neighborhood nbr2;
+  {
+    PhaseSpan phase("select_s2_restricted", &searcher.stats());
+    nbr2 = searcher.GetKnnRestricted(f2, k2, threshold);
+  }
   if (stats != nullptr) *stats = searcher.stats();
   if (exec != nullptr) exec->AddSearch(searcher.stats());
+  PhaseSpan phase("intersect");
   return IntersectNeighborhoods(nbr1, nbr2);
 }
 

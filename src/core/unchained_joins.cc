@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/core/knn_join.h"
+#include "src/core/phase_trace.h"
 #include "src/engine/neighborhood_cache.h"
 #include "src/index/knn_searcher.h"
 
@@ -49,6 +50,7 @@ Result<TripletResult> UnchainedJoinsNaive(const UnchainedJoinsQuery& query,
 
   const auto a_by_b = GroupByInner(*ab);
   TripletResult triplets;
+  PhaseSpan phase("intersect_b");
   for (const JoinPair& pair : *cb) {
     const auto it = a_by_b.find(pair.inner.id);
     if (it == a_by_b.end()) continue;
@@ -94,30 +96,36 @@ Result<TripletResult> UnchainedJoinsBlockMarking(
   std::vector<BlockId> contributing;
   std::size_t marking_blocks = 0;  // B-blocks popped by the direct scans.
   const auto num_c_blocks = static_cast<BlockId>(query.c->num_blocks());
-  for (BlockId id = 0; id < num_c_blocks; ++id) {
-    ++stats->blocks_preprocessed;
-    const Block& block = query.c->block(id);
-    const Point center = block.Center();
-    const Neighborhood nbr = b_searcher.GetKnn(center, query.k_cb);
-    bool is_contributing = false;
-    if (nbr.size() < query.k_cb) {
-      // B smaller than k_cb: neighborhood radii are unbounded.
-      is_contributing = true;
-    } else {
-      const double threshold = nbr.back().dist + block.Diagonal();
-      auto scan = query.b->NewScan(center, ScanOrder::kMinDist);
-      double min_dist = 0.0;
-      while (scan->HasNext()) {
-        const BlockId b_block = scan->Next(&min_dist);
-        ++marking_blocks;
-        if (min_dist > threshold) break;
-        if (candidate[b_block]) {
-          is_contributing = true;
-          break;
+  {
+    PhaseSpan phase("preprocess", &b_searcher.stats());
+    for (BlockId id = 0; id < num_c_blocks; ++id) {
+      ++stats->blocks_preprocessed;
+      const Block& block = query.c->block(id);
+      const Point center = block.Center();
+      const Neighborhood nbr = b_searcher.GetKnn(center, query.k_cb);
+      bool is_contributing = false;
+      if (nbr.size() < query.k_cb) {
+        // B smaller than k_cb: neighborhood radii are unbounded.
+        is_contributing = true;
+      } else {
+        const double threshold = nbr.back().dist + block.Diagonal();
+        auto scan = query.b->NewScan(center, ScanOrder::kMinDist);
+        double min_dist = 0.0;
+        while (scan->HasNext()) {
+          const BlockId b_block = scan->Next(&min_dist);
+          ++marking_blocks;
+          if (min_dist > threshold) break;
+          if (candidate[b_block]) {
+            is_contributing = true;
+            break;
+          }
         }
       }
+      if (is_contributing) contributing.push_back(id);
     }
-    if (is_contributing) contributing.push_back(id);
+    phase.Count("blocks_scanned", marking_blocks);
+    phase.Count("candidates_pruned",
+                query.c->num_blocks() - contributing.size());
   }
   stats->contributing_blocks = contributing.size();
 
@@ -125,16 +133,19 @@ Result<TripletResult> UnchainedJoinsBlockMarking(
   // blocks, intersected on B. The per-pair scan of the pseudocode is
   // replaced by a hash probe with identical semantics.
   TripletResult triplets;
-  for (const BlockId id : contributing) {
-    for (const Point& c_point : query.c->BlockPoints(id)) {
-      const Neighborhood nbr_c = b_searcher.GetKnn(c_point, query.k_cb);
-      ++stats->neighborhoods_computed;
-      for (const Neighbor& bn : nbr_c) {
-        const auto it = a_by_b.find(bn.point.id);
-        if (it == a_by_b.end()) continue;
-        for (const PointId a_id : it->second) {
-          triplets.push_back(
-              Triplet{.a = a_id, .b = bn.point.id, .c = c_point.id});
+  {
+    PhaseSpan phase("join_probe", &b_searcher.stats());
+    for (const BlockId id : contributing) {
+      for (const Point& c_point : query.c->BlockPoints(id)) {
+        const Neighborhood nbr_c = b_searcher.GetKnn(c_point, query.k_cb);
+        ++stats->neighborhoods_computed;
+        for (const Neighbor& bn : nbr_c) {
+          const auto it = a_by_b.find(bn.point.id);
+          if (it == a_by_b.end()) continue;
+          for (const PointId a_id : it->second) {
+            triplets.push_back(
+                Triplet{.a = a_id, .b = bn.point.id, .c = c_point.id});
+          }
         }
       }
     }

@@ -16,6 +16,8 @@
 #include "src/index/sharded_index.h"
 #include "src/lang/knnql.h"
 #include "src/lang/parser.h"
+#include "src/lang/unparser.h"
+#include "src/obs/log.h"
 
 namespace knnq {
 
@@ -104,15 +106,66 @@ QueryEngine::~QueryEngine() = default;
 std::size_t QueryEngine::num_threads() const { return pool_->size(); }
 
 EngineResult QueryEngine::Run(const QuerySpec& spec) const {
+  return RunWithTrace(spec, SampleTrace());
+}
+
+EngineResult QueryEngine::RunAnalyzed(const QuerySpec& spec,
+                                      std::uint64_t parse_ns,
+                                      std::uint64_t bind_ns) const {
+  auto trace = std::make_shared<obs::TraceContext>();
+  if (parse_ns != 0) trace->AttachMeasured("parse", parse_ns);
+  if (bind_ns != 0) trace->AttachMeasured("bind", bind_ns);
+  return RunWithTrace(spec, std::move(trace));
+}
+
+std::shared_ptr<obs::TraceContext> QueryEngine::SampleTrace() const {
+  const std::size_t every = options_.trace_sample_every;
+  if (every == 0) return nullptr;
+  const std::uint64_t n =
+      sample_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return nullptr;
+  return std::make_shared<obs::TraceContext>();
+}
+
+EngineResult QueryEngine::RunWithTrace(
+    const QuerySpec& spec, std::shared_ptr<obs::TraceContext> trace) const {
   EngineResult result;
-  if (cow_) {
-    result = RunPinned(spec);
-  } else {
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-    result = RunLocked(spec);
+  {
+    // Install the trace (possibly null — every ScopedSpan below is
+    // then a no-op) for exactly the plan+execute window, on whichever
+    // thread this query runs.
+    obs::TraceScope scope(trace.get());
+    if (cow_) {
+      result = RunPinned(spec);
+    } else {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      result = RunLocked(spec);
+    }
+  }
+  if (trace != nullptr) {
+    trace->Finish();
+    result.trace = std::move(trace);
   }
   RecordQuery(result);
+  if (options_.slow_query_ms > 0 &&
+      result.stats.wall_seconds * 1e3 >= options_.slow_query_ms) {
+    MaybeLogSlow(knnql::Unparse(spec), result);
+  }
   return result;
+}
+
+void QueryEngine::MaybeLogSlow(const std::string& text,
+                               const EngineResult& result) const {
+  std::vector<obs::LogField> fields;
+  fields.push_back(obs::LogField::Str("query", text));
+  fields.push_back(
+      obs::LogField::Num("wall_ms", result.stats.wall_seconds * 1e3));
+  fields.push_back(obs::LogField::Raw("stats", result.stats.ToJson()));
+  if (result.trace != nullptr) {
+    fields.push_back(
+        obs::LogField::Raw("trace", obs::ToJson(result.trace->root())));
+  }
+  obs::Logger::Global().Log(obs::LogLevel::kWarn, "slow_query", fields);
 }
 
 void QueryEngine::RecordQuery(const EngineResult& result) const {
@@ -164,6 +217,7 @@ Result<QuerySpec> QueryEngine::BindQuery(const knnql::Query& query) const {
 
 void QueryEngine::ExecutePlan(const PhysicalPlan& plan,
                               EngineResult* result) const {
+  obs::ScopedSpan span("execute");
   result->algorithm = plan.algorithm();
   const ExecutorRegistry& registry = options_.registry != nullptr
                                          ? *options_.registry
@@ -184,12 +238,16 @@ void QueryEngine::ExecutePlan(const PhysicalPlan& plan,
 
 EngineResult QueryEngine::RunLocked(const QuerySpec& spec) const {
   EngineResult result;
-  const auto plan = Optimize(catalog_, spec, options_.planner);
-  if (!plan.ok()) {
-    result.status = plan.status();
+  std::optional<Result<PhysicalPlan>> plan;
+  {
+    obs::ScopedSpan span("plan");
+    plan.emplace(Optimize(catalog_, spec, options_.planner));
+  }
+  if (!plan->ok()) {
+    result.status = plan->status();
     return result;
   }
-  ExecutePlan(*plan, &result);
+  ExecutePlan(**plan, &result);
   return result;
 }
 
@@ -201,6 +259,7 @@ EngineResult QueryEngine::RunPinned(const QuerySpec& spec) const {
   std::vector<std::shared_ptr<SpatialIndex>> pinned;
   std::optional<Result<PhysicalPlan>> plan;
   {
+    obs::ScopedSpan span("plan");
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     for (const std::string& name : catalog_.Names()) {
       if (auto rel = catalog_.Get(name); rel.ok()) {
@@ -250,33 +309,53 @@ EngineResult QueryEngine::ExecuteDml(DmlRequest request) {
 }
 
 EngineResult QueryEngine::ExecuteDml(const knnql::DmlSpec& dml) {
-  switch (dml.kind) {
-    case knnql::DmlSpec::Kind::kInsert: {
-      std::vector<MutationOp> ops;
-      ops.reserve(dml.rows.size());
-      for (const Point& row : dml.rows) {
-        ops.push_back(MutationOp::Insert(row.x, row.y));
-      }
-      return ExecuteDml(DmlRequest::MutateOps(dml.relation, std::move(ops)));
-    }
-    case knnql::DmlSpec::Kind::kDelete:
-      return ExecuteDml(
-          DmlRequest::MutateOps(dml.relation, {MutationOp::Erase(dml.id)}));
-    case knnql::DmlSpec::Kind::kLoad: {
-      auto points = LoadPoints(dml.path);
-      if (!points.ok()) {
-        EngineResult result;
-        result.is_mutation = true;
-        result.status = points.status();
-        RecordMutation(result);
-        return result;
-      }
-      return ExecuteDml(
-          DmlRequest::Load(dml.relation, std::move(points.value())));
-    }
-  }
+  std::shared_ptr<obs::TraceContext> trace = SampleTrace();
   EngineResult result;
-  result.status = Status::Internal("unknown DML kind");
+  {
+    obs::TraceScope scope(trace.get());
+    result = [&]() -> EngineResult {
+      switch (dml.kind) {
+        case knnql::DmlSpec::Kind::kInsert: {
+          std::vector<MutationOp> ops;
+          ops.reserve(dml.rows.size());
+          for (const Point& row : dml.rows) {
+            ops.push_back(MutationOp::Insert(row.x, row.y));
+          }
+          return ExecuteDml(
+              DmlRequest::MutateOps(dml.relation, std::move(ops)));
+        }
+        case knnql::DmlSpec::Kind::kDelete:
+          return ExecuteDml(DmlRequest::MutateOps(
+              dml.relation, {MutationOp::Erase(dml.id)}));
+        case knnql::DmlSpec::Kind::kLoad: {
+          obs::ScopedSpan span("load_points");
+          auto points = LoadPoints(dml.path);
+          span.Count("points_loaded",
+                     points.ok() ? points.value().size() : 0);
+          if (!points.ok()) {
+            EngineResult failed;
+            failed.is_mutation = true;
+            failed.status = points.status();
+            RecordMutation(failed);
+            return failed;
+          }
+          return ExecuteDml(
+              DmlRequest::Load(dml.relation, std::move(points.value())));
+        }
+      }
+      EngineResult unknown;
+      unknown.status = Status::Internal("unknown DML kind");
+      return unknown;
+    }();
+  }
+  if (trace != nullptr) {
+    trace->Finish();
+    result.trace = std::move(trace);
+  }
+  if (options_.slow_query_ms > 0 &&
+      result.stats.wall_seconds * 1e3 >= options_.slow_query_ms) {
+    MaybeLogSlow(knnql::Unparse(dml), result);
+  }
   return result;
 }
 
@@ -295,6 +374,7 @@ EngineResult QueryEngine::ExecuteDmlLegacy(DmlRequest& request) {
   result.is_mutation = true;
   Stopwatch timer;
   {
+    obs::ScopedSpan span("dml_apply");
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     auto outcome =
         request.kind == DmlRequest::Kind::kMutate
@@ -361,6 +441,7 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
   // newest version throughout.
   std::shared_ptr<SpatialIndex> base;
   {
+    obs::ScopedSpan span("cow_pin");
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     auto rel = catalog_.Get(relation);
     if (!rel.ok()) {
@@ -404,38 +485,43 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
 
   std::size_t rows = 0;
   Status failure = Status::Ok();
-  for (const MutationOp& op : ops) {
-    if (op.kind == MutationOp::Kind::kInsert) {
-      Point p = op.point;
-      if (p.id < 0) p.id = ws.next_id;
-      const std::size_t s = sharded->partition()->Route(p.x, p.y);
-      if (Status st = writable(s)->Insert(p); !st.ok()) {
-        failure = st;
-        break;
-      }
-      ws.next_id = std::max(ws.next_id, p.id + 1);
-      ++rows;
-    } else {
-      // Ownership lookup runs over the working set: the clone when
-      // this batch already touched the shard (so an id inserted
-      // earlier in the batch is erasable), the shared original
-      // otherwise.
-      int owner = -1;
-      for (std::size_t s = 0; s < num_shards && owner < 0; ++s) {
-        if (children[s]->HasPoint(op.erase_id)) {
-          owner = static_cast<int>(s);
+  {
+    obs::ScopedSpan apply_span("cow_apply");
+    for (const MutationOp& op : ops) {
+      if (op.kind == MutationOp::Kind::kInsert) {
+        Point p = op.point;
+        if (p.id < 0) p.id = ws.next_id;
+        const std::size_t s = sharded->partition()->Route(p.x, p.y);
+        if (Status st = writable(s)->Insert(p); !st.ok()) {
+          failure = st;
+          break;
+        }
+        ws.next_id = std::max(ws.next_id, p.id + 1);
+        ++rows;
+      } else {
+        // Ownership lookup runs over the working set: the clone when
+        // this batch already touched the shard (so an id inserted
+        // earlier in the batch is erasable), the shared original
+        // otherwise.
+        int owner = -1;
+        for (std::size_t s = 0; s < num_shards && owner < 0; ++s) {
+          if (children[s]->HasPoint(op.erase_id)) {
+            owner = static_cast<int>(s);
+          }
+        }
+        if (owner < 0) continue;  // Absent id: 0 rows, not an error.
+        const Status erased =
+            writable(static_cast<std::size_t>(owner))->Erase(op.erase_id);
+        if (erased.ok()) {
+          ++rows;
+        } else if (erased.code() != StatusCode::kNotFound) {
+          failure = erased;
+          break;
         }
       }
-      if (owner < 0) continue;  // Absent id: 0 rows, not an error.
-      const Status erased =
-          writable(static_cast<std::size_t>(owner))->Erase(op.erase_id);
-      if (erased.ok()) {
-        ++rows;
-      } else if (erased.code() != StatusCode::kNotFound) {
-        failure = erased;
-        break;
-      }
     }
+    apply_span.Count("rows_applied", rows);
+    apply_span.Count("shards_cloned", retired.size());
   }
 
   // Commit matches Catalog::Mutate semantics: ops before a failing one
@@ -443,26 +529,30 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
   // the generation.
   MutationOutcome outcome{.rows_affected = rows, .generation = 0,
                           .index = nullptr};
-  if (rows > 0) {
-    auto rebuilt =
-        ShardedIndex::FromShards(sharded->partition(), std::move(children));
-    KNNQ_CHECK_MSG(rebuilt.ok(), "rewrapping mutated shards failed");
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
-    auto committed = catalog_.ReplaceIndex(
-        relation, std::move(rebuilt.value()), ws.next_id, rows);
-    KNNQ_CHECK_MSG(committed.ok(), "republishing a mutated relation");
-    outcome = *committed;
-  } else {
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-    if (auto rel = catalog_.Get(relation); rel.ok()) {
-      outcome.generation = (*rel)->generation;
+  {
+    obs::ScopedSpan publish_span("cow_publish");
+    if (rows > 0) {
+      auto rebuilt =
+          ShardedIndex::FromShards(sharded->partition(), std::move(children));
+      KNNQ_CHECK_MSG(rebuilt.ok(), "rewrapping mutated shards failed");
+      std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+      auto committed = catalog_.ReplaceIndex(
+          relation, std::move(rebuilt.value()), ws.next_id, rows);
+      KNNQ_CHECK_MSG(committed.ok(), "republishing a mutated relation");
+      outcome = *committed;
+    } else {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      if (auto rel = catalog_.Get(relation); rel.ok()) {
+        outcome.generation = (*rel)->generation;
+      }
     }
-  }
-  // Replaced child objects can no longer serve anyone; drop their
-  // cache entries (every other shard's stay hot). Only after a
-  // publish: an unpublished clone leaves the originals live.
-  if (rows > 0 && cache_ != nullptr) {
-    for (const std::uint64_t id : retired) cache_->RetireRelation(id);
+    // Replaced child objects can no longer serve anyone; drop their
+    // cache entries (every other shard's stay hot). Only after a
+    // publish: an unpublished clone leaves the originals live.
+    if (rows > 0 && cache_ != nullptr) {
+      for (const std::uint64_t id : retired) cache_->RetireRelation(id);
+      publish_span.Count("cache_retired", retired.size());
+    }
   }
 
   if (!failure.ok()) {
@@ -505,16 +595,22 @@ EngineResult QueryEngine::LoadCow(const std::string& relation,
   const PointId next_id = NextIdAfter(points);
   // The expensive part — partitioning and indexing the new contents —
   // happens with no lock held and no reader or writer disturbed.
-  auto built = ShardedIndex::Build(std::move(points), build_options);
-  if (!built.ok()) {
-    result.status = built.status();
-    RecordMutation(result);
-    return result;
+  std::shared_ptr<SpatialIndex> fresh;
+  {
+    obs::ScopedSpan span("load_build");
+    span.Count("rows_applied", rows);
+    auto built = ShardedIndex::Build(std::move(points), build_options);
+    if (!built.ok()) {
+      result.status = built.status();
+      RecordMutation(result);
+      return result;
+    }
+    fresh = std::move(built.value());
   }
-  std::shared_ptr<SpatialIndex> fresh = std::move(built.value());
 
   MutationOutcome outcome;
   {
+    obs::ScopedSpan span("cow_publish");
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     if (exists) {
       auto committed =

@@ -56,6 +56,7 @@
 #include "src/common/status.h"
 #include "src/core/exec_stats.h"
 #include "src/engine/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/index/index_factory.h"
 #include "src/lang/binder.h"
 #include "src/planner/catalog.h"
@@ -106,6 +107,17 @@ struct EngineOptions {
   /// Executor registry to dispatch through; null means
   /// ExecutorRegistry::Default(). Must outlive the engine.
   const ExecutorRegistry* registry = nullptr;
+
+  /// Slow-query log threshold in milliseconds: any statement whose
+  /// wall time reaches it is logged (obs::Logger, event "slow_query")
+  /// with its canonical KNNQL, ExecStats and — when the statement was
+  /// sampled for tracing — its span tree. 0 disables the log.
+  double slow_query_ms = 0.0;
+
+  /// Trace sampling: every Nth statement (queries and DML alike)
+  /// carries a full span tree on EngineResult::trace. 0 disables
+  /// sampling; EXPLAIN ANALYZE always traces regardless.
+  std::size_t trace_sample_every = 0;
 };
 
 /// One engine-level DML request — the single write path every public
@@ -157,6 +169,9 @@ struct EngineResult {
   bool is_mutation = false;
   /// DML only: rows inserted, deleted or loaded.
   std::size_t rows_affected = 0;
+  /// The statement's span tree — non-null only when it was traced
+  /// (EXPLAIN ANALYZE, or sampled via trace_sample_every).
+  std::shared_ptr<const obs::TraceContext> trace;
 
   bool ok() const { return status.ok(); }
 };
@@ -206,6 +221,15 @@ class QueryEngine {
   /// concurrently with DML in either mode (reader lock, or pinned
   /// snapshot in sharded mode).
   EngineResult Run(const QuerySpec& spec) const;
+
+  /// Run with tracing forced on: the EXPLAIN ANALYZE path. Executes
+  /// normally and returns the result with EngineResult::trace set to
+  /// the statement's finished span tree. The front end that parsed and
+  /// bound the statement may pass those pre-measured durations; nonzero
+  /// values appear as "parse" / "bind" spans ahead of the live tree.
+  EngineResult RunAnalyzed(const QuerySpec& spec,
+                           std::uint64_t parse_ns = 0,
+                           std::uint64_t bind_ns = 0) const;
 
   /// Executes `specs` concurrently on the worker pool. results[i] is
   /// the outcome of specs[i]; a bad query (unknown relation, k = 0)
@@ -297,6 +321,20 @@ class QueryEngine {
   /// Plan + execute without taking the reader lock (callers hold it).
   EngineResult RunLocked(const QuerySpec& spec) const;
 
+  /// The shared tail of Run/RunAnalyzed: installs `trace` (may be
+  /// null) on this thread, runs, finishes the trace, records stats and
+  /// feeds the slow-query log.
+  EngineResult RunWithTrace(const QuerySpec& spec,
+                            std::shared_ptr<obs::TraceContext> trace) const;
+
+  /// Non-null every trace_sample_every-th call; null otherwise.
+  std::shared_ptr<obs::TraceContext> SampleTrace() const;
+
+  /// Emits the slow-query log line when `result` crossed the
+  /// threshold. `text` is the statement's canonical KNNQL.
+  void MaybeLogSlow(const std::string& text,
+                    const EngineResult& result) const;
+
   /// Executes an optimized plan into `result` — the shared tail of
   /// RunLocked and RunPinned.
   void ExecutePlan(const PhysicalPlan& plan, EngineResult* result) const;
@@ -337,6 +375,8 @@ class QueryEngine {
   /// hot path never touches catalog_mu_ for bookkeeping.
   mutable std::mutex stats_mu_;
   mutable EngineStatsSnapshot cumulative_;
+  /// Statement counter driving trace_sample_every.
+  mutable std::atomic<std::uint64_t> sample_counter_{0};
   /// Declared LAST: destruction joins the workers first, so an async
   /// SubmitQuery task still in flight can never touch an
   /// already-destroyed mutex, cache or catalog.

@@ -117,9 +117,11 @@ using StatementBody =
     std::variant<Query, InsertStatement, DeleteStatement, LoadStatement>;
 
 /// One parsed statement. EXPLAIN applies to queries only (the parser
-/// rejects EXPLAIN on DML).
+/// rejects EXPLAIN on DML). EXPLAIN ANALYZE additionally executes the
+/// query and reports its span tree (analyze implies explain).
 struct Statement {
   bool explain = false;
+  bool analyze = false;
   StatementBody body;
   /// Where the statement started, for script-level error reporting.
   SourcePos pos;

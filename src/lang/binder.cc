@@ -210,6 +210,7 @@ Result<std::vector<BoundStatement>> BindScript(const Script& script,
   for (const Statement& statement : script) {
     BoundStatement entry;
     entry.explain = statement.explain;
+    entry.analyze = statement.analyze;
     entry.pos = statement.pos;
     if (const auto* query = std::get_if<Query>(&statement.body)) {
       auto spec = Bind(*query, catalog);

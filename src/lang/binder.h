@@ -52,6 +52,8 @@ struct DmlSpec {
 /// and the statement's source position.
 struct BoundStatement {
   bool explain = false;
+  /// EXPLAIN ANALYZE: execute and report the span tree too.
+  bool analyze = false;
   std::variant<QuerySpec, DmlSpec> op;
   SourcePos pos;
 };

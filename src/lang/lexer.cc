@@ -35,6 +35,7 @@ TokenKind KeywordOrIdentifier(std::string_view text) {
   if (upper == "OUTER") return TokenKind::kOuter;
   if (upper == "IN") return TokenKind::kIn;
   if (upper == "EXPLAIN") return TokenKind::kExplain;
+  if (upper == "ANALYZE") return TokenKind::kAnalyze;
   if (upper == "INSERT") return TokenKind::kInsert;
   if (upper == "INTO") return TokenKind::kInto;
   if (upper == "VALUES") return TokenKind::kValues;

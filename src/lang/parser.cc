@@ -76,6 +76,10 @@ class Parser {
     if (Peek().kind == TokenKind::kExplain) {
       Take();
       statement.explain = true;
+      if (Peek().kind == TokenKind::kAnalyze) {
+        Take();
+        statement.analyze = true;
+      }
       if (StartsDml(Peek().kind)) {
         return ErrorAt(Peek().pos,
                        "EXPLAIN applies to queries; " + Peek().text +

@@ -36,6 +36,8 @@ const char* ToString(TokenKind kind) {
       return "IN";
     case TokenKind::kExplain:
       return "EXPLAIN";
+    case TokenKind::kAnalyze:
+      return "ANALYZE";
     case TokenKind::kInsert:
       return "INSERT";
     case TokenKind::kInto:

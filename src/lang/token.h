@@ -38,6 +38,7 @@ enum class TokenKind {
   kOuter,
   kIn,
   kExplain,
+  kAnalyze,
   // DML keywords.
   kInsert,
   kInto,

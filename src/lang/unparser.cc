@@ -1,10 +1,8 @@
 #include "src/lang/unparser.h"
 
-#include <charconv>
-#include <system_error>
 #include <variant>
 
-#include "src/common/check.h"
+#include "src/common/text_parse.h"
 
 namespace knnq::knnql {
 
@@ -22,13 +20,7 @@ std::string KnnJoin(const std::string& outer, const std::string& inner,
 
 }  // namespace
 
-std::string FormatNumber(double value) {
-  char buffer[64];
-  const auto [end, ec] =
-      std::to_chars(buffer, buffer + sizeof(buffer), value);
-  KNNQ_CHECK(ec == std::errc());
-  return std::string(buffer, end);
-}
+std::string FormatNumber(double value) { return FormatDouble(value); }
 
 std::string Unparse(const TwoSelectsSpec& spec) {
   return "SELECT " + Knn(spec.relation, spec.s1) + " INTERSECT " +

@@ -1,0 +1,110 @@
+// Leveled structured JSONL diagnostics: one JSON object per line to
+// stderr or a --log-file, e.g.
+//
+//   {"ts": "2026-08-08T12:34:56.789Z", "level": "warn",
+//    "event": "slow_query", "query": "SELECT ...", "wall_ms": 12.7,
+//    "stats": {...}, "trace": {...}}
+//
+// The slow-query log (QueryEngine, EngineOptions::slow_query_ms) and
+// server lifecycle diagnostics both write here. Emission is one
+// formatted write under a mutex, so concurrent writers never interleave
+// bytes within a line.
+
+#ifndef KNNQ_SRC_OBS_LOG_H_
+#define KNNQ_SRC_OBS_LOG_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace knnq::obs {
+
+/// JSON string escaping (quotes, backslash, control characters). Shared
+/// by the logger and the server wire renderers.
+std::string JsonEscape(std::string_view text);
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// "debug"/"info"/"warn"/"error" (the --log-level flag values).
+Result<LogLevel> ParseLogLevel(std::string_view text);
+std::string_view LogLevelName(LogLevel level);
+
+/// One key/value of a log line. The value is held as rendered JSON, so
+/// a field can carry a string, a number, or a whole sub-object (the
+/// slow-query log embeds ExecStats and span trees this way).
+struct LogField {
+  std::string_view key;
+  std::string json;
+
+  static LogField Str(std::string_view key, std::string_view value) {
+    return {key, "\"" + JsonEscape(value) + "\""};
+  }
+  static LogField Num(std::string_view key, double value);
+  static LogField Int(std::string_view key, std::uint64_t value) {
+    return {key, std::to_string(value)};
+  }
+  /// `json` must be a valid JSON value; embedded verbatim.
+  static LogField Raw(std::string_view key, std::string json) {
+    return {key, std::move(json)};
+  }
+};
+
+/// The process logger. Writes to stderr until OpenFile redirects it.
+/// Below-threshold events cost one relaxed level check.
+class Logger {
+ public:
+  static Logger& Global();
+
+  void SetLevel(LogLevel level) { level_ = static_cast<int>(level); }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_;
+  }
+
+  /// Redirects output to `path` (append mode, line-buffered).
+  Status OpenFile(const std::string& path);
+
+  void Log(LogLevel level, std::string_view event,
+           std::span<const LogField> fields);
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields) {
+    Log(level, event,
+        std::span<const LogField>(fields.begin(), fields.size()));
+  }
+
+  void Debug(std::string_view event,
+             std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kDebug, event, fields);
+  }
+  void Info(std::string_view event,
+            std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kInfo, event, fields);
+  }
+  void Warn(std::string_view event,
+            std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kWarn, event, fields);
+  }
+  void Error(std::string_view event,
+             std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kError, event, fields);
+  }
+
+  ~Logger();
+
+ private:
+  Logger() = default;
+
+  std::mutex mu_;
+  /// Null means stderr; owned otherwise.
+  std::FILE* file_ = nullptr;
+  /// kInfo by default; plain int so Enabled stays a single load.
+  int level_ = static_cast<int>(LogLevel::kInfo);
+};
+
+}  // namespace knnq::obs
+
+#endif  // KNNQ_SRC_OBS_LOG_H_

@@ -1,0 +1,159 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "src/common/check.h"
+#include "src/common/text_parse.h"
+
+namespace knnq::obs {
+
+namespace {
+
+thread_local TraceContext* g_current_trace = nullptr;
+
+}  // namespace
+
+TraceContext::TraceContext() : epoch_(std::chrono::steady_clock::now()) {
+  root_.name = "statement";
+  stack_.push_back(&root_);
+}
+
+std::uint64_t TraceContext::ElapsedNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Span* TraceContext::OpenSpan(std::string_view name) {
+  KNNQ_CHECK(!stack_.empty());
+  Span* parent = stack_.back();
+  auto child = std::make_unique<Span>();
+  child->name = std::string(name);
+  child->start_ns = ElapsedNs();
+  Span* raw = child.get();
+  parent->children.push_back(std::move(child));
+  stack_.push_back(raw);
+  return raw;
+}
+
+void TraceContext::CloseSpan(Span* span) {
+  KNNQ_CHECK(!stack_.empty() && stack_.back() == span);
+  span->duration_ns = ElapsedNs() - span->start_ns;
+  stack_.pop_back();
+}
+
+void TraceContext::AddCounter(Span* span, const char* name,
+                              std::uint64_t value) {
+  for (auto& [existing, total] : span->counters) {
+    if (existing == name) {
+      total += value;
+      return;
+    }
+  }
+  span->counters.emplace_back(name, value);
+}
+
+void TraceContext::AttachMeasured(std::string_view name,
+                                  std::uint64_t duration_ns) {
+  auto child = std::make_unique<Span>();
+  child->name = std::string(name);
+  child->start_ns = 0;
+  child->duration_ns = duration_ns;
+  // Pre-measured stages ran before this context's live children; keep
+  // them in front so the rendering reads in execution order.
+  const auto insert_at = std::find_if(
+      root_.children.begin(), root_.children.end(),
+      [](const std::unique_ptr<Span>& s) { return s->start_ns != 0; });
+  root_.children.insert(insert_at, std::move(child));
+}
+
+void TraceContext::Finish() {
+  KNNQ_CHECK(stack_.size() == 1 && stack_.back() == &root_);
+  root_.duration_ns = ElapsedNs();
+  stack_.clear();
+}
+
+TraceContext* CurrentTrace() { return g_current_trace; }
+
+TraceScope::TraceScope(TraceContext* trace) : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { g_current_trace = previous_; }
+
+namespace {
+
+void RenderTextInto(const Span& span, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->append(span.name);
+  // Pad the name column so durations align within a level.
+  const std::size_t name_column = 28;
+  const std::size_t used =
+      static_cast<std::size_t>(depth) * 2 + span.name.size();
+  out->append(used < name_column ? name_column - used : 1, ' ');
+  out->append(FormatDouble(span.wall_ms()));
+  out->append("ms");
+  for (const auto& [name, value] : span.counters) {
+    out->append("  ");
+    out->append(name);
+    out->push_back('=');
+    out->append(std::to_string(value));
+  }
+  out->push_back('\n');
+  for (const auto& child : span.children) {
+    RenderTextInto(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderText(const Span& span) {
+  std::string out;
+  RenderTextInto(span, 0, &out);
+  return out;
+}
+
+std::string ToJson(const Span& span) {
+  std::string out = "{\"name\": \"" + span.name + "\", \"wall_ms\": " +
+                    FormatDouble(span.wall_ms());
+  if (!span.counters.empty()) {
+    out += ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : span.counters) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + name + "\": " + std::to_string(value);
+    }
+    out += "}";
+  }
+  out += ", \"children\": [";
+  bool first = true;
+  for (const auto& child : span.children) {
+    if (!first) out += ", ";
+    first = false;
+    out += ToJson(*child);
+  }
+  out += "]}";
+  return out;
+}
+
+std::uint64_t SumCounter(const Span& span, std::string_view counter) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : span.counters) {
+    if (name == counter) total += value;
+  }
+  for (const auto& child : span.children) {
+    total += SumCounter(*child, counter);
+  }
+  return total;
+}
+
+std::size_t CountSpans(const Span& span) {
+  std::size_t total = 1;
+  for (const auto& child : span.children) total += CountSpans(*child);
+  return total;
+}
+
+}  // namespace knnq::obs

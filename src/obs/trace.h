@@ -1,0 +1,154 @@
+// Structured per-query tracing: a tree of named, timed spans with
+// attached counters, surfaced by KNNQL's EXPLAIN ANALYZE.
+//
+// The design optimizes for the common case — tracing OFF. A trace is
+// installed for the current thread with TraceScope (RAII); every
+// instrumentation site is a ScopedSpan whose constructor is one
+// thread_local load plus a null check when no trace is installed: no
+// allocation, no clock read, no branch into cold code. Counter
+// attachment (ScopedSpan::Count) is the same null check. The bench gate
+// (tools/check_bench.py, trace_hook_overhead) holds this path to under
+// 2% of query time.
+//
+// A TraceContext is single-threaded by construction: one query's
+// evaluation runs on one thread, and the context is installed on
+// exactly that thread for the duration of the run. No locking.
+//
+// Counter discipline (the EXPLAIN ANALYZE acceptance invariant): spans
+// carry counters named after ExecStats fields, attached only at
+// evaluator phase granularity (src/core/phase_trace.h), so summing a
+// counter over the whole tree reproduces the query's ExecStats total.
+// Structural spans (parse, plan, execute, ...) carry timing only.
+
+#ifndef KNNQ_SRC_OBS_TRACE_H_
+#define KNNQ_SRC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace knnq::obs {
+
+/// One node of the span tree. Times are nanoseconds relative to the
+/// owning TraceContext's epoch (its construction instant).
+struct Span {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// (name, value) pairs; names follow ExecStats field names so tree
+  /// sums line up with the flat counters. Order of attachment.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::unique_ptr<Span>> children;
+
+  double wall_ms() const { return static_cast<double>(duration_ns) / 1e6; }
+};
+
+/// The trace of one statement: a root span ("statement") plus the open
+/// span stack. Created by the engine when a statement is sampled or
+/// EXPLAIN ANALYZE'd; owned via shared_ptr on EngineResult.
+class TraceContext {
+ public:
+  TraceContext();
+
+  /// Opens a child of the innermost open span and returns it.
+  Span* OpenSpan(std::string_view name);
+
+  /// Closes `span` (must be the innermost open span), stamping its
+  /// duration.
+  void CloseSpan(Span* span);
+
+  /// Attaches a counter to `span`, merging into an existing entry of
+  /// the same name (a phase that runs twice under one span adds up).
+  void AddCounter(Span* span, const char* name, std::uint64_t value);
+
+  /// Grafts a pre-measured child onto the root — for stages that ran
+  /// before the context existed (the parse of the statement text).
+  /// Pre-measured children are stamped before the root's live children.
+  void AttachMeasured(std::string_view name, std::uint64_t duration_ns);
+
+  /// Closes the root span. Call once, after the traced work.
+  void Finish();
+
+  /// Nanoseconds since the context's epoch.
+  std::uint64_t ElapsedNs() const;
+
+  const Span& root() const { return root_; }
+  Span& mutable_root() { return root_; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  Span root_;
+  /// Innermost-last open spans; root_ is always stack_[0] until Finish.
+  std::vector<Span*> stack_;
+};
+
+/// The trace installed for the current thread, or nullptr. This load is
+/// all a disabled instrumentation site pays.
+TraceContext* CurrentTrace();
+
+/// Installs `trace` as the current thread's trace for this scope,
+/// restoring the previous value (usually nullptr) on exit.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext* trace);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext* previous_;
+};
+
+/// RAII span over the current thread's trace. A no-op (null check, no
+/// allocation) when tracing is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : trace_(CurrentTrace()) {
+    if (trace_ != nullptr) span_ = trace_->OpenSpan(name);
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->CloseSpan(span_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches (or accumulates) a counter on this span. Zero values are
+  /// dropped so skipped work does not clutter the tree.
+  void Count(const char* name, std::uint64_t value) {
+    if (trace_ != nullptr && value != 0) {
+      trace_->AddCounter(span_, name, value);
+    }
+  }
+
+  /// True when a trace is installed (the span is recording).
+  bool active() const { return trace_ != nullptr; }
+
+ private:
+  TraceContext* trace_;
+  Span* span_ = nullptr;
+};
+
+/// Indented text rendering of the finished trace, one span per line:
+/// "  execute ........ 1.82ms  blocks_scanned=120 cache_hits=3".
+std::string RenderText(const Span& span);
+
+/// JSON object: {"name": .., "wall_ms": .., "counters": {..},
+/// "children": [..]}. "counters" is omitted when empty. Numbers use
+/// FormatDouble, so the CLI and the wire render identical bytes.
+std::string ToJson(const Span& span);
+
+/// Sums `counter` over `span` and all descendants — the EXPLAIN
+/// ANALYZE acceptance check (tree sums == ExecStats totals).
+std::uint64_t SumCounter(const Span& span, std::string_view counter);
+
+/// Total spans in the tree rooted at `span` (the root included).
+std::size_t CountSpans(const Span& span);
+
+}  // namespace knnq::obs
+
+#endif  // KNNQ_SRC_OBS_TRACE_H_

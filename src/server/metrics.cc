@@ -1,71 +1,64 @@
 #include "src/server/metrics.h"
 
-#include <bit>
-#include <cmath>
-
-#include "src/lang/unparser.h"
-
 namespace knnq::server {
 
-namespace {
-
-/// Bucket upper bound in milliseconds: 2^(i+1) microseconds.
-double BucketUpperMs(std::size_t i) {
-  return std::ldexp(1.0, static_cast<int>(i) + 1) / 1000.0;
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
-  const auto us = static_cast<std::uint64_t>(seconds * 1e6);
-  const std::size_t bucket =
-      std::min<std::size_t>(kBuckets - 1, std::bit_width(us | 1) - 1);
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  total_us_.fetch_add(us, std::memory_order_relaxed);
-}
-
-LatencySummary LatencyHistogram::Summarize() const {
-  std::array<std::uint64_t, kBuckets> counts;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  LatencySummary summary;
-  summary.count = total;
-  if (total == 0) return summary;
-  summary.mean_ms =
-      static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
-      static_cast<double>(total) / 1000.0;
-  const auto percentile = [&](double p) {
-    const auto rank = static_cast<std::uint64_t>(
-        std::ceil(p * static_cast<double>(total)));
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= rank) return BucketUpperMs(i);
-    }
-    return BucketUpperMs(kBuckets - 1);
+void ServerMetrics::RegisterAll(obs::MetricsRegistry* registry) const {
+  const struct {
+    const char* name;
+    const char* help;
+    const obs::Counter* counter;
+  } counters[] = {
+      {"knnq_server_connections_opened_total", "Accepted connections.",
+       &connections_opened},
+      {"knnq_server_connections_closed_total", "Closed connections.",
+       &connections_closed},
+      {"knnq_server_requests_total", "Statements and admin verbs received.",
+       &requests},
+      {"knnq_server_responses_total", "Responses written.", &responses},
+      {"knnq_server_queries_ok_total", "Successful queries.", &queries_ok},
+      {"knnq_server_mutations_ok_total", "Successful DML statements.",
+       &mutations_ok},
+      {"knnq_server_explains_ok_total",
+       "Successful EXPLAIN and EXPLAIN ANALYZE statements.", &explains_ok},
+      {"knnq_server_admin_requests_total",
+       "Admin verbs (STATS, METRICS, PING, SHUTDOWN).", &admin_requests},
+      {"knnq_server_errors_total", "Error responses.", &errors},
+      {"knnq_server_overload_rejections_total",
+       "Statements rejected by admission control or a full pool queue.",
+       &overload_rejections},
+      {"knnq_server_connection_rejections_total",
+       "Accepts refused at the connection cap.", &connection_rejections},
+      {"knnq_server_write_timeouts_total",
+       "Response writes that hit the send deadline.", &write_timeouts},
+      {"knnq_server_parse_errors_total", "Statements that failed to parse.",
+       &parse_errors},
+      {"knnq_server_oversized_requests_total",
+       "Statements over the request byte limit.", &oversized_requests},
+      {"knnq_server_idle_timeouts_total",
+       "Connections closed by the idle deadline.", &idle_timeouts},
+      {"knnq_server_disconnects_mid_statement_total",
+       "Connections that vanished mid-statement.",
+       &disconnects_mid_statement},
   };
-  summary.p50_ms = percentile(0.50);
-  summary.p95_ms = percentile(0.95);
-  summary.p99_ms = percentile(0.99);
-  return summary;
-}
-
-std::string LatencySummary::ToJson() const {
-  return "{\"count\": " + std::to_string(count) +
-         ", \"mean_ms\": " + knnql::FormatNumber(mean_ms) +
-         ", \"p50_ms\": " + knnql::FormatNumber(p50_ms) +
-         ", \"p95_ms\": " + knnql::FormatNumber(p95_ms) +
-         ", \"p99_ms\": " + knnql::FormatNumber(p99_ms) + "}";
+  for (const auto& c : counters) {
+    registry->RegisterCounter(c.name, c.help, c.counter);
+  }
+  registry->RegisterHistogram("knnq_server_query_latency_seconds",
+                              "Query execution latency (queued to done).",
+                              &query_latency);
+  registry->RegisterHistogram("knnq_server_mutation_latency_seconds",
+                              "DML execution latency.", &mutation_latency);
+  registry->RegisterHistogram("knnq_server_parse_latency_seconds",
+                              "Statement text parse latency.",
+                              &parse_latency);
+  registry->RegisterHistogram("knnq_server_bind_latency_seconds",
+                              "Statement bind latency.", &bind_latency);
 }
 
 std::string ServerMetrics::ToJson(std::size_t active_connections,
                                   std::size_t in_flight) const {
-  const auto get = [](const std::atomic<std::uint64_t>& a) {
-    return std::to_string(a.load(std::memory_order_relaxed));
+  const auto get = [](const obs::Counter& c) {
+    return std::to_string(c.Value());
   };
   return "{\"connections_opened\": " + get(connections_opened) +
          ", \"connections_closed\": " + get(connections_closed) +

@@ -1,78 +1,59 @@
 // Server observability: request/connection counters and latency
-// histograms, all updated lock-free from connection and worker threads
-// and snapshotted by the STATS admin verb.
+// histograms, all updated lock-free from connection and worker threads,
+// snapshotted by the STATS admin verb (JSON) and exported through an
+// obs::MetricsRegistry by the METRICS verb (Prometheus text format).
 
 #ifndef KNNQ_SRC_SERVER_METRICS_H_
 #define KNNQ_SRC_SERVER_METRICS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "src/obs/metrics_registry.h"
+
 namespace knnq::server {
 
-/// Point-in-time percentile summary of a LatencyHistogram.
-struct LatencySummary {
-  std::uint64_t count = 0;
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
-
-  /// `{"count": ..., "mean_ms": ..., "p50_ms": ..., ...}`.
-  std::string ToJson() const;
-};
-
-/// Log-bucketed latency histogram: bucket i holds samples in
-/// [2^i, 2^(i+1)) microseconds, so the whole range from 1 us to over
-/// an hour fits in 48 buckets with <= 2x quantization error - plenty
-/// for p50/p95/p99 serving dashboards. Record and Summarize are both
-/// thread-safe (relaxed atomics; percentiles are an instantaneous
-/// approximation, not a consistent snapshot).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 48;
-
-  void Record(double seconds);
-
-  /// Percentiles use each bucket's upper bound, biasing the estimate
-  /// conservatively (reported latency >= true latency).
-  LatencySummary Summarize() const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> total_us_{0};
-};
+/// The historical names; the instruments themselves moved to src/obs.
+using LatencySummary = obs::HistogramSummary;
+using LatencyHistogram = obs::Histogram;
 
 /// One relaxed-atomic counter bundle per server. Everything is
 /// monotone except in-flight gauges, which the admission controller
 /// owns; snapshotting is field-by-field relaxed reads.
 struct ServerMetrics {
-  std::atomic<std::uint64_t> connections_opened{0};
-  std::atomic<std::uint64_t> connections_closed{0};
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> responses{0};
-  std::atomic<std::uint64_t> queries_ok{0};
-  std::atomic<std::uint64_t> mutations_ok{0};
-  std::atomic<std::uint64_t> explains_ok{0};
-  std::atomic<std::uint64_t> admin_requests{0};
-  std::atomic<std::uint64_t> errors{0};
+  obs::Counter connections_opened;
+  obs::Counter connections_closed;
+  obs::Counter requests;
+  obs::Counter responses;
+  obs::Counter queries_ok;
+  obs::Counter mutations_ok;
+  obs::Counter explains_ok;
+  obs::Counter admin_requests;
+  obs::Counter errors;
   /// Structured `overloaded` rejections (admission or pool full).
-  std::atomic<std::uint64_t> overload_rejections{0};
+  obs::Counter overload_rejections;
   /// Accepts refused at ServerOptions::max_connections.
-  std::atomic<std::uint64_t> connection_rejections{0};
+  obs::Counter connection_rejections;
   /// Response writes that hit the SO_SNDTIMEO deadline (peer stopped
   /// reading); each marks its connection broken.
-  std::atomic<std::uint64_t> write_timeouts{0};
-  std::atomic<std::uint64_t> parse_errors{0};
-  std::atomic<std::uint64_t> oversized_requests{0};
-  std::atomic<std::uint64_t> idle_timeouts{0};
+  obs::Counter write_timeouts;
+  obs::Counter parse_errors;
+  obs::Counter oversized_requests;
+  obs::Counter idle_timeouts;
   /// Connections that vanished mid-statement (framing diagnostics).
-  std::atomic<std::uint64_t> disconnects_mid_statement{0};
+  obs::Counter disconnects_mid_statement;
 
   LatencyHistogram query_latency;
   LatencyHistogram mutation_latency;
+  /// Front-door costs: statement-text parsing and binding, timed on
+  /// the connection thread. Prometheus-only (not in the STATS JSON,
+  /// whose shape is frozen).
+  LatencyHistogram parse_latency;
+  LatencyHistogram bind_latency;
+
+  /// Registers every member under its knnq_server_* Prometheus name.
+  /// `this` must outlive `registry`.
+  void RegisterAll(obs::MetricsRegistry* registry) const;
 
   /// The `"server"` object of the STATS response. `active_connections`
   /// and `in_flight` are passed in by the server (they are gauges the

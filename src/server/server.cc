@@ -68,7 +68,104 @@ std::string CacheStatsJson(const NeighborhoodCache* cache) {
 Server::Server(QueryEngine* engine, ServerOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      admission_(options_.max_inflight) {}
+      admission_(options_.max_inflight) {
+  metrics_.RegisterAll(&registry_);
+  registry_.RegisterCallbackGauge(
+      "knnq_server_active_connections", "Currently open connections.",
+      [this] { return static_cast<double>(active_connections()); });
+  registry_.RegisterCallbackGauge(
+      "knnq_server_in_flight", "Queries executing right now.",
+      [this] { return static_cast<double>(admission_.in_flight()); });
+
+  // Engine cumulative totals, snapshotted at scrape time. One
+  // StatsSnapshot per metric is fine: METRICS is a scrape path, not a
+  // hot path.
+  const auto engine_counter = [this](std::uint64_t EngineStatsSnapshot::*
+                                         field) {
+    return [this, field] {
+      return static_cast<std::uint64_t>(engine_->StatsSnapshot().*field);
+    };
+  };
+  const auto total_counter = [this](std::size_t ExecStats::*field) {
+    return [this, field] {
+      return static_cast<std::uint64_t>(
+          engine_->StatsSnapshot().totals.*field);
+    };
+  };
+  registry_.RegisterCallbackCounter("knnq_engine_queries_total",
+                                    "Queries executed.",
+                                    engine_counter(&EngineStatsSnapshot::queries));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_query_errors_total", "Queries that failed.",
+      engine_counter(&EngineStatsSnapshot::query_errors));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_mutations_total", "DML statements executed.",
+      engine_counter(&EngineStatsSnapshot::mutations));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_mutation_errors_total", "DML statements that failed.",
+      engine_counter(&EngineStatsSnapshot::mutation_errors));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_blocks_scanned_total",
+      "Columnar blocks whose points were compared.",
+      total_counter(&ExecStats::blocks_scanned));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_blocks_skipped_total",
+      "Columnar blocks pruned by their bounding boxes.",
+      total_counter(&ExecStats::blocks_skipped));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_points_compared_total",
+      "Point distance computations.",
+      total_counter(&ExecStats::points_compared));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_neighborhoods_computed_total",
+      "kNN neighborhoods computed (cache misses included).",
+      total_counter(&ExecStats::neighborhoods_computed));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_candidates_pruned_total",
+      "Join candidates pruned by locality filters.",
+      total_counter(&ExecStats::candidates_pruned));
+  registry_.RegisterCallbackCounter(
+      "knnq_engine_shards_pruned_total",
+      "Shards skipped by scatter-gather pruning.",
+      total_counter(&ExecStats::shards_pruned));
+
+  if (const NeighborhoodCache* cache = engine_->neighborhood_cache();
+      cache != nullptr) {
+    const auto cache_counter = [cache](std::uint64_t NeighborhoodCacheStats::*
+                                           field) {
+      return [cache, field] {
+        return static_cast<std::uint64_t>(cache->GetStats().*field);
+      };
+    };
+    registry_.RegisterCallbackCounter(
+        "knnq_cache_hits_total", "Neighborhood cache hits.",
+        cache_counter(&NeighborhoodCacheStats::hits));
+    registry_.RegisterCallbackCounter(
+        "knnq_cache_misses_total", "Neighborhood cache misses.",
+        cache_counter(&NeighborhoodCacheStats::misses));
+    registry_.RegisterCallbackCounter(
+        "knnq_cache_insertions_total", "Neighborhood cache insertions.",
+        cache_counter(&NeighborhoodCacheStats::insertions));
+    registry_.RegisterCallbackCounter(
+        "knnq_cache_evictions_total", "Neighborhood cache evictions.",
+        cache_counter(&NeighborhoodCacheStats::evictions));
+    registry_.RegisterCallbackCounter(
+        "knnq_cache_invalidated_total",
+        "Neighborhood cache entries dropped by invalidation.",
+        cache_counter(&NeighborhoodCacheStats::invalidated));
+    registry_.RegisterCallbackGauge(
+        "knnq_cache_entries", "Neighborhood cache live entries.", [cache] {
+          return static_cast<double>(cache->GetStats().entries);
+        });
+    registry_.RegisterCallbackGauge(
+        "knnq_cache_bytes", "Neighborhood cache resident bytes.", [cache] {
+          return static_cast<double>(cache->GetStats().bytes);
+        });
+    registry_.RegisterCallbackGauge(
+        "knnq_cache_capacity_bytes", "Neighborhood cache capacity.",
+        [cache] { return static_cast<double>(cache->capacity_bytes()); });
+  }
+}
 
 Server::~Server() { Stop(); }
 
@@ -257,6 +354,10 @@ std::string Server::RenderStats() const {
          "}";
 }
 
+std::string Server::RenderPrometheus() const {
+  return registry_.RenderPrometheus();
+}
+
 void Server::ReapFinished() {
   std::lock_guard<std::mutex> lock(connections_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
@@ -271,7 +372,7 @@ void Server::ReapFinished() {
 }
 
 void Server::RefuseConnection(int fd) {
-  metrics_.connection_rejections.fetch_add(1, std::memory_order_relaxed);
+  metrics_.connection_rejections.Add();
   const std::string line =
       WithId(1, JsonErrorRecord(
                     "", "",
@@ -328,7 +429,7 @@ void Server::AcceptLoop() {
                    sizeof(options_.sndbuf_bytes));
     }
 
-    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_opened.Add();
     auto conn = std::make_unique<Connection>();
     Connection* raw = conn.get();
     raw->fd = fd;
@@ -337,6 +438,10 @@ void Server::AcceptLoop() {
       return WriteLine(raw, line);
     };
     callbacks.render_stats = [this] { return RenderStats(); };
+    callbacks.render_metrics = [this] {
+      return "{\"status\": \"ok\", \"prometheus\": \"" +
+             JsonEscape(RenderPrometheus()) + "\"}";
+    };
     if (options_.allow_remote_shutdown) {
       callbacks.request_shutdown = [this] { RequestStop(); };
     }
@@ -386,7 +491,7 @@ void Server::ConnectionLoop(Connection* conn) {
         // partial statement buffered; otherwise the clock restarts.
         if (conn->session->in_flight() == 0 &&
             !conn->session->has_buffered_input()) {
-          metrics_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+          metrics_.idle_timeouts.Add();
           close = Close::kIdle;
           break;
         }
@@ -412,7 +517,7 @@ void Server::ConnectionLoop(Connection* conn) {
   conn->session->WaitIdle();
   if (close == Close::kPeer) conn->session->FinishInput();
   ::shutdown(conn->fd, SHUT_RDWR);
-  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.connections_closed.Add();
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -446,7 +551,7 @@ bool Server::WriteLine(Connection* conn, const std::string& line) {
       std::chrono::milliseconds(options_.write_timeout_ms);
   while (sent < total) {
     if (bounded && std::chrono::steady_clock::now() >= deadline) {
-      metrics_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+      metrics_.write_timeouts.Add();
       conn->broken.store(true, std::memory_order_relaxed);
       return false;
     }
@@ -457,7 +562,7 @@ bool Server::WriteLine(Connection* conn, const std::string& line) {
       // peer stopped reading. The connection is broken either way;
       // distinguishing the cause is only for the metrics.
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        metrics_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+        metrics_.write_timeouts.Add();
       }
       conn->broken.store(true, std::memory_order_relaxed);
       return false;

@@ -29,6 +29,7 @@
 
 #include "src/common/status.h"
 #include "src/engine/query_engine.h"
+#include "src/obs/metrics_registry.h"
 #include "src/server/admission.h"
 #include "src/server/metrics.h"
 #include "src/server/session.h"
@@ -127,8 +128,13 @@ class Server {
   std::size_t in_flight() const { return admission_.in_flight(); }
 
   /// The full STATS record body (server + engine + cache objects),
-  /// also the payload of the STATS/METRICS admin verbs.
+  /// the payload of the STATS admin verb.
   std::string RenderStats() const;
+
+  /// Every registered metric - server counters and latency histograms,
+  /// engine cumulative totals, cache stats - in Prometheus text
+  /// exposition format; the payload of the METRICS admin verb.
+  std::string RenderPrometheus() const;
 
  private:
   struct Connection {
@@ -158,6 +164,10 @@ class Server {
   ServerOptions options_;
   ServerMetrics metrics_;
   AdmissionController admission_;
+  /// Scrape-time registry behind RenderPrometheus: server counters and
+  /// histograms register directly, engine and cache stats through
+  /// callbacks that snapshot at scrape time.
+  obs::MetricsRegistry registry_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -115,8 +115,8 @@ bool Session::Consume(std::string_view bytes) {
 }
 
 bool Session::RejectOversized() {
-  metrics_->oversized_requests.fetch_add(1, std::memory_order_relaxed);
-  metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+  metrics_->oversized_requests.Add();
+  metrics_->errors.Add();
   Respond(JsonErrorRecord(
       "", "",
       Status::InvalidArgument(
@@ -128,8 +128,7 @@ bool Session::RejectOversized() {
 
 void Session::FinishInput() {
   if (splitter_.PendingHasContent()) {
-    metrics_->disconnects_mid_statement.fetch_add(
-        1, std::memory_order_relaxed);
+    metrics_->disconnects_mid_statement.Add();
   }
 }
 
@@ -155,49 +154,53 @@ void Session::OnQueryDone() {
 void Session::Respond(const std::string& record) {
   const std::uint64_t id = next_id_++;
   callbacks_.write(WithId(id, record));
-  metrics_->responses.fetch_add(1, std::memory_order_relaxed);
+  metrics_->responses.Add();
 }
 
 void Session::Dispatch(const std::string& text) {
-  metrics_->requests.fetch_add(1, std::memory_order_relaxed);
-
   const std::string verb = AdminVerbOf(text);
   if (verb == "STATS" || verb == "METRICS" || verb == "PING" ||
       verb == "SHUTDOWN") {
+    metrics_->requests.Add();
     DispatchAdmin(verb);
     return;
   }
 
+  Stopwatch parse_timer;
   const auto script = knnql::ParseScript(text);
+  const double parse_seconds = parse_timer.ElapsedSeconds();
+  metrics_->parse_latency.Record(parse_seconds);
   if (!script.ok()) {
-    metrics_->parse_errors.fetch_add(1, std::memory_order_relaxed);
-    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->requests.Add();
+    metrics_->parse_errors.Add();
+    metrics_->errors.Add();
     Respond(JsonErrorRecord("", "", script.status()));
     return;
   }
   if (script->empty()) {
     // Comments / a bare ';' frame no statement: nothing to answer,
-    // and the request does not consume an id.
-    metrics_->requests.fetch_sub(1, std::memory_order_relaxed);
+    // no request counted, and no id consumed.
     return;
   }
+  metrics_->requests.Add();
   const knnql::Statement& statement = script->front();
   if (std::holds_alternative<knnql::Query>(statement.body)) {
-    DispatchQuery(statement);
+    DispatchQuery(statement,
+                  static_cast<std::uint64_t>(parse_seconds * 1e9));
   } else {
     DispatchDml(statement);
   }
 }
 
 void Session::DispatchAdmin(std::string_view verb) {
-  metrics_->admin_requests.fetch_add(1, std::memory_order_relaxed);
+  metrics_->admin_requests.Add();
   if (verb == "PING") {
     Respond("{\"status\": \"ok\", \"pong\": true}");
     return;
   }
   if (verb == "SHUTDOWN") {
     if (callbacks_.request_shutdown == nullptr) {
-      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_->errors.Add();
       Respond(JsonErrorRecord(
           "", "",
           Status::Unsupported("SHUTDOWN is disabled on this server")));
@@ -207,28 +210,52 @@ void Session::DispatchAdmin(std::string_view verb) {
     callbacks_.request_shutdown();
     return;
   }
+  if (verb == "METRICS" && callbacks_.render_metrics != nullptr) {
+    Respond(callbacks_.render_metrics());
+    return;
+  }
   Respond(callbacks_.render_stats());
 }
 
-void Session::DispatchQuery(const knnql::Statement& statement) {
+void Session::DispatchQuery(const knnql::Statement& statement,
+                            std::uint64_t parse_ns) {
   const auto& query = std::get<knnql::Query>(statement.body);
+  Stopwatch bind_timer;
   auto spec = engine_->BindQuery(query);
+  const double bind_seconds = bind_timer.ElapsedSeconds();
+  metrics_->bind_latency.Record(bind_seconds);
   if (!spec.ok()) {
-    metrics_->parse_errors.fetch_add(1, std::memory_order_relaxed);
-    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->parse_errors.Add();
+    metrics_->errors.Add();
     Respond(JsonErrorRecord("", "", spec.status()));
     return;
   }
   const std::string text = knnql::Unparse(*spec);
 
+  if (statement.analyze) {
+    // EXPLAIN ANALYZE executes synchronously on the connection thread,
+    // like EXPLAIN: diagnostics should observe the engine, not contend
+    // with the admission gate they are diagnosing.
+    const EngineResult run = engine_->RunAnalyzed(
+        *spec, parse_ns, static_cast<std::uint64_t>(bind_seconds * 1e9));
+    if (!run.ok()) {
+      metrics_->errors.Add();
+      Respond(JsonErrorRecord("query", text, run.status));
+      return;
+    }
+    metrics_->explains_ok.Add();
+    Respond(JsonAnalyzeRecord(text, run));
+    return;
+  }
+
   if (statement.explain) {
     const auto explain = engine_->Explain(*spec);
     if (!explain.ok()) {
-      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_->errors.Add();
       Respond(JsonErrorRecord("query", text, explain.status()));
       return;
     }
-    metrics_->explains_ok.fetch_add(1, std::memory_order_relaxed);
+    metrics_->explains_ok.Add();
     Respond(JsonExplainRecord(text, *explain));
     return;
   }
@@ -238,9 +265,8 @@ void Session::DispatchQuery(const knnql::Statement& statement) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (pending_ >= limits_.max_conn_inflight) {
-      metrics_->overload_rejections.fetch_add(1,
-                                              std::memory_order_relaxed);
-      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_->overload_rejections.Add();
+      metrics_->errors.Add();
       Respond(JsonErrorRecord(
           "query", text,
           Status::Unavailable(
@@ -252,8 +278,8 @@ void Session::DispatchQuery(const knnql::Statement& statement) {
   }
   if (!admission_->TryAcquire()) {
     OnQueryDone();
-    metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
-    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->overload_rejections.Add();
+    metrics_->errors.Add();
     Respond(JsonErrorRecord(
         "query", text,
         Status::Unavailable(
@@ -270,11 +296,11 @@ void Session::DispatchQuery(const knnql::Statement& statement) {
             run.ok() ? JsonQueryRecord(text, run)
                      : JsonErrorRecord("query", text, run.status);
         callbacks_.write(WithId(id, record));
-        metrics_->responses.fetch_add(1, std::memory_order_relaxed);
+        metrics_->responses.Add();
         if (run.ok()) {
-          metrics_->queries_ok.fetch_add(1, std::memory_order_relaxed);
+          metrics_->queries_ok.Add();
         } else {
-          metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+          metrics_->errors.Add();
         }
         metrics_->query_latency.Record(queued.ElapsedSeconds());
         admission_->Release();
@@ -286,8 +312,8 @@ void Session::DispatchQuery(const knnql::Statement& statement) {
     --next_id_;
     admission_->Release();
     OnQueryDone();
-    metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
-    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->overload_rejections.Add();
+    metrics_->errors.Add();
     Respond(JsonErrorRecord(
         "query", text,
         Status::Unavailable("overloaded: engine queue is full")));
@@ -295,10 +321,12 @@ void Session::DispatchQuery(const knnql::Statement& statement) {
 }
 
 void Session::DispatchDml(const knnql::Statement& statement) {
+  Stopwatch bind_timer;
   auto dml = knnql::BindDml(statement.body, /*catalog=*/nullptr);
+  metrics_->bind_latency.Record(bind_timer.ElapsedSeconds());
   if (!dml.ok()) {
-    metrics_->parse_errors.fetch_add(1, std::memory_order_relaxed);
-    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->parse_errors.Add();
+    metrics_->errors.Add();
     Respond(JsonErrorRecord("", "", dml.status()));
     return;
   }
@@ -307,7 +335,7 @@ void Session::DispatchDml(const knnql::Statement& statement) {
   if (dml->kind == knnql::DmlSpec::Kind::kLoad) {
     if (Status confined = ConfineLoadPath(&dml->path, limits_.load_dir);
         !confined.ok()) {
-      metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_->errors.Add();
       Respond(JsonErrorRecord("statement", text, confined));
       return;
     }
@@ -322,11 +350,11 @@ void Session::DispatchDml(const knnql::Statement& statement) {
   const EngineResult run = engine_->ExecuteDml(*dml);
   metrics_->mutation_latency.Record(timer.ElapsedSeconds());
   if (!run.ok()) {
-    metrics_->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_->errors.Add();
     Respond(JsonErrorRecord("statement", text, run.status));
     return;
   }
-  metrics_->mutations_ok.fetch_add(1, std::memory_order_relaxed);
+  metrics_->mutations_ok.Add();
   Respond(JsonDmlRecord(text, run));
 }
 

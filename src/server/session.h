@@ -8,7 +8,9 @@
 //     on the engine's worker pool - pipelined queries from one
 //     connection run concurrently and may complete out of order, which
 //     the `id` tag in every response makes legal;
-//   * EXPLAIN plans synchronously and returns the rendering;
+//   * EXPLAIN plans synchronously and returns the rendering; EXPLAIN
+//     ANALYZE additionally executes (still synchronously, without
+//     admission) and returns the measured span tree;
 //   * DML is a barrier within the connection: the session waits for
 //     its own in-flight queries, then applies the mutation on the
 //     calling thread. Cross-connection ordering is the engine's
@@ -64,9 +66,14 @@ class Session {
     /// session keeps draining without writing.
     std::function<bool(const std::string& line)> write;
 
-    /// Renders the STATS/METRICS record body (without the id field);
-    /// the server assembles engine + cache + server metrics.
+    /// Renders the STATS record body (without the id field); the
+    /// server assembles engine + cache + server metrics.
     std::function<std::string()> render_stats;
+
+    /// Renders the METRICS record body: the Prometheus text exposition
+    /// wrapped as `{"status": "ok", "prometheus": "..."}`. Null falls
+    /// back to render_stats (METRICS then aliases STATS).
+    std::function<std::string()> render_metrics;
 
     /// SHUTDOWN verb; null disables the verb (it then answers an
     /// Unsupported error).
@@ -102,7 +109,8 @@ class Session {
  private:
   void Dispatch(const std::string& text);
   void DispatchAdmin(std::string_view verb);
-  void DispatchQuery(const knnql::Statement& statement);
+  void DispatchQuery(const knnql::Statement& statement,
+                     std::uint64_t parse_ns);
   void DispatchDml(const knnql::Statement& statement);
 
   /// Sends `record` tagged with a fresh id.

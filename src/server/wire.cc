@@ -1,46 +1,17 @@
 #include "src/server/wire.h"
 
-#include <cstdio>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "src/lang/unparser.h"
+#include "src/obs/log.h"
 #include "src/planner/physical_plan.h"
 
 namespace knnq::server {
 
 std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 8);
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return obs::JsonEscape(text);
 }
 
 std::string JsonPoint(const Point& p) {
@@ -82,22 +53,7 @@ std::string JsonRows(const QueryOutput& output) {
   return out;
 }
 
-std::string JsonStats(const ExecStats& stats) {
-  return "{\"blocks_scanned\": " + std::to_string(stats.blocks_scanned) +
-         ", \"blocks_skipped\": " + std::to_string(stats.blocks_skipped) +
-         ", \"points_compared\": " + std::to_string(stats.points_compared) +
-         ", \"neighborhoods_computed\": " +
-         std::to_string(stats.neighborhoods_computed) +
-         ", \"candidates_pruned\": " +
-         std::to_string(stats.candidates_pruned) +
-         ", \"shards_pruned\": " + std::to_string(stats.shards_pruned) +
-         ", \"cache_hits\": " + std::to_string(stats.cache_hits) +
-         ", \"cache_misses\": " + std::to_string(stats.cache_misses) +
-         ", \"cache_bytes\": " + std::to_string(stats.cache_bytes) +
-         ", \"arena_bytes\": " + std::to_string(stats.arena_bytes) +
-         ", \"wall_ms\": " +
-         knnql::FormatNumber(stats.wall_seconds * 1e3) + "}";
-}
+std::string JsonStats(const ExecStats& stats) { return stats.ToJson(); }
 
 std::string JsonQueryRecord(const std::string& text,
                             const EngineResult& run) {
@@ -112,6 +68,23 @@ std::string JsonExplainRecord(const std::string& text,
   return "{\"query\": \"" + JsonEscape(text) +
          "\", \"status\": \"ok\", \"explain\": \"" + JsonEscape(explain) +
          "\"}";
+}
+
+std::string JsonAnalyzeRecord(const std::string& text,
+                              const EngineResult& run) {
+  const std::size_t rows = std::visit(
+      [](const auto& result) { return result.size(); }, run.output);
+  std::string out = "{\"query\": \"" + JsonEscape(text) +
+                    "\", \"status\": \"ok\", \"algorithm\": \"" +
+                    ToString(run.algorithm) + "\", \"explain\": \"" +
+                    JsonEscape(run.explain) +
+                    "\", \"rows\": " + std::to_string(rows) +
+                    ", \"stats\": " + JsonStats(run.stats);
+  if (run.trace != nullptr) {
+    out += ", \"trace\": " + obs::ToJson(run.trace->root());
+  }
+  out += "}";
+  return out;
 }
 
 std::string JsonDmlRecord(const std::string& text,

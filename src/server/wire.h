@@ -55,6 +55,14 @@ std::string JsonQueryRecord(const std::string& text,
 std::string JsonExplainRecord(const std::string& text,
                               const std::string& explain);
 
+/// The EXPLAIN ANALYZE record: plan rendering plus the measured span
+/// tree. `{"query": ..., "status": "ok", "algorithm": ..., "explain":
+/// ..., "rows": N, "stats": {...}, "trace": {...}}` - `run` must be a
+/// successful query result from QueryEngine::RunAnalyzed (the "trace"
+/// field is omitted when the result carries no trace).
+std::string JsonAnalyzeRecord(const std::string& text,
+                              const EngineResult& run);
+
 /// `{"statement": "<text>", "status": "ok", "rows_affected": N}` -
 /// `run` must be a successful DML result.
 std::string JsonDmlRecord(const std::string& text, const EngineResult& run);

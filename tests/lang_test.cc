@@ -150,6 +150,26 @@ TEST(KnnqlParseTest, ExplainPrefixSetsTheStatementFlag) {
   EXPECT_EQ((*script)[0].op, (*script)[1].op);
 }
 
+TEST(KnnqlParseTest, ExplainAnalyzeSetsBothFlags) {
+  auto script = knnql::ParseBoundScript(
+      "EXPLAIN ANALYZE SELECT KNN(h, 1, AT(0, 0)) "
+      "INTERSECT KNN(h, 2, AT(1, 1));\n"
+      "EXPLAIN JOIN KNN(a, b, 3) WHERE INNER IN KNN(b, 5, AT(9, 9));");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->size(), 2u);
+  EXPECT_TRUE((*script)[0].explain);  // ANALYZE implies EXPLAIN.
+  EXPECT_TRUE((*script)[0].analyze);
+  EXPECT_TRUE((*script)[1].explain);
+  EXPECT_FALSE((*script)[1].analyze);
+
+  // ANALYZE needs a plan just like EXPLAIN: DML is rejected.
+  auto dml = knnql::ParseBoundScript(
+      "EXPLAIN ANALYZE INSERT INTO city VALUES (1, 2);");
+  ASSERT_FALSE(dml.ok());
+  EXPECT_NE(dml.status().ToString().find("EXPLAIN applies to queries"),
+            std::string::npos);
+}
+
 TEST(KnnqlParseTest, ScientificNotationAndSignedNumbers) {
   const QuerySpec spec = MustParse(
       "SELECT KNN(h, 1, AT(1.5e3, -2.25e-2)) INTERSECT KNN(h, 2, "

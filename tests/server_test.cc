@@ -294,9 +294,9 @@ TEST(ServerFramingTest, OversizedStatementClosesConnection) {
   EXPECT_TRUE(response.find("max_request_bytes") != std::string::npos)
       << response;
   EXPECT_TRUE(client.ReadEof());
-  EXPECT_EQ(fixture.server.metrics().oversized_requests.load(), 1u);
+  EXPECT_EQ(fixture.server.metrics().oversized_requests.Value(), 1u);
   // A rejection is not a disconnect: the metric must not double-count.
-  EXPECT_EQ(fixture.server.metrics().disconnects_mid_statement.load(),
+  EXPECT_EQ(fixture.server.metrics().disconnects_mid_statement.Value(),
             0u);
 }
 
@@ -319,7 +319,7 @@ TEST(ServerFramingTest, OversizedCompleteStatementIsRejected) {
   EXPECT_TRUE(response.find("max_request_bytes") != std::string::npos)
       << response;
   EXPECT_TRUE(client.ReadEof());
-  EXPECT_EQ(fixture.server.metrics().oversized_requests.load(), 1u);
+  EXPECT_EQ(fixture.server.metrics().oversized_requests.Value(), 1u);
 }
 
 TEST(ServerFramingTest, MidStatementDisconnectLeavesServerServing) {
@@ -333,11 +333,11 @@ TEST(ServerFramingTest, MidStatementDisconnectLeavesServerServing) {
   // The counter updates after the reader notices EOF; poll for it.
   for (int i = 0;
        i < 200 &&
-       fixture.server.metrics().disconnects_mid_statement.load() == 0;
+       fixture.server.metrics().disconnects_mid_statement.Value() == 0;
        ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  EXPECT_EQ(fixture.server.metrics().disconnects_mid_statement.load(), 1u);
+  EXPECT_EQ(fixture.server.metrics().disconnects_mid_statement.Value(), 1u);
   // A new client is served as if nothing happened.
   TestClient client(fixture.server.port());
   ASSERT_TRUE(client.connected());
@@ -354,7 +354,7 @@ TEST(ServerFramingTest, IdleTimeoutClosesQuietConnection) {
   TestClient client(fixture.server.port());
   ASSERT_TRUE(client.connected());
   EXPECT_TRUE(client.ReadEof(/*timeout_ms=*/5000));
-  EXPECT_EQ(fixture.server.metrics().idle_timeouts.load(), 1u);
+  EXPECT_EQ(fixture.server.metrics().idle_timeouts.Value(), 1u);
 }
 
 // ------------------------------------------------- admin + backpressure
@@ -368,17 +368,74 @@ TEST(ServerAdminTest, StatsPingAndMetricsVerbs) {
   ASSERT_TRUE(client.ReadLine(&response));
   EXPECT_TRUE(response.find("\"pong\": true") != std::string::npos)
       << response;
-  for (int i = 0; i < 2; ++i) {
-    ASSERT_TRUE(client.ReadLine(&response));
-    EXPECT_TRUE(IsOk(response)) << response;
-    EXPECT_TRUE(response.find("\"server\": {") != std::string::npos)
-        << response;
-    EXPECT_TRUE(response.find("\"engine\": {") != std::string::npos)
-        << response;
-    EXPECT_TRUE(response.find("\"query_latency\": {") !=
-                std::string::npos)
-        << response;
+  // STATS: the JSON snapshot record (byte layout unchanged by the
+  // metrics registry migration).
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  EXPECT_TRUE(response.find("\"server\": {") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("\"engine\": {") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("\"query_latency\": {") != std::string::npos)
+      << response;
+  // METRICS (case-insensitive): Prometheus text exposition, wrapped in
+  // the JSON envelope.
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  EXPECT_TRUE(response.find("\"prometheus\": \"") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("# HELP knnq_server_requests_total") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("# TYPE knnq_server_requests_total counter") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("knnq_engine_queries_total") !=
+              std::string::npos)
+      << response;
+  EXPECT_TRUE(
+      response.find("knnq_server_query_latency_seconds_bucket") !=
+      std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("le=\\\"+Inf\\\"") != std::string::npos)
+      << response;
+}
+
+TEST(ServerAdminTest, ExplainAnalyzeReturnsTheSpanTree) {
+  ServerFixture fixture;
+  TestClient client(fixture.server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(std::string("EXPLAIN ANALYZE ") + kQuery + "\n"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  // The analyze record: plan + stats + span tree, rendered by the same
+  // JsonAnalyzeRecord the CLI's --json mode uses, so both surfaces
+  // emit byte-identical records for the same run.
+  EXPECT_TRUE(response.find("\"algorithm\": \"") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("\"explain\": \"") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find("\"stats\": {") != std::string::npos)
+      << response;
+  EXPECT_TRUE(response.find(
+                  "\"trace\": {\"name\": \"statement\"") !=
+              std::string::npos)
+      << response;
+  for (const char* span : {"\"parse\"", "\"bind\"", "\"plan\"",
+                           "\"execute\""}) {
+    EXPECT_TRUE(response.find(span) != std::string::npos)
+        << "missing span " << span << " in " << response;
   }
+  EXPECT_TRUE(response.find("\"counters\": {") != std::string::npos)
+      << response;
+
+  // Plain EXPLAIN still answers without a trace, and the session keeps
+  // serving.
+  ASSERT_TRUE(client.Send(std::string("EXPLAIN ") + kQuery + "\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_TRUE(IsOk(response)) << response;
+  EXPECT_TRUE(response.find("\"trace\"") == std::string::npos) << response;
 }
 
 TEST(ServerBackpressureTest, OverloadIsStructuredAndBounded) {
@@ -425,7 +482,7 @@ TEST(ServerBackpressureTest, OverloadIsStructuredAndBounded) {
   EXPECT_EQ(ids.size(), static_cast<std::size_t>(kStatements));
   EXPECT_EQ(ok + overloaded, static_cast<std::size_t>(kStatements));
   EXPECT_GE(ok, 1u);  // The gate admits work; it does not deadlock.
-  EXPECT_EQ(fixture.server.metrics().overload_rejections.load(),
+  EXPECT_EQ(fixture.server.metrics().overload_rejections.Value(),
             overloaded);
 }
 
@@ -550,20 +607,20 @@ TEST(ServerStuckPeerTest, WriteTimeoutFreesEngineWorkers) {
   for (int i = 0; i < 48; ++i) burst += BigQuery(i) + "\n";
   ASSERT_TRUE(stuck.Send(burst));
   for (int i = 0;
-       i < 500 && fixture.server.metrics().write_timeouts.load() == 0;
+       i < 500 && fixture.server.metrics().write_timeouts.Value() == 0;
        ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  EXPECT_GE(fixture.server.metrics().write_timeouts.load(), 1u);
+  EXPECT_GE(fixture.server.metrics().write_timeouts.Value(), 1u);
   // The broken connection must tear itself down (reader notices the
   // flag and exits) rather than pinning its slot until the peer
   // closes: otherwise stuck peers accumulate against max_connections.
   for (int i = 0;
-       i < 500 && fixture.server.metrics().connections_closed.load() == 0;
+       i < 500 && fixture.server.metrics().connections_closed.Value() == 0;
        ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  EXPECT_GE(fixture.server.metrics().connections_closed.load(), 1u);
+  EXPECT_GE(fixture.server.metrics().connections_closed.Value(), 1u);
 
   TestClient healthy(fixture.server.port());
   ASSERT_TRUE(healthy.connected());
@@ -625,7 +682,7 @@ TEST(ServerStuckPeerTest, ConnectionCapRefusesExtraClients) {
   EXPECT_TRUE(response.find("max_connections") != std::string::npos)
       << response;
   EXPECT_TRUE(c.ReadEof());
-  EXPECT_EQ(fixture.server.metrics().connection_rejections.load(), 1u);
+  EXPECT_EQ(fixture.server.metrics().connection_rejections.Value(), 1u);
   // The registered clients are unaffected.
   ASSERT_TRUE(a.Send("PING;\n"));
   EXPECT_TRUE(a.ReadLine(&response));
@@ -747,7 +804,7 @@ TEST(ServerConcurrencyTest, ClientsRaceDmlAgainstQueries) {
   }
   for (std::thread& thread : clients) thread.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(fixture.server.metrics().errors.load(), 0u);
+  EXPECT_EQ(fixture.server.metrics().errors.Value(), 0u);
   fixture.server.Stop();
 }
 

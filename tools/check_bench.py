@@ -19,6 +19,9 @@ engine_batch (bench_engine_batch):
   * churn_read_ratio_t4 >= 0.5  (interleaving updates keeps at least
     half the read-only throughput; enforced when the current run
     includes the churn benchmarks)
+  * trace_hook_overhead <= 0.02 (tracing-disabled instrumentation
+    hooks - spans per query x per-span cost x qps - cost at most 2%
+    of query wall time; enforced when the current run measured it)
 
 server (bench_server):
   * server_vs_inprocess_t4c8 >= 0.7  (8 loadgen clients over loopback
@@ -56,6 +59,7 @@ DEFAULT_REF = "serial/uniform/uncached"
 MIN_SKEWED_SPEEDUP = 1.3
 MIN_SKEWED_HIT_RATE = 0.5
 MIN_CHURN_READ_RATIO = 0.5
+MAX_TRACE_HOOK_OVERHEAD = 0.02
 MIN_SERVER_RATIO = 0.7
 MIN_SIMD_SPEEDUP = 1.5
 MIN_SCAN_SPEEDUP = 1.5
@@ -113,6 +117,24 @@ def check_engine_batch(current, baseline, failures):
                 baseline["summary"]["churn_read_ratio_t4"] > 0.0:
             failures.append("current run is missing the churn "
                             "benchmarks the baseline includes")
+
+    # Observability acceptance: disabled tracing hooks must be free in
+    # the fraction-of-a-query sense. Measured only by full runs (the
+    # serial reference row is its denominator).
+    overhead = summary.get("trace_hook_overhead", 0.0)
+    if overhead > 0.0 or "trace_spans_per_query" in summary:
+        print(f"trace_hook_overhead={overhead:.4%} "
+              f"(ceiling {MAX_TRACE_HOOK_OVERHEAD:.0%}), "
+              f"spans/query={summary.get('trace_spans_per_query', 0):.1f}, "
+              f"span_ns={summary.get('trace_span_ns', 0):.1f}, "
+              f"enabled_ratio={summary.get('trace_enabled_ratio', 0):.2f}x")
+        if overhead > MAX_TRACE_HOOK_OVERHEAD:
+            failures.append(
+                f"trace_hook_overhead {overhead:.4%} exceeds the "
+                f"{MAX_TRACE_HOOK_OVERHEAD:.0%} ceiling")
+    elif "trace_hook_overhead" in baseline.get("summary", {}):
+        failures.append("current run is missing the trace overhead "
+                        "measurement the baseline includes")
 
 
 def check_server(current, failures):

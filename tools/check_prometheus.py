@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition format read from a file or stdin.
+
+Usage: check_prometheus.py [FILE]
+       knnq_loadgen --port P --metrics | check_prometheus.py
+
+Validates what a Prometheus scraper would reject or silently
+misinterpret:
+
+  * every sample line parses as `name{labels} value` with a valid
+    metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a finite float value
+  * every metric has # HELP and # TYPE lines, and they precede its
+    samples; TYPE is one of counter/gauge/histogram/summary/untyped
+  * counter names end in _total (the convention the registry enforces
+    with KNNQ_CHECK)
+  * no metric name is declared or sampled twice in separate groups
+  * histograms expose cumulative `_bucket{le="..."}` series ending in
+    le="+Inf", with non-decreasing counts, plus `_sum` and `_count`,
+    and the +Inf bucket equals `_count`
+  * counters and histogram counts are non-negative
+
+Exit code 0 = valid; 1 = malformed, with one line per problem. CI
+pipes a live server's METRICS response through this after the smoke
+workload, so the exposition endpoint stays scrapeable by construction.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_name(sample_name):
+    """The metric family a sample belongs to (strips histogram
+    suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_labels(text, lineno, errors):
+    labels = {}
+    if not text:
+        return labels
+    for part in text.split(","):
+        m = LABEL_RE.match(part)
+        if m is None:
+            errors.append(f"line {lineno}: bad label pair '{part}'")
+            continue
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def parse_value(text, lineno, errors):
+    try:
+        value = float(text)
+    except ValueError:
+        errors.append(f"line {lineno}: unparseable value '{text}'")
+        return None
+    if math.isnan(value):
+        errors.append(f"line {lineno}: NaN value")
+        return None
+    return value
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.exit(__doc__)
+    if len(sys.argv) == 2 and sys.argv[1] not in ("-", "--help", "-h"):
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    elif len(sys.argv) == 2 and sys.argv[1] in ("--help", "-h"):
+        print(__doc__)
+        return 0
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    helped = {}     # metric -> lineno of # HELP
+    typed = {}      # metric -> declared type
+    sampled = {}    # metric family -> list of (labels, value, lineno)
+    closed = set()  # families whose sample run has ended
+
+    current = None  # family the scanner is inside
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # Plain comment.
+            kind, name = parts[1], parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"line {lineno}: bad metric name '{name}'")
+                continue
+            if kind == "HELP":
+                if name in helped:
+                    errors.append(f"line {lineno}: duplicate # HELP "
+                                  f"for {name}")
+                if len(parts) < 4 or not parts[3].strip():
+                    errors.append(f"line {lineno}: empty HELP text "
+                                  f"for {name}")
+                helped[name] = lineno
+            else:
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in TYPES:
+                    errors.append(f"line {lineno}: bad TYPE '{declared}' "
+                                  f"for {name}")
+                if name in typed:
+                    errors.append(f"line {lineno}: duplicate # TYPE "
+                                  f"for {name}")
+                typed[name] = declared
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample '{line}'")
+            continue
+        family = base_name(m.group("name"))
+        if family not in typed and m.group("name") in typed:
+            family = m.group("name")  # e.g. a gauge ending in _count.
+        if family != current:
+            if family in closed:
+                errors.append(f"line {lineno}: samples for {family} "
+                              f"appear in two separate groups")
+            if current is not None:
+                closed.add(current)
+            current = family
+        if family not in typed:
+            errors.append(f"line {lineno}: sample '{m.group('name')}' "
+                          f"has no preceding # TYPE")
+        if family not in helped:
+            errors.append(f"line {lineno}: sample '{m.group('name')}' "
+                          f"has no preceding # HELP")
+        labels = parse_labels(m.group("labels") or "", lineno, errors)
+        value = parse_value(m.group("value"), lineno, errors)
+        if value is None:
+            continue
+        sampled.setdefault(family, []).append(
+            (m.group("name"), labels, value, lineno))
+
+    for name in typed:
+        if name not in helped:
+            errors.append(f"# TYPE {name} has no matching # HELP")
+        if name not in sampled:
+            errors.append(f"declared metric {name} has no samples")
+    for name in helped:
+        if name not in typed:
+            errors.append(f"# HELP {name} has no matching # TYPE")
+
+    for family, rows in sampled.items():
+        kind = typed.get(family)
+        if kind == "counter":
+            if not family.endswith("_total"):
+                errors.append(f"counter {family} does not end in _total")
+            for _, _, value, lineno in rows:
+                if value < 0:
+                    errors.append(f"line {lineno}: negative counter "
+                                  f"{family} = {value}")
+        elif kind == "histogram":
+            buckets = [(labels, value, lineno)
+                       for sample, labels, value, lineno in rows
+                       if sample == family + "_bucket"]
+            count = [value for sample, _, value, _ in rows
+                     if sample == family + "_count"]
+            has_sum = any(sample == family + "_sum"
+                          for sample, _, _, _ in rows)
+            if not has_sum or not count:
+                errors.append(f"histogram {family} is missing _sum or "
+                              f"_count")
+            if not buckets or buckets[-1][0].get("le") != "+Inf":
+                errors.append(f"histogram {family} does not end in an "
+                              f"le=\"+Inf\" bucket")
+            previous_le = None
+            previous_count = None
+            for labels, value, lineno in buckets:
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: {family}_bucket "
+                                  f"without an le label")
+                    continue
+                bound = math.inf if le == "+Inf" else None
+                if bound is None:
+                    try:
+                        bound = float(le)
+                    except ValueError:
+                        errors.append(f"line {lineno}: bad le '{le}'")
+                        continue
+                if previous_le is not None and bound <= previous_le:
+                    errors.append(f"line {lineno}: {family} bucket "
+                                  f"bounds not increasing at le={le}")
+                if previous_count is not None and value < previous_count:
+                    errors.append(f"line {lineno}: {family} bucket "
+                                  f"counts decrease at le={le}")
+                previous_le = bound
+                previous_count = value
+            if buckets and count and buckets[-1][1] != count[0]:
+                errors.append(f"histogram {family}: +Inf bucket "
+                              f"{buckets[-1][1]} != _count {count[0]}")
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"FAIL: {len(errors)} problem(s) in "
+              f"{len(sampled)} metric(s)", file=sys.stderr)
+        return 1
+    print(f"PASS: {len(sampled)} metrics, "
+          f"{sum(len(r) for r in sampled.values())} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,9 @@
 // `query` is the declarative front door: statements in KNNQL (see
 // README "KNNQL"), from -e, a script file, or an interactive REPL when
 // neither is given. An EXPLAIN prefix plans a statement without
-// executing it; --json emits one JSON object per statement for
-// scripted consumers. DML statements (INSERT INTO / DELETE FROM /
+// executing it; EXPLAIN ANALYZE executes it and reports the traced
+// span tree; --json emits one JSON object per statement for scripted
+// consumers. DML statements (INSERT INTO / DELETE FROM /
 // LOAD ... FROM 'file') mutate relations in place and may interleave
 // with queries in the same script or session.
 //
@@ -74,6 +75,8 @@
 #include "src/lang/knnql.h"
 #include "src/lang/lexer.h"
 #include "src/lang/parser.h"
+#include "src/obs/log.h"
+#include "src/obs/trace.h"
 #include "src/planner/catalog.h"
 #include "src/planner/optimizer.h"
 #include "src/server/server.h"
@@ -215,6 +218,35 @@ Result<IndexOptions> ParseIndexFlags(const Args& args) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Shared observability flags of `query` and `serve`: the slow-query
+/// log threshold, the trace sampling knob, and the diagnostics sink.
+Status ApplyObsFlags(const Args& args, EngineOptions* options) {
+  if (args.Has("--slow-query-ms")) {
+    auto raw = args.Get("--slow-query-ms");
+    if (!raw.ok()) return raw.status();
+    auto ms = ParseDouble(*raw);
+    if (!ms.ok() || *ms < 0) {
+      return Status::InvalidArgument("--slow-query-ms must be >= 0");
+    }
+    options->slow_query_ms = *ms;
+  }
+  auto every = args.GetSizeOr("--trace-sample-every", 0);
+  if (!every.ok()) return every.status();
+  options->trace_sample_every = *every;
+  if (args.Has("--log-level")) {
+    auto level = obs::ParseLogLevel(*args.Get("--log-level"));
+    if (!level.ok()) return level.status();
+    obs::Logger::Global().SetLevel(*level);
+  }
+  if (args.Has("--log-file")) {
+    if (Status s = obs::Logger::Global().OpenFile(*args.Get("--log-file"));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
 }
 
 int CmdGenerate(const Args& args) {
@@ -380,18 +412,41 @@ int ExecuteDml(QueryEngine& engine, const knnql::DmlSpec& dml, bool json) {
 /// statements of the same script use — and prints it in the requested
 /// format. Returns 0 on success (including a printed EXPLAIN).
 int ExecuteStatement(QueryEngine& engine,
-                     const knnql::Statement& statement, bool json) {
+                     const knnql::Statement& statement, bool json,
+                     std::uint64_t parse_ns = 0) {
   const auto* query = std::get_if<knnql::Query>(&statement.body);
   if (query == nullptr) {
     auto dml = knnql::BindDml(statement.body, &engine.catalog());
     if (!dml.ok()) return FailStatement(dml.status(), json);
     return ExecuteDml(engine, *dml, json);
   }
+  Stopwatch bind_timer;
   auto bound = knnql::Bind(*query, &engine.catalog());
+  const double bind_seconds = bind_timer.ElapsedSeconds();
   if (!bound.ok()) return FailStatement(bound.status(), json);
   const QuerySpec& spec = *bound;
 
   const std::string text = knnql::Unparse(spec);
+  if (statement.analyze) {
+    const EngineResult run = engine.RunAnalyzed(
+        spec, parse_ns, static_cast<std::uint64_t>(bind_seconds * 1e9));
+    if (!run.ok()) {
+      if (json) {
+        std::printf(
+            "%s\n",
+            server::JsonErrorRecord("query", text, run.status).c_str());
+        return 1;
+      }
+      return Fail(run.status);
+    }
+    if (json) {
+      std::printf("%s\n", server::JsonAnalyzeRecord(text, run).c_str());
+    } else {
+      PrintHumanResult(run);
+      std::printf("%s", obs::RenderText(run.trace->root()).c_str());
+    }
+    return 0;
+  }
   if (statement.explain) {
     const auto explain = engine.Explain(spec);
     if (!explain.ok()) {
@@ -443,10 +498,10 @@ int FailScript(const Status& status, bool json) {
 }
 
 int ExecuteStatements(QueryEngine& engine, const knnql::Script& script,
-                      bool json) {
+                      bool json, std::uint64_t parse_ns = 0) {
   int rc = 0;
   for (const knnql::Statement& statement : script) {
-    if (ExecuteStatement(engine, statement, json) != 0) rc = 1;
+    if (ExecuteStatement(engine, statement, json, parse_ns) != 0) rc = 1;
   }
   return rc;
 }
@@ -456,9 +511,12 @@ int ExecuteStatements(QueryEngine& engine, const knnql::Script& script,
 /// Statements bind one at a time, so DML earlier in the text is
 /// visible to the queries after it.
 int RunKnnqlText(QueryEngine& engine, const std::string& text, bool json) {
+  Stopwatch parse_timer;
   const auto script = knnql::ParseScript(text);
+  const auto parse_ns =
+      static_cast<std::uint64_t>(parse_timer.ElapsedSeconds() * 1e9);
   if (!script.ok()) return FailScript(script.status(), json);
-  return ExecuteStatements(engine, *script, json);
+  return ExecuteStatements(engine, *script, json, parse_ns);
 }
 
 /// Interactive loop: statements accumulate across lines until they are
@@ -502,12 +560,15 @@ int RunRepl(QueryEngine& engine, bool json) {
     // reading; on any other parse error report and reset. Binding
     // happens per statement during execution, against the live
     // catalog.
+    Stopwatch parse_timer;
     const auto parsed = knnql::ParseScript(buffer);
+    const auto parse_ns =
+        static_cast<std::uint64_t>(parse_timer.ElapsedSeconds() * 1e9);
     if (!parsed.ok()) {
       if (knnql::IsIncompleteInput(parsed.status())) continue;
       FailScript(parsed.status(), json);
       rc = 1;
-    } else if (ExecuteStatements(engine, *parsed, json) != 0) {
+    } else if (ExecuteStatements(engine, *parsed, json, parse_ns) != 0) {
       rc = 1;
     }
     buffer.clear();
@@ -582,6 +643,9 @@ int CmdQuery(const Args& args) {
   options.shards = index_options->shards;
   options.planner.force_naive = args.Has("--naive");
   options.index_options = *index_options;  // LOAD-created relations.
+  if (const Status s = ApplyObsFlags(args, &options); !s.ok()) {
+    return Fail(s);
+  }
   QueryEngine engine(std::move(catalog), options);
   const bool json = args.Has("--json");
 
@@ -657,6 +721,9 @@ int CmdServe(const Args& args) {
   // control has already granted, with headroom for DML and drains.
   options.pool_queue_limit =
       *max_inflight > 0 ? *max_inflight * 2 : std::size_t{0};
+  if (const Status s = ApplyObsFlags(args, &options); !s.ok()) {
+    return Fail(s);
+  }
   QueryEngine engine(std::move(catalog), options);
 
   server::ServerOptions server_options;
@@ -710,11 +777,11 @@ int CmdServe(const Args& args) {
   std::printf(
       "served %llu requests (%llu responses, %llu errors, %llu "
       "overload rejections) on %llu connections; clean shutdown\n",
-      static_cast<unsigned long long>(metrics.requests.load()),
-      static_cast<unsigned long long>(metrics.responses.load()),
-      static_cast<unsigned long long>(metrics.errors.load()),
-      static_cast<unsigned long long>(metrics.overload_rejections.load()),
-      static_cast<unsigned long long>(metrics.connections_opened.load()));
+      static_cast<unsigned long long>(metrics.requests.Value()),
+      static_cast<unsigned long long>(metrics.responses.Value()),
+      static_cast<unsigned long long>(metrics.errors.Value()),
+      static_cast<unsigned long long>(metrics.overload_rejections.Value()),
+      static_cast<unsigned long long>(metrics.connections_opened.Value()));
   return 0;
 }
 
@@ -868,6 +935,8 @@ void PrintUsage() {
       "  knn                --data F --at X,Y --k K\n"
       "  query              --data NAME=F [--data NAME=F ...]\n"
       "                     [-e \"KNNQL\"] [--file SCRIPT.knnql] [--json]\n"
+      "                     [--slow-query-ms MS] [--trace-sample-every N]\n"
+      "                     [--log-file F] [--log-level L]\n"
       "  serve              --data NAME=F [--data NAME=F ...]\n"
       "                     [--host H] [--port P] [--threads T]\n"
       "                     [--max-inflight M] [--max-conn-inflight M]\n"
@@ -876,6 +945,8 @@ void PrintUsage() {
       "                     [--shutdown-grace-ms T] [--load-dir DIR]\n"
       "                     [--allow-remote-shutdown]\n"
       "                     [--cache-mb M] [--index TYPE]\n"
+      "                     [--slow-query-ms MS] [--trace-sample-every N]\n"
+      "                     [--log-file F] [--log-level L]\n"
       "  two-selects        --data F --f1 X,Y --k1 K --f2 X,Y --k2 K\n"
       "  select-inner-join  --outer F --inner F --join-k K --focal X,Y\n"
       "                     --select-k K\n"
@@ -895,7 +966,13 @@ void PrintUsage() {
       "append --cache-mb M to any query command to enable the engine's\n"
       "cross-query neighborhood cache with an M-MiB budget (0 = off);\n"
       "append --no-simd to any command to disable the AVX2 distance\n"
-      "kernel (pure speed A/B: results are byte-identical either way)");
+      "kernel (pure speed A/B: results are byte-identical either way);\n"
+      "EXPLAIN ANALYZE <query>; executes and shows the span tree.\n"
+      "query and serve take --slow-query-ms MS (log statements slower\n"
+      "than MS as JSONL), --trace-sample-every N (attach a trace to\n"
+      "every Nth statement; sampled slow queries log their span tree),\n"
+      "--log-file F (diagnostics to F instead of stderr) and\n"
+      "--log-level debug|info|warn|error");
 }
 
 }  // namespace

@@ -9,6 +9,11 @@
 //                --file WORKLOAD.knnql [--file ...] [--json]
 //   knnq_loadgen --port P --shutdown      # graceful server stop
 //   knnq_loadgen --port P --stats         # print the STATS record
+//   knnq_loadgen --port P --metrics       # print Prometheus text
+//
+// --metrics sends the METRICS verb and unwraps the JSON envelope,
+// printing the raw Prometheus exposition text — pipe it into
+// tools/check_prometheus.py (the CI lint) or a scrape debugger.
 //
 // Exit code 0 only when every response arrived, in order, with
 // status ok - the CI smoke step's zero-error assertion.
@@ -40,6 +45,7 @@ struct Flags {
   bool json = false;
   bool shutdown = false;
   bool stats = false;
+  bool metrics = false;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv) {
@@ -56,6 +62,10 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     }
     if (flag == "--stats") {
       flags.stats = true;
+      continue;
+    }
+    if (flag == "--metrics") {
+      flags.metrics = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -112,6 +122,45 @@ void PrintReport(const server::LoadgenReport& report, bool json) {
   }
 }
 
+/// Pulls the "prometheus" field out of a METRICS response record and
+/// undoes the server's JsonEscape (the escaper only emits \", \\, the
+/// short escapes and \u00XX control forms). Returns false when the
+/// record carries no such field (e.g. an error record).
+bool ExtractPrometheus(const std::string& record, std::string* out) {
+  const std::string key = "\"prometheus\": \"";
+  const std::size_t begin = record.find(key);
+  if (begin == std::string::npos) return false;
+  std::string text;
+  std::size_t i = begin + key.size();
+  while (i < record.size() && record[i] != '"') {
+    const char c = record[i];
+    if (c == '\\' && i + 1 < record.size()) {
+      const char escaped = record[++i];
+      switch (escaped) {
+        case 'n': text.push_back('\n'); break;
+        case 't': text.push_back('\t'); break;
+        case 'r': text.push_back('\r'); break;
+        case 'b': text.push_back('\b'); break;
+        case 'f': text.push_back('\f'); break;
+        case 'u': {
+          if (i + 4 >= record.size()) return false;
+          text.push_back(static_cast<char>(
+              std::strtoul(record.substr(i + 1, 4).c_str(), nullptr, 16)));
+          i += 4;
+          break;
+        }
+        default: text.push_back(escaped); break;
+      }
+    } else {
+      text.push_back(c);
+    }
+    ++i;
+  }
+  if (i >= record.size()) return false;  // Unterminated string.
+  *out = std::move(text);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,15 +169,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: knnq_loadgen --port P [--host H] [--clients N] "
                  "[--repeat R] --file W.knnql [--file ...] [--json] | "
-                 "--shutdown | --stats\n");
+                 "--shutdown | --stats | --metrics\n");
     return Fail(flags.status());
   }
   const auto port = static_cast<std::uint16_t>(flags->port);
 
-  if (flags->shutdown || flags->stats) {
-    const auto response = server::SendAdminVerb(
-        flags->host, port, flags->shutdown ? "SHUTDOWN" : "STATS");
+  if (flags->shutdown || flags->stats || flags->metrics) {
+    const char* verb = flags->shutdown ? "SHUTDOWN"
+                       : flags->stats  ? "STATS"
+                                       : "METRICS";
+    const auto response = server::SendAdminVerb(flags->host, port, verb);
     if (!response.ok()) return Fail(response.status());
+    if (flags->metrics) {
+      std::string text;
+      if (!ExtractPrometheus(*response, &text)) {
+        return Fail(Status::Internal(
+            "METRICS response carried no prometheus field: " + *response));
+      }
+      std::fputs(text.c_str(), stdout);
+      return 0;
+    }
     std::printf("%s\n", response->c_str());
     // An error record (e.g. SHUTDOWN refused because the server runs
     // without --allow-remote-shutdown) must fail the exit code, or a
