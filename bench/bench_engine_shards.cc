@@ -218,10 +218,17 @@ void RunWriter(QueryEngine& engine, const std::atomic<bool>& stop,
         ops.push_back(MutationOp::Erase(live[victim]));
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
       } else {
+        // next_rand() yields 53 bits; scaling by 2^-53 gives a
+        // uniform [0,1) without the modulo bias (and low-value
+        // clustering) of `% width`.
         const double x =
-            frame.min_x() + static_cast<double>(next_rand() % 30000);
+            frame.min_x() +
+            frame.width() * static_cast<double>(next_rand()) *
+                0x1.0p-53;
         const double y =
-            frame.min_y() + static_cast<double>(next_rand() % 24000);
+            frame.min_y() +
+            frame.height() * static_cast<double>(next_rand()) *
+                0x1.0p-53;
         ops.push_back(MutationOp::Insert(x, y, next_id));
         live.push_back(next_id++);
       }

@@ -36,30 +36,47 @@ std::string_view TrimWhitespace(std::string_view text) {
 
 namespace {
 
-/// Splits on ','; a wrong field count yields the not-ok result.
+/// Splits on ',' and diagnoses by position: a wrong field count names
+/// the count (and a trailing comma when that is the cause), a bad
+/// field names which field and why.
 Result<std::vector<double>> ParseFields(std::string_view text,
                                         std::size_t count,
                                         const std::string& expected) {
-  std::vector<double> fields;
+  std::vector<std::string_view> fields;
   std::size_t begin = 0;
-  while (begin <= text.size()) {
+  for (;;) {
     const std::size_t comma = text.find(',', begin);
-    const std::string_view field =
-        text.substr(begin, comma == std::string_view::npos
-                               ? std::string_view::npos
-                               : comma - begin);
-    auto value = ParseDouble(TrimWhitespace(field));
-    if (!value.ok() || fields.size() == count) {
-      return Status::InvalidArgument("must look like " + expected);
-    }
-    fields.push_back(*value);
+    fields.push_back(text.substr(begin, comma == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : comma - begin));
     if (comma == std::string_view::npos) break;
     begin = comma + 1;
   }
+  const std::string prefix = "must look like " + expected + ": ";
   if (fields.size() != count) {
-    return Status::InvalidArgument("must look like " + expected);
+    std::string detail =
+        "got " + std::to_string(fields.size()) +
+        (fields.size() == 1 ? " field" : " fields") + ", expected " +
+        std::to_string(count);
+    if (fields.size() == count + 1 &&
+        TrimWhitespace(fields.back()).empty()) {
+      detail +=
+          " (trailing comma after field " + std::to_string(count) + "?)";
+    }
+    return Status::InvalidArgument(prefix + detail);
   }
-  return fields;
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    auto value = ParseDouble(TrimWhitespace(fields[i]));
+    if (!value.ok()) {
+      return Status::InvalidArgument(prefix + "field " +
+                                     std::to_string(i + 1) + ": " +
+                                     value.status().message());
+    }
+    values.push_back(*value);
+  }
+  return values;
 }
 
 }  // namespace
@@ -68,22 +85,30 @@ Result<double> ParseDouble(std::string_view text) {
   if (text.empty()) {
     return Status::InvalidArgument("expected a number, got empty text");
   }
-  // strtod needs NUL termination; the inputs here are short flag values
-  // and lexer token slices, so the copy is irrelevant.
-  const std::string owned(text);
-  // strtod also understands hex literals ("0x10") and hex floats
-  // ("0x1p3"); the documented grammar is decimal only, so a stray 'x'
-  // must read as a typo, not as base sixteen.
-  if (owned.find_first_of("xX") != std::string::npos) {
-    return Status::InvalidArgument("malformed number '" + owned + "'");
+  // std::from_chars parses a locale-independent decimal grammar: a
+  // server running under a comma-decimal LC_NUMERIC still reads "1.5"
+  // as three halves (strtod, the predecessor, honored the locale). It
+  // also has no hex forms - "0x10" stops at 'x' and fails the
+  // full-consume check - so the grammar stays decimal-only without a
+  // special case. Two strtod-isms are preserved by hand: leading
+  // whitespace and an explicit '+' sign.
+  std::string_view body = text;
+  while (!body.empty() &&
+         std::isspace(static_cast<unsigned char>(body.front()))) {
+    body.remove_prefix(1);
   }
-  char* end = nullptr;
-  const double value = std::strtod(owned.c_str(), &end);
-  if (end != owned.c_str() + owned.size()) {
-    return Status::InvalidArgument("malformed number '" + owned + "'");
+  if (!body.empty() && body.front() == '+') body.remove_prefix(1);
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (end != body.data() + body.size() ||
+      (ec != std::errc() && ec != std::errc::result_out_of_range)) {
+    return Status::InvalidArgument("malformed number '" +
+                                   std::string(text) + "'");
   }
-  if (!std::isfinite(value)) {
-    return Status::InvalidArgument("number '" + owned + "' is not finite");
+  if (ec == std::errc::result_out_of_range || !std::isfinite(value)) {
+    return Status::InvalidArgument("number '" + std::string(text) +
+                                   "' is not finite");
   }
   return value;
 }

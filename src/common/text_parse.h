@@ -20,15 +20,18 @@ namespace knnq {
 /// `text` without leading/trailing whitespace.
 std::string_view TrimWhitespace(std::string_view text);
 
-/// Shortest decimal rendering of `value` that strtod parses back to
-/// exactly `value` (std::to_chars). The inverse of ParseDouble; shared
-/// by the KNNQL unparser and every JSON/metrics renderer so the same
-/// number always prints the same bytes.
+/// Shortest decimal rendering of `value` that ParseDouble parses back
+/// to exactly `value` (std::to_chars). The inverse of ParseDouble;
+/// shared by the KNNQL unparser and every JSON/metrics renderer so the
+/// same number always prints the same bytes.
 std::string FormatDouble(double value);
 
-/// Parses `text` as one finite double, consuming all of it. Accepts the
-/// forms strtod round-trips ("3", "-0.5", "1.25e-3"); rejects empty
-/// input, trailing junk ("1.2.3"), infinities and NaN.
+/// Parses `text` as one finite double, consuming all of it. The
+/// grammar is std::from_chars' decimal grammar (plus leading
+/// whitespace and an optional '+'), so '.' is the radix point no
+/// matter what LC_NUMERIC the process runs under. Accepts "3", "-0.5",
+/// "1.25e-3"; rejects empty input, trailing junk ("1.2.3"), hex
+/// ("0x10"), infinities, NaN and out-of-range magnitudes.
 Result<double> ParseDouble(std::string_view text);
 
 /// Parses `text` as one non-negative integer, consuming all of it.

@@ -1,0 +1,91 @@
+// Byte-level serialization shared by the WAL (src/durability/wal.h)
+// and the snapshot writer (src/durability/snapshot.h): fixed-width
+// little-endian scalar append/read plus CRC-32.
+//
+// Records are read back on the machine that wrote them (a --data-dir
+// belongs to one server), but the encoding is pinned to little-endian
+// anyway so a copied data directory is portable across the platforms
+// we build for.
+
+#ifndef KNNQ_SRC_DURABILITY_CODEC_H_
+#define KNNQ_SRC_DURABILITY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace knnq::durability {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size`
+/// bytes at `data` — the per-record and per-snapshot checksum.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Appends fixed-width little-endian scalars to an owned buffer.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(std::int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    buffer_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  void Raw(const void* data, std::size_t size) {
+    // The builds this repo targets are little-endian; memcpy of the
+    // object representation IS the wire encoding.
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string buffer_;
+};
+
+/// Reads the ByteWriter encoding back. Every accessor returns false on
+/// underrun instead of reading past the end, so a truncated record
+/// parses as "torn", never as garbage values.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(std::uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(std::int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    std::uint32_t size = 0;
+    if (!U32(&size) || pos_ + size > data_.size()) return false;
+    s->assign(data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool Raw(void* v, std::size_t size) {
+    if (pos_ + size > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace knnq::durability
+
+#endif  // KNNQ_SRC_DURABILITY_CODEC_H_

@@ -1,0 +1,157 @@
+#include "src/durability/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/data/dataset_io.h"
+#include "src/durability/codec.h"
+#include "src/durability/wal.h"
+
+namespace knnq::durability {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open dir " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync dir " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileSynced(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Status::IoError("write " + path + ": " +
+                                       std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s =
+        Status::IoError("fsync " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const SnapshotImage& image) {
+  ByteWriter body;
+  body.U64(image.lsn);
+  body.U32(static_cast<std::uint32_t>(image.relations.size()));
+  for (const SnapshotRelation& rel : image.relations) {
+    body.Str(rel.name);
+    body.U8(static_cast<std::uint8_t>(rel.type));
+    body.I64(rel.next_id);
+    body.U64(rel.last_lsn);
+    body.U64(rel.points.size());
+    for (const Point& p : rel.points) {
+      body.I64(p.id);
+      body.F64(p.x);
+      body.F64(p.y);
+    }
+  }
+  std::string file(kSnapshotMagic);
+  const std::string& encoded = body.bytes();
+  file += encoded;
+  ByteWriter crc;
+  crc.U32(Crc32(encoded.data(), encoded.size()));
+  file += crc.bytes();
+
+  const std::string tmp = path + ".tmp";
+  if (Status s = WriteFileSynced(tmp, file); !s.ok()) return s;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  return SyncDir(ParentDir(path));
+}
+
+Result<SnapshotImage> ReadSnapshot(const std::string& path) {
+  auto contents = ReadTextFile(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = *contents;
+  if (data.size() < kSnapshotMagic.size() + 4 ||
+      std::string_view(data).substr(0, kSnapshotMagic.size()) !=
+          kSnapshotMagic) {
+    return Status::ParseError("not a knnq snapshot (bad magic): " + path);
+  }
+  const std::string_view body =
+      std::string_view(data).substr(kSnapshotMagic.size(),
+                                    data.size() - kSnapshotMagic.size() - 4);
+  ByteReader crc_reader(
+      std::string_view(data).substr(data.size() - 4));
+  std::uint32_t stored_crc = 0;
+  crc_reader.U32(&stored_crc);
+  if (Crc32(body.data(), body.size()) != stored_crc) {
+    return Status::ParseError("snapshot CRC mismatch: " + path);
+  }
+
+  SnapshotImage image;
+  ByteReader reader(body);
+  std::uint32_t relation_count = 0;
+  if (!reader.U64(&image.lsn) || !reader.U32(&relation_count)) {
+    return Status::ParseError("snapshot header undecodable: " + path);
+  }
+  image.relations.reserve(relation_count);
+  for (std::uint32_t r = 0; r < relation_count; ++r) {
+    SnapshotRelation rel;
+    std::uint8_t type = 0;
+    std::uint64_t count = 0;
+    if (!reader.Str(&rel.name) || !reader.U8(&type) ||
+        !reader.I64(&rel.next_id) || !reader.U64(&rel.last_lsn) ||
+        !reader.U64(&count) || type > 2 || count > body.size()) {
+      return Status::ParseError("snapshot relation " + std::to_string(r) +
+                                " undecodable: " + path);
+    }
+    rel.type = static_cast<IndexType>(type);
+    rel.points.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Point p;
+      if (!reader.I64(&p.id) || !reader.F64(&p.x) || !reader.F64(&p.y)) {
+        return Status::ParseError("snapshot relation " + rel.name +
+                                  " truncated: " + path);
+      }
+      rel.points.push_back(p);
+    }
+    image.relations.push_back(std::move(rel));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("snapshot has trailing bytes: " + path);
+  }
+  return image;
+}
+
+}  // namespace knnq::durability

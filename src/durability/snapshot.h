@@ -1,0 +1,64 @@
+// Point-in-time snapshots: a full image of every relation at one LSN,
+// written atomically so recovery always finds either the previous
+// snapshot or the new one — never half of one.
+//
+// File layout: an 8-byte magic ("KNNQSNP1"), a body, then u32
+// crc32(body):
+//
+//   body = u64 lsn | u32 relation_count, then per relation
+//     str name | u8 index_type | i64 next_id | u64 last_lsn |
+//     u64 point_count | point_count * (i64 id, f64 x, f64 y)
+//
+// WriteSnapshot builds the file at `path + ".tmp"`, fsyncs it, then
+// rename(2)s it over `path` (atomic on POSIX) and fsyncs the parent
+// directory so the rename itself survives a crash. A snapshot at LSN
+// N makes every WAL record with LSN <= N redundant; the
+// DurabilityManager cuts snapshots under commit quiesce, so N is the
+// log's tail and the whole WAL truncates.
+
+#ifndef KNNQ_SRC_DURABILITY_SNAPSHOT_H_
+#define KNNQ_SRC_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/point.h"
+#include "src/common/status.h"
+#include "src/index/spatial_index.h"
+
+namespace knnq::durability {
+
+inline constexpr std::string_view kSnapshotMagic = "KNNQSNP1";
+
+/// One relation's image: everything needed to rebuild it exactly —
+/// contents, structure type, id sequence, and the LSN it reflects.
+struct SnapshotRelation {
+  std::string name;
+  IndexType type = IndexType::kGrid;
+  PointId next_id = 0;
+  std::uint64_t last_lsn = 0;
+  PointSet points;
+};
+
+/// The whole catalog at one instant.
+struct SnapshotImage {
+  /// Every WAL record with LSN <= this is reflected in the image.
+  std::uint64_t lsn = 0;
+  std::vector<SnapshotRelation> relations;
+};
+
+/// Atomically (temp file + rename + directory fsync) replaces `path`
+/// with the encoding of `image`.
+Status WriteSnapshot(const std::string& path, const SnapshotImage& image);
+
+/// Reads and verifies a snapshot. Unlike the WAL there is no salvage
+/// for a torn snapshot — the atomic write protocol means one should
+/// never exist — so any mismatch (magic, CRC, undecodable body) is an
+/// error naming the file.
+Result<SnapshotImage> ReadSnapshot(const std::string& path);
+
+}  // namespace knnq::durability
+
+#endif  // KNNQ_SRC_DURABILITY_SNAPSHOT_H_

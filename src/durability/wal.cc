@@ -1,0 +1,336 @@
+#include "src/durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/data/dataset_io.h"
+#include "src/durability/codec.h"
+
+namespace knnq::durability {
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  // Table-driven reflected CRC-32; the table is built once.
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<WalSyncPolicy> ParseWalSyncPolicy(std::string_view text) {
+  if (text == "always") return WalSyncPolicy::kAlways;
+  if (text == "interval") return WalSyncPolicy::kInterval;
+  if (text == "none") return WalSyncPolicy::kNone;
+  return Status::InvalidArgument("unknown --wal-sync policy '" +
+                                 std::string(text) +
+                                 "' (want always, interval or none)");
+}
+
+const char* ToString(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kAlways:
+      return "always";
+    case WalSyncPolicy::kInterval:
+      return "interval";
+    case WalSyncPolicy::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::uint8_t kKindMutate = 0;
+constexpr std::uint8_t kKindLoad = 1;
+constexpr std::uint8_t kOpInsert = 0;
+constexpr std::uint8_t kOpErase = 1;
+
+std::string EncodeBody(std::uint64_t lsn, const DmlRequest& request) {
+  ByteWriter body;
+  body.U64(lsn);
+  if (request.kind == DmlRequest::Kind::kMutate) {
+    body.U8(kKindMutate);
+    body.Str(request.relation);
+    body.U32(static_cast<std::uint32_t>(request.ops.size()));
+    for (const MutationOp& op : request.ops) {
+      if (op.kind == MutationOp::Kind::kInsert) {
+        body.U8(kOpInsert);
+        body.I64(op.point.id);
+        body.F64(op.point.x);
+        body.F64(op.point.y);
+      } else {
+        body.U8(kOpErase);
+        body.I64(op.erase_id);
+      }
+    }
+  } else {
+    body.U8(kKindLoad);
+    body.Str(request.relation);
+    body.U64(request.points.size());
+    for (const Point& p : request.points) {
+      body.I64(p.id);
+      body.F64(p.x);
+      body.F64(p.y);
+    }
+  }
+  return body.Take();
+}
+
+/// Decodes one body. Returns false when the bytes do not parse (short
+/// or trailing garbage) — the caller treats that like a CRC failure.
+bool DecodeBody(std::string_view bytes, WalRecord* record) {
+  ByteReader reader(bytes);
+  std::uint8_t kind = 0;
+  if (!reader.U64(&record->lsn) || !reader.U8(&kind) ||
+      !reader.Str(&record->request.relation)) {
+    return false;
+  }
+  if (kind == kKindMutate) {
+    record->request.kind = DmlRequest::Kind::kMutate;
+    std::uint32_t count = 0;
+    if (!reader.U32(&count)) return false;
+    record->request.ops.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint8_t op_kind = 0;
+      if (!reader.U8(&op_kind)) return false;
+      MutationOp op;
+      if (op_kind == kOpInsert) {
+        op.kind = MutationOp::Kind::kInsert;
+        if (!reader.I64(&op.point.id) || !reader.F64(&op.point.x) ||
+            !reader.F64(&op.point.y)) {
+          return false;
+        }
+      } else if (op_kind == kOpErase) {
+        op.kind = MutationOp::Kind::kErase;
+        if (!reader.I64(&op.erase_id)) return false;
+      } else {
+        return false;
+      }
+      record->request.ops.push_back(op);
+    }
+  } else if (kind == kKindLoad) {
+    record->request.kind = DmlRequest::Kind::kLoad;
+    std::uint64_t count = 0;
+    if (!reader.U64(&count)) return false;
+    // Guard the reserve against a corrupt huge count: the per-point
+    // reads below would fail the underrun check anyway, but only
+    // after the allocation.
+    if (count > bytes.size()) return false;
+    record->request.points.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Point p;
+      if (!reader.I64(&p.id) || !reader.F64(&p.x) || !reader.F64(&p.y)) {
+        return false;
+      }
+      record->request.points.push_back(p);
+    }
+  } else {
+    return false;
+  }
+  return reader.AtEnd();
+}
+
+std::string OffsetError(std::uint64_t offset, const std::string& what) {
+  return "wal record at byte " + std::to_string(offset) + ": " + what;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(std::uint64_t lsn, const DmlRequest& request) {
+  const std::string body = EncodeBody(lsn, request);
+  ByteWriter framed;
+  framed.U32(static_cast<std::uint32_t>(body.size()));
+  framed.U32(Crc32(body.data(), body.size()));
+  std::string out = framed.Take();
+  out += body;
+  return out;
+}
+
+Result<WalScan> ScanWal(const std::string& path) {
+  auto contents = ReadTextFile(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = *contents;
+  if (data.size() < kWalMagic.size() ||
+      std::string_view(data).substr(0, kWalMagic.size()) != kWalMagic) {
+    return Status::ParseError("not a knnq WAL (bad magic): " + path);
+  }
+
+  WalScan scan;
+  std::uint64_t offset = kWalMagic.size();
+  scan.good_bytes = offset;
+  while (offset < data.size()) {
+    ByteReader header(std::string_view(data).substr(offset));
+    std::uint32_t body_size = 0;
+    std::uint32_t crc = 0;
+    if (!header.U32(&body_size) || !header.U32(&crc) ||
+        offset + 8 + body_size > data.size()) {
+      scan.truncated = true;
+      scan.tail_error = OffsetError(offset, "torn record (hit EOF)");
+      break;
+    }
+    const std::string_view body =
+        std::string_view(data).substr(offset + 8, body_size);
+    if (Crc32(body.data(), body.size()) != crc) {
+      scan.truncated = true;
+      scan.tail_error = OffsetError(offset, "CRC mismatch");
+      break;
+    }
+    WalRecord record;
+    if (!DecodeBody(body, &record)) {
+      scan.truncated = true;
+      scan.tail_error = OffsetError(offset, "undecodable body");
+      break;
+    }
+    if (record.lsn <= scan.last_lsn) {
+      scan.truncated = true;
+      scan.tail_error = OffsetError(
+          offset, "LSN " + std::to_string(record.lsn) +
+                      " not greater than predecessor " +
+                      std::to_string(scan.last_lsn));
+      break;
+    }
+    scan.last_lsn = record.lsn;
+    offset += 8 + body_size;
+    scan.good_bytes = offset;
+    scan.records.push_back(std::move(record));
+  }
+  return scan;
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      size_bytes_(other.size_bytes_),
+      appends_(other.appends_),
+      syncs_(other.syncs_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    size_bytes_ = other.size_bytes_;
+    appends_ = other.appends_;
+    syncs_ = other.syncs_;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+Status WriteFully(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("wal write: ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Open(const std::string& path, Options options,
+                                  std::uint64_t good_bytes) {
+  WalWriter writer;
+  writer.options_ = options;
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IoError("open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  writer.fd_ = fd;
+  if (good_bytes == 0) {
+    // Fresh file (or a caller explicitly discarding everything).
+    if (::ftruncate(fd, 0) != 0 ||
+        !WriteFully(fd, kWalMagic.data(), kWalMagic.size()).ok() ||
+        ::fsync(fd) != 0) {
+      return Status::IoError("initialize wal " + path + ": " +
+                             std::strerror(errno));
+    }
+    writer.size_bytes_ = kWalMagic.size();
+  } else {
+    // Drop the torn tail (if any) so the next append starts exactly
+    // where the verified prefix ends.
+    if (::ftruncate(fd, static_cast<off_t>(good_bytes)) != 0 ||
+        ::fsync(fd) != 0) {
+      return Status::IoError("truncate wal " + path + ": " +
+                             std::strerror(errno));
+    }
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+      return Status::IoError("seek wal " + path + ": " +
+                             std::strerror(errno));
+    }
+    writer.size_bytes_ = good_bytes;
+  }
+  return writer;
+}
+
+Result<std::uint64_t> WalWriter::Append(std::uint64_t lsn,
+                                        const DmlRequest& request) {
+  const std::string record = EncodeWalRecord(lsn, request);
+  if (Status s = WriteFully(fd_, record.data(), record.size()); !s.ok()) {
+    return s;
+  }
+  size_bytes_ += record.size();
+  ++appends_;
+  const bool want_sync =
+      options_.sync == WalSyncPolicy::kAlways ||
+      (options_.sync == WalSyncPolicy::kInterval &&
+       options_.sync_interval_ops > 0 &&
+       appends_ % options_.sync_interval_ops == 0);
+  if (want_sync) {
+    if (Status s = Sync(); !s.ok()) return s;
+  }
+  return static_cast<std::uint64_t>(record.size());
+}
+
+Status WalWriter::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("wal fsync: ") +
+                           std::strerror(errno));
+  }
+  ++syncs_;
+  return Status::Ok();
+}
+
+Status WalWriter::TruncateAll() {
+  if (::ftruncate(fd_, static_cast<off_t>(kWalMagic.size())) != 0 ||
+      ::fsync(fd_) != 0) {
+    return Status::IoError(std::string("wal truncate: ") +
+                           std::strerror(errno));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    return Status::IoError(std::string("wal seek: ") +
+                           std::strerror(errno));
+  }
+  size_bytes_ = kWalMagic.size();
+  return Status::Ok();
+}
+
+}  // namespace knnq::durability

@@ -1,0 +1,135 @@
+// Write-ahead log: the durable record of every DmlRequest the engine
+// commits, in commit (= LSN) order.
+//
+// File layout: an 8-byte magic ("KNNQWAL1"), then length-prefixed
+// records
+//
+//   u32 body_size | u32 crc32(body) | body
+//   body = u64 lsn | u8 kind | str relation | payload
+//     kMutate payload: u32 op_count, then per op
+//         u8 op_kind | insert: i64 id, f64 x, f64 y | erase: i64 id
+//     kLoad payload:   u64 point_count, then per point i64 id, f64 x,
+//         f64 y  (LOAD logs the loaded points, not the source path, so
+//         replay never depends on an external file still existing)
+//
+// A scan trusts exactly the prefix that checks out: the first record
+// whose size field runs past EOF, whose CRC mismatches, or whose LSN
+// is not strictly greater than its predecessor's ends the scan — that
+// is where a crash (or corruption) tore the log, and recovery
+// truncates back to it. LSNs are assigned by the DurabilityManager,
+// strictly increasing from the snapshot's.
+//
+// Sync policy decides when appends reach the platter: `always` fsyncs
+// every record (no committed-and-acknowledged write is ever lost),
+// `interval` fsyncs every N appends (bounded loss window, near-memory
+// append cost), `none` leaves flushing to the OS.
+
+#ifndef KNNQ_SRC_DURABILITY_WAL_H_
+#define KNNQ_SRC_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/query_engine.h"
+
+namespace knnq::durability {
+
+inline constexpr std::string_view kWalMagic = "KNNQWAL1";
+
+/// When WalWriter::Append calls fsync. Parsed from --wal-sync.
+enum class WalSyncPolicy {
+  kAlways,
+  kInterval,
+  kNone,
+};
+
+Result<WalSyncPolicy> ParseWalSyncPolicy(std::string_view text);
+const char* ToString(WalSyncPolicy policy);
+
+/// One logged commit.
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  DmlRequest request;
+};
+
+/// What ScanWal trusted — and where it stopped trusting.
+struct WalScan {
+  /// The records of the good prefix, in LSN order.
+  std::vector<WalRecord> records;
+  /// Byte length of the good prefix (magic included). Recovery
+  /// truncates the file here and appends after it.
+  std::uint64_t good_bytes = 0;
+  /// LSN of the last good record (0 when none).
+  std::uint64_t last_lsn = 0;
+  /// True when bytes beyond good_bytes exist but did not verify — a
+  /// torn tail. `tail_error` says what was wrong and at which offset.
+  bool truncated = false;
+  std::string tail_error;
+};
+
+/// Encodes one record exactly as Append writes it (exposed for the
+/// corruption tests, which flip bytes in known places).
+std::string EncodeWalRecord(std::uint64_t lsn, const DmlRequest& request);
+
+/// Reads and verifies `path`. Fails only on I/O errors or a missing /
+/// wrong magic (a WAL that never existed is the caller's case to
+/// handle); a torn tail is NOT an error — it comes back as
+/// truncated=true with everything before it intact.
+Result<WalScan> ScanWal(const std::string& path);
+
+/// Appends records to one WAL file through a POSIX fd (O_APPEND), so
+/// the sync policy controls real fsync barriers. Not thread-safe; the
+/// DurabilityManager serializes appends with its LSN assignment.
+class WalWriter {
+ public:
+  struct Options {
+    WalSyncPolicy sync = WalSyncPolicy::kAlways;
+    /// kInterval: fsync every this-many appends.
+    std::size_t sync_interval_ops = 64;
+  };
+
+  WalWriter() = default;
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Opens `path` for appending, creating it (with magic) when absent.
+  /// `good_bytes` is ScanWal's verified prefix length for an existing
+  /// file — anything after it is a torn tail and is truncated away
+  /// before the first append; pass 0 for a fresh file.
+  static Result<WalWriter> Open(const std::string& path, Options options,
+                                std::uint64_t good_bytes);
+
+  /// Appends the record for (`lsn`, `request`) and applies the sync
+  /// policy. Returns the record's encoded size in bytes.
+  Result<std::uint64_t> Append(std::uint64_t lsn,
+                               const DmlRequest& request);
+
+  /// Forces an fsync regardless of policy.
+  Status Sync();
+
+  /// Discards every record (the file becomes just the magic) — called
+  /// after a snapshot made them redundant.
+  Status TruncateAll();
+
+  /// Current file size in bytes.
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  /// fsyncs issued so far (policy-driven and explicit).
+  std::uint64_t syncs() const { return syncs_; }
+
+ private:
+  int fd_ = -1;
+  Options options_;
+  std::uint64_t size_bytes_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace knnq::durability
+
+#endif  // KNNQ_SRC_DURABILITY_WAL_H_

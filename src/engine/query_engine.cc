@@ -373,15 +373,34 @@ EngineResult QueryEngine::ExecuteDmlLegacy(DmlRequest& request) {
   EngineResult result;
   result.is_mutation = true;
   Stopwatch timer;
+  std::uint64_t lsn = 0;
+  bool logged = false;
   {
     obs::ScopedSpan span("dml_apply");
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    // Log-before-apply, but only requests that will actually touch
+    // data: a mutate against an unknown relation fails below without
+    // changing anything, so it earns no WAL record.
+    if (options_.wal != nullptr &&
+        (request.kind == DmlRequest::Kind::kLoad ||
+         catalog_.Has(request.relation))) {
+      obs::ScopedSpan wal_span("wal_append");
+      auto assigned = options_.wal->BeginCommit(request);
+      if (!assigned.ok()) {
+        result.status = assigned.status();
+        RecordMutation(result);
+        return result;
+      }
+      lsn = *assigned;
+      logged = true;
+    }
     auto outcome =
         request.kind == DmlRequest::Kind::kMutate
             ? catalog_.Mutate(request.relation, request.ops)
             : catalog_.LoadRelation(request.relation,
                                     std::move(request.points),
                                     options_.index_options);
+    if (logged) catalog_.StampLsn(request.relation, lsn);
     if (!outcome.ok()) {
       // A failed mutate batch may still have applied a prefix; re-sync
       // the cache with whatever generation the relation is at now.
@@ -392,6 +411,8 @@ EngineResult QueryEngine::ExecuteDmlLegacy(DmlRequest& request) {
         }
       }
       result.status = outcome.status();
+      lock.unlock();
+      if (logged) options_.wal->EndCommit(lsn, /*applied=*/false);
       RecordMutation(result);
       return result;
     }
@@ -404,6 +425,9 @@ EngineResult QueryEngine::ExecuteDmlLegacy(DmlRequest& request) {
         request.kind == DmlRequest::Kind::kMutate ? "MUTATE" : "LOAD",
         request.relation, *outcome);
   }
+  // Outside the catalog lock: EndCommit may decide to cut a snapshot,
+  // which quiesces commits and reads the catalog itself.
+  if (logged) options_.wal->EndCommit(lsn, /*applied=*/true);
   result.stats.wall_seconds = timer.ElapsedSeconds();
   RecordMutation(result);
   return result;
@@ -411,9 +435,9 @@ EngineResult QueryEngine::ExecuteDmlLegacy(DmlRequest& request) {
 
 EngineResult QueryEngine::ExecuteDmlCow(DmlRequest& request) {
   if (request.kind == DmlRequest::Kind::kMutate) {
-    return MutateCow(request.relation, request.ops);
+    return MutateCow(request);
   }
-  return LoadCow(request.relation, std::move(request.points));
+  return LoadCow(request);
 }
 
 QueryEngine::RelationWriteState& QueryEngine::WriteStateFor(
@@ -424,8 +448,9 @@ QueryEngine::RelationWriteState& QueryEngine::WriteStateFor(
   return *slot;
 }
 
-EngineResult QueryEngine::MutateCow(const std::string& relation,
-                                    const std::vector<MutationOp>& ops) {
+EngineResult QueryEngine::MutateCow(DmlRequest& request) {
+  const std::string& relation = request.relation;
+  const std::vector<MutationOp>& ops = request.ops;
   EngineResult result;
   result.is_mutation = true;
   Stopwatch timer;
@@ -461,6 +486,24 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
                                      "' is not sharded");
     RecordMutation(result);
     return result;
+  }
+
+  // Log-before-apply: the request is admitted (relation exists and is
+  // sharded), so it gets its LSN — and its durable record — before any
+  // clone is touched. ws.mu orders appends per relation; the sink
+  // orders LSNs globally.
+  std::uint64_t lsn = 0;
+  bool logged = false;
+  if (options_.wal != nullptr) {
+    obs::ScopedSpan wal_span("wal_append");
+    auto assigned = options_.wal->BeginCommit(request);
+    if (!assigned.ok()) {
+      result.status = assigned.status();
+      RecordMutation(result);
+      return result;
+    }
+    lsn = *assigned;
+    logged = true;
   }
 
   // Copy-on-write: share every child, clone a child the first time an
@@ -539,6 +582,7 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
       auto committed = catalog_.ReplaceIndex(
           relation, std::move(rebuilt.value()), ws.next_id, rows);
       KNNQ_CHECK_MSG(committed.ok(), "republishing a mutated relation");
+      if (logged) catalog_.StampLsn(relation, lsn);
       outcome = *committed;
     } else {
       std::shared_lock<std::shared_mutex> lock(catalog_mu_);
@@ -555,6 +599,11 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
     }
   }
 
+  // The catalog lock is released; EndCommit may cut a snapshot (it
+  // quiesces commits and reads the catalog itself). Still inside
+  // ws.mu, which only orders writers of this one relation.
+  if (logged) options_.wal->EndCommit(lsn, failure.ok());
+
   if (!failure.ok()) {
     result.status = failure;
     result.stats.wall_seconds = timer.ElapsedSeconds();
@@ -568,8 +617,8 @@ EngineResult QueryEngine::MutateCow(const std::string& relation,
   return result;
 }
 
-EngineResult QueryEngine::LoadCow(const std::string& relation,
-                                  PointSet points) {
+EngineResult QueryEngine::LoadCow(DmlRequest& request) {
+  const std::string& relation = request.relation;
   EngineResult result;
   result.is_mutation = true;
   Stopwatch timer;
@@ -591,6 +640,23 @@ EngineResult QueryEngine::LoadCow(const std::string& relation,
     }
   }
 
+  // Log-before-apply, and before the points move into the build: the
+  // record carries the full new contents.
+  std::uint64_t lsn = 0;
+  bool logged = false;
+  if (options_.wal != nullptr) {
+    obs::ScopedSpan wal_span("wal_append");
+    auto assigned = options_.wal->BeginCommit(request);
+    if (!assigned.ok()) {
+      result.status = assigned.status();
+      RecordMutation(result);
+      return result;
+    }
+    lsn = *assigned;
+    logged = true;
+  }
+
+  PointSet points = std::move(request.points);
   const std::size_t rows = points.size();
   const PointId next_id = NextIdAfter(points);
   // The expensive part — partitioning and indexing the new contents —
@@ -602,6 +668,7 @@ EngineResult QueryEngine::LoadCow(const std::string& relation,
     auto built = ShardedIndex::Build(std::move(points), build_options);
     if (!built.ok()) {
       result.status = built.status();
+      if (logged) options_.wal->EndCommit(lsn, /*applied=*/false);
       RecordMutation(result);
       return result;
     }
@@ -622,6 +689,8 @@ EngineResult QueryEngine::LoadCow(const std::string& relation,
                                             next_id);
           !s.ok()) {
         result.status = s;
+        lock.unlock();
+        if (logged) options_.wal->EndCommit(lsn, /*applied=*/false);
         RecordMutation(result);
         return result;
       }
@@ -630,9 +699,11 @@ EngineResult QueryEngine::LoadCow(const std::string& relation,
           .generation = (*catalog_.Get(relation))->generation,
           .index = nullptr};
     }
+    if (logged) catalog_.StampLsn(relation, lsn);
   }
   ws.next_id = next_id;
   ws.initialized = true;
+  if (logged) options_.wal->EndCommit(lsn, /*applied=*/true);
 
   // The whole old wrapper was replaced: retire every old shard's cache
   // entries (and the wrapper's own, in case anything keyed on it).

@@ -67,6 +67,27 @@ namespace knnq {
 
 class ExecutorRegistry;   // src/engine/executor.h
 class NeighborhoodCache;  // src/engine/neighborhood_cache.h
+struct DmlRequest;
+
+/// Durability hook the serving tier plugs into the engine's single
+/// write path (EngineOptions::wal; src/durability implements it).
+///
+/// BeginCommit runs inside the writer's critical section, after the
+/// engine decided the request will apply but before any data changes:
+/// the sink makes the request durable (or, during startup replay,
+/// hands back the replayed record's original LSN without writing) and
+/// returns the log sequence number the commit carries. A not-ok result
+/// aborts the DML with that status. EndCommit pairs with every
+/// successful BeginCommit once the apply/publish finished and the
+/// engine dropped its catalog lock; `applied` says whether the batch
+/// applied cleanly (a failed batch may still have applied a prefix —
+/// replaying its record reproduces exactly that prefix).
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual Result<std::uint64_t> BeginCommit(const DmlRequest& request) = 0;
+  virtual void EndCommit(std::uint64_t lsn, bool applied) = 0;
+};
 
 /// Engine construction knobs — the one place engine-level tuning
 /// lives. Defaults are the zero-configuration single-process engine:
@@ -118,6 +139,12 @@ struct EngineOptions {
   /// carries a full span tree on EngineResult::trace. 0 disables
   /// sampling; EXPLAIN ANALYZE always traces regardless.
   std::size_t trace_sample_every = 0;
+
+  /// Write-ahead log sink: every applying ExecuteDml commit flows
+  /// through it (BeginCommit before the write, EndCommit after). Null
+  /// (default) keeps the engine purely in-memory. Must outlive the
+  /// engine.
+  WalSink* wal = nullptr;
 };
 
 /// One engine-level DML request — the single write path every public
@@ -346,9 +373,8 @@ class QueryEngine {
   /// The two DML engines behind ExecuteDml.
   EngineResult ExecuteDmlLegacy(DmlRequest& request);
   EngineResult ExecuteDmlCow(DmlRequest& request);
-  EngineResult MutateCow(const std::string& relation,
-                         const std::vector<MutationOp>& ops);
-  EngineResult LoadCow(const std::string& relation, PointSet points);
+  EngineResult MutateCow(DmlRequest& request);
+  EngineResult LoadCow(DmlRequest& request);
 
   /// The per-relation writer state, created on first write.
   RelationWriteState& WriteStateFor(const std::string& relation);

@@ -147,6 +147,12 @@ Status Catalog::AdoptRelation(const std::string& name,
   return Status::Ok();
 }
 
+void Catalog::StampLsn(const std::string& name, std::uint64_t lsn) {
+  const auto it = relations_.find(name);
+  if (it == relations_.end()) return;
+  it->second.last_lsn = std::max(it->second.last_lsn, lsn);
+}
+
 Result<const Relation*> Catalog::Get(const std::string& name) const {
   const auto it = relations_.find(name);
   if (it == relations_.end()) {

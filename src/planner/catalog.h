@@ -46,6 +46,12 @@ struct Relation {
   std::uint64_t generation = 0;
   /// The id the next auto-assigned insert receives (max indexed id + 1).
   PointId next_id = 0;
+  /// The log sequence number of the last durable write applied to this
+  /// relation. 0 until the durability layer stamps one; the snapshot
+  /// writer persists it so recovery knows which WAL records are
+  /// already reflected. Preserved across ReplaceIndex (the index swap
+  /// is an implementation detail of the same logical relation).
+  std::uint64_t last_lsn = 0;
 };
 
 /// One write against a relation, applied in batch order by Mutate.
@@ -117,6 +123,11 @@ class Catalog {
   /// empty name or a null index.
   Status AdoptRelation(const std::string& name,
                        std::shared_ptr<SpatialIndex> index, PointId next_id);
+
+  /// Records that relation `name` reflects every durable write up to
+  /// and including `lsn`. No generation bump: the stamp is recovery
+  /// metadata, not a visible data change. No-op on an unknown name.
+  void StampLsn(const std::string& name, std::uint64_t lsn);
 
   /// Looks a relation up by name.
   Result<const Relation*> Get(const std::string& name) const;

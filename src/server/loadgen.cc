@@ -4,8 +4,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <atomic>
 
 #include <algorithm>
 #include <cerrno>
@@ -110,31 +113,60 @@ struct ClientResult {
   std::size_t ok_responses = 0;
   std::size_t error_responses = 0;
   std::size_t protocol_errors = 0;
+  std::size_t post_kill_disconnects = 0;
   std::vector<double> latencies_ms;
 };
 
+/// Shared crash-drill trigger: the client whose send crosses the
+/// threshold SIGKILLs the server; everyone's later failures count as
+/// expected casualties, not protocol errors.
+struct KillSwitch {
+  std::atomic<std::size_t> sent{0};
+  std::atomic<bool> fired{false};
+};
+
 void RunClient(int fd, const std::vector<std::string>& statements,
-               const LoadgenOptions& options, ClientResult* out) {
+               const LoadgenOptions& options, KillSwitch* kill_switch,
+               ClientResult* out) {
   LineReader reader(fd);
   std::string response;
   std::uint64_t next_id = 1;
+  // A failure after the kill fired is the drill working as intended.
+  const auto fail = [&] {
+    if (kill_switch->fired.load(std::memory_order_acquire)) {
+      ++out->post_kill_disconnects;
+    } else {
+      ++out->protocol_errors;
+    }
+  };
   out->latencies_ms.reserve(statements.size() * options.repeat);
   for (std::size_t r = 0; r < options.repeat; ++r) {
     for (const std::string& statement : statements) {
       ++out->requests;
       Stopwatch timer;
       if (!SendAll(fd, statement) || !SendAll(fd, "\n")) {
-        ++out->protocol_errors;
+        fail();
         return;
       }
+      if (options.kill_after_ops > 0) {
+        const std::size_t n =
+            kill_switch->sent.fetch_add(1, std::memory_order_relaxed) + 1;
+        // fired is set BEFORE the signal so a sibling client that
+        // observes the dead server also observes the trigger.
+        if (n >= options.kill_after_ops &&
+            !kill_switch->fired.exchange(true,
+                                         std::memory_order_acq_rel)) {
+          ::kill(options.kill_pid, SIGKILL);
+        }
+      }
       if (!reader.ReadLine(&response, options.recv_timeout_ms)) {
-        ++out->protocol_errors;
+        fail();
         return;
       }
       out->latencies_ms.push_back(timer.ElapsedMillis());
       if (!HasId(response, next_id)) {
         // An ordering error poisons every later id; stop the client.
-        ++out->protocol_errors;
+        fail();
         return;
       }
       ++next_id;
@@ -154,6 +186,10 @@ Result<LoadgenReport> RunLoadgen(
     const std::vector<std::string>& statements) {
   if (options.clients == 0) {
     return Status::InvalidArgument("loadgen needs at least one client");
+  }
+  if (options.kill_after_ops > 0 && options.kill_pid <= 0) {
+    return Status::InvalidArgument(
+        "--kill-after-ops needs --kill-pid PID (the server to SIGKILL)");
   }
   // Statements that frame no response (comment-only, bare ';') would
   // stall the closed loop; drop them here. Unparseable text stays: the
@@ -186,16 +222,19 @@ Result<LoadgenReport> RunLoadgen(
   std::vector<ClientResult> results(options.clients);
   std::vector<std::thread> threads;
   threads.reserve(options.clients);
+  KillSwitch kill_switch;
   Stopwatch wall;
   for (std::size_t i = 0; i < options.clients; ++i) {
-    threads.emplace_back(
-        [&, i] { RunClient(fds[i], replay, options, &results[i]); });
+    threads.emplace_back([&, i] {
+      RunClient(fds[i], replay, options, &kill_switch, &results[i]);
+    });
   }
   for (std::thread& thread : threads) thread.join();
 
   LoadgenReport report;
   report.wall_seconds = wall.ElapsedSeconds();
   report.clients = options.clients;
+  report.killed = kill_switch.fired.load(std::memory_order_acquire);
   std::vector<double> latencies;
   for (std::size_t i = 0; i < options.clients; ++i) {
     ::close(fds[i]);
@@ -203,6 +242,7 @@ Result<LoadgenReport> RunLoadgen(
     report.ok_responses += results[i].ok_responses;
     report.error_responses += results[i].error_responses;
     report.protocol_errors += results[i].protocol_errors;
+    report.post_kill_disconnects += results[i].post_kill_disconnects;
     latencies.insert(latencies.end(), results[i].latencies_ms.begin(),
                      results[i].latencies_ms.end());
   }

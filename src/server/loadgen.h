@@ -33,6 +33,17 @@ struct LoadgenOptions {
   /// Per-response receive timeout; expiring counts a protocol error
   /// and ends that client's run.
   int recv_timeout_ms = 30000;
+
+  /// Crash-drill hook: once this many statements have been sent across
+  /// all clients, SIGKILL `kill_pid` (the server under test) and let
+  /// the runs wind down. Connection failures after the kill fires are
+  /// counted as post_kill_disconnects, not protocol errors, so
+  /// clean() still gates the pre-kill traffic. 0 disables.
+  std::size_t kill_after_ops = 0;
+
+  /// Process to SIGKILL when kill_after_ops trips. Must be set (> 0)
+  /// when kill_after_ops is.
+  int kill_pid = 0;
 };
 
 struct LoadgenReport {
@@ -44,6 +55,11 @@ struct LoadgenReport {
   /// Broken framing: id mismatches, short reads, timeouts, connect
   /// failures.
   std::size_t protocol_errors = 0;
+  /// Clients cut off after the crash drill's SIGKILL fired: expected
+  /// casualties, tracked apart from protocol errors.
+  std::size_t post_kill_disconnects = 0;
+  /// The kill_after_ops trigger fired (the server was SIGKILLed).
+  bool killed = false;
   double wall_seconds = 0.0;
 
   /// Exact percentiles over every request's latency (sorted samples,

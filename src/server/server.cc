@@ -445,6 +445,14 @@ void Server::AcceptLoop() {
     if (options_.allow_remote_shutdown) {
       callbacks.request_shutdown = [this] { RequestStop(); };
     }
+    if (options_.snapshot_handler != nullptr) {
+      callbacks.snapshot = [this]() -> std::string {
+        auto lsn = options_.snapshot_handler();
+        if (!lsn.ok()) return JsonErrorRecord("", "", lsn.status());
+        return "{\"status\": \"ok\", \"snapshot_lsn\": " +
+               std::to_string(*lsn) + "}";
+      };
+    }
     raw->session = std::make_unique<Session>(
         engine_, options_.limits, &metrics_, &admission_,
         std::move(callbacks));

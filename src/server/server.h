@@ -88,6 +88,11 @@ struct ServerOptions {
   /// default: any peer that can connect could otherwise stop a server
   /// exposed beyond loopback. CI smoke opts in explicitly.
   bool allow_remote_shutdown = false;
+
+  /// SNAPSHOT admin verb handler: returns the new snapshot's LSN or
+  /// the failure. Null (default) disables the verb; `knnq_cli serve
+  /// --data-dir` wires it to the DurabilityManager.
+  std::function<Result<std::uint64_t>()> snapshot_handler;
 };
 
 class Server {
@@ -124,6 +129,12 @@ class Server {
   void Stop();
 
   const ServerMetrics& metrics() const { return metrics_; }
+
+  /// The scrape-time registry behind METRICS. Exposed so subsystems
+  /// created outside the server (the durability manager) can register
+  /// their instruments before Start().
+  obs::MetricsRegistry* registry() { return &registry_; }
+
   std::size_t active_connections() const;
   std::size_t in_flight() const { return admission_.in_flight(); }
 

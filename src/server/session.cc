@@ -160,7 +160,7 @@ void Session::Respond(const std::string& record) {
 void Session::Dispatch(const std::string& text) {
   const std::string verb = AdminVerbOf(text);
   if (verb == "STATS" || verb == "METRICS" || verb == "PING" ||
-      verb == "SHUTDOWN") {
+      verb == "SHUTDOWN" || verb == "SNAPSHOT") {
     metrics_->requests.Add();
     DispatchAdmin(verb);
     return;
@@ -208,6 +208,18 @@ void Session::DispatchAdmin(std::string_view verb) {
     }
     Respond("{\"status\": \"ok\", \"shutting_down\": true}");
     callbacks_.request_shutdown();
+    return;
+  }
+  if (verb == "SNAPSHOT") {
+    if (callbacks_.snapshot == nullptr) {
+      metrics_->errors.Add();
+      Respond(JsonErrorRecord(
+          "", "",
+          Status::Unsupported("SNAPSHOT requires a durable server "
+                              "(serve with --data-dir)")));
+      return;
+    }
+    Respond(callbacks_.snapshot());
     return;
   }
   if (verb == "METRICS" && callbacks_.render_metrics != nullptr) {

@@ -78,6 +78,12 @@ class Session {
     /// SHUTDOWN verb; null disables the verb (it then answers an
     /// Unsupported error).
     std::function<void()> request_shutdown;
+
+    /// SNAPSHOT verb: cuts a durable point-in-time snapshot and
+    /// returns its record body `{"status": "ok", "snapshot_lsn": N}`
+    /// (or an error record). Null disables the verb — the server
+    /// wires it only when serving with --data-dir.
+    std::function<std::string()> snapshot;
   };
 
   Session(QueryEngine* engine, const SessionLimits& limits,

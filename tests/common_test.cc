@@ -1,7 +1,11 @@
-// Unit tests for src/common: geometry, status, rng, stopwatch.
+// Unit tests for src/common: geometry, status, rng, stopwatch, and
+// the strict text parsers (including the locale-independence
+// regression: number parsing must not bend under LC_NUMERIC).
 
+#include <clocale>
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "gtest/gtest.h"
 #include "src/common/bbox.h"
@@ -9,6 +13,7 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
+#include "src/common/text_parse.h"
 
 namespace knnq {
 namespace {
@@ -256,6 +261,99 @@ TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
   EXPECT_GE(t2, t1);
   sw.Reset();
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+// ---------------------------------------------------------- text parse
+
+TEST(TextParseTest, ParseDoubleAcceptsTheDecimalGrammar) {
+  EXPECT_EQ(ParseDouble("3").value(), 3.0);
+  EXPECT_EQ(ParseDouble("-0.5").value(), -0.5);
+  EXPECT_EQ(ParseDouble("1.25e-3").value(), 0.00125);
+  // strtod-isms the rewrite preserves: leading whitespace, '+' sign.
+  EXPECT_EQ(ParseDouble("  +2.5").value(), 2.5);
+  EXPECT_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(TextParseTest, ParseDoubleRejectsJunkHexAndNonFinite) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("0x10").ok());  // strtod accepted hex.
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("3,5").ok());
+  EXPECT_FALSE(ParseDouble("2.5 ").ok());  // Trailing whitespace.
+  const auto huge = ParseDouble("1e999");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("not finite"),
+            std::string::npos);
+}
+
+TEST(TextParseTest, FormatDoubleIsParseDoublesInverse) {
+  for (const double value : {0.1, -3.5, 1e-17, 12345.6789, 0.0}) {
+    EXPECT_EQ(ParseDouble(FormatDouble(value)).value(), value);
+  }
+}
+
+TEST(TextParseTest, FieldDiagnosticsNameTheOffendingPosition) {
+  const auto bad_field = ParsePointText("1,bogus");
+  ASSERT_FALSE(bad_field.ok());
+  EXPECT_NE(bad_field.status().message().find("field 2"),
+            std::string::npos)
+      << bad_field.status().ToString();
+
+  const auto short_box = ParseBoxText("1,2,3");
+  ASSERT_FALSE(short_box.ok());
+  EXPECT_NE(short_box.status().message().find("got 3 fields, expected 4"),
+            std::string::npos)
+      << short_box.status().ToString();
+
+  const auto trailing = ParseBoxText("1,2,3,4,");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("trailing comma"),
+            std::string::npos)
+      << trailing.status().ToString();
+}
+
+TEST(TextParseTest, ParseSizeIsStrict) {
+  EXPECT_EQ(ParseSize("42").value(), 42u);
+  EXPECT_EQ(ParseSize("0").value(), 0u);
+  EXPECT_FALSE(ParseSize("").ok());
+  EXPECT_FALSE(ParseSize("-1").ok());
+  EXPECT_FALSE(ParseSize("4.5").ok());
+  EXPECT_FALSE(ParseSize("1e3").ok());
+  EXPECT_FALSE(ParseSize("99999999999999999999999").ok());
+}
+
+/// The locale regression: the strtod-based ParseDouble honored
+/// LC_NUMERIC, so a comma-decimal locale (de_DE, fr_FR) read "1.5" as
+/// 1.0 with trailing junk. The from_chars grammar must not move.
+TEST(TextParseTest, ParseDoubleIgnoresCommaDecimalLocale) {
+  const char* comma_locales[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                 "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR",
+                                 "es_ES.UTF-8", "it_IT.UTF-8"};
+  const char* applied = nullptr;
+  for (const char* name : comma_locales) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      applied = name;
+      break;
+    }
+  }
+  if (applied == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this image";
+  }
+  // The locale really is comma-decimal, or the regression cannot fire.
+  ASSERT_EQ(std::localeconv()->decimal_point[0], ',') << applied;
+
+  EXPECT_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_EQ(ParseDouble("-2.25e1").value(), -22.5);
+  EXPECT_FALSE(ParseDouble("1,5").ok());  // ',' is never a radix point.
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  const auto point = ParsePointText("1.5, 2.5");
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  EXPECT_EQ(point->x, 1.5);
+  EXPECT_EQ(point->y, 2.5);
+
+  std::setlocale(LC_NUMERIC, "C");
 }
 
 }  // namespace

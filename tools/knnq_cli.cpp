@@ -15,6 +15,8 @@
 //            [--max-conn-inflight M] [--max-request-bytes B]
 //            [--idle-timeout-ms T] [--cache-mb M] [--index TYPE]
 //            [--shards N] [--shard-policy bisection|grid]
+//            [--data-dir DIR] [--wal-sync always|interval|none]
+//            [--snapshot-interval-ops N]
 //   knnq_cli two-selects --data FILE --f1 X,Y --k1 K --f2 X,Y --k2 K
 //            [--naive]
 //   knnq_cli select-inner-join --outer FILE --inner FILE --join-k K
@@ -69,6 +71,7 @@
 #include "src/data/clustered.h"
 #include "src/data/dataset_io.h"
 #include "src/data/uniform.h"
+#include "src/durability/durability_manager.h"
 #include "src/engine/query_engine.h"
 #include "src/index/distance_kernel.h"
 #include "src/index/knn_searcher.h"
@@ -685,9 +688,61 @@ int CmdServe(const Args& args) {
   Catalog catalog;
   IndexOptions load_options = *index_options;
   load_options.shards = 1;  // The engine reshards at construction.
-  if (const Status s = BuildCatalog(args, load_options, &catalog);
-      !s.ok()) {
-    return Fail(s);
+
+  // Durable serving: --data-dir DIR opens (or creates) a WAL +
+  // snapshot pair there. On a restart the snapshot seeds the catalog
+  // and the WAL tail replays; --data files seed only a fresh dir.
+  const std::string data_dir = args.GetOr("--data-dir", "");
+  std::unique_ptr<durability::DurabilityManager> durable;
+  durability::WalSyncPolicy wal_sync = durability::WalSyncPolicy::kAlways;
+  if (!data_dir.empty()) {
+    auto sync =
+        durability::ParseWalSyncPolicy(args.GetOr("--wal-sync", "always"));
+    if (!sync.ok()) return Fail(sync.status());
+    wal_sync = *sync;
+    auto sync_every = args.GetSizeOr("--wal-sync-interval-ops", 64);
+    if (!sync_every.ok()) return Fail(sync_every.status());
+    auto snap_every = args.GetSizeOr("--snapshot-interval-ops", 0);
+    if (!snap_every.ok()) return Fail(snap_every.status());
+    durability::DurabilityOptions durable_options;
+    durable_options.data_dir = data_dir;
+    durable_options.sync = wal_sync;
+    durable_options.sync_interval_ops = *sync_every;
+    durable_options.snapshot_interval_ops = *snap_every;
+    durable_options.index_options = load_options;
+    auto opened =
+        durability::DurabilityManager::Open(std::move(durable_options));
+    if (!opened.ok()) return Fail(opened.status());
+    durable = std::move(*opened);
+  } else {
+    for (const char* flag :
+         {"--wal-sync", "--wal-sync-interval-ops",
+          "--snapshot-interval-ops"}) {
+      if (args.Has(flag)) {
+        return Fail(Status::InvalidArgument(
+            std::string(flag) + " requires --data-dir"));
+      }
+    }
+  }
+
+  if (durable != nullptr && durable->recovered_from_snapshot()) {
+    // The snapshot is the source of truth for this data dir; --data
+    // seeds only the first boot.
+    if (args.Has("--data")) {
+      std::printf("note: %s already has a snapshot; --data files "
+                  "ignored in favor of the recovered catalog\n",
+                  data_dir.c_str());
+    }
+    if (const Status s = durable->SeedCatalog(&catalog); !s.ok()) {
+      return Fail(s);
+    }
+  } else if (durable == nullptr || args.Has("--data")) {
+    // A fresh durable server may start empty (LOAD creates relations);
+    // a non-durable one still needs at least one --data.
+    if (const Status s = BuildCatalog(args, load_options, &catalog);
+        !s.ok()) {
+      return Fail(s);
+    }
   }
 
   auto cache_mb = args.GetSizeOr("--cache-mb", 0);
@@ -724,7 +779,15 @@ int CmdServe(const Args& args) {
   if (const Status s = ApplyObsFlags(args, &options); !s.ok()) {
     return Fail(s);
   }
+  options.wal = durable.get();
   QueryEngine engine(std::move(catalog), options);
+
+  durability::RecoveryReport recovery;
+  if (durable != nullptr) {
+    auto report = durable->Recover(&engine);
+    if (!report.ok()) return Fail(report.status());
+    recovery = *report;
+  }
 
   server::ServerOptions server_options;
   server_options.host = args.GetOr("--host", "127.0.0.1");
@@ -745,13 +808,35 @@ int CmdServe(const Args& args) {
   // otherwise stop a server bound beyond loopback.
   server_options.allow_remote_shutdown =
       args.Has("--allow-remote-shutdown");
+  if (durable != nullptr) {
+    durability::DurabilityManager* manager = durable.get();
+    QueryEngine* engine_ptr = &engine;
+    server_options.snapshot_handler = [manager, engine_ptr] {
+      return manager->Snapshot(engine_ptr);
+    };
+  }
   server::Server server(&engine, server_options);
+  if (durable != nullptr) durable->RegisterMetrics(server.registry());
 
   // Listed before Start(): once the server accepts, clients may be
   // mutating the catalog already.
   for (const std::string& name : engine.catalog().Names()) {
     std::printf("  relation %s (%zu points)\n", name.c_str(),
                 engine.catalog().Get(name).value()->index->num_points());
+  }
+  if (durable != nullptr) {
+    std::printf(
+        "durable: %s (wal-sync=%s); recovered to lsn %llu "
+        "(%s snapshot at lsn %llu, %llu WAL records replayed)\n",
+        data_dir.c_str(), durability::ToString(wal_sync),
+        static_cast<unsigned long long>(recovery.last_lsn),
+        recovery.from_snapshot ? "loaded" : "no",
+        static_cast<unsigned long long>(recovery.snapshot_lsn),
+        static_cast<unsigned long long>(recovery.replayed_records));
+    if (recovery.wal_truncated) {
+      std::printf("  dropped torn WAL tail: %s\n",
+                  recovery.wal_tail_error.c_str());
+    }
   }
   if (const Status started = server.Start(); !started.ok()) {
     return Fail(started);
@@ -944,6 +1029,9 @@ void PrintUsage() {
       "                     [--max-connections C] [--write-timeout-ms T]\n"
       "                     [--shutdown-grace-ms T] [--load-dir DIR]\n"
       "                     [--allow-remote-shutdown]\n"
+      "                     [--data-dir DIR] [--wal-sync always|interval|none]\n"
+      "                     [--wal-sync-interval-ops N]\n"
+      "                     [--snapshot-interval-ops N]\n"
       "                     [--cache-mb M] [--index TYPE]\n"
       "                     [--slow-query-ms MS] [--trace-sample-every N]\n"
       "                     [--log-file F] [--log-level L]\n"
@@ -959,6 +1047,11 @@ void PrintUsage() {
       "knnq_loadgen or any line-oriented TCP client. The SHUTDOWN verb\n"
       "and LOAD-over-the-wire are off unless --allow-remote-shutdown /\n"
       "--load-dir DIR (paths confined to DIR) are given.\n"
+      "serve --data-dir DIR makes the server durable: every DML is\n"
+      "write-ahead logged to DIR/wal.log (fsync per --wal-sync), the\n"
+      "SNAPSHOT verb / --snapshot-interval-ops N cut point-in-time\n"
+      "snapshots to DIR/catalog.snapshot, and a restart recovers the\n"
+      "catalog from snapshot + WAL replay (see README \"Durability\").\n"
       "query reads KNNQL statements (-e, --file, or a REPL; see README),\n"
       "including DML: INSERT INTO r VALUES (x, y), ...; DELETE FROM r\n"
       "WHERE ID = n; LOAD r FROM 'file';\n"

@@ -7,9 +7,15 @@
 // Usage:
 //   knnq_loadgen --port P [--host H] [--clients N] [--repeat R]
 //                --file WORKLOAD.knnql [--file ...] [--json]
+//                [--kill-after-ops N --kill-pid PID]
 //   knnq_loadgen --port P --shutdown      # graceful server stop
 //   knnq_loadgen --port P --stats         # print the STATS record
 //   knnq_loadgen --port P --metrics       # print Prometheus text
+//
+// --kill-after-ops N SIGKILLs --kill-pid PID once N statements have
+// been sent: the crash half of a recovery drill. Disconnects after the
+// kill are expected (reported separately) and do not fail the run, but
+// a drill whose kill never fires exits nonzero.
 //
 // --metrics sends the METRICS verb and unwraps the JSON envelope,
 // printing the raw Prometheus exposition text — pipe it into
@@ -41,6 +47,8 @@ struct Flags {
   std::size_t port = 0;
   std::size_t clients = 4;
   std::size_t repeat = 1;
+  std::size_t kill_after_ops = 0;
+  std::size_t kill_pid = 0;
   std::vector<std::string> files;
   bool json = false;
   bool shutdown = false;
@@ -83,6 +91,12 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (flag == "--repeat") {
       flags.repeat = static_cast<std::size_t>(std::strtoull(
           value.c_str(), nullptr, 10));
+    } else if (flag == "--kill-after-ops") {
+      flags.kill_after_ops = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (flag == "--kill-pid") {
+      flags.kill_pid = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
     } else if (flag == "--file") {
       flags.files.push_back(value);
     } else {
@@ -100,11 +114,13 @@ void PrintReport(const server::LoadgenReport& report, bool json) {
     std::printf(
         "{\"clients\": %zu, \"requests\": %zu, \"ok_responses\": %zu, "
         "\"error_responses\": %zu, \"protocol_errors\": %zu, "
+        "\"post_kill_disconnects\": %zu, \"killed\": %s, "
         "\"wall_seconds\": %.6f, \"qps\": %.2f, \"mean_ms\": %.3f, "
         "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
         "\"max_ms\": %.3f}\n",
         report.clients, report.requests, report.ok_responses,
         report.error_responses, report.protocol_errors,
+        report.post_kill_disconnects, report.killed ? "true" : "false",
         report.wall_seconds, report.qps(), report.mean_ms, report.p50_ms,
         report.p95_ms, report.p99_ms, report.max_ms);
     return;
@@ -116,6 +132,10 @@ void PrintReport(const server::LoadgenReport& report, bool json) {
               "max %.3f\n",
               report.mean_ms, report.p50_ms, report.p95_ms, report.p99_ms,
               report.max_ms);
+  if (report.killed) {
+    std::printf("kill fired; %zu clients disconnected post-kill\n",
+                report.post_kill_disconnects);
+  }
   if (!report.clean()) {
     std::printf("FAILURES: %zu error responses, %zu protocol errors\n",
                 report.error_responses, report.protocol_errors);
@@ -216,8 +236,12 @@ int main(int argc, char** argv) {
   options.port = port;
   options.clients = flags->clients;
   options.repeat = flags->repeat;
+  options.kill_after_ops = flags->kill_after_ops;
+  options.kill_pid = static_cast<int>(flags->kill_pid);
   const auto report = server::RunLoadgen(options, statements);
   if (!report.ok()) return Fail(report.status());
   PrintReport(*report, flags->json);
+  // A crash drill that never fired its kill is a failed drill.
+  if (options.kill_after_ops > 0 && !report->killed) return 1;
   return report->clean() ? 0 : 1;
 }
