@@ -55,6 +55,7 @@
 #include "src/engine/query_engine.h"
 #include "src/lang/unparser.h"
 #include "src/obs/trace.h"
+#include "src/server/server.h"
 
 namespace knnq::bench {
 namespace {
@@ -634,6 +635,53 @@ TraceOverhead MeasureTraceOverhead() {
   return result;
 }
 
+/// The HTTP observability plane's steady-state cost: one registry
+/// render (what a GET /metrics or METRICS verb pays) plus one history
+/// sampling pass (what the background sampler pays per interval). At
+/// the default 1 Hz sampler with a 1 Hz external scraper that is one
+/// of each per second, so obs_plane_overhead = (render + sample)
+/// seconds per core-second. tools/check_bench.py gates it at <= 2%,
+/// the same budget as the disabled trace hooks.
+struct ObsPlaneOverhead {
+  double render_ns = 0.0;
+  double sample_ns = 0.0;
+  double plane_overhead = 0.0;
+};
+
+ObsPlaneOverhead MeasureObsPlaneOverhead() {
+  ObsPlaneOverhead result;
+  // A real Server over a real engine: the registry carries exactly
+  // the instruments a serving process scrapes (server counters and
+  // latency histograms, engine totals, cache stats, process gauges).
+  // Nothing is Start()ed - rendering and sampling need no sockets.
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(MakeCatalog(), options);
+  server::Server server(&engine, server::ServerOptions{});
+
+  std::string rendered = server.RenderPrometheus();  // Warm buffers.
+  benchmark::DoNotOptimize(rendered);
+  constexpr std::size_t kRenders = 500;
+  Stopwatch render_timer;
+  for (std::size_t i = 0; i < kRenders; ++i) {
+    rendered = server.RenderPrometheus();
+    benchmark::DoNotOptimize(rendered);
+  }
+  result.render_ns = render_timer.ElapsedSeconds() * 1e9 /
+                     static_cast<double>(kRenders);
+
+  constexpr std::size_t kSamples = 2000;
+  Stopwatch sample_timer;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    server.history()->SampleOnce();
+  }
+  result.sample_ns = sample_timer.ElapsedSeconds() * 1e9 /
+                     static_cast<double>(kSamples);
+
+  result.plane_overhead = (result.render_ns + result.sample_ns) * 1e-9;
+  return result;
+}
+
 /// Writes every recorded run plus derived summary ratios. Called from
 /// main after the benchmarks finish; a partial run (filtered
 /// benchmarks) writes whatever rows exist and null summary fields.
@@ -704,6 +752,7 @@ void WriteBenchJson() {
   const double churn_uncached =
       qps_ratio("churn/skewed/uncached/t4", "batch/skewed/uncached/t4");
   const TraceOverhead trace = MeasureTraceOverhead();
+  const ObsPlaneOverhead obs = MeasureObsPlaneOverhead();
   std::fprintf(out,
                "  \"summary\": {\"skewed_speedup_t1\": %.3f, "
                "\"skewed_speedup_t4\": %.3f, "
@@ -715,16 +764,22 @@ void WriteBenchJson() {
                "\"trace_span_ns\": %.2f, "
                "\"trace_spans_per_query\": %.2f, "
                "\"trace_hook_overhead\": %.6f, "
-               "\"trace_enabled_ratio\": %.3f}\n}\n",
+               "\"trace_enabled_ratio\": %.3f, "
+               "\"obs_render_ns\": %.0f, "
+               "\"obs_sample_ns\": %.0f, "
+               "\"obs_plane_overhead\": %.8f}\n}\n",
                skewed_1, skewed_4, uniform_4, skewed_hit_rate,
                ChurnUpdates(), ChurnQueries(), churn_cached,
                churn_uncached, trace.span_ns, trace.spans_per_query,
-               trace.hook_overhead, trace.enabled_ratio);
+               trace.hook_overhead, trace.enabled_ratio,
+               obs.render_ns, obs.sample_ns, obs.plane_overhead);
   std::fclose(out);
   std::printf("wrote %s (skewed speedup t1=%.2fx t4=%.2fx, hit rate "
-              "%.1f%%, churn ratio %.2fx, trace hook overhead %.4f%%)\n",
+              "%.1f%%, churn ratio %.2fx, trace hook overhead %.4f%%, "
+              "obs plane overhead %.4f%%)\n",
               path.c_str(), skewed_1, skewed_4, 100.0 * skewed_hit_rate,
-              churn_cached, 100.0 * trace.hook_overhead);
+              churn_cached, 100.0 * trace.hook_overhead,
+              100.0 * obs.plane_overhead);
 }
 
 }  // namespace knnq::bench

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -14,6 +16,13 @@ namespace {
 
 bool FileExists(const std::string& path) {
   return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::uint64_t SteadyNowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -100,6 +109,7 @@ Result<RecoveryReport> DurabilityManager::Recover(QueryEngine* engine) {
     writer_ = std::move(*writer);
     wal_size_bytes_.store(writer_.size_bytes(), std::memory_order_relaxed);
     last_lsn_metric_.store(last_lsn_, std::memory_order_relaxed);
+    writer_open_.store(true, std::memory_order_relaxed);
   }
 
   // First boot of this data dir: snapshot the seed relations (--data
@@ -143,6 +153,9 @@ Result<std::uint64_t> DurabilityManager::Snapshot(QueryEngine* engine) {
     if (Status s = writer_.TruncateAll(); !s.ok()) return s;
     wal_size_bytes_.store(writer_.size_bytes(), std::memory_order_relaxed);
     syncs_total_.store(writer_.syncs(), std::memory_order_relaxed);
+    // A truncated log has nothing left to fsync: the debt is gone.
+    unsynced_ops_.store(0, std::memory_order_relaxed);
+    first_unsynced_ms_.store(0, std::memory_order_relaxed);
   }
   have_snapshot_ = true;
   ops_since_snapshot_.store(0, std::memory_order_relaxed);
@@ -156,8 +169,10 @@ Result<std::uint64_t> DurabilityManager::BeginCommit(
   commit_mu_.lock_shared();
   std::lock_guard<std::mutex> wal_lock(wal_mu_);
   const std::uint64_t lsn = last_lsn_ + 1;
+  const std::uint64_t syncs_before = writer_.syncs();
   auto bytes = writer_.Append(lsn, request);
   if (!bytes.ok()) {
+    append_failed_.store(true, std::memory_order_relaxed);
     commit_mu_.unlock_shared();
     return bytes.status();
   }
@@ -165,6 +180,16 @@ Result<std::uint64_t> DurabilityManager::BeginCommit(
   appends_total_.fetch_add(1, std::memory_order_relaxed);
   append_bytes_total_.fetch_add(*bytes, std::memory_order_relaxed);
   syncs_total_.store(writer_.syncs(), std::memory_order_relaxed);
+  // Sync-debt bookkeeping: an fsync barrier inside Append flushed
+  // everything appended so far (this record included); otherwise this
+  // record joined the crash-loss window, and if it opened the window
+  // its append time anchors the fsync-lag gauge.
+  if (writer_.syncs() != syncs_before) {
+    unsynced_ops_.store(0, std::memory_order_relaxed);
+    first_unsynced_ms_.store(0, std::memory_order_relaxed);
+  } else if (unsynced_ops_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    first_unsynced_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
+  }
   wal_size_bytes_.store(writer_.size_bytes(), std::memory_order_relaxed);
   last_lsn_metric_.store(lsn, std::memory_order_relaxed);
   return lsn;
@@ -216,6 +241,44 @@ void DurabilityManager::RegisterMetrics(obs::MetricsRegistry* registry) {
         return static_cast<double>(
             last_lsn_metric_.load(std::memory_order_relaxed));
       });
+  registry->RegisterCallbackGauge(
+      "knnq_server_wal_unsynced_ops",
+      "Records appended but not yet fsynced (the crash-loss window).",
+      [this] { return static_cast<double>(unsynced_ops()); });
+  registry->RegisterCallbackGauge(
+      "knnq_server_wal_fsync_lag_seconds",
+      "Seconds the oldest unsynced record has waited for its fsync.",
+      [this] { return fsync_lag_seconds(); });
+}
+
+double DurabilityManager::fsync_lag_seconds() const {
+  if (unsynced_ops_.load(std::memory_order_relaxed) == 0) return 0.0;
+  const std::uint64_t first =
+      first_unsynced_ms_.load(std::memory_order_relaxed);
+  if (first == 0) return 0.0;
+  const std::uint64_t now = SteadyNowMs();
+  return now > first ? static_cast<double>(now - first) / 1000.0 : 0.0;
+}
+
+std::string DurabilityManager::StatusJson() const {
+  char lag[32];
+  std::snprintf(lag, sizeof(lag), "%.3f", fsync_lag_seconds());
+  return std::string("{\"sync_policy\": \"") + ToString(options_.sync) +
+         "\", \"writable\": " + (writable() ? "true" : "false") +
+         ", \"size_bytes\": " +
+         std::to_string(wal_size_bytes_.load(std::memory_order_relaxed)) +
+         ", \"last_lsn\": " +
+         std::to_string(last_lsn_metric_.load(std::memory_order_relaxed)) +
+         ", \"appends\": " +
+         std::to_string(appends_total_.load(std::memory_order_relaxed)) +
+         ", \"syncs\": " +
+         std::to_string(syncs_total_.load(std::memory_order_relaxed)) +
+         ", \"snapshots\": " +
+         std::to_string(snapshots_total_.load(std::memory_order_relaxed)) +
+         ", \"replayed_records\": " +
+         std::to_string(replayed_total_.load(std::memory_order_relaxed)) +
+         ", \"unsynced_ops\": " + std::to_string(unsynced_ops()) +
+         ", \"fsync_lag_seconds\": " + lag + "}";
 }
 
 }  // namespace knnq::durability

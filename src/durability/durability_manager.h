@@ -103,8 +103,29 @@ class DurabilityManager : public WalSink {
   Result<std::uint64_t> Snapshot(QueryEngine* engine);
 
   /// Registers knnq_server_wal_* metrics (appends, bytes, syncs,
-  /// snapshots, replayed records, current size, last LSN).
+  /// snapshots, replayed records, current size, last LSN, unsynced
+  /// ops, fsync lag).
   void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// Appended-but-not-yet-fsynced records (the crash-loss window under
+  /// --wal-sync interval/none; always 0 under the default `always`).
+  std::uint64_t unsynced_ops() const {
+    return unsynced_ops_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds the OLDEST unsynced record has been waiting for its
+  /// fsync barrier; 0 when everything durable is on disk.
+  double fsync_lag_seconds() const;
+
+  /// False once an append has failed (disk full, I/O error): commits
+  /// can no longer be made durable, so /readyz reports not-ready.
+  bool writable() const {
+    return writer_open_.load(std::memory_order_relaxed) &&
+           !append_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// The "wal" object of /statusz: policy, size, LSN, sync debt.
+  std::string StatusJson() const;
 
   /// True when a snapshot existed at Open time (serve uses this to
   /// decide whether --data seeds or the snapshot does).
@@ -160,6 +181,16 @@ class DurabilityManager : public WalSink {
   std::atomic<std::uint64_t> replayed_total_{0};
   std::atomic<std::uint64_t> wal_size_bytes_{0};
   std::atomic<std::uint64_t> last_lsn_metric_{0};
+
+  /// Sync-debt tracking: records appended since the writer's last
+  /// fsync barrier, and (while nonzero) the steady-clock ms at which
+  /// the oldest of them was appended.
+  std::atomic<std::uint64_t> unsynced_ops_{0};
+  std::atomic<std::uint64_t> first_unsynced_ms_{0};
+
+  /// Readiness: the writer opened (Recover ran) and no append failed.
+  std::atomic<bool> writer_open_{false};
+  std::atomic<bool> append_failed_{false};
 };
 
 }  // namespace knnq::durability

@@ -105,6 +105,10 @@ QueryEngine::~QueryEngine() = default;
 
 std::size_t QueryEngine::num_threads() const { return pool_->size(); }
 
+std::size_t QueryEngine::pool_queue_depth() const {
+  return pool_->queue_depth();
+}
+
 EngineResult QueryEngine::Run(const QuerySpec& spec) const {
   return RunWithTrace(spec, SampleTrace());
 }

@@ -236,6 +236,10 @@ class QueryEngine {
   const EngineOptions& options() const { return options_; }
   std::size_t num_threads() const;
 
+  /// Tasks queued on the worker pool and not yet running - the
+  /// saturation gauge behind knnq_engine_pool_queue_depth.
+  std::size_t pool_queue_depth() const;
+
   /// The effective shards-per-relation count (1 = unsharded engine).
   std::size_t shards() const { return options_.shards; }
 

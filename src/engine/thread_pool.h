@@ -77,6 +77,13 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued and not yet picked up by a worker - the saturation
+  /// gauge behind knnq_engine_pool_queue_depth.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   void WorkerLoop();
 
@@ -85,7 +92,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   /// Signals queue-space to blocked Submit calls (bounded queues only).
   std::condition_variable space_cv_;

@@ -1,0 +1,118 @@
+// MetricsHistory: fixed-size ring-buffer time series over selected
+// counters and gauges, so rate and saturation trends are visible from
+// /statusz and the HISTORY admin verb without external tooling.
+//
+// Sources are registered as callbacks (the same closures the
+// MetricsRegistry scrapes) before Start(); a background thread then
+// samples every source once per interval into per-metric rings that
+// share one timestamp ring. ~10 minutes of 1 s samples fit in the
+// default capacity; older samples fall off the front. Snapshots are
+// taken under the ring mutex, so every series in one snapshot has the
+// same length and the same timestamps (consistency across series), and
+// timestamps are strictly monotonic by construction (steady-clock
+// offsets from a wall-clock base captured once).
+
+#ifndef KNNQ_SRC_OBS_HISTORY_H_
+#define KNNQ_SRC_OBS_HISTORY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace knnq::obs {
+
+struct HistoryOptions {
+  /// Sampling period of the background thread. The CLI's
+  /// --history-interval-ms.
+  int interval_ms = 1000;
+
+  /// Samples retained per series (ring capacity). 600 x 1 s = 10 min.
+  std::size_t capacity = 600;
+};
+
+/// A consistent copy of every ring: timestamps are shared (sample i of
+/// every series was taken at t_ms[i]), oldest first.
+struct HistorySnapshot {
+  int interval_ms = 0;
+  /// Milliseconds since the Unix epoch, monotone non-decreasing.
+  std::vector<std::uint64_t> t_ms;
+  std::vector<std::string> names;
+  /// values[s][i] pairs with t_ms[i]; every inner vector has
+  /// t_ms.size() elements.
+  std::vector<std::vector<double>> values;
+};
+
+class MetricsHistory {
+ public:
+  explicit MetricsHistory(HistoryOptions options = {});
+  ~MetricsHistory();
+
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+
+  /// Registers one sampled source. Must be called before Start();
+  /// `fn` is invoked from the sampler thread and must be thread-safe.
+  void AddSource(std::string name, std::function<double()> fn);
+
+  /// Takes the t=0 sample immediately (so series are non-empty from
+  /// the first scrape) and spawns the sampler thread. Idempotent.
+  void Start();
+
+  /// Stops and joins the sampler thread. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  /// One synchronous sampling pass over every source - the sampler
+  /// thread's body, exposed so tests can drive the rings directly.
+  void SampleOnce();
+
+  /// Consistent copy of every ring (see HistorySnapshot).
+  HistorySnapshot Snapshot() const;
+
+  /// The snapshot as JSON: `{"interval_ms": N, "samples": M,
+  /// "t_ms": [...], "series": {"name": [...], ...}}`.
+  std::string RenderJson() const;
+
+  std::size_t num_sources() const;
+
+ private:
+  struct Source {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  void SamplerLoop();
+
+  HistoryOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Source> sources_;
+  /// Ring state, guarded by mu_: head_ is the oldest sample's slot,
+  /// size_ the live count. times_ and each values_[s] have capacity
+  /// slots; values_[s] parallels sources_[s].
+  std::vector<std::uint64_t> times_;
+  std::vector<std::vector<double>> values_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+
+  /// Wall-clock epoch of base_steady_, captured at construction;
+  /// sample timestamps are base_wall_ms_ + steady elapsed, monotone
+  /// even when the wall clock steps.
+  std::uint64_t base_wall_ms_ = 0;
+  std::chrono::steady_clock::time_point base_steady_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace knnq::obs
+
+#endif  // KNNQ_SRC_OBS_HISTORY_H_

@@ -1,0 +1,92 @@
+#include "src/obs/process_stats.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+namespace knnq::obs {
+
+double ProcessRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  unsigned long long total = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE));
+}
+
+double ProcessOpenFds() {
+  std::error_code ec;
+  std::filesystem::directory_iterator it("/proc/self/fd", ec);
+  if (ec) return 0.0;
+  std::size_t count = 0;
+  for (const auto& entry : it) {
+    (void)entry;
+    ++count;
+  }
+  // The iterator itself holds one fd while counting.
+  return count > 0 ? static_cast<double>(count - 1) : 0.0;
+}
+
+double ProcessThreadCount() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double threads = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long n = 0;
+    if (std::sscanf(line, "Threads: %llu", &n) == 1) {
+      threads = static_cast<double>(n);
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+namespace {
+
+std::string Compiler() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+bool SimdCompiled() {
+#if defined(KNNQ_ENABLE_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::string BuildInfoJson() {
+  return std::string("{\"version\": \"") + kBuildVersion +
+         "\", \"compiler\": \"" + Compiler() +
+         "\", \"standard\": " + std::to_string(__cplusplus) +
+         ", \"simd_compiled\": " + (SimdCompiled() ? "true" : "false") +
+         "}";
+}
+
+std::string BuildInfoLine() {
+  return std::string("knnq ") + kBuildVersion + " (" + Compiler() +
+         ", C++" + (__cplusplus >= 202002L ? "20" : "17") + ", simd " +
+         (SimdCompiled() ? "compiled" : "off") + ")";
+}
+
+}  // namespace knnq::obs

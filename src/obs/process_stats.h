@@ -1,0 +1,35 @@
+// Process self-instrumentation for the observability plane: RSS, open
+// file descriptors, thread count (from /proc on Linux; 0 where the
+// proc filesystem is unavailable) and build information. Registered as
+// callback gauges so both the METRICS verb and GET /metrics expose
+// them; /statusz embeds BuildInfoJson().
+
+#ifndef KNNQ_SRC_OBS_PROCESS_STATS_H_
+#define KNNQ_SRC_OBS_PROCESS_STATS_H_
+
+#include <string>
+
+namespace knnq::obs {
+
+/// The version the build info reports. Bumped with the PR stream.
+inline constexpr const char* kBuildVersion = "0.10.0";
+
+/// Resident set size in bytes (/proc/self/statm x page size).
+double ProcessRssBytes();
+
+/// Open file descriptors (/proc/self/fd entries).
+double ProcessOpenFds();
+
+/// OS threads in this process (/proc/self/status Threads:).
+double ProcessThreadCount();
+
+/// `{"version": ..., "compiler": ..., "standard": ..., "simd": ...}`.
+std::string BuildInfoJson();
+
+/// One-line build description for banners and HELP text, e.g.
+/// "knnq 0.10.0 (gcc 13.2.0, C++20, simd on)".
+std::string BuildInfoLine();
+
+}  // namespace knnq::obs
+
+#endif  // KNNQ_SRC_OBS_PROCESS_STATS_H_

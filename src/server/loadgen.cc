@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -286,6 +288,76 @@ Result<std::string> SendAdminVerb(const std::string& host,
     return Status::IoError("no response to admin verb " + verb);
   }
   return line;
+}
+
+Result<HttpGetResult> HttpGet(const std::string& host, std::uint16_t port,
+                              const std::string& path, int timeout_ms) {
+  const int fd = Connect(host, port);
+  if (fd < 0) {
+    return Status::IoError("connect " + host + ":" +
+                           std::to_string(port) + ": " +
+                           std::strerror(errno));
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    const int saved = errno;
+    ::close(fd);
+    return Status::IoError(std::string("send: ") + std::strerror(saved));
+  }
+  // Connection: close framing - read to EOF under one wall deadline.
+  std::string raw;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0) {
+      ::close(fd);
+      return Status::IoError("http response timed out: " + path);
+    }
+    pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 NNN reason\r\n" headers "\r\n\r\n" body.
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    return Status::IoError("not an http response: " + raw.substr(0, 32));
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::IoError("malformed http status line");
+  }
+  HttpGetResult result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  if (result.status < 100 || result.status > 599) {
+    return Status::IoError("malformed http status code");
+  }
+  std::size_t body = raw.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return Status::IoError("http response missing header terminator");
+  }
+  result.body = raw.substr(body + 4);
+  return result;
 }
 
 }  // namespace knnq::server

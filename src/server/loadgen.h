@@ -96,6 +96,21 @@ Result<std::string> SendAdminVerb(const std::string& host,
                                   std::uint16_t port,
                                   const std::string& verb);
 
+/// Outcome of one HTTP GET against the observability plane.
+struct HttpGetResult {
+  /// The response's status code (200, 503, ...).
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal HTTP/1.1 GET (Connection: close) used by `knnq_loadgen
+/// --scrape-http` and the HTTP-plane tests. Fails on connect errors,
+/// an unparsable response, or `timeout_ms` expiring before the server
+/// closes; a non-200 status is NOT an error here (callers decide).
+Result<HttpGetResult> HttpGet(const std::string& host, std::uint16_t port,
+                              const std::string& path,
+                              int timeout_ms = 10000);
+
 }  // namespace knnq::server
 
 #endif  // KNNQ_SRC_SERVER_LOADGEN_H_

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/engine/neighborhood_cache.h"
+#include "src/obs/process_stats.h"
 
 namespace knnq::server {
 
@@ -68,7 +69,8 @@ std::string CacheStatsJson(const NeighborhoodCache* cache) {
 Server::Server(QueryEngine* engine, ServerOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      admission_(options_.max_inflight) {
+      admission_(options_.max_inflight),
+      start_time_(std::chrono::steady_clock::now()) {
   metrics_.RegisterAll(&registry_);
   registry_.RegisterCallbackGauge(
       "knnq_server_active_connections", "Currently open connections.",
@@ -76,6 +78,65 @@ Server::Server(QueryEngine* engine, ServerOptions options)
   registry_.RegisterCallbackGauge(
       "knnq_server_in_flight", "Queries executing right now.",
       [this] { return static_cast<double>(admission_.in_flight()); });
+  registry_.RegisterCallbackGauge(
+      "knnq_engine_pool_queue_depth",
+      "Engine worker-pool tasks queued and not yet running.", [this] {
+        return static_cast<double>(engine_->pool_queue_depth());
+      });
+
+  // Self-instrumentation: build identity and process vitals, exposed
+  // through the SAME registry as everything else so the METRICS verb
+  // and GET /metrics render them identically.
+  registry_.RegisterCallbackGauge(
+      "knnq_build_info", "Always 1. Build: " + obs::BuildInfoLine() + ".",
+      [] { return 1.0; });
+  registry_.RegisterCallbackGauge(
+      "knnq_process_uptime_seconds",
+      "Whole seconds since server construction (floored so two scrapes "
+      "within one second render identically).",
+      [this] {
+        return static_cast<double>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start_time_)
+                .count());
+      });
+  registry_.RegisterCallbackGauge(
+      "knnq_process_resident_memory_bytes", "Resident set size.",
+      [] { return obs::ProcessRssBytes(); });
+  registry_.RegisterCallbackGauge("knnq_process_open_fds",
+                                  "Open file descriptors.",
+                                  [] { return obs::ProcessOpenFds(); });
+  registry_.RegisterCallbackGauge("knnq_process_threads",
+                                  "OS threads in this process.",
+                                  [] { return obs::ProcessThreadCount(); });
+  registry_.RegisterCallbackCounter(
+      "knnq_http_requests_total",
+      "HTTP observability requests answered (any status).", [this] {
+        return http_ != nullptr ? http_->requests_served() : 0;
+      });
+
+  // The ring sampler: saturation and rate trends over a fixed window,
+  // served by /statusz and the HISTORY verb.
+  history_ = std::make_unique<obs::MetricsHistory>(obs::HistoryOptions{
+      .interval_ms = options_.history_interval_ms,
+      .capacity = options_.history_capacity});
+  history_->AddSource("knnq_server_requests_total", [this] {
+    return static_cast<double>(metrics_.requests.Value());
+  });
+  history_->AddSource("knnq_engine_queries_total", [this] {
+    return static_cast<double>(engine_->StatsSnapshot().queries);
+  });
+  history_->AddSource("knnq_server_in_flight", [this] {
+    return static_cast<double>(admission_.in_flight());
+  });
+  history_->AddSource("knnq_server_active_connections", [this] {
+    return static_cast<double>(active_connections());
+  });
+  history_->AddSource("knnq_engine_pool_queue_depth", [this] {
+    return static_cast<double>(engine_->pool_queue_depth());
+  });
+  history_->AddSource("knnq_process_resident_memory_bytes",
+                      [] { return obs::ProcessRssBytes(); });
 
   // Engine cumulative totals, snapshotted at scrape time. One
   // StatsSnapshot per metric is fine: METRICS is a scrape path, not a
@@ -174,6 +235,9 @@ Status Server::Start() {
     std::lock_guard<std::mutex> lock(stop_mu_);
     if (started_) return Status::Internal("server already started");
   }
+  // Idempotent: the durable path already ran this before recovery so
+  // /readyz could answer during the replay.
+  if (Status s = StartHttp(); !s.ok()) return s;
 
   if (::pipe(stop_pipe_) != 0) {
     return Status::IoError(std::string("pipe: ") + std::strerror(errno));
@@ -226,6 +290,47 @@ Status Server::Start() {
   return Status::Ok();
 }
 
+Status Server::StartHttp() {
+  // The sampler always runs (the HISTORY verb needs it); the HTTP
+  // plane only when asked for. Start() also calls this, so a server
+  // started without StartHttp still samples.
+  history_->Start();
+  if (!options_.http_enabled || http_ != nullptr) return Status::Ok();
+
+  obs::HttpServerOptions http_options = options_.http;
+  http_options.host = options_.http_host;
+  http_options.port = options_.http_port;
+  http_ = std::make_unique<obs::HttpServer>(http_options);
+  http_->AddHandler("/metrics", [this] {
+    obs::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus();
+    return response;
+  });
+  http_->AddHandler("/healthz", [] {
+    // Liveness: the process answers, nothing more.
+    return obs::HttpResponse{.body = "ok\n"};
+  });
+  http_->AddHandler("/readyz", [this] {
+    const std::vector<std::string> reasons = NotReadyReasons();
+    if (reasons.empty()) return obs::HttpResponse{.body = "ok\n"};
+    std::string body = "not ready\n";
+    for (const std::string& reason : reasons) body += reason + "\n";
+    return obs::HttpResponse{.status = 503, .body = std::move(body)};
+  });
+  http_->AddHandler("/statusz", [this] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = RenderStatusz();
+    return response;
+  });
+  if (Status s = http_->Start(); !s.ok()) {
+    http_.reset();
+    return s;
+  }
+  return Status::Ok();
+}
+
 void Server::RequestStop() {
   // Async-signal-safe: one atomic store and one pipe write. The pipe
   // wakes the accept loop; waiters poll the same pipe (level-
@@ -246,10 +351,19 @@ void Server::WaitUntilStopRequested() {
 
 void Server::Stop() {
   RequestStop();
+  bool drain = false;
   {
     std::lock_guard<std::mutex> lock(stop_mu_);
-    if (!started_ || stopped_) return;
-    stopped_ = true;
+    if (started_ && !stopped_) {
+      stopped_ = true;
+      drain = true;
+    }
+  }
+  if (!drain) {
+    // Start() never ran (or Stop already did the drain); only the
+    // observability plane may need tearing down.
+    StopObservability(false);
+    return;
   }
 
   accept_thread_.join();
@@ -335,6 +449,23 @@ void Server::Stop() {
   ::close(stop_pipe_[0]);
   ::close(stop_pipe_[1]);
   stop_pipe_[0] = stop_pipe_[1] = -1;
+
+  StopObservability(true);
+}
+
+void Server::StopObservability(bool linger) {
+  if (http_ != nullptr) {
+    // The HTTP plane outlives the KNNQL drain: during the linger
+    // window /readyz answers 503 "draining", so a load balancer
+    // observes not-ready and stops routing BEFORE the endpoints
+    // disappear (the standard drain pattern).
+    if (linger && options_.drain_linger_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.drain_linger_ms));
+    }
+    http_->Stop();
+  }
+  history_->Stop();
 }
 
 std::size_t Server::active_connections() const {
@@ -356,6 +487,72 @@ std::string Server::RenderStats() const {
 
 std::string Server::RenderPrometheus() const {
   return registry_.RenderPrometheus();
+}
+
+std::vector<std::string> Server::NotReadyReasons() const {
+  std::vector<std::string> reasons;
+  if (recovering_.load(std::memory_order_acquire)) {
+    reasons.push_back("recovery in progress");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (!started_) reasons.push_back("accept loop not started");
+  }
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    reasons.push_back("draining");
+  }
+  if (options_.max_inflight > 0 &&
+      admission_.in_flight() >= options_.max_inflight) {
+    reasons.push_back("admission saturated (in_flight at max_inflight=" +
+                      std::to_string(options_.max_inflight) + ")");
+  }
+  if (options_.wal_writable != nullptr && !options_.wal_writable()) {
+    reasons.push_back("wal not writable");
+  }
+  return reasons;
+}
+
+std::string Server::RenderStatusz() const {
+  const std::vector<std::string> reasons = NotReadyReasons();
+  std::string reasons_json = "[";
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    if (i > 0) reasons_json += ", ";
+    reasons_json += "\"" + JsonEscape(reasons[i]) + "\"";
+  }
+  reasons_json += "]";
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - start_time_)
+                          .count();
+  std::string http_json = "null";
+  if (http_ != nullptr) {
+    http_json = "{\"port\": " + std::to_string(http_->port()) +
+                ", \"active_connections\": " +
+                std::to_string(http_->active_connections()) +
+                ", \"requests\": " +
+                std::to_string(http_->requests_served()) + "}";
+  }
+  return "{\"status\": \"ok\", \"build\": " + obs::BuildInfoJson() +
+         ", \"uptime_seconds\": " + std::to_string(uptime) +
+         ", \"ready\": " + (reasons.empty() ? "true" : "false") +
+         ", \"not_ready_reasons\": " + reasons_json +
+         ", \"server\": " +
+         metrics_.ToJson(active_connections(), admission_.in_flight()) +
+         ", \"engine\": " + EngineStatsJson(engine_->StatsSnapshot()) +
+         ", \"pool\": {\"threads\": " +
+         std::to_string(engine_->num_threads()) +
+         ", \"queue_depth\": " +
+         std::to_string(engine_->pool_queue_depth()) +
+         ", \"shards\": " + std::to_string(engine_->shards()) + "}" +
+         ", \"cache\": " + CacheStatsJson(engine_->neighborhood_cache()) +
+         ", \"wal\": " +
+         (options_.wal_status != nullptr ? options_.wal_status()
+                                         : std::string("null")) +
+         ", \"http\": " + http_json +
+         ", \"history\": " + RenderHistory() + "}";
+}
+
+std::string Server::RenderHistory() const {
+  return history_->RenderJson();
 }
 
 void Server::ReapFinished() {
@@ -441,6 +638,9 @@ void Server::AcceptLoop() {
     callbacks.render_metrics = [this] {
       return "{\"status\": \"ok\", \"prometheus\": \"" +
              JsonEscape(RenderPrometheus()) + "\"}";
+    };
+    callbacks.render_history = [this] {
+      return "{\"status\": \"ok\", \"history\": " + RenderHistory() + "}";
     };
     if (options_.allow_remote_shutdown) {
       callbacks.request_shutdown = [this] { RequestStop(); };

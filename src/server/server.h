@@ -20,15 +20,19 @@
 #define KNNQ_SRC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/engine/query_engine.h"
+#include "src/obs/history.h"
+#include "src/obs/http_server.h"
 #include "src/obs/metrics_registry.h"
 #include "src/server/admission.h"
 #include "src/server/metrics.h"
@@ -93,6 +97,37 @@ struct ServerOptions {
   /// the failure. Null (default) disables the verb; `knnq_cli serve
   /// --data-dir` wires it to the DurabilityManager.
   std::function<Result<std::uint64_t>()> snapshot_handler;
+
+  /// HTTP observability plane (GET /metrics, /healthz, /readyz,
+  /// /statusz). Off by default; `knnq_cli serve --http-port` enables
+  /// it. Start it with StartHttp() — before Start(), so /readyz can
+  /// answer "recovery in progress" while the WAL replays.
+  bool http_enabled = false;
+  std::string http_host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back with http_port()).
+  std::uint16_t http_port = 0;
+  /// Limits of the HTTP plane itself (scrape connections, timeouts).
+  obs::HttpServerOptions http;
+
+  /// Ring-buffer time-series sampling period (--history-interval-ms)
+  /// and retention; 600 x 1 s = 10 minutes.
+  int history_interval_ms = 1000;
+  std::size_t history_capacity = 600;
+
+  /// After the KNNQL drain completes, Stop() keeps the HTTP plane up
+  /// for this window answering /readyz with 503 "draining", the
+  /// standard load-balancer drain pattern: the LB observes not-ready
+  /// and stops routing BEFORE the process disappears. 0 tears the
+  /// plane down immediately.
+  int drain_linger_ms = 0;
+
+  /// Readiness hook: false when WAL appends are failing (commits can
+  /// no longer be made durable). Null when not serving durably.
+  std::function<bool()> wal_writable;
+
+  /// The "wal" object of /statusz (DurabilityManager::StatusJson).
+  /// Null renders "wal": null.
+  std::function<std::string()> wal_status;
 };
 
 class Server {
@@ -111,8 +146,30 @@ class Server {
   /// Binds, listens and spawns the accept thread.
   Status Start();
 
+  /// Starts the HTTP observability plane (when options.http_enabled)
+  /// and the history sampler. Call BEFORE Start() — and before a
+  /// durable recovery, bracketed by BeginRecovery/EndRecovery — so
+  /// /healthz and /readyz answer while the WAL replays. No-op when
+  /// the plane is disabled (the sampler still starts, feeding the
+  /// HISTORY verb).
+  Status StartHttp();
+
+  /// Brackets a durable recovery: between the two, /readyz answers
+  /// 503 with "recovery in progress".
+  void BeginRecovery() {
+    recovering_.store(true, std::memory_order_release);
+  }
+  void EndRecovery() {
+    recovering_.store(false, std::memory_order_release);
+  }
+
   /// The bound port (after Start); useful with options.port = 0.
   std::uint16_t port() const { return port_; }
+
+  /// The HTTP plane's bound port (after StartHttp); 0 when disabled.
+  std::uint16_t http_port() const {
+    return http_ != nullptr ? http_->port() : 0;
+  }
 
   /// Requests a stop from any thread (signal handlers included: an
   /// atomic store plus a write to a pipe). Does not wait. Call Start
@@ -144,8 +201,26 @@ class Server {
 
   /// Every registered metric - server counters and latency histograms,
   /// engine cumulative totals, cache stats - in Prometheus text
-  /// exposition format; the payload of the METRICS admin verb.
+  /// exposition format; the payload of the METRICS admin verb AND the
+  /// GET /metrics body (byte-identical by construction: one renderer).
   std::string RenderPrometheus() const;
+
+  /// Readiness reasons, empty when ready to serve: recovery finished,
+  /// accept loop up, not draining, admission not saturated, WAL
+  /// writable.
+  std::vector<std::string> NotReadyReasons() const;
+
+  /// The GET /statusz body: build info, uptime, readiness, server /
+  /// engine / cache / WAL snapshots, HTTP plane stats and the sampled
+  /// time series.
+  std::string RenderStatusz() const;
+
+  /// The ring-buffer time series as JSON - the HISTORY verb payload
+  /// and the "history" object of /statusz.
+  std::string RenderHistory() const;
+
+  /// The sampler behind RenderHistory, exposed for tests.
+  obs::MetricsHistory* history() { return history_.get(); }
 
  private:
   struct Connection {
@@ -171,6 +246,10 @@ class Server {
   /// non-blocking) and closes it: the max_connections refusal.
   void RefuseConnection(int fd);
 
+  /// Stops the HTTP plane (after the drain-linger window when
+  /// `linger`) and the history sampler. Idempotent.
+  void StopObservability(bool linger);
+
   QueryEngine* engine_;
   ServerOptions options_;
   ServerMetrics metrics_;
@@ -180,6 +259,16 @@ class Server {
   /// callbacks that snapshot at scrape time.
   obs::MetricsRegistry registry_;
 
+  /// The HTTP observability plane; null until StartHttp() with
+  /// options.http_enabled.
+  std::unique_ptr<obs::HttpServer> http_;
+  /// Ring-buffer time series over selected registry sources.
+  std::unique_ptr<obs::MetricsHistory> history_;
+  /// True between BeginRecovery and EndRecovery (WAL replay).
+  std::atomic<bool> recovering_{false};
+  /// Construction time, the uptime gauge's epoch.
+  std::chrono::steady_clock::time_point start_time_;
+
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   /// Self-pipe waking the accept loop on RequestStop.
@@ -187,7 +276,8 @@ class Server {
   std::thread accept_thread_;
 
   std::atomic<bool> stop_requested_{false};
-  std::mutex stop_mu_;
+  /// Mutable: NotReadyReasons() is const and checks started_.
+  mutable std::mutex stop_mu_;
   bool started_ = false;
   bool stopped_ = false;
 

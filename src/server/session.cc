@@ -160,7 +160,7 @@ void Session::Respond(const std::string& record) {
 void Session::Dispatch(const std::string& text) {
   const std::string verb = AdminVerbOf(text);
   if (verb == "STATS" || verb == "METRICS" || verb == "PING" ||
-      verb == "SHUTDOWN" || verb == "SNAPSHOT") {
+      verb == "SHUTDOWN" || verb == "SNAPSHOT" || verb == "HISTORY") {
     metrics_->requests.Add();
     DispatchAdmin(verb);
     return;
@@ -220,6 +220,17 @@ void Session::DispatchAdmin(std::string_view verb) {
       return;
     }
     Respond(callbacks_.snapshot());
+    return;
+  }
+  if (verb == "HISTORY") {
+    if (callbacks_.render_history == nullptr) {
+      metrics_->errors.Add();
+      Respond(JsonErrorRecord(
+          "", "",
+          Status::Unsupported("HISTORY is not available on this server")));
+      return;
+    }
+    Respond(callbacks_.render_history());
     return;
   }
   if (verb == "METRICS" && callbacks_.render_metrics != nullptr) {

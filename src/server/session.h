@@ -15,8 +15,8 @@
 //     its own in-flight queries, then applies the mutation on the
 //     calling thread. Cross-connection ordering is the engine's
 //     reader/writer protocol;
-//   * admin verbs (STATS; METRICS; PING; SHUTDOWN;) are answered
-//     without touching the parser.
+//   * admin verbs (STATS; METRICS; HISTORY; PING; SHUTDOWN;) are
+//     answered without touching the parser.
 //
 // Backpressure: a query is admitted only while the connection's own
 // in-flight count is under `max_conn_inflight` AND the server-wide
@@ -74,6 +74,11 @@ class Session {
     /// wrapped as `{"status": "ok", "prometheus": "..."}`. Null falls
     /// back to render_stats (METRICS then aliases STATS).
     std::function<std::string()> render_metrics;
+
+    /// Renders the HISTORY record body: the ring-buffer time series
+    /// wrapped as `{"status": "ok", "history": {...}}`. Null disables
+    /// the verb (it then answers an Unsupported error).
+    std::function<std::string()> render_history;
 
     /// SHUTDOWN verb; null disables the verb (it then answers an
     /// Unsupported error).

@@ -22,6 +22,10 @@ engine_batch (bench_engine_batch):
   * trace_hook_overhead <= 0.02 (tracing-disabled instrumentation
     hooks - spans per query x per-span cost x qps - cost at most 2%
     of query wall time; enforced when the current run measured it)
+  * obs_plane_overhead  <= 0.02 (the HTTP observability plane at its
+    default duty cycle - one 1 Hz history sampling pass plus one 1 Hz
+    /metrics render - costs at most 2% of one core-second; enforced
+    when the current run measured it)
 
 server (bench_server):
   * server_vs_inprocess_t4c8 >= 0.7  (8 loadgen clients over loopback
@@ -60,6 +64,7 @@ MIN_SKEWED_SPEEDUP = 1.3
 MIN_SKEWED_HIT_RATE = 0.5
 MIN_CHURN_READ_RATIO = 0.5
 MAX_TRACE_HOOK_OVERHEAD = 0.02
+MAX_OBS_PLANE_OVERHEAD = 0.02
 MIN_SERVER_RATIO = 0.7
 MIN_SIMD_SPEEDUP = 1.5
 MIN_SCAN_SPEEDUP = 1.5
@@ -134,6 +139,22 @@ def check_engine_batch(current, baseline, failures):
                 f"{MAX_TRACE_HOOK_OVERHEAD:.0%} ceiling")
     elif "trace_hook_overhead" in baseline.get("summary", {}):
         failures.append("current run is missing the trace overhead "
+                        "measurement the baseline includes")
+
+    # The HTTP observability plane's duty-cycle cost (1 Hz sampler +
+    # 1 Hz scraper), same 2% budget as the trace hooks.
+    obs_overhead = summary.get("obs_plane_overhead", 0.0)
+    if obs_overhead > 0.0 or "obs_render_ns" in summary:
+        print(f"obs_plane_overhead={obs_overhead:.4%} "
+              f"(ceiling {MAX_OBS_PLANE_OVERHEAD:.0%}), "
+              f"render_ns={summary.get('obs_render_ns', 0):.0f}, "
+              f"sample_ns={summary.get('obs_sample_ns', 0):.0f}")
+        if obs_overhead > MAX_OBS_PLANE_OVERHEAD:
+            failures.append(
+                f"obs_plane_overhead {obs_overhead:.4%} exceeds the "
+                f"{MAX_OBS_PLANE_OVERHEAD:.0%} ceiling")
+    elif "obs_plane_overhead" in baseline.get("summary", {}):
+        failures.append("current run is missing the obs-plane overhead "
                         "measurement the baseline includes")
 
 

@@ -17,6 +17,8 @@
 //            [--shards N] [--shard-policy bisection|grid]
 //            [--data-dir DIR] [--wal-sync always|interval|none]
 //            [--snapshot-interval-ops N]
+//            [--http-port P] [--http-host H] [--history-interval-ms T]
+//            [--drain-linger-ms T]
 //   knnq_cli two-selects --data FILE --f1 X,Y --k1 K --f2 X,Y --k2 K
 //            [--naive]
 //   knnq_cli select-inner-join --outer FILE --inner FILE --join-k K
@@ -45,6 +47,15 @@
 // distance-bound shard pruning (`shards_pruned` in stats output) and
 // DML commits copy-on-write without blocking readers. Results are
 // byte-identical to --shards 1.
+//
+// `serve --http-port P` adds the HTTP observability plane: GET
+// /metrics (Prometheus exposition, byte-identical to the METRICS;
+// verb), /healthz (liveness), /readyz (readiness, 503 with reasons
+// during recovery and drain) and /statusz (JSON introspection with
+// ring-buffer time series sampled every --history-interval-ms).
+// --drain-linger-ms keeps /readyz answering 503 "draining" for that
+// window after a graceful shutdown's drain, so load balancers observe
+// not-ready before the endpoints disappear.
 //
 // Dataset files are produced by `generate` (CSV: id,x,y with a header;
 // .bin: the knnq binary format).
@@ -756,14 +767,29 @@ int CmdServe(const Args& args) {
   auto max_connections = args.GetSizeOr("--max-connections", 256);
   auto write_timeout_ms = args.GetSizeOr("--write-timeout-ms", 10000);
   auto shutdown_grace_ms = args.GetSizeOr("--shutdown-grace-ms", 5000);
+  auto http_port = args.GetSizeOr("--http-port", 0);
+  auto history_interval_ms = args.GetSizeOr("--history-interval-ms", 1000);
+  auto drain_linger_ms = args.GetSizeOr("--drain-linger-ms", 0);
   for (const auto* flag :
        {&cache_mb, &threads, &port, &max_inflight, &max_conn_inflight,
         &max_request_bytes, &idle_timeout_ms, &max_connections,
-        &write_timeout_ms, &shutdown_grace_ms}) {
+        &write_timeout_ms, &shutdown_grace_ms, &http_port,
+        &history_interval_ms, &drain_linger_ms}) {
     if (!flag->ok()) return Fail(flag->status());
   }
   if (*port > 65535) {
     return Fail(Status::InvalidArgument("--port must be <= 65535"));
+  }
+  if (*http_port > 65535) {
+    return Fail(Status::InvalidArgument("--http-port must be <= 65535"));
+  }
+  if (*history_interval_ms == 0) {
+    return Fail(Status::InvalidArgument(
+        "--history-interval-ms must be a positive integer"));
+  }
+  if (args.Has("--http-host") && !args.Has("--http-port")) {
+    return Fail(
+        Status::InvalidArgument("--http-host requires --http-port"));
   }
 
   EngineOptions options;
@@ -781,13 +807,6 @@ int CmdServe(const Args& args) {
   }
   options.wal = durable.get();
   QueryEngine engine(std::move(catalog), options);
-
-  durability::RecoveryReport recovery;
-  if (durable != nullptr) {
-    auto report = durable->Recover(&engine);
-    if (!report.ok()) return Fail(report.status());
-    recovery = *report;
-  }
 
   server::ServerOptions server_options;
   server_options.host = args.GetOr("--host", "127.0.0.1");
@@ -808,15 +827,45 @@ int CmdServe(const Args& args) {
   // otherwise stop a server bound beyond loopback.
   server_options.allow_remote_shutdown =
       args.Has("--allow-remote-shutdown");
+  server_options.http_enabled = args.Has("--http-port");
+  server_options.http_host = args.GetOr("--http-host", "127.0.0.1");
+  server_options.http_port = static_cast<std::uint16_t>(*http_port);
+  server_options.history_interval_ms =
+      static_cast<int>(*history_interval_ms);
+  server_options.drain_linger_ms = static_cast<int>(*drain_linger_ms);
   if (durable != nullptr) {
     durability::DurabilityManager* manager = durable.get();
     QueryEngine* engine_ptr = &engine;
     server_options.snapshot_handler = [manager, engine_ptr] {
       return manager->Snapshot(engine_ptr);
     };
+    server_options.wal_writable = [manager] { return manager->writable(); };
+    server_options.wal_status = [manager] { return manager->StatusJson(); };
   }
   server::Server server(&engine, server_options);
   if (durable != nullptr) durable->RegisterMetrics(server.registry());
+
+  // The observability plane comes up BEFORE recovery: /healthz answers
+  // immediately, and /readyz reports 503 "recovery in progress" for as
+  // long as the WAL replay runs.
+  if (durable != nullptr) server.BeginRecovery();
+  if (const Status started = server.StartHttp(); !started.ok()) {
+    return Fail(started);
+  }
+  if (server_options.http_enabled) {
+    std::printf("observability HTTP on %s:%u "
+                "(/metrics /healthz /readyz /statusz)\n",
+                server_options.http_host.c_str(), server.http_port());
+    std::fflush(stdout);
+  }
+
+  durability::RecoveryReport recovery;
+  if (durable != nullptr) {
+    auto report = durable->Recover(&engine);
+    if (!report.ok()) return Fail(report.status());
+    recovery = *report;
+    server.EndRecovery();
+  }
 
   // Listed before Start(): once the server accepts, clients may be
   // mutating the catalog already.

@@ -11,6 +11,7 @@
 //   knnq_loadgen --port P --shutdown      # graceful server stop
 //   knnq_loadgen --port P --stats         # print the STATS record
 //   knnq_loadgen --port P --metrics       # print Prometheus text
+//   knnq_loadgen --scrape-http HOST:PORT[/metrics]   # scrape over HTTP
 //
 // --kill-after-ops N SIGKILLs --kill-pid PID once N statements have
 // been sent: the crash half of a recovery drill. Disconnects after the
@@ -21,9 +22,16 @@
 // printing the raw Prometheus exposition text — pipe it into
 // tools/check_prometheus.py (the CI lint) or a scrape debugger.
 //
+// --scrape-http fetches the observability plane's GET /metrics (the
+// path defaults to /metrics when omitted), prints the body, and exits
+// nonzero unless the response is a 200 carrying well-formed Prometheus
+// exposition text — a dependency-free scrape probe for CI and cron.
+//
 // Exit code 0 only when every response arrived, in order, with
 // status ok - the CI smoke step's zero-error assertion.
 
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -54,6 +62,8 @@ struct Flags {
   bool shutdown = false;
   bool stats = false;
   bool metrics = false;
+  /// --scrape-http HOST:PORT[/path]; empty when not scraping.
+  std::string scrape_http;
 };
 
 Result<Flags> ParseFlags(int argc, char** argv) {
@@ -99,14 +109,101 @@ Result<Flags> ParseFlags(int argc, char** argv) {
           value.c_str(), nullptr, 10));
     } else if (flag == "--file") {
       flags.files.push_back(value);
+    } else if (flag == "--scrape-http") {
+      flags.scrape_http = value;
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
     }
   }
+  if (!flags.scrape_http.empty()) return flags;  // Needs no --port.
   if (flags.port == 0 || flags.port > 65535) {
     return Status::InvalidArgument("--port (1-65535) is required");
   }
   return flags;
+}
+
+/// Splits "HOST:PORT[/path]" (path defaults to /metrics).
+Status ParseScrapeTarget(const std::string& target, std::string* host,
+                         std::uint16_t* port, std::string* path) {
+  const std::size_t slash = target.find('/');
+  const std::string hostport =
+      slash == std::string::npos ? target : target.substr(0, slash);
+  *path = slash == std::string::npos ? "/metrics" : target.substr(slash);
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= hostport.size()) {
+    return Status::InvalidArgument(
+        "--scrape-http expects HOST:PORT[/path], got: " + target);
+  }
+  *host = hostport.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long parsed =
+      std::strtoul(hostport.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed == 0 || parsed > 65535) {
+    return Status::InvalidArgument(
+        "--scrape-http port must be 1-65535, got: " + target);
+  }
+  *port = static_cast<std::uint16_t>(parsed);
+  return Status::Ok();
+}
+
+/// Structural lint of Prometheus text exposition: every non-empty line
+/// is a comment or `name[{labels}] value`, metric names are legal, and
+/// at least one sample is present. Mirrors tools/check_prometheus.py
+/// so the probe needs no Python.
+Status ValidateExposition(const std::string& text) {
+  std::size_t samples = 0;
+  std::size_t begin = 0;
+  std::size_t line_no = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;
+    // name{labels} value  |  name value
+    std::size_t name_end = 0;
+    while (name_end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[name_end])) ||
+            line[name_end] == '_' || line[name_end] == ':')) {
+      ++name_end;
+    }
+    if (name_end == 0 ||
+        std::isdigit(static_cast<unsigned char>(line[0]))) {
+      return Status::InvalidArgument(
+          "exposition line " + std::to_string(line_no) +
+          ": bad metric name: " + line);
+    }
+    std::size_t value_begin = name_end;
+    if (value_begin < line.size() && line[value_begin] == '{') {
+      const std::size_t close = line.find('}', value_begin);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument(
+            "exposition line " + std::to_string(line_no) +
+            ": unterminated label set: " + line);
+      }
+      value_begin = close + 1;
+    }
+    if (value_begin >= line.size() || line[value_begin] != ' ') {
+      return Status::InvalidArgument(
+          "exposition line " + std::to_string(line_no) +
+          ": missing sample value: " + line);
+    }
+    char* end_ptr = nullptr;
+    std::strtod(line.c_str() + value_begin + 1, &end_ptr);
+    if (end_ptr == line.c_str() + value_begin + 1) {
+      return Status::InvalidArgument(
+          "exposition line " + std::to_string(line_no) +
+          ": non-numeric sample value: " + line);
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("exposition carried no samples");
+  }
+  return Status::Ok();
 }
 
 void PrintReport(const server::LoadgenReport& report, bool json) {
@@ -189,10 +286,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: knnq_loadgen --port P [--host H] [--clients N] "
                  "[--repeat R] --file W.knnql [--file ...] [--json] | "
-                 "--shutdown | --stats | --metrics\n");
+                 "--shutdown | --stats | --metrics | "
+                 "--scrape-http HOST:PORT[/metrics]\n");
     return Fail(flags.status());
   }
   const auto port = static_cast<std::uint16_t>(flags->port);
+
+  if (!flags->scrape_http.empty()) {
+    std::string host, path;
+    std::uint16_t http_port = 0;
+    if (const Status s =
+            ParseScrapeTarget(flags->scrape_http, &host, &http_port, &path);
+        !s.ok()) {
+      return Fail(s);
+    }
+    const auto response = server::HttpGet(host, http_port, path);
+    if (!response.ok()) return Fail(response.status());
+    std::fputs(response->body.c_str(), stdout);
+    if (response->status != 200) {
+      return Fail(Status::Unavailable(
+          "scrape answered HTTP " + std::to_string(response->status)));
+    }
+    if (const Status s = ValidateExposition(response->body); !s.ok()) {
+      return Fail(s);
+    }
+    return 0;
+  }
 
   if (flags->shutdown || flags->stats || flags->metrics) {
     const char* verb = flags->shutdown ? "SHUTDOWN"
